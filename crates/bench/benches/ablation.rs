@@ -1,0 +1,49 @@
+//! Ablation benches: the design-parameter sweeps DESIGN.md calls out
+//! (exploration count, scoring percentile, round length, UCB constant),
+//! each printed and timed at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use perigee_experiments::{ablation, Scenario};
+
+fn bench_scenario() -> Scenario {
+    Scenario {
+        nodes: 100,
+        rounds: 4,
+        blocks_per_round: 15,
+        seeds: vec![1],
+        ..Scenario::paper()
+    }
+}
+
+fn ablations(c: &mut Criterion) {
+    let scenario = bench_scenario();
+
+    let r = ablation::sweep_exploration(&scenario, 1, &[0, 2, 4]);
+    for p in &r.points {
+        println!("ablation/explore={}: median λ90 = {:.1} ms", p.value, p.median90_ms);
+    }
+    let r = ablation::sweep_percentile(&scenario, 1, &[50.0, 90.0]);
+    for p in &r.points {
+        println!("ablation/percentile={}: median λ90 = {:.1} ms", p.value, p.median90_ms);
+    }
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("exploration_sweep", |b| {
+        b.iter(|| ablation::sweep_exploration(&scenario, 1, &[0, 2, 4]));
+    });
+    group.bench_function("percentile_sweep", |b| {
+        b.iter(|| ablation::sweep_percentile(&scenario, 1, &[50.0, 90.0]));
+    });
+    group.bench_function("round_length_sweep", |b| {
+        b.iter(|| ablation::sweep_round_length(&scenario, 1, &[10, 30]));
+    });
+    group.bench_function("ucb_c_sweep", |b| {
+        b.iter(|| ablation::sweep_ucb_c(&scenario, 1, &[10.0, 50.0]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

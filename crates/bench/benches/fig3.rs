@@ -1,0 +1,58 @@
+//! Figure 3 benches: regenerate the delay-curve comparison (reduced scale)
+//! and report the paper's headline numbers as Criterion measurements.
+//!
+//! Each bench runs the *same* pipeline as `repro fig3a`/`fig3b` — build
+//! world, run/adapt the topology, evaluate λ90 from every source — so
+//! `cargo bench -p perigee-bench --bench fig3` regenerates the figure's
+//! series (printed once per bench) while timing it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use perigee_experiments::{run_algorithm, Algorithm, Scenario};
+
+fn bench_scenario() -> Scenario {
+    Scenario {
+        nodes: 150,
+        rounds: 4,
+        blocks_per_round: 20,
+        seeds: vec![1],
+        ..Scenario::paper()
+    }
+}
+
+fn fig3a(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut group = c.benchmark_group("fig3a");
+    group.sample_size(10);
+    for algo in Algorithm::FIG3 {
+        // Print the series once, so the bench run regenerates the figure.
+        let out = run_algorithm(algo, &scenario, 1);
+        println!(
+            "fig3a/{}: median λ90 = {:.1} ms (λ50 = {:.1} ms)",
+            algo,
+            out.curve90.median(),
+            out.curve50.median()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
+            b.iter(|| run_algorithm(algo, &scenario, 1));
+        });
+    }
+    group.finish();
+}
+
+fn fig3b(c: &mut Criterion) {
+    let scenario = bench_scenario().with_exponential_hash_power();
+    let mut group = c.benchmark_group("fig3b");
+    group.sample_size(10);
+    for algo in [Algorithm::Random, Algorithm::PerigeeSubset] {
+        let out = run_algorithm(algo, &scenario, 1);
+        println!("fig3b/{}: median λ90 = {:.1} ms", algo, out.curve90.median());
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
+            b.iter(|| run_algorithm(algo, &scenario, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3a, fig3b);
+criterion_main!(benches);

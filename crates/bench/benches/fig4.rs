@@ -1,0 +1,83 @@
+//! Figure 4 benches: the robustness experiments (validation sweep, mining
+//! pools, relay overlay) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use perigee_experiments::{fig4, MinerCliqueSpec, RelaySpec, Scenario};
+
+fn bench_scenario() -> Scenario {
+    Scenario {
+        nodes: 120,
+        rounds: 4,
+        blocks_per_round: 15,
+        seeds: vec![1],
+        ..Scenario::paper()
+    }
+}
+
+fn fig4a(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut group = c.benchmark_group("fig4a");
+    group.sample_size(10);
+    for factor in [0.1, 1.0, 10.0] {
+        let r = fig4::run_fig4a(&scenario, &[factor]);
+        println!(
+            "fig4a/x{factor}: perigee {:.1} ms vs random {:.1} ms ({:+.1}%)",
+            r.points[0].perigee.median(),
+            r.points[0].random.median(),
+            r.points[0].improvement() * 100.0
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(factor),
+            &factor,
+            |b, &factor| {
+                b.iter(|| fig4::run_fig4a(&scenario, &[factor]));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig4b(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let r = fig4::run_fig4b(&scenario, MinerCliqueSpec::default());
+    println!(
+        "fig4b: gap closed = {:.0}% (random {:.1} / perigee {:.1} / ideal {:.1} ms)",
+        r.gap_closed() * 100.0,
+        r.random.median(),
+        r.perigee.median(),
+        r.ideal.median()
+    );
+    let mut group = c.benchmark_group("fig4b");
+    group.sample_size(10);
+    group.bench_function("mining_pools", |b| {
+        b.iter(|| fig4::run_fig4b(&scenario, MinerCliqueSpec::default()));
+    });
+    group.finish();
+}
+
+fn fig4c(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let spec = RelaySpec {
+        size: 12,
+        link_latency_ms: 5.0,
+        validation_factor: 0.1,
+    };
+    let r = fig4::run_fig4c(&scenario, spec);
+    println!(
+        "fig4c: gap closed = {:.0}% (random {:.1} / perigee {:.1} / ideal {:.1} ms)",
+        r.gap_closed() * 100.0,
+        r.random.median(),
+        r.perigee.median(),
+        r.ideal.median()
+    );
+    let mut group = c.benchmark_group("fig4c");
+    group.sample_size(10);
+    group.bench_function("relay_overlay", |b| {
+        b.iter(|| fig4::run_fig4c(&scenario, spec));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig4a, fig4b, fig4c);
+criterion_main!(benches);

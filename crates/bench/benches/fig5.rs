@@ -1,0 +1,39 @@
+//! Figure 5 bench: edge-latency histogram generation over the learned
+//! topologies, with the low-mode mass printed for each algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use perigee_experiments::{fig5, Scenario};
+
+fn bench_scenario() -> Scenario {
+    Scenario {
+        nodes: 150,
+        rounds: 5,
+        blocks_per_round: 20,
+        seeds: vec![2],
+        ..Scenario::paper()
+    }
+}
+
+fn fig5_histograms(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let r = fig5::run(&scenario);
+    for h in &r.histograms {
+        println!(
+            "fig5/{}: {:.1}% of edges below {:.0} ms (mean {:.1} ms)",
+            h.algorithm,
+            h.low_mode_fraction * 100.0,
+            r.mode_split_ms,
+            h.mean_latency_ms
+        );
+    }
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("edge_histograms", |b| {
+        b.iter(|| fig5::run(&scenario));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5_histograms);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Theory benches: Fig. 1 and the Theorem 1/2 stretch measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use perigee_experiments::theory;
+
+fn fig1(c: &mut Criterion) {
+    let f = theory::run_fig1(500, 1);
+    println!(
+        "fig1: euclid {:.3} | random path {:.3} (stretch {:.2}) | geometric path {:.3} (stretch {:.2})",
+        f.euclidean,
+        f.random_path,
+        f.random_stretch(),
+        f.geometric_path,
+        f.geometric_stretch()
+    );
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("unit_square_paths", |b| {
+        b.iter(|| theory::run_fig1(500, 1));
+    });
+    group.finish();
+}
+
+fn theorems(c: &mut Criterion) {
+    let r = theory::run_theorems(&[250, 500, 1000], 2, 1);
+    for p in &r.points {
+        println!(
+            "theorems/n={}: random stretch {:.2} (Thm 1), geometric stretch {:.2} (Thm 2)",
+            p.n, p.random_stretch, p.geometric_stretch
+        );
+    }
+    let mut group = c.benchmark_group("theorems");
+    group.sample_size(10);
+    for n in [250usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| theory::run_theorems(&[n], 2, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1, theorems);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! # perigee-bench
+//!
+//! Criterion benchmarks regenerating the Perigee paper's figures (see the
+//! `benches/` directory): `fig3`, `fig4`, `fig5`, `theory`, `ablation` and
+//! the `micro` substrate benchmarks. The crate itself has no library code.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

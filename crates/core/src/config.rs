@@ -1,0 +1,120 @@
+//! Engine configuration.
+
+use perigee_netsim::ConnectionLimits;
+use serde::{Deserialize, Serialize};
+
+use crate::score::ScoringMethod;
+
+/// Configuration of a [`PerigeeEngine`](crate::PerigeeEngine) run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerigeeConfig {
+    /// Connection limits (paper: 8 outgoing / ≤20 incoming).
+    pub limits: ConnectionLimits,
+    /// Exploration connections per round, `ev` (paper: 2 for
+    /// Vanilla/Subset; UCB's drop-one rule implies at most 1).
+    pub explore: usize,
+    /// Blocks mined per round, `|B|` (paper: 100 for Vanilla/Subset, 1 for
+    /// UCB).
+    pub blocks_per_round: usize,
+    /// Scoring percentile (paper: 90).
+    pub percentile: f64,
+    /// Confidence-width constant `c` of eqs. (3–4).
+    pub ucb_c: f64,
+}
+
+impl PerigeeConfig {
+    /// The paper's §5.1 configuration for a given scoring method.
+    pub fn paper_default(method: ScoringMethod) -> Self {
+        PerigeeConfig {
+            limits: ConnectionLimits::paper_default(),
+            explore: match method {
+                ScoringMethod::Ucb => 0,
+                _ => 2,
+            },
+            blocks_per_round: method.paper_blocks_per_round(),
+            percentile: 90.0,
+            ucb_c: 50.0,
+        }
+    }
+
+    /// Number of neighbors retained by scoring each round
+    /// (`dv = dout − ev`).
+    pub fn retain_count(&self) -> usize {
+        self.limits.dout.saturating_sub(self.explore)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.limits.dout == 0 {
+            return Err("dout must be positive");
+        }
+        if self.explore >= self.limits.dout {
+            return Err("exploration count must be below dout");
+        }
+        if self.blocks_per_round == 0 {
+            return Err("blocks_per_round must be positive");
+        }
+        if !(0.0..=100.0).contains(&self.percentile) {
+            return Err("percentile must be in [0, 100]");
+        }
+        if self.ucb_c.is_nan() || self.ucb_c < 0.0 {
+            return Err("ucb_c must be non-negative");
+        }
+        Ok(())
+    }
+}
+
+impl Default for PerigeeConfig {
+    fn default() -> Self {
+        Self::paper_default(ScoringMethod::Subset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = PerigeeConfig::paper_default(ScoringMethod::Subset);
+        assert_eq!(c.limits.dout, 8);
+        assert_eq!(c.limits.din_max, Some(20));
+        assert_eq!(c.explore, 2);
+        assert_eq!(c.blocks_per_round, 100);
+        assert_eq!(c.retain_count(), 6);
+        assert!(c.validate().is_ok());
+
+        let u = PerigeeConfig::paper_default(ScoringMethod::Ucb);
+        assert_eq!(u.blocks_per_round, 1);
+        assert_eq!(u.explore, 0);
+        assert_eq!(u.retain_count(), 8);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let c = PerigeeConfig {
+            explore: 8,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PerigeeConfig {
+            blocks_per_round: 0,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PerigeeConfig {
+            percentile: 250.0,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PerigeeConfig {
+            ucb_c: f64::NAN,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

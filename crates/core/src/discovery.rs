@@ -1,0 +1,240 @@
+//! Peer discovery with partial views (§2.1's `addrMan`, §6's open
+//! question).
+//!
+//! The paper's evaluation assumes every node knows all peer addresses. Real
+//! Bitcoin nodes keep a bounded local address database seeded by a
+//! bootstrap server and refreshed by gossiping addresses with neighbors.
+//! [`AddressBook`] models exactly that: per-node bounded known-peer sets,
+//! random bootstrap seeding, and a per-round address-exchange step in which
+//! every node learns a few addresses known to its current neighbors.
+//!
+//! Install a book into a [`PerigeeEngine`](crate::PerigeeEngine) with
+//! [`set_address_book`](crate::PerigeeEngine::set_address_book): exploration
+//! then samples from each node's partial view instead of the whole network,
+//! and addresses are gossiped between neighbors after every round. The
+//! `perigee-experiments` crate's `discovery` module measures how much this
+//! partial knowledge costs Perigee (spoiler: little — exploration only
+//! needs *some* fresh candidates, not a global view).
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+
+use perigee_netsim::{NodeId, Topology};
+
+/// Bounded per-node address databases with gossip refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressBook {
+    known: Vec<BTreeSet<NodeId>>,
+    capacity: usize,
+}
+
+impl AddressBook {
+    /// Creates address books for `n` nodes, each seeded with
+    /// `bootstrap_size` uniformly random peers (the bootstrap-server list)
+    /// and capped at `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `bootstrap_size > capacity`.
+    pub fn bootstrap<R: Rng + ?Sized>(
+        n: usize,
+        bootstrap_size: usize,
+        capacity: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(capacity >= 1, "address book capacity must be positive");
+        assert!(
+            bootstrap_size <= capacity,
+            "bootstrap list cannot exceed capacity"
+        );
+        let mut known = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut set = BTreeSet::new();
+            let want = bootstrap_size.min(n.saturating_sub(1));
+            let mut guard = 0;
+            while set.len() < want && guard < 100 * want.max(1) {
+                guard += 1;
+                let candidate = NodeId::new(rng.gen_range(0..n as u32));
+                if candidate.index() != i {
+                    set.insert(candidate);
+                }
+            }
+            known.push(set);
+        }
+        AddressBook { known, capacity }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Returns `true` when the book covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// The addresses currently known to `v`.
+    pub fn known(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.known[v.index()].iter().copied()
+    }
+
+    /// How many addresses `v` currently knows.
+    pub fn known_count(&self, v: NodeId) -> usize {
+        self.known[v.index()].len()
+    }
+
+    /// Inserts an address directly (e.g. a new inbound connection), evicting
+    /// a pseudo-random entry if at capacity.
+    pub fn insert<R: Rng + ?Sized>(&mut self, v: NodeId, addr: NodeId, rng: &mut R) {
+        if v == addr {
+            return;
+        }
+        let set = &mut self.known[v.index()];
+        if set.contains(&addr) {
+            return;
+        }
+        if set.len() >= self.capacity {
+            // Evict a random entry to make room (Bitcoin's addrman also
+            // overwrites buckets).
+            let idx = rng.gen_range(0..set.len());
+            let victim = *set.iter().nth(idx).expect("index in range");
+            set.remove(&victim);
+        }
+        set.insert(addr);
+    }
+
+    /// One round of address gossip: every node receives `per_neighbor`
+    /// random addresses from each current communication neighbor.
+    pub fn exchange<R: Rng + ?Sized>(
+        &mut self,
+        topology: &Topology,
+        per_neighbor: usize,
+        rng: &mut R,
+    ) {
+        debug_assert_eq!(topology.len(), self.len());
+        // Snapshot sender views first so the exchange is symmetric and
+        // order-independent within a round.
+        let snapshot: Vec<Vec<NodeId>> = self
+            .known
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        for i in 0..topology.len() as u32 {
+            let v = NodeId::new(i);
+            for u in topology.neighbors(v) {
+                // Learning the neighbor's own address is free.
+                self.insert(v, u, rng);
+                let from = &snapshot[u.index()];
+                for _ in 0..per_neighbor {
+                    if from.is_empty() {
+                        break;
+                    }
+                    let addr = from[rng.gen_range(0..from.len())];
+                    self.insert(v, addr, rng);
+                }
+            }
+        }
+    }
+
+    /// Samples a random known address of `v` that is not in `exclude`.
+    pub fn sample_peer<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        exclude: &[NodeId],
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let candidates: Vec<NodeId> = self.known[v.index()]
+            .iter()
+            .copied()
+            .filter(|a| !exclude.contains(a))
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::ConnectionLimits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_seeds_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let book = AddressBook::bootstrap(50, 10, 30, &mut rng);
+        for i in 0..50u32 {
+            let v = NodeId::new(i);
+            assert_eq!(book.known_count(v), 10);
+            assert!(book.known(v).all(|a| a != v), "no self addresses");
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_eviction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut book = AddressBook::bootstrap(20, 5, 5, &mut rng);
+        let v = NodeId::new(0);
+        for i in 1..20u32 {
+            book.insert(v, NodeId::new(i), &mut rng);
+            assert!(book.known_count(v) <= 5);
+        }
+    }
+
+    #[test]
+    fn self_and_duplicate_inserts_are_ignored() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut book = AddressBook::bootstrap(10, 0, 5, &mut rng);
+        let v = NodeId::new(4);
+        book.insert(v, v, &mut rng);
+        assert_eq!(book.known_count(v), 0);
+        book.insert(v, NodeId::new(5), &mut rng);
+        book.insert(v, NodeId::new(5), &mut rng);
+        assert_eq!(book.known_count(v), 1);
+    }
+
+    #[test]
+    fn exchange_spreads_addresses_along_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut book = AddressBook::bootstrap(4, 0, 10, &mut rng);
+        // Path 0-1-2-3; seed node 0 with node 3's address.
+        let mut topo = Topology::new(4, ConnectionLimits::unlimited());
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        topo.connect(NodeId::new(2), NodeId::new(3)).unwrap();
+        book.insert(NodeId::new(0), NodeId::new(3), &mut rng);
+        for _ in 0..6 {
+            book.exchange(&topo, 3, &mut rng);
+        }
+        // Everyone now knows their neighbors, and node 2 learned about
+        // node 0 (two hops away) through gossip.
+        assert!(book.known(NodeId::new(1)).any(|a| a == NodeId::new(0)));
+        assert!(book.known(NodeId::new(2)).any(|a| a == NodeId::new(0)));
+    }
+
+    #[test]
+    fn sample_peer_respects_exclusions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut book = AddressBook::bootstrap(5, 0, 5, &mut rng);
+        let v = NodeId::new(0);
+        book.insert(v, NodeId::new(1), &mut rng);
+        book.insert(v, NodeId::new(2), &mut rng);
+        let got = book.sample_peer(v, &[NodeId::new(1)], &mut rng);
+        assert_eq!(got, Some(NodeId::new(2)));
+        let none = book.sample_peer(v, &[NodeId::new(1), NodeId::new(2)], &mut rng);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap list cannot exceed capacity")]
+    fn oversized_bootstrap_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = AddressBook::bootstrap(10, 8, 5, &mut rng);
+    }
+}

@@ -1,0 +1,602 @@
+//! The Perigee round engine (Algorithm 1).
+//!
+//! Each round: mine `|B|` blocks from hash-power-proportional sources,
+//! flood them, collect per-neighbor observations, let every adopting node
+//! retain its best neighbors, and refill freed slots with random
+//! exploration connections. Connection updates execute synchronously at the
+//! end of the round (§2.1).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use perigee_netsim::{
+    broadcast, gossip_block, GossipConfig, LatencyModel, MinerSampler, NodeId, Population,
+    Topology,
+};
+
+use crate::config::PerigeeConfig;
+use crate::discovery::AddressBook;
+use crate::observation::ObservationCollector;
+use crate::score::{ScoringMethod, SelectionStrategy};
+
+/// How the engine simulates block propagation inside a round.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PropagationMode {
+    /// The fast analytic engine (Dijkstra over the §2 model). The default;
+    /// exactly equivalent to message-level flooding with negligible blocks.
+    #[default]
+    Analytic,
+    /// The message-level event engine with the given gossip configuration
+    /// (Bitcoin INV/GETDATA exchange and/or bandwidth-limited transfers).
+    /// Perigee then observes *announcement* times, as §4.1 describes
+    /// ("blocks, or advertisements for blocks").
+    Gossip(GossipConfig),
+}
+
+/// Per-round summary statistics (used for convergence plots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Mean λ(90%) over the round's blocks, in ms.
+    pub mean_lambda90_ms: f64,
+    /// Mean λ(50%) over the round's blocks, in ms.
+    pub mean_lambda50_ms: f64,
+    /// Blocks mined this round.
+    pub blocks: usize,
+    /// Outgoing connections dropped by scoring decisions this round.
+    pub dropped: usize,
+}
+
+/// Drives Perigee rounds over a simulated network.
+///
+/// Non-adopting nodes (see [`PerigeeEngine::set_adopters`]) keep their
+/// initial outgoing connections forever — used for the incremental
+/// deployment experiment.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
+/// use perigee_netsim::{ConnectionLimits, GeoLatencyModel, PopulationBuilder};
+/// use perigee_topology::{RandomBuilder, TopologyBuilder};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pop = PopulationBuilder::new(120).build(&mut rng)?;
+/// let lat = GeoLatencyModel::new(&pop, 1);
+/// let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+///
+/// let mut cfg = PerigeeConfig::paper_default(ScoringMethod::Subset);
+/// cfg.blocks_per_round = 10; // keep the doc test fast
+/// let mut engine = PerigeeEngine::new(pop, lat, topo, ScoringMethod::Subset, cfg)?;
+/// let stats = engine.run_round(&mut rng);
+/// assert_eq!(stats.blocks, 10);
+/// # Ok(())
+/// # }
+/// ```
+pub struct PerigeeEngine<L> {
+    population: Population,
+    latency: L,
+    topology: Topology,
+    strategy: Box<dyn SelectionStrategy>,
+    sampler: MinerSampler,
+    config: PerigeeConfig,
+    adopters: Vec<bool>,
+    mode: PropagationMode,
+    address_book: Option<AddressBook>,
+    round: usize,
+}
+
+impl<L: std::fmt::Debug> std::fmt::Debug for PerigeeEngine<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerigeeEngine")
+            .field("nodes", &self.population.len())
+            .field("round", &self.round)
+            .field("strategy", &self.strategy.name())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L: LatencyModel> PerigeeEngine<L> {
+    /// Creates an engine where every node runs Perigee with `method`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error message for inconsistent configs or
+    /// mismatched population/topology sizes.
+    pub fn new(
+        population: Population,
+        latency: L,
+        topology: Topology,
+        method: ScoringMethod,
+        config: PerigeeConfig,
+    ) -> Result<Self, &'static str> {
+        config.validate()?;
+        if population.len() != topology.len() {
+            return Err("population and topology sizes differ");
+        }
+        let strategy = method.strategy(
+            population.len(),
+            config.retain_count(),
+            config.percentile,
+            config.ucb_c,
+        );
+        let sampler = MinerSampler::new(&population);
+        let adopters = vec![true; population.len()];
+        Ok(PerigeeEngine {
+            population,
+            latency,
+            topology,
+            strategy,
+            sampler,
+            config,
+            adopters,
+            mode: PropagationMode::Analytic,
+            address_book: None,
+            round: 0,
+        })
+    }
+
+    /// Restricts peer discovery to per-node partial views (§2.1's
+    /// `addrMan`): exploration samples from each node's address book, and
+    /// books are refreshed by gossip after every round. Without a book
+    /// (the paper's evaluation assumption) every node knows all addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the book covers a different number of nodes.
+    pub fn set_address_book(&mut self, book: AddressBook) {
+        assert_eq!(book.len(), self.population.len());
+        self.address_book = Some(book);
+    }
+
+    /// The current address book, if partial discovery is enabled.
+    pub fn address_book(&self) -> Option<&AddressBook> {
+        self.address_book.as_ref()
+    }
+
+    /// Selects how blocks propagate during rounds (analytic flooding by
+    /// default; message-level INV/GETDATA with bandwidth on request).
+    pub fn set_propagation_mode(&mut self, mode: PropagationMode) {
+        self.mode = mode;
+    }
+
+    /// The active propagation mode.
+    pub fn propagation_mode(&self) -> PropagationMode {
+        self.mode
+    }
+
+    /// Restricts which nodes run Perigee updates; the rest keep their
+    /// initial neighbors (incremental deployment, §1.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag vector length differs from the population.
+    pub fn set_adopters(&mut self, adopters: Vec<bool>) {
+        assert_eq!(adopters.len(), self.population.len());
+        self.adopters = adopters;
+    }
+
+    /// The current overlay.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The simulated population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Mutable population access (adversary injection mid-run).
+    pub fn population_mut(&mut self) -> &mut Population {
+        &mut self.population
+    }
+
+    /// The latency model.
+    pub fn latency(&self) -> &L {
+        &self.latency
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &PerigeeConfig {
+        &self.config
+    }
+
+    /// Completed rounds.
+    pub fn rounds_run(&self) -> usize {
+        self.round
+    }
+
+    /// Runs one full round: mine, observe, score, rewire.
+    pub fn run_round<R: Rng>(&mut self, rng: &mut R) -> RoundStats {
+        let k = self.config.blocks_per_round;
+        let miners = self.sampler.sample_round(k, rng);
+        let mut collector = ObservationCollector::new(&self.topology);
+        let mut sum90 = 0.0;
+        let mut sum50 = 0.0;
+        for &miner in &miners {
+            match self.mode {
+                PropagationMode::Analytic => {
+                    let prop =
+                        broadcast(&self.topology, &self.latency, &self.population, miner);
+                    sum90 += prop.coverage_time(&self.population, 0.9).as_ms();
+                    sum50 += prop.coverage_time(&self.population, 0.5).as_ms();
+                    collector.record(&prop, &self.latency);
+                }
+                PropagationMode::Gossip(cfg) => {
+                    let outcome = gossip_block(
+                        &self.topology,
+                        &self.latency,
+                        &self.population,
+                        miner,
+                        &cfg,
+                    );
+                    sum90 += outcome.coverage_time(&self.population, 0.9).as_ms();
+                    sum50 += outcome.coverage_time(&self.population, 0.5).as_ms();
+                    collector.record_gossip(&outcome);
+                }
+            }
+        }
+        let observations = collector.finish();
+
+        // Phase 1: every adopter decides which outgoing neighbors to keep,
+        // based on the same synchronous snapshot.
+        let mut drops: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        for i in 0..self.population.len() as u32 {
+            let v = NodeId::new(i);
+            if !self.adopters[v.index()] {
+                continue;
+            }
+            let outgoing = self.topology.outgoing_vec(v);
+            if outgoing.is_empty() {
+                continue;
+            }
+            let retained = self
+                .strategy
+                .retain(v, &outgoing, &observations[v.index()], rng);
+            let dropped: Vec<NodeId> = outgoing
+                .iter()
+                .copied()
+                .filter(|u| !retained.contains(u))
+                .collect();
+            if !dropped.is_empty() {
+                drops.push((v, dropped));
+            }
+        }
+
+        // Phase 2: apply all disconnections first (freeing incoming slots
+        // network-wide), then refill in random node order for fairness.
+        let mut dropped_total = 0;
+        for (v, dropped) in &drops {
+            for &u in dropped {
+                self.topology.disconnect(*v, u);
+                self.strategy.on_disconnect(*v, u);
+                dropped_total += 1;
+            }
+        }
+        let mut order: Vec<u32> = (0..self.population.len() as u32).collect();
+        order.shuffle(rng);
+        for &i in &order {
+            let v = NodeId::new(i);
+            if !self.adopters[v.index()] {
+                continue;
+            }
+            self.fill_random_connections(v, rng);
+        }
+
+        // Refresh partial views by gossiping addresses along the new edges.
+        if let Some(book) = &mut self.address_book {
+            book.exchange(&self.topology, 2, rng);
+        }
+
+        self.round += 1;
+        RoundStats {
+            round: self.round - 1,
+            mean_lambda90_ms: sum90 / k as f64,
+            mean_lambda50_ms: sum50 / k as f64,
+            blocks: k,
+            dropped: dropped_total,
+        }
+    }
+
+    /// Runs `rounds` rounds, returning the per-round statistics.
+    pub fn run_rounds<R: Rng>(&mut self, rounds: usize, rng: &mut R) -> Vec<RoundStats> {
+        (0..rounds).map(|_| self.run_round(rng)).collect()
+    }
+
+    /// Simulates node churn: `v` leaves (all its connections are torn
+    /// down) and immediately rejoins with fresh random outgoing
+    /// connections, forgetting all scoring history about and of it.
+    pub fn churn_reset<R: Rng>(&mut self, v: NodeId, rng: &mut R) {
+        for u in self.topology.clear_outgoing(v) {
+            self.strategy.on_disconnect(v, u);
+        }
+        let incoming: Vec<NodeId> = self.topology.incoming(v).collect();
+        for w in incoming {
+            self.topology.disconnect(w, v);
+            self.strategy.on_disconnect(w, v);
+        }
+        self.fill_random_connections(v, rng);
+    }
+
+    /// Evaluates the current topology: for every node `v`, the time λv for
+    /// a block mined by `v` to reach `fraction` of the hash power.
+    /// Returns per-node values in id order (ms). Always uses the analytic
+    /// engine; see [`PerigeeEngine::evaluate_in_mode`] to measure under the
+    /// active propagation mode instead.
+    pub fn evaluate(&self, fraction: f64) -> Vec<f64> {
+        evaluate_topology(
+            &self.topology,
+            &self.latency,
+            &self.population,
+            fraction,
+        )
+    }
+
+    /// Like [`PerigeeEngine::evaluate`] but measures under the active
+    /// [`PropagationMode`] — e.g. with INV/GETDATA round trips and
+    /// bandwidth-limited block transfers included.
+    pub fn evaluate_in_mode(&self, fraction: f64) -> Vec<f64> {
+        match self.mode {
+            PropagationMode::Analytic => self.evaluate(fraction),
+            PropagationMode::Gossip(cfg) => (0..self.population.len() as u32)
+                .map(|i| {
+                    gossip_block(
+                        &self.topology,
+                        &self.latency,
+                        &self.population,
+                        NodeId::new(i),
+                        &cfg,
+                    )
+                    .coverage_time(&self.population, fraction)
+                    .as_ms()
+                })
+                .collect(),
+        }
+    }
+
+    fn fill_random_connections<R: Rng>(&mut self, v: NodeId, rng: &mut R) {
+        let n = self.population.len() as u32;
+        let dout = self.config.limits.dout.min(self.population.len() - 1);
+        let mut attempts = 0;
+        while self.topology.out_degree(v) < dout && attempts < 100 * dout.max(1) {
+            attempts += 1;
+            let u = match &self.address_book {
+                Some(book) => match book.sample_peer(v, &[], rng) {
+                    Some(u) => u,
+                    None => break, // no usable addresses this round
+                },
+                None => NodeId::new(rng.gen_range(0..n)),
+            };
+            if u == v {
+                continue;
+            }
+            let _ = self.topology.connect(v, u);
+        }
+    }
+}
+
+/// Evaluates λ(`fraction`) for every node as block source on a static
+/// topology — the measurement behind every delay-curve figure.
+pub fn evaluate_topology<L: LatencyModel + ?Sized>(
+    topology: &Topology,
+    latency: &L,
+    population: &Population,
+    fraction: f64,
+) -> Vec<f64> {
+    evaluate_topology_multi(topology, latency, population, &[fraction])
+        .pop()
+        .expect("one fraction requested")
+}
+
+/// Like [`evaluate_topology`] but measures several coverage fractions from
+/// a single flood per source (the paper reports both 90% and 50%).
+/// Returns one per-node vector per fraction, in the order given.
+pub fn evaluate_topology_multi<L: LatencyModel + ?Sized>(
+    topology: &Topology,
+    latency: &L,
+    population: &Population,
+    fractions: &[f64],
+) -> Vec<Vec<f64>> {
+    let n = population.len();
+    let mut out = vec![Vec::with_capacity(n); fractions.len()];
+    for i in 0..n as u32 {
+        let prop = broadcast(topology, latency, population, NodeId::new(i));
+        for (k, &f) in fractions.iter().enumerate() {
+            out[k].push(prop.coverage_time(population, f).as_ms());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::{ConnectionLimits, GeoLatencyModel, PopulationBuilder};
+    use perigee_topology::{RandomBuilder, TopologyBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_engine(
+        n: usize,
+        method: ScoringMethod,
+        blocks: usize,
+        seed: u64,
+    ) -> (PerigeeEngine<GeoLatencyModel>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo =
+            RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+        let mut cfg = PerigeeConfig::paper_default(method);
+        cfg.blocks_per_round = blocks;
+        let engine = PerigeeEngine::new(pop, lat, topo, method, cfg).unwrap();
+        (engine, rng)
+    }
+
+    #[test]
+    fn invariants_hold_across_rounds() {
+        let (mut engine, mut rng) = small_engine(80, ScoringMethod::Subset, 15, 1);
+        for _ in 0..5 {
+            engine.run_round(&mut rng);
+            engine.topology().assert_invariants();
+            for i in 0..80u32 {
+                let v = NodeId::new(i);
+                assert!(engine.topology().out_degree(v) <= 8);
+                assert!(engine.topology().in_degree(v) <= 20);
+            }
+        }
+        assert_eq!(engine.rounds_run(), 5);
+    }
+
+    #[test]
+    fn subset_rounds_reduce_propagation_delay() {
+        let (mut engine, mut rng) = small_engine(150, ScoringMethod::Subset, 30, 2);
+        let before: f64 =
+            engine.evaluate(0.9).iter().sum::<f64>() / 150.0;
+        engine.run_rounds(12, &mut rng);
+        let after: f64 = engine.evaluate(0.9).iter().sum::<f64>() / 150.0;
+        assert!(
+            after < before * 0.95,
+            "mean λ90 should drop: {before:.1} -> {after:.1}"
+        );
+    }
+
+    #[test]
+    fn vanilla_rounds_tighten_edge_latencies() {
+        // Vanilla's clearest learning signal (the Fig. 5 effect): the mean
+        // latency of retained edges drops as slow-delivering neighbors are
+        // cut. (Its λ90 gain is small at this scale; the full-size check
+        // lives in the integration suite.)
+        let (mut engine, mut rng) = small_engine(150, ScoringMethod::Vanilla, 30, 3);
+        let mean_edge = |e: &PerigeeEngine<GeoLatencyModel>| {
+            let edges = e.topology().undirected_edges();
+            edges
+                .iter()
+                .map(|&(u, v)| e.latency().delay(u, v).as_ms())
+                .sum::<f64>()
+                / edges.len() as f64
+        };
+        let before = mean_edge(&engine);
+        engine.run_rounds(12, &mut rng);
+        let after = mean_edge(&engine);
+        assert!(
+            after < before * 0.9,
+            "mean edge latency should tighten: {before:.1} -> {after:.1}"
+        );
+    }
+
+    #[test]
+    fn ucb_drops_at_most_explore_plus_one_per_round() {
+        let (mut engine, mut rng) = small_engine(60, ScoringMethod::Ucb, 1, 4);
+        for _ in 0..10 {
+            let stats = engine.run_round(&mut rng);
+            // Each node may drop at most one neighbor per UCB round.
+            assert!(stats.dropped <= 60, "dropped {}", stats.dropped);
+        }
+    }
+
+    #[test]
+    fn non_adopters_keep_their_outgoing_set() {
+        let (mut engine, mut rng) = small_engine(60, ScoringMethod::Subset, 10, 5);
+        let frozen = NodeId::new(7);
+        let mut adopters = vec![true; 60];
+        adopters[frozen.index()] = false;
+        engine.set_adopters(adopters);
+        let before = engine.topology().outgoing_vec(frozen);
+        engine.run_rounds(4, &mut rng);
+        assert_eq!(engine.topology().outgoing_vec(frozen), before);
+    }
+
+    #[test]
+    fn churn_reset_rewires_a_node() {
+        let (mut engine, mut rng) = small_engine(60, ScoringMethod::Subset, 10, 6);
+        let v = NodeId::new(3);
+        engine.run_round(&mut rng);
+        engine.churn_reset(v, &mut rng);
+        engine.topology().assert_invariants();
+        assert_eq!(engine.topology().out_degree(v), 8);
+        assert_eq!(engine.topology().in_degree(v), 0);
+        // And rounds continue fine afterwards.
+        engine.run_round(&mut rng);
+        engine.topology().assert_invariants();
+    }
+
+    #[test]
+    fn mismatched_sizes_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = PopulationBuilder::new(10).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, 0);
+        let topo = Topology::new(9, ConnectionLimits::paper_default());
+        let cfg = PerigeeConfig::default();
+        assert!(PerigeeEngine::new(pop, lat, topo, ScoringMethod::Subset, cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut a, mut rng_a) = small_engine(70, ScoringMethod::Subset, 10, 9);
+        let (mut b, mut rng_b) = small_engine(70, ScoringMethod::Subset, 10, 9);
+        a.run_rounds(3, &mut rng_a);
+        b.run_rounds(3, &mut rng_b);
+        assert_eq!(a.topology(), b.topology());
+    }
+
+    #[test]
+    fn gossip_mode_rounds_learn_too() {
+        use perigee_netsim::GossipConfig;
+        let (mut engine, mut rng) = small_engine(120, ScoringMethod::Subset, 20, 12);
+        engine.set_propagation_mode(PropagationMode::Gossip(GossipConfig::inv_getdata(0.0)));
+        let before: f64 = engine.evaluate_in_mode(0.9).iter().sum::<f64>() / 120.0;
+        engine.run_rounds(8, &mut rng);
+        let after: f64 = engine.evaluate_in_mode(0.9).iter().sum::<f64>() / 120.0;
+        assert!(
+            after < before,
+            "perigee should learn under INV/GETDATA too: {before:.1} -> {after:.1}"
+        );
+        engine.topology().assert_invariants();
+    }
+
+    #[test]
+    fn analytic_and_flood_gossip_modes_agree() {
+        use perigee_netsim::GossipConfig;
+        let (mut a, mut rng_a) = small_engine(60, ScoringMethod::Subset, 10, 13);
+        let (mut b, mut rng_b) = small_engine(60, ScoringMethod::Subset, 10, 13);
+        b.set_propagation_mode(PropagationMode::Gossip(GossipConfig::flood()));
+        let sa = a.run_round(&mut rng_a);
+        let sb = b.run_round(&mut rng_b);
+        assert!((sa.mean_lambda90_ms - sb.mean_lambda90_ms).abs() < 1e-6);
+        assert_eq!(a.topology(), b.topology(), "same decisions either way");
+    }
+
+    #[test]
+    fn partial_discovery_still_learns() {
+        use crate::discovery::AddressBook;
+        let (mut engine, mut rng) = small_engine(150, ScoringMethod::Subset, 25, 14);
+        let book = AddressBook::bootstrap(150, 20, 60, &mut rng);
+        engine.set_address_book(book);
+        let before: f64 = engine.evaluate(0.9).iter().sum::<f64>() / 150.0;
+        engine.run_rounds(10, &mut rng);
+        let after: f64 = engine.evaluate(0.9).iter().sum::<f64>() / 150.0;
+        assert!(
+            after < before,
+            "partial views must not break learning: {before:.1} -> {after:.1}"
+        );
+        // Books kept filling through gossip.
+        let known = engine.address_book().unwrap().known_count(NodeId::new(0));
+        assert!(known >= 20, "address gossip should grow views, got {known}");
+        engine.topology().assert_invariants();
+    }
+
+    #[test]
+    fn round_stats_are_populated() {
+        let (mut engine, mut rng) = small_engine(50, ScoringMethod::Subset, 7, 10);
+        let s = engine.run_round(&mut rng);
+        assert_eq!(s.round, 0);
+        assert_eq!(s.blocks, 7);
+        assert!(s.mean_lambda90_ms > 0.0 && s.mean_lambda90_ms.is_finite());
+        assert!(s.mean_lambda50_ms <= s.mean_lambda90_ms);
+    }
+}

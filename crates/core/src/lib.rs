@@ -1,0 +1,70 @@
+//! # perigee-core
+//!
+//! The Perigee protocol from
+//! [*Perigee: Efficient Peer-to-Peer Network Design for Blockchains*
+//! (PODC 2020)](https://doi.org/10.1145/3382734.3405704) — a decentralized,
+//! multi-armed-bandit-inspired neighbor-selection algorithm that learns a
+//! low-latency p2p topology purely from block arrival timestamps.
+//!
+//! ## Structure
+//!
+//! * [`observation`] — the per-round observation sets `Ov` and their
+//!   time-normalization (§4.1, eq. 2);
+//! * [`score`] — the three published scoring methods:
+//!   [`VanillaScoring`] (§4.2.1), [`UcbScoring`] (§4.2.2) and
+//!   [`SubsetScoring`] (§4.3), behind the [`SelectionStrategy`] trait;
+//! * [`engine`] — [`PerigeeEngine`], Algorithm 1's round loop
+//!   (observe → score → retain best → explore), including incremental
+//!   deployment and churn;
+//! * [`adversary`] — free-rider / eclipse / throttling attacker models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
+//! use perigee_netsim::{ConnectionLimits, GeoLatencyModel, PopulationBuilder};
+//! use perigee_topology::{RandomBuilder, TopologyBuilder};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let population = PopulationBuilder::new(150).build(&mut rng)?;
+//! let latency = GeoLatencyModel::new(&population, 42);
+//! let initial = RandomBuilder::new().build(
+//!     &population, &latency, ConnectionLimits::paper_default(), &mut rng);
+//!
+//! let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+//! config.blocks_per_round = 20; // doc-test speed
+//! let mut engine = PerigeeEngine::new(
+//!     population, latency, initial, ScoringMethod::Subset, config)?;
+//!
+//! let before = engine.evaluate(0.9);
+//! engine.run_rounds(5, &mut rng);
+//! let after = engine.evaluate(0.9);
+//! let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+//! assert!(mean(&after) <= mean(&before) * 1.05, "Perigee does not regress");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+pub mod config;
+pub mod discovery;
+pub mod engine;
+pub mod observation;
+pub mod score;
+
+pub use adversary::EclipseAttacker;
+pub use config::PerigeeConfig;
+pub use discovery::AddressBook;
+pub use engine::{
+    evaluate_topology, evaluate_topology_multi, PerigeeEngine, PropagationMode, RoundStats,
+};
+pub use observation::{NodeObservations, ObservationCollector};
+pub use score::{
+    ScoringMethod, SelectionStrategy, SubsetScoring, UcbScoring, VanillaScoring,
+};

@@ -1,0 +1,238 @@
+//! Observation sets (§4.1).
+//!
+//! During a round of `K` blocks, every node `v` records the time `tᵇu,v` at
+//! which each neighbor `u` delivered (or announced) each block `b` — the set
+//! `Ov`. Scores are computed on the *time-normalized* set `Õv` (eq. 2): each
+//! timestamp is taken relative to the first time `v` heard about the block
+//! from any neighbor, which proxies the unknown mining time.
+
+use perigee_netsim::{LatencyModel, NodeId, Propagation, Topology};
+
+/// The normalized observations of one node over one round.
+///
+/// Stored column-major: `neighbors[i]` is a neighbor, and
+/// `rel_times[b][i]` is the normalized relative timestamp `t̃ᵇu,v` of block
+/// `b` from that neighbor (`f64::INFINITY` when the neighbor never
+/// delivered — the paper's `t = ∞` convention).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeObservations {
+    neighbors: Vec<NodeId>,
+    rel_times: Vec<Vec<f64>>,
+}
+
+impl NodeObservations {
+    /// All neighbors observed this round (outgoing and incoming).
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Number of blocks observed.
+    pub fn block_count(&self) -> usize {
+        self.rel_times.len()
+    }
+
+    /// The multiset `T̃u,v` of normalized times for neighbor `u`, in block
+    /// order; empty if `u` was not a neighbor this round.
+    pub fn times_for(&self, u: NodeId) -> Vec<f64> {
+        match self.neighbors.iter().position(|&x| x == u) {
+            Some(i) => self.rel_times.iter().map(|row| row[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The normalized time of block `b` from neighbor `u`
+    /// (`INFINITY` if unknown).
+    pub fn time_of(&self, block: usize, u: NodeId) -> f64 {
+        match self.neighbors.iter().position(|&x| x == u) {
+            Some(i) => self.rel_times.get(block).map_or(f64::INFINITY, |r| r[i]),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Per-block rows (`rel_times[b][i]`, aligned with [`Self::neighbors`]).
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rel_times
+    }
+}
+
+/// Accumulates [`NodeObservations`] for every node over the blocks of one
+/// round.
+///
+/// The neighbor sets are snapshotted at construction (§2.1: connection
+/// updates run synchronously between rounds, so neighbor sets are constant
+/// within a round).
+#[derive(Debug, Clone)]
+pub struct ObservationCollector {
+    per_node: Vec<NodeObservations>,
+}
+
+impl ObservationCollector {
+    /// Snapshots the neighbor sets of `topology`.
+    pub fn new(topology: &Topology) -> Self {
+        let per_node = (0..topology.len() as u32)
+            .map(|i| NodeObservations {
+                neighbors: topology.neighbors(NodeId::new(i)),
+                rel_times: Vec::new(),
+            })
+            .collect();
+        ObservationCollector { per_node }
+    }
+
+    /// Records one block's propagation: appends, for every node, the
+    /// normalized per-neighbor delivery times.
+    pub fn record<L: LatencyModel + ?Sized>(&mut self, propagation: &Propagation, latency: &L) {
+        for (i, obs) in self.per_node.iter_mut().enumerate() {
+            let v = NodeId::new(i as u32);
+            let mut row: Vec<f64> = obs
+                .neighbors
+                .iter()
+                .map(|&u| propagation.delivery(latency, u, v).as_ms())
+                .collect();
+            // Normalize relative to the first delivery from any neighbor
+            // (eq. 2). If no neighbor ever delivers, the row carries no
+            // information and stays all-infinite.
+            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            if min.is_finite() {
+                for t in &mut row {
+                    *t -= min;
+                }
+            }
+            obs.rel_times.push(row);
+        }
+    }
+
+    /// Records one block's propagation as simulated by the message-level
+    /// gossip engine: per-neighbor announcement times come straight from
+    /// the engine's delivery log (a neighbor that never announced reads
+    /// `∞`, the paper's convention).
+    pub fn record_gossip(&mut self, outcome: &perigee_netsim::GossipOutcome) {
+        for (i, obs) in self.per_node.iter_mut().enumerate() {
+            let v = NodeId::new(i as u32);
+            let mut row: Vec<f64> = obs
+                .neighbors
+                .iter()
+                .map(|&u| {
+                    outcome
+                        .neighbor_delivery(v, u)
+                        .map_or(f64::INFINITY, |t| t.as_ms())
+                })
+                .collect();
+            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            if min.is_finite() {
+                for t in &mut row {
+                    *t -= min;
+                }
+            }
+            obs.rel_times.push(row);
+        }
+    }
+
+    /// Finishes the round, yielding per-node observations indexed by node.
+    pub fn finish(self) -> Vec<NodeObservations> {
+        self.per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::{
+        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime,
+    };
+
+    /// Line world: nodes at 1-d coordinates, unit latency scale.
+    fn world(coords: &[f64]) -> (Population, MetricLatencyModel, Topology) {
+        let profiles: Vec<NodeProfile> = coords
+            .iter()
+            .map(|&x| NodeProfile {
+                coords: vec![x],
+                hash_power: 1.0,
+                validation_delay: SimTime::from_ms(10.0),
+                ..NodeProfile::default()
+            })
+            .collect();
+        let pop = Population::from_profiles(profiles).unwrap();
+        let lat = MetricLatencyModel::new(&pop, 1.0);
+        let topo = Topology::new(coords.len(), ConnectionLimits::unlimited());
+        (pop, lat, topo)
+    }
+
+    #[test]
+    fn normalization_zeroes_the_first_deliverer() {
+        // Triangle: node 2 hears from 0 (direct, 30ms) and from 1
+        // (10 + 10 validation + 20 = 40ms).
+        let (pop, lat, mut topo) = world(&[0.0, 10.0, 30.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(0), NodeId::new(2)).unwrap();
+        topo.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        let mut c = ObservationCollector::new(&topo);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        c.record(&prop, &lat);
+        let obs = c.finish();
+
+        let o2 = &obs[2];
+        assert_eq!(o2.block_count(), 1);
+        assert_eq!(o2.time_of(0, NodeId::new(0)), 0.0, "node 0 was first");
+        assert_eq!(o2.time_of(0, NodeId::new(1)), 10.0, "node 1 was 10ms later");
+    }
+
+    #[test]
+    fn miner_observes_echoes_from_neighbors() {
+        let (pop, lat, mut topo) = world(&[0.0, 10.0, 30.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(0), NodeId::new(2)).unwrap();
+        let mut c = ObservationCollector::new(&topo);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        c.record(&prop, &lat);
+        let obs = c.finish();
+        // The miner's neighbors echo the block back after validating:
+        // node1 at 10+10+10=30, node2 at 30+10+30=70; normalized to 0, 40.
+        let o0 = &obs[0];
+        assert_eq!(o0.time_of(0, NodeId::new(1)), 0.0);
+        assert_eq!(o0.time_of(0, NodeId::new(2)), 40.0);
+    }
+
+    #[test]
+    fn unreachable_neighbors_read_infinity() {
+        let (mut pop, lat, mut topo) = world(&[0.0, 10.0, 30.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        pop.profile_mut(NodeId::new(1)).behavior = perigee_netsim::Behavior::Silent;
+        let mut c = ObservationCollector::new(&topo);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        c.record(&prop, &lat);
+        let obs = c.finish();
+        // Node 2's only neighbor (1) is silent: row is all-infinite.
+        assert!(obs[2].time_of(0, NodeId::new(1)).is_infinite());
+        // times_for returns a column in block order.
+        assert_eq!(obs[2].times_for(NodeId::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn non_neighbor_queries_are_empty_or_infinite() {
+        let (pop, lat, mut topo) = world(&[0.0, 10.0, 30.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let mut c = ObservationCollector::new(&topo);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        c.record(&prop, &lat);
+        let obs = c.finish();
+        assert!(obs[0].times_for(NodeId::new(2)).is_empty());
+        assert!(obs[0].time_of(0, NodeId::new(2)).is_infinite());
+    }
+
+    #[test]
+    fn multiple_blocks_accumulate_rows() {
+        let (pop, lat, mut topo) = world(&[0.0, 10.0, 30.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        let mut c = ObservationCollector::new(&topo);
+        for src in [0u32, 2, 1] {
+            let prop = broadcast(&topo, &lat, &pop, NodeId::new(src));
+            c.record(&prop, &lat);
+        }
+        let obs = c.finish();
+        assert_eq!(obs[1].block_count(), 3);
+        assert_eq!(obs[1].times_for(NodeId::new(0)).len(), 3);
+        assert_eq!(obs[1].rows().len(), 3);
+    }
+}

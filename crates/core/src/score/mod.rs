@@ -1,0 +1,128 @@
+//! Neighbor scoring and selection strategies (§4.2–§4.3).
+//!
+//! Algorithm 1's template is: score the current outgoing neighbors from the
+//! round's observations, retain the best subset, and refill with random
+//! exploration peers. The three published scoring methods are:
+//!
+//! * [`VanillaScoring`] (§4.2.1) — per-neighbor 90th percentile;
+//! * [`UcbScoring`] (§4.2.2) — percentile with confidence bounds over the
+//!   neighbor's full connection history, dropping at most one neighbor per
+//!   round;
+//! * [`SubsetScoring`] (§4.3) — greedy complementary group selection.
+//!
+//! All are [`SelectionStrategy`] implementations consumed by
+//! [`PerigeeEngine`](crate::PerigeeEngine).
+
+mod subset;
+mod ucb;
+mod vanilla;
+
+pub use subset::SubsetScoring;
+pub use ucb::UcbScoring;
+pub use vanilla::VanillaScoring;
+
+use rand::RngCore;
+
+use perigee_netsim::NodeId;
+
+use crate::observation::NodeObservations;
+
+/// Decides which outgoing neighbors a node keeps at the end of a round.
+///
+/// Implementations may hold per-node state across rounds (UCB keeps each
+/// neighbor's observation history for as long as the connection lives).
+pub trait SelectionStrategy: Send {
+    /// Returns the subset of `outgoing` that node `v` retains. Anything not
+    /// returned is disconnected; the engine refills the freed slots with
+    /// random exploration peers.
+    fn retain(
+        &mut self,
+        v: NodeId,
+        outgoing: &[NodeId],
+        observations: &NodeObservations,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId>;
+
+    /// Notifies the strategy that `v`'s connection to `u` is gone (history,
+    /// if any, must be forgotten — the paper keeps per-neighbor history only
+    /// while connected).
+    fn on_disconnect(&mut self, _v: NodeId, _u: NodeId) {}
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The scoring method selector used by engines, experiments and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoringMethod {
+    /// Per-neighbor 90th-percentile scoring (§4.2.1).
+    Vanilla,
+    /// Confidence-bound scoring over connection history (§4.2.2).
+    Ucb,
+    /// Greedy complementary subset scoring (§4.3).
+    Subset,
+}
+
+impl ScoringMethod {
+    /// All three methods, in paper order.
+    pub const ALL: [ScoringMethod; 3] =
+        [ScoringMethod::Vanilla, ScoringMethod::Ucb, ScoringMethod::Subset];
+
+    /// Instantiates the strategy for a network of `n` nodes, retaining
+    /// `retain_count` neighbors (Vanilla/Subset) and scoring at
+    /// `percentile`; `ucb_c` is the confidence-width constant of eqs. (3–4).
+    pub fn strategy(self, n: usize, retain_count: usize, percentile: f64, ucb_c: f64) -> Box<dyn SelectionStrategy> {
+        match self {
+            ScoringMethod::Vanilla => Box::new(VanillaScoring::new(retain_count, percentile)),
+            ScoringMethod::Ucb => Box::new(UcbScoring::new(n, percentile, ucb_c)),
+            ScoringMethod::Subset => Box::new(SubsetScoring::new(retain_count, percentile)),
+        }
+    }
+
+    /// The paper's round length for this method (§5.1): 100 blocks for
+    /// Vanilla/Subset, a single block for UCB.
+    pub fn paper_blocks_per_round(self) -> usize {
+        match self {
+            ScoringMethod::Ucb => 1,
+            _ => 100,
+        }
+    }
+}
+
+impl std::fmt::Display for ScoringMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ScoringMethod::Vanilla => "perigee-vanilla",
+            ScoringMethod::Ucb => "perigee-ucb",
+            ScoringMethod::Subset => "perigee-subset",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ScoringMethod::Vanilla.to_string(), "perigee-vanilla");
+        assert_eq!(ScoringMethod::Ucb.to_string(), "perigee-ucb");
+        assert_eq!(ScoringMethod::Subset.to_string(), "perigee-subset");
+    }
+
+    #[test]
+    fn paper_round_sizes() {
+        assert_eq!(ScoringMethod::Vanilla.paper_blocks_per_round(), 100);
+        assert_eq!(ScoringMethod::Subset.paper_blocks_per_round(), 100);
+        assert_eq!(ScoringMethod::Ucb.paper_blocks_per_round(), 1);
+    }
+
+    #[test]
+    fn factory_builds_each_strategy() {
+        for m in ScoringMethod::ALL {
+            let s = m.strategy(10, 6, 90.0, 1.0);
+            assert!(!s.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! UCBScoring (§4.2.2): confidence-bound neighbor selection.
+//!
+//! With short rounds (the paper runs UCB with a single block per round) a
+//! neighbor's percentile estimate is noisy. UCBScoring therefore keeps every
+//! observation made since the connection to a neighbor was established and
+//! attaches upper/lower confidence bounds (eqs. 3–4):
+//!
+//! ```text
+//! ucb(u) = p90(T̿u,v) + c·sqrt(log|T̿u,v| / (2|T̿u,v|))
+//! lcb(u) = p90(T̿u,v) − c·sqrt(log|T̿u,v| / (2|T̿u,v|))
+//! ```
+//!
+//! At the end of a round, if `max_u lcb(u) > min_u ucb(u)` the node is
+//! confident the arg-max neighbor is strictly worse than its best neighbor
+//! even accounting for sampling noise, and disconnects exactly that one;
+//! otherwise all neighbors are retained.
+
+use std::collections::HashMap;
+
+use rand::RngCore;
+
+use perigee_metrics::percentile_or_inf;
+use perigee_netsim::NodeId;
+
+use crate::observation::NodeObservations;
+use crate::score::SelectionStrategy;
+
+/// Confidence-bound scoring with per-connection observation history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UcbScoring {
+    percentile: f64,
+    c: f64,
+    /// history[v] maps each current neighbor of v to the finite normalized
+    /// observations accumulated since the connection was made.
+    history: Vec<HashMap<NodeId, Vec<f64>>>,
+}
+
+/// The per-neighbor estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceBounds {
+    /// Percentile point estimate.
+    pub estimate: f64,
+    /// Lower confidence bound (eq. 4).
+    pub lcb: f64,
+    /// Upper confidence bound (eq. 3).
+    pub ucb: f64,
+    /// Number of finite samples backing the estimate.
+    pub samples: usize,
+}
+
+impl UcbScoring {
+    /// Creates the strategy for `n` nodes with confidence constant `c`
+    /// scoring at `percentile`.
+    pub fn new(n: usize, percentile: f64, c: f64) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&percentile),
+            "percentile must be in [0, 100]"
+        );
+        assert!(c >= 0.0, "confidence constant must be non-negative");
+        UcbScoring {
+            percentile,
+            c,
+            history: vec![HashMap::new(); n],
+        }
+    }
+
+    /// Computes the bounds for neighbor `u` of `v` from the accumulated
+    /// history (call after [`Self::absorb`]). A neighbor with no finite
+    /// samples has all-infinite bounds — maximally distrusted.
+    pub fn bounds(&self, v: NodeId, u: NodeId) -> ConfidenceBounds {
+        let samples = self.history[v.index()].get(&u).map_or(&[][..], |h| h);
+        let m = samples.len();
+        if m == 0 {
+            return ConfidenceBounds {
+                estimate: f64::INFINITY,
+                lcb: f64::INFINITY,
+                ucb: f64::INFINITY,
+                samples: 0,
+            };
+        }
+        let estimate = percentile_or_inf(samples, self.percentile);
+        // log(1)/2 = 0 gives a zero-width interval at m = 1, matching the
+        // formula; widths shrink as O(sqrt(log m / m)).
+        let width = self.c * ((m as f64).ln() / (2.0 * m as f64)).sqrt();
+        ConfidenceBounds {
+            estimate,
+            lcb: estimate - width,
+            ucb: estimate + width,
+            samples: m,
+        }
+    }
+
+    /// Folds one round of observations into the history of `v`'s current
+    /// outgoing neighbors. Only finite timestamps enter `T̿u,v` (the paper
+    /// filters `t̃ < ∞`).
+    pub fn absorb(&mut self, v: NodeId, outgoing: &[NodeId], observations: &NodeObservations) {
+        let h = &mut self.history[v.index()];
+        for &u in outgoing {
+            let entry = h.entry(u).or_default();
+            entry.extend(observations.times_for(u).into_iter().filter(|t| t.is_finite()));
+        }
+    }
+
+    /// Number of stored samples for a (v, u) pair — for tests/inspection.
+    pub fn sample_count(&self, v: NodeId, u: NodeId) -> usize {
+        self.history[v.index()].get(&u).map_or(0, Vec::len)
+    }
+}
+
+impl SelectionStrategy for UcbScoring {
+    fn retain(
+        &mut self,
+        v: NodeId,
+        outgoing: &[NodeId],
+        observations: &NodeObservations,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        self.absorb(v, outgoing, observations);
+        if outgoing.len() <= 1 {
+            return outgoing.to_vec();
+        }
+        let bounds: Vec<(NodeId, ConfidenceBounds)> = outgoing
+            .iter()
+            .map(|&u| (u, self.bounds(v, u)))
+            .collect();
+        // max lcb (worst plausible neighbor) vs min ucb (best pessimistic).
+        let (worst, worst_b) = bounds
+            .iter()
+            .max_by(|a, b| a.1.lcb.total_cmp(&b.1.lcb).then(b.0.cmp(&a.0)))
+            .expect("outgoing non-empty");
+        let min_ucb = bounds
+            .iter()
+            .map(|(_, b)| b.ucb)
+            .fold(f64::INFINITY, f64::min);
+        // Drop the worst only when its *lower* bound clears every upper
+        // bound — i.e. it is worse than some neighbor with confidence.
+        // (A neighbor that never delivered has lcb = ∞ and is dropped as
+        // soon as any peer has a finite ucb.)
+        if worst_b.lcb > min_ucb {
+            let dropped = *worst;
+            outgoing.iter().copied().filter(|&u| u != dropped).collect()
+        } else {
+            outgoing.to_vec()
+        }
+    }
+
+    fn on_disconnect(&mut self, v: NodeId, u: NodeId) {
+        self.history[v.index()].remove(&u);
+    }
+
+    fn name(&self) -> &'static str {
+        "perigee-ucb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::ObservationCollector;
+    use perigee_netsim::{
+        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime,
+        Topology,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_world(dists: &[f64]) -> (Population, MetricLatencyModel, Topology) {
+        let mut coords = vec![0.0];
+        coords.extend_from_slice(dists);
+        let profiles: Vec<NodeProfile> = coords
+            .iter()
+            .map(|&x| NodeProfile {
+                coords: vec![x],
+                hash_power: 1.0,
+                validation_delay: SimTime::from_ms(0.0),
+                ..NodeProfile::default()
+            })
+            .collect();
+        let pop = Population::from_profiles(profiles).unwrap();
+        let lat = MetricLatencyModel::new(&pop, 1.0);
+        let n = coords.len();
+        let mut topo = Topology::new(n, ConnectionLimits::unlimited());
+        for i in 1..n {
+            topo.connect(NodeId::new(0), NodeId::new(i as u32)).unwrap();
+        }
+        (pop, lat, topo)
+    }
+
+    fn one_round(
+        pop: &Population,
+        lat: &MetricLatencyModel,
+        topo: &Topology,
+        src: u32,
+    ) -> NodeObservations {
+        let mut c = ObservationCollector::new(topo);
+        c.record(&broadcast(topo, lat, pop, NodeId::new(src)), lat);
+        c.finish().swap_remove(0)
+    }
+
+    #[test]
+    fn accumulates_history_across_rounds() {
+        let (pop, lat, topo) = star_world(&[5.0, 50.0]);
+        let mut s = UcbScoring::new(3, 90.0, 1.0);
+        let outgoing = vec![NodeId::new(1), NodeId::new(2)];
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..4 {
+            let obs = one_round(&pop, &lat, &topo, 1);
+            let _ = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        }
+        assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(1)), 4);
+        assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(2)), 4);
+    }
+
+    #[test]
+    fn drops_a_clearly_worse_neighbor_once_confident() {
+        let (pop, lat, topo) = star_world(&[5.0, 500.0]);
+        // c small => narrow intervals => quick separation.
+        let mut s = UcbScoring::new(3, 90.0, 10.0);
+        let outgoing = vec![NodeId::new(1), NodeId::new(2)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut kept = outgoing.clone();
+        for _ in 0..20 {
+            let obs = one_round(&pop, &lat, &topo, 1);
+            kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+            if kept.len() < outgoing.len() {
+                break;
+            }
+        }
+        assert_eq!(kept, vec![NodeId::new(1)], "the distant neighbor is cut");
+    }
+
+    #[test]
+    fn keeps_statistically_indistinguishable_neighbors() {
+        // Diamond world: chooser 0 at the left tip, neighbors 1 and 2 on
+        // symmetric corners, miner 3 at the right tip. Both neighbors
+        // deliver every block at exactly the same time, so their bounds
+        // coincide and neither may ever be dropped.
+        let coords: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],  // 0 chooser
+            vec![1.0, 0.5],  // 1
+            vec![1.0, -0.5], // 2
+            vec![2.0, 0.0],  // 3 miner
+        ];
+        let profiles: Vec<NodeProfile> = coords
+            .into_iter()
+            .map(|c| NodeProfile {
+                coords: c,
+                hash_power: 1.0,
+                validation_delay: SimTime::from_ms(0.0),
+                ..NodeProfile::default()
+            })
+            .collect();
+        let pop = Population::from_profiles(profiles).unwrap();
+        let lat = MetricLatencyModel::new(&pop, 100.0);
+        let mut topo = Topology::new(4, ConnectionLimits::unlimited());
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(0), NodeId::new(2)).unwrap();
+        topo.connect(NodeId::new(3), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(3), NodeId::new(2)).unwrap();
+
+        let mut s = UcbScoring::new(4, 90.0, 1.0);
+        let outgoing = vec![NodeId::new(1), NodeId::new(2)];
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let mut c = ObservationCollector::new(&topo);
+            c.record(&broadcast(&topo, &lat, &pop, NodeId::new(3)), &lat);
+            let obs = c.finish().swap_remove(0);
+            let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+            assert_eq!(kept.len(), 2, "equal neighbors are never separated");
+        }
+    }
+
+    #[test]
+    fn confidence_width_shrinks_with_samples() {
+        let (pop, lat, topo) = star_world(&[5.0, 50.0]);
+        let mut s = UcbScoring::new(3, 90.0, 1.0);
+        let outgoing = vec![NodeId::new(1), NodeId::new(2)];
+        for _ in 0..2 {
+            let obs = one_round(&pop, &lat, &topo, 1);
+            s.absorb(NodeId::new(0), &outgoing, &obs);
+        }
+        let b2 = s.bounds(NodeId::new(0), NodeId::new(1));
+        let w2 = b2.ucb - b2.lcb;
+        for _ in 0..30 {
+            let obs = one_round(&pop, &lat, &topo, 1);
+            s.absorb(NodeId::new(0), &outgoing, &obs);
+        }
+        let b32 = s.bounds(NodeId::new(0), NodeId::new(1));
+        let w32 = b32.ucb - b32.lcb;
+        assert!(w32 < w2, "width {w32} should shrink below {w2}");
+        assert_eq!(b32.samples, 32);
+    }
+
+    #[test]
+    fn unseen_neighbor_has_infinite_bounds() {
+        let s = UcbScoring::new(2, 90.0, 1.0);
+        let b = s.bounds(NodeId::new(0), NodeId::new(1));
+        assert!(b.estimate.is_infinite() && b.lcb.is_infinite() && b.ucb.is_infinite());
+        assert_eq!(b.samples, 0);
+    }
+
+    #[test]
+    fn never_delivering_neighbor_is_dropped() {
+        let (mut pop, lat, topo) = star_world(&[5.0, 50.0]);
+        pop.profile_mut(NodeId::new(2)).behavior = perigee_netsim::Behavior::Silent;
+        let mut s = UcbScoring::new(3, 90.0, 1.0);
+        let outgoing = vec![NodeId::new(1), NodeId::new(2)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut kept = outgoing.clone();
+        for _ in 0..5 {
+            let obs = one_round(&pop, &lat, &topo, 1);
+            kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+            if kept.len() < 2 {
+                break;
+            }
+        }
+        assert_eq!(kept, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn disconnect_forgets_history() {
+        let (pop, lat, topo) = star_world(&[5.0]);
+        let mut s = UcbScoring::new(2, 90.0, 1.0);
+        let outgoing = vec![NodeId::new(1)];
+        let obs = one_round(&pop, &lat, &topo, 1);
+        s.absorb(NodeId::new(0), &outgoing, &obs);
+        assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(1)), 1);
+        s.on_disconnect(NodeId::new(0), NodeId::new(1));
+        assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(1)), 0);
+    }
+
+    #[test]
+    fn single_neighbor_is_always_retained() {
+        let (pop, lat, topo) = star_world(&[5.0]);
+        let mut s = UcbScoring::new(2, 90.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs = one_round(&pop, &lat, &topo, 1);
+        let kept = s.retain(NodeId::new(0), &[NodeId::new(1)], &obs, &mut rng);
+        assert_eq!(kept, vec![NodeId::new(1)]);
+    }
+}

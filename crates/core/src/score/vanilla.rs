@@ -1,0 +1,175 @@
+//! VanillaScoring (§4.2.1): independent per-neighbor percentile scores.
+
+use rand::RngCore;
+
+use perigee_metrics::percentile_or_inf;
+use perigee_netsim::NodeId;
+
+use crate::observation::NodeObservations;
+use crate::score::SelectionStrategy;
+
+/// Scores each outgoing neighbor by the 90th percentile of its normalized
+/// delivery times within the round and keeps the `retain_count` best.
+///
+/// Lower scores are better: they mean the neighbor consistently delivered
+/// blocks close to the earliest delivery `v` saw. Ties break toward the
+/// smaller node id, keeping rounds deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VanillaScoring {
+    retain_count: usize,
+    percentile: f64,
+}
+
+impl VanillaScoring {
+    /// Creates the strategy: keep `retain_count` neighbors, score at
+    /// `percentile` (the paper uses 90).
+    pub fn new(retain_count: usize, percentile: f64) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&percentile),
+            "percentile must be in [0, 100]"
+        );
+        VanillaScoring {
+            retain_count,
+            percentile,
+        }
+    }
+
+    /// The per-neighbor score: `percentile`-th percentile of `T̃u,v`.
+    pub fn score(&self, observations: &NodeObservations, u: NodeId) -> f64 {
+        percentile_or_inf(&observations.times_for(u), self.percentile)
+    }
+}
+
+impl SelectionStrategy for VanillaScoring {
+    fn retain(
+        &mut self,
+        _v: NodeId,
+        outgoing: &[NodeId],
+        observations: &NodeObservations,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let mut scored: Vec<(f64, NodeId)> = outgoing
+            .iter()
+            .map(|&u| (self.score(observations, u), u))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored
+            .into_iter()
+            .take(self.retain_count)
+            .map(|(_, u)| u)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "perigee-vanilla"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::{
+        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime,
+        Topology,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::observation::ObservationCollector;
+
+    /// Star world: center node 0 connected to peripherals at distances
+    /// given by `dists`; block always mined at node 1 (first peripheral).
+    fn star_observations(dists: &[f64], blocks: usize) -> NodeObservations {
+        let mut coords = vec![0.0];
+        coords.extend_from_slice(dists);
+        let profiles: Vec<NodeProfile> = coords
+            .iter()
+            .map(|&x| NodeProfile {
+                coords: vec![x],
+                hash_power: 1.0,
+                validation_delay: SimTime::from_ms(0.0),
+                ..NodeProfile::default()
+            })
+            .collect();
+        let pop = Population::from_profiles(profiles).unwrap();
+        let lat = MetricLatencyModel::new(&pop, 1.0);
+        let n = coords.len();
+        let mut topo = Topology::new(n, ConnectionLimits::unlimited());
+        for i in 1..n {
+            topo.connect(NodeId::new(0), NodeId::new(i as u32)).unwrap();
+        }
+        let mut c = ObservationCollector::new(&topo);
+        for _ in 0..blocks {
+            let prop = broadcast(&topo, &lat, &pop, NodeId::new(1));
+            c.record(&prop, &lat);
+        }
+        c.finish().swap_remove(0)
+    }
+
+    #[test]
+    fn keeps_the_fastest_neighbors() {
+        // Distances from the center: neighbor 1 at 5 (and the miner),
+        // neighbor 2 at 50, neighbor 3 at 20.
+        let obs = star_observations(&[5.0, 50.0, 20.0], 10);
+        let mut s = VanillaScoring::new(2, 90.0);
+        let outgoing = vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        assert_eq!(kept, vec![NodeId::new(1), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn score_is_relative_to_first_delivery() {
+        let obs = star_observations(&[5.0, 50.0, 20.0], 3);
+        let s = VanillaScoring::new(2, 90.0);
+        // Neighbor 1 mined every block; center hears from it at 5, from 3
+        // at 5+0(validation)+... wait — all go through the center. From
+        // the center's view: n1 delivers at 5 (normalized 0), n3 echoes
+        // back at 5+20+20 = 45 → normalized 40, n2 at 5+50+50 → 105 → 100.
+        assert_eq!(s.score(&obs, NodeId::new(1)), 0.0);
+        assert_eq!(s.score(&obs, NodeId::new(3)), 40.0);
+        assert_eq!(s.score(&obs, NodeId::new(2)), 100.0);
+    }
+
+    #[test]
+    fn missing_neighbor_scores_infinite() {
+        let obs = star_observations(&[5.0], 2);
+        let s = VanillaScoring::new(1, 90.0);
+        assert!(s.score(&obs, NodeId::new(99)).is_infinite());
+    }
+
+    #[test]
+    fn retains_at_most_retain_count() {
+        let obs = star_observations(&[5.0, 6.0, 7.0, 8.0], 5);
+        let mut s = VanillaScoring::new(2, 90.0);
+        let outgoing: Vec<NodeId> = (1..5).map(NodeId::new).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.retain(NodeId::new(0), &outgoing, &obs, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn fewer_neighbors_than_retain_count_keeps_all() {
+        let obs = star_observations(&[5.0], 2);
+        let mut s = VanillaScoring::new(6, 90.0);
+        let outgoing = vec![NodeId::new(1)];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.retain(NodeId::new(0), &outgoing, &obs, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_id() {
+        // Two neighbors at identical distance score identically.
+        let obs = star_observations(&[5.0, 10.0, 10.0], 4);
+        let mut s = VanillaScoring::new(2, 90.0);
+        let outgoing = vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        assert_eq!(kept, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn bad_percentile_panics() {
+        let _ = VanillaScoring::new(6, 142.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Ablations over Perigee's design parameters (our addition, motivated by
+//! the open questions in §3.2/§6: how many exploration links? which
+//! percentile? how long a round?).
+
+use perigee_metrics::{DelayCurve, Table};
+use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_netsim::ConnectionLimits;
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::runner::build_world;
+use crate::scenario::Scenario;
+
+/// One ablation point: a parameter value and the resulting median λ90.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Human-readable parameter value.
+    pub value: String,
+    /// Median λ90 of the converged topology (ms).
+    pub median90_ms: f64,
+}
+
+/// A named parameter sweep.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// The swept parameter.
+    pub parameter: &'static str,
+    /// Points in sweep order.
+    pub points: Vec<AblationPoint>,
+}
+
+impl AblationResult {
+    /// Summary table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![self.parameter.into(), "median λ90 (ms)".into()]);
+        for p in &self.points {
+            t.row(vec![p.value.clone(), format!("{:.1}", p.median90_ms)]);
+        }
+        t
+    }
+
+    /// The best (lowest-λ) value.
+    pub fn best(&self) -> &AblationPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.median90_ms.total_cmp(&b.median90_ms))
+            .expect("sweeps are non-empty")
+    }
+}
+
+fn run_with_config(
+    scenario: &Scenario,
+    seed: u64,
+    method: ScoringMethod,
+    mut config: PerigeeConfig,
+    rounds: usize,
+) -> f64 {
+    let world = build_world(scenario, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAB1A);
+    let topo = RandomBuilder::new().build(
+        &world.population,
+        &world.latency,
+        ConnectionLimits::paper_default(),
+        &mut rng,
+    );
+    config.blocks_per_round = match method {
+        ScoringMethod::Ucb => 1,
+        _ => scenario.blocks_per_round,
+    };
+    let mut engine = PerigeeEngine::new(world.population, world.latency, topo, method, config)
+        .expect("valid ablation config");
+    for _ in 0..rounds {
+        engine.run_round(&mut rng);
+    }
+    DelayCurve::from_values(engine.evaluate(scenario.coverage)).median()
+}
+
+/// Sweeps the exploration count `ev` for Subset scoring.
+pub fn sweep_exploration(scenario: &Scenario, seed: u64, values: &[usize]) -> AblationResult {
+    let points = values
+        .iter()
+        .map(|&ev| {
+            let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+            config.explore = ev;
+            AblationPoint {
+                value: ev.to_string(),
+                median90_ms: run_with_config(
+                    scenario,
+                    seed,
+                    ScoringMethod::Subset,
+                    config,
+                    scenario.rounds,
+                ),
+            }
+        })
+        .collect();
+    AblationResult {
+        parameter: "exploration ev",
+        points,
+    }
+}
+
+/// Sweeps the scoring percentile.
+pub fn sweep_percentile(scenario: &Scenario, seed: u64, values: &[f64]) -> AblationResult {
+    let points = values
+        .iter()
+        .map(|&p| {
+            let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+            config.percentile = p;
+            AblationPoint {
+                value: format!("{p:.0}"),
+                median90_ms: run_with_config(
+                    scenario,
+                    seed,
+                    ScoringMethod::Subset,
+                    config,
+                    scenario.rounds,
+                ),
+            }
+        })
+        .collect();
+    AblationResult {
+        parameter: "scoring percentile",
+        points,
+    }
+}
+
+/// Sweeps the round length `|B|` at a fixed total block budget.
+pub fn sweep_round_length(scenario: &Scenario, seed: u64, values: &[usize]) -> AblationResult {
+    let budget = scenario.rounds * scenario.blocks_per_round;
+    let points = values
+        .iter()
+        .map(|&k| {
+            let mut s = scenario.clone();
+            s.blocks_per_round = k;
+            let rounds = (budget / k).max(1);
+            let config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+            AblationPoint {
+                value: k.to_string(),
+                median90_ms: run_with_config(&s, seed, ScoringMethod::Subset, config, rounds),
+            }
+        })
+        .collect();
+    AblationResult {
+        parameter: "blocks per round |B|",
+        points,
+    }
+}
+
+/// Sweeps the UCB confidence constant `c`.
+pub fn sweep_ucb_c(scenario: &Scenario, seed: u64, values: &[f64]) -> AblationResult {
+    let points = values
+        .iter()
+        .map(|&c| {
+            let mut config = PerigeeConfig::paper_default(ScoringMethod::Ucb);
+            config.ucb_c = c;
+            AblationPoint {
+                value: format!("{c:.0}"),
+                median90_ms: run_with_config(
+                    scenario,
+                    seed,
+                    ScoringMethod::Ucb,
+                    config,
+                    scenario.rounds * scenario.blocks_per_round,
+                ),
+            }
+        })
+        .collect();
+    AblationResult {
+        parameter: "ucb confidence c",
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            nodes: 80,
+            rounds: 5,
+            blocks_per_round: 15,
+            seeds: vec![1],
+            ..Scenario::paper()
+        }
+    }
+
+    #[test]
+    fn exploration_sweep_produces_finite_medians() {
+        let r = sweep_exploration(&tiny(), 1, &[0, 2, 4]);
+        assert_eq!(r.points.len(), 3);
+        for p in &r.points {
+            assert!(p.median90_ms.is_finite() && p.median90_ms > 0.0);
+        }
+        let _ = r.best();
+        assert_eq!(r.table().len(), 3);
+    }
+
+    #[test]
+    fn percentile_sweep_runs() {
+        let r = sweep_percentile(&tiny(), 1, &[50.0, 90.0]);
+        assert_eq!(r.points.len(), 2);
+    }
+
+    #[test]
+    fn round_length_sweep_keeps_block_budget() {
+        let r = sweep_round_length(&tiny(), 1, &[5, 15, 75]);
+        assert_eq!(r.points.len(), 3);
+        for p in &r.points {
+            assert!(p.median90_ms.is_finite());
+        }
+    }
+
+    #[test]
+    fn ucb_c_sweep_runs() {
+        let r = sweep_ucb_c(&tiny(), 1, &[1.0, 50.0]);
+        assert_eq!(r.points.len(), 2);
+    }
+}

@@ -1,0 +1,424 @@
+//! Adversary experiments backing the paper's robustness claims (§1, §6).
+//!
+//! * **Free-rider starvation** — a node that stops relaying loses its
+//!   incoming connections as its Perigee neighbors score it at `∞`
+//!   (incentive compatibility).
+//! * **Eclipse attack & recovery** — an attacker lures peers with instant
+//!   relaying, then withholds; random exploration lets victims re-learn a
+//!   working neighborhood.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use perigee_core::{adversary, EclipseAttacker, PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_metrics::Table;
+use perigee_netsim::{ConnectionLimits, NodeId};
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+
+use crate::runner::{build_world, WorldLatency};
+use crate::scenario::Scenario;
+
+/// Free-rider experiment outcome.
+#[derive(Debug, Clone)]
+pub struct FreeRiderResult {
+    /// The free-riding node.
+    pub node: NodeId,
+    /// Its communication degree before deviating.
+    pub degree_before: usize,
+    /// Its degree `after_rounds` rounds after deviating.
+    pub degree_after: usize,
+    /// Rounds simulated after the deviation.
+    pub after_rounds: usize,
+}
+
+impl FreeRiderResult {
+    /// Summary table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["phase".into(), "free-rider degree".into()]);
+        t.row(vec!["honest".into(), self.degree_before.to_string()]);
+        t.row(vec![
+            format!("{} rounds after deviating", self.after_rounds),
+            self.degree_after.to_string(),
+        ]);
+        t
+    }
+}
+
+fn fresh_engine(
+    scenario: &Scenario,
+    seed: u64,
+    method: ScoringMethod,
+) -> (PerigeeEngine<WorldLatency>, StdRng) {
+    let world = build_world(scenario, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xADEF);
+    let topo = RandomBuilder::new().build(
+        &world.population,
+        &world.latency,
+        ConnectionLimits::paper_default(),
+        &mut rng,
+    );
+    let mut config = PerigeeConfig::paper_default(method);
+    config.blocks_per_round = scenario.blocks_per_round;
+    let engine = PerigeeEngine::new(world.population, world.latency, topo, method, config)
+        .expect("valid scenario");
+    (engine, rng)
+}
+
+/// Runs the free-rider experiment: converge honestly, make one node
+/// silent, measure how many peers keep it as a neighbor.
+pub fn run_free_rider(scenario: &Scenario, seed: u64) -> FreeRiderResult {
+    let (mut engine, mut rng) = fresh_engine(scenario, seed, ScoringMethod::Subset);
+    let warmup = scenario.rounds / 2;
+    engine.run_rounds(warmup, &mut rng);
+
+    let node = NodeId::new((scenario.nodes / 2) as u32);
+    let degree_before = engine.topology().degree(node);
+    adversary::make_free_rider(engine.population_mut(), node);
+
+    let after_rounds = scenario.rounds - warmup;
+    engine.run_rounds(after_rounds, &mut rng);
+    // The free-rider's own outgoing links survive (it still *receives*);
+    // what collapses is everyone else's interest in it: incoming links.
+    let degree_after = engine.topology().in_degree(node);
+
+    FreeRiderResult {
+        node,
+        degree_before,
+        degree_after,
+        after_rounds,
+    }
+}
+
+/// Eclipse experiment outcome.
+#[derive(Debug, Clone)]
+pub struct EclipseResult {
+    /// The attacker node.
+    pub attacker: NodeId,
+    /// Attacker's incoming degree after the lure phase (its popularity).
+    pub lure_in_degree: usize,
+    /// Attacker's incoming degree after the attack phase.
+    pub post_attack_in_degree: usize,
+    /// Median λ90 at the end of the lure phase.
+    pub lure_median90_ms: f64,
+    /// Median λ90 right after the attacker goes silent (before recovery).
+    pub attack_median90_ms: f64,
+    /// Median λ90 after recovery rounds.
+    pub recovered_median90_ms: f64,
+}
+
+impl EclipseResult {
+    /// Summary table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "phase".into(),
+            "attacker in-degree".into(),
+            "median λ90 (ms)".into(),
+        ]);
+        t.row(vec![
+            "lure".into(),
+            self.lure_in_degree.to_string(),
+            format!("{:.1}", self.lure_median90_ms),
+        ]);
+        t.row(vec![
+            "attack".into(),
+            "-".into(),
+            format!("{:.1}", self.attack_median90_ms),
+        ]);
+        t.row(vec![
+            "recovered".into(),
+            self.post_attack_in_degree.to_string(),
+            format!("{:.1}", self.recovered_median90_ms),
+        ]);
+        t
+    }
+}
+
+/// Runs the eclipse experiment: lure (super-node attracts peers), attack
+/// (it withholds), recovery (exploration routes around it).
+///
+/// The attacker is modelled as a well-provisioned super-node: besides
+/// instant validation it has fast (10 ms) links to everyone — the
+/// infrastructure advantage a real eclipse adversary buys.
+pub fn run_eclipse(scenario: &Scenario, seed: u64) -> EclipseResult {
+    let world = build_world(scenario, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xADEF);
+    let attacker_node = NodeId::new(0);
+    let mut latency = world.latency;
+    for i in 1..scenario.nodes as u32 {
+        latency.set(
+            attacker_node,
+            NodeId::new(i),
+            perigee_netsim::SimTime::from_ms(10.0),
+        );
+    }
+    let topo = RandomBuilder::new().build(
+        &world.population,
+        &latency,
+        ConnectionLimits::paper_default(),
+        &mut rng,
+    );
+    let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    config.blocks_per_round = scenario.blocks_per_round;
+    let mut engine = PerigeeEngine::new(
+        world.population,
+        latency,
+        topo,
+        ScoringMethod::Subset,
+        config,
+    )
+    .expect("valid scenario");
+    let attacker = EclipseAttacker::new(attacker_node);
+
+    // Lure: the attacker relays instantly, becoming a great neighbor.
+    attacker.start_lure(engine.population_mut());
+    engine.run_rounds(scenario.rounds / 2, &mut rng);
+    let lure_in_degree = engine.topology().in_degree(attacker_node);
+    let median = |e: &PerigeeEngine<WorldLatency>| {
+        perigee_metrics::percentile_or_inf(&e.evaluate(0.9), 50.0)
+    };
+    let lure_median90_ms = median(&engine);
+
+    // Attack: the attacker withholds every block.
+    attacker.start_attack(engine.population_mut());
+    let attack_median90_ms = median(&engine);
+
+    // Recovery: scoring + exploration abandon the attacker.
+    engine.run_rounds(scenario.rounds / 2, &mut rng);
+    let post_attack_in_degree = engine.topology().in_degree(attacker_node);
+    let recovered_median90_ms = median(&engine);
+
+    EclipseResult {
+        attacker: attacker_node,
+        lure_in_degree,
+        post_attack_in_degree,
+        lure_median90_ms,
+        attack_median90_ms,
+        recovered_median90_ms,
+    }
+}
+
+/// Geo-spoofing experiment outcome (§3.2's critique of location-based
+/// neighbor selection).
+#[derive(Debug, Clone)]
+pub struct SpoofingResult {
+    /// Number of spoofing adversaries.
+    pub spoofers: usize,
+    /// Median λ90 of the geographic topology without spoofers (ms).
+    pub geographic_clean_ms: f64,
+    /// Median λ90 of the geographic topology with spoofers present (ms).
+    pub geographic_spoofed_ms: f64,
+    /// Median λ90 of Perigee-Subset with the same spoofers present (ms).
+    pub perigee_spoofed_ms: f64,
+}
+
+impl SpoofingResult {
+    /// How much spoofing degraded the geographic baseline.
+    pub fn geographic_degradation(&self) -> f64 {
+        if self.geographic_clean_ms == 0.0 {
+            return 0.0;
+        }
+        (self.geographic_spoofed_ms - self.geographic_clean_ms) / self.geographic_clean_ms
+    }
+
+    /// Summary table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["setting".into(), "median λ90 (ms)".into()]);
+        t.row(vec![
+            "geographic, no spoofers".into(),
+            format!("{:.1}", self.geographic_clean_ms),
+        ]);
+        t.row(vec![
+            format!("geographic, {} spoofers", self.spoofers),
+            format!("{:.1}", self.geographic_spoofed_ms),
+        ]);
+        t.row(vec![
+            format!("perigee-subset, {} spoofers", self.spoofers),
+            format!("{:.1}", self.perigee_spoofed_ms),
+        ]);
+        t
+    }
+}
+
+/// Runs the geo-spoofing comparison. Spoofers are throttling nodes (slow
+/// relays) that advertise a fake local location: the geographic builder
+/// trusts the claim and wires them in as "nearby" peers, while Perigee
+/// never looks at locations — it scores the spoofers' actual deliveries
+/// and drops them.
+pub fn run_spoofing(scenario: &Scenario, seed: u64, spoofers: usize) -> SpoofingResult {
+    use perigee_core::evaluate_topology;
+    use perigee_topology::{GeographicBuilder, TopologyBuilder};
+
+    let world = build_world(scenario, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5F00);
+    let limits = ConnectionLimits::paper_default();
+
+    // Clean geographic baseline.
+    let clean_topo =
+        GeographicBuilder::new().build(&world.population, &world.latency, limits, &mut rng);
+    let geographic_clean_ms = perigee_metrics::percentile_or_inf(
+        &evaluate_topology(&clean_topo, &world.latency, &world.population, 0.9),
+        50.0,
+    );
+
+    // Inject spoofers: slow relays claiming to be local everywhere.
+    let mut population = world.population.clone();
+    let spoofed: Vec<NodeId> = (0..spoofers as u32).map(NodeId::new).collect();
+    for &s in &spoofed {
+        adversary::make_throttler(&mut population, s, perigee_netsim::SimTime::from_ms(400.0));
+    }
+    let spoofed_topo = GeographicBuilder::new()
+        .with_spoofed(spoofed.clone())
+        .build(&population, &world.latency, limits, &mut rng);
+    let geographic_spoofed_ms = perigee_metrics::percentile_or_inf(
+        &evaluate_topology(&spoofed_topo, &world.latency, &population, 0.9),
+        50.0,
+    );
+
+    // Perigee under the same adversaries: spoofed claims are irrelevant;
+    // the slow relays earn ∞-ish scores and are dropped.
+    let start = RandomBuilder::new().build(&population, &world.latency, limits, &mut rng);
+    let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    config.blocks_per_round = scenario.blocks_per_round;
+    let mut engine = PerigeeEngine::new(
+        population,
+        world.latency.clone(),
+        start,
+        ScoringMethod::Subset,
+        config,
+    )
+    .expect("valid scenario");
+    engine.run_rounds(scenario.rounds, &mut rng);
+    let perigee_spoofed_ms = perigee_metrics::percentile_or_inf(&engine.evaluate(0.9), 50.0);
+
+    SpoofingResult {
+        spoofers,
+        geographic_clean_ms,
+        geographic_spoofed_ms,
+        perigee_spoofed_ms,
+    }
+}
+
+/// Churn experiment: a fraction of nodes resets every round; Perigee keeps
+/// improving regardless (§6's robustness-under-churn question).
+#[derive(Debug, Clone)]
+pub struct ChurnResult {
+    /// Median λ90 with churn.
+    pub churn_median90_ms: f64,
+    /// Median λ90 without churn (same seed).
+    pub stable_median90_ms: f64,
+    /// Nodes reset per round.
+    pub resets_per_round: usize,
+}
+
+/// Runs Perigee-Subset with `resets_per_round` random node resets per
+/// round and compares against the churn-free run.
+pub fn run_churn(scenario: &Scenario, seed: u64, resets_per_round: usize) -> ChurnResult {
+    use rand::Rng;
+    let (mut stable, mut rng1) = fresh_engine(scenario, seed, ScoringMethod::Subset);
+    stable.run_rounds(scenario.rounds, &mut rng1);
+    let stable_median90_ms = perigee_metrics::percentile_or_inf(&stable.evaluate(0.9), 50.0);
+
+    let (mut churny, mut rng2) = fresh_engine(scenario, seed, ScoringMethod::Subset);
+    for _ in 0..scenario.rounds {
+        churny.run_round(&mut rng2);
+        for _ in 0..resets_per_round {
+            let v = NodeId::new(rng2.gen_range(0..scenario.nodes as u32));
+            churny.churn_reset(v, &mut rng2);
+        }
+    }
+    let churn_median90_ms = perigee_metrics::percentile_or_inf(&churny.evaluate(0.9), 50.0);
+
+    ChurnResult {
+        churn_median90_ms,
+        stable_median90_ms,
+        resets_per_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            nodes: 100,
+            rounds: 10,
+            blocks_per_round: 20,
+            seeds: vec![1],
+            ..Scenario::paper()
+        }
+    }
+
+    #[test]
+    fn free_rider_is_starved_of_incoming_links() {
+        let r = run_free_rider(&tiny(), 2);
+        assert!(
+            r.degree_after < r.degree_before,
+            "free-rider kept {} of {} links",
+            r.degree_after,
+            r.degree_before
+        );
+        // Scoring cuts every learned link; what remains is only this
+        // round's random exploration picks (expected ≈ 2 of 100 nodes).
+        assert!(
+            r.degree_after <= 6,
+            "incoming should collapse to exploration noise, got {}",
+            r.degree_after
+        );
+        assert_eq!(r.table().len(), 2);
+    }
+
+    #[test]
+    fn eclipse_attacker_is_abandoned_and_network_recovers() {
+        let r = run_eclipse(&tiny(), 3);
+        // The super-node lure works: it fills (most of) its incoming slots.
+        assert!(
+            r.lure_in_degree >= 10,
+            "lure failed: in-degree {}",
+            r.lure_in_degree
+        );
+        // After withholding, scoring evicts it almost completely.
+        assert!(
+            r.post_attack_in_degree <= 2,
+            "attacker in-degree {} -> {}",
+            r.lure_in_degree,
+            r.post_attack_in_degree
+        );
+        // Withholding hurts; recovery restores performance to near (not
+        // necessarily below — the honest super-node genuinely helped) the
+        // attack-time level.
+        assert!(r.attack_median90_ms >= r.lure_median90_ms);
+        assert!(r.recovered_median90_ms <= r.attack_median90_ms * 1.05);
+        assert_eq!(r.table().len(), 3);
+    }
+
+    #[test]
+    fn spoofing_hurts_geographic_but_not_perigee() {
+        let r = run_spoofing(&tiny(), 7, 10);
+        assert!(
+            r.geographic_degradation() > 0.05,
+            "spoofers should degrade the geographic baseline, got {:+.1}%",
+            r.geographic_degradation() * 100.0
+        );
+        assert!(
+            r.perigee_spoofed_ms < r.geographic_spoofed_ms,
+            "perigee ({:.1}) must beat spoofed geographic ({:.1})",
+            r.perigee_spoofed_ms,
+            r.geographic_spoofed_ms
+        );
+        assert_eq!(r.table().len(), 3);
+    }
+
+    #[test]
+    fn churn_degrades_gracefully() {
+        let r = run_churn(&tiny(), 4, 2);
+        assert!(r.churn_median90_ms.is_finite());
+        // Churn costs something but not catastrophically (< 40% worse).
+        assert!(
+            r.churn_median90_ms < r.stable_median90_ms * 1.4,
+            "churn {:.1} vs stable {:.1}",
+            r.churn_median90_ms,
+            r.stable_median90_ms
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! `repro` — regenerate every figure of the Perigee paper.
+//!
+//! ```text
+//! repro <command> [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR]
+//!
+//! Commands:
+//!   fig1          Fig. 1  corner-to-corner stretch in the unit square
+//!   theorems      Thm 1/2 stretch vs n on random and geometric graphs
+//!   fig3a         Fig. 3(a) delay curves, uniform hash power
+//!   fig3b         Fig. 3(b) delay curves, exponential hash power
+//!   fig4a         Fig. 4(a) validation-delay sweep
+//!   fig4b         Fig. 4(b) mining pools with fast links
+//!   fig4c         Fig. 4(c) relay network overlay
+//!   fig5          Fig. 5  edge-latency histograms
+//!   convergence   §5.2 per-round convergence of Perigee-Subset
+//!   ablation      parameter sweeps (exploration, percentile, |B|, UCB c)
+//!   adversary     free-rider, eclipse and churn robustness
+//!   deployment    incremental-deployment advantage
+//!   all           everything above
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use perigee_experiments::{
+    ablation, adversary, bandwidth, convergence, deployment, discovery, fig3, fig4, fig5, theory,
+};
+use perigee_experiments::{Algorithm, MinerCliqueSpec, RelaySpec, Scenario};
+use perigee_metrics::Table;
+
+struct Args {
+    command: String,
+    scenario: Scenario,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut scenario = Scenario::paper();
+    let mut out = None;
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--quick" => {
+                let s = Scenario::quick();
+                scenario.nodes = s.nodes;
+                scenario.rounds = s.rounds;
+                scenario.blocks_per_round = s.blocks_per_round;
+                scenario.seeds = s.seeds;
+            }
+            "--nodes" => scenario.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--rounds" => {
+                scenario.rounds = value("--rounds")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--blocks" => {
+                scenario.blocks_per_round =
+                    value("--blocks")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--seeds" => {
+                scenario.seeds = value("--seeds")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("{e}")))
+                    .collect::<Result<Vec<u64>, _>>()?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        scenario,
+        out,
+    })
+}
+
+fn usage() -> String {
+    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|all> \
+     [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR]"
+        .to_string()
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn emit(table: &Table, out: &Option<PathBuf>, file: &str) {
+    print!("{}", table.render());
+    if let Some(dir) = out {
+        let path = dir.join(file);
+        match table.write_csv(&path) {
+            Ok(()) => println!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("[csv write failed: {e}]"),
+        }
+    }
+}
+
+fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<(), String> {
+    let started = Instant::now();
+    match cmd {
+        "fig1" => {
+            banner("Figure 1: paths in the unit square");
+            let f = theory::run_fig1(scenario.nodes, scenario.seeds[0]);
+            let mut t = Table::new(vec!["topology".into(), "path".into(), "stretch".into()]);
+            t.row(vec![
+                "euclidean (geodesic)".into(),
+                format!("{:.3}", f.euclidean),
+                "1.00".into(),
+            ]);
+            t.row(vec![
+                "random deg-3 (Fig 1a)".into(),
+                format!("{:.3}", f.random_path),
+                format!("{:.2}", f.random_stretch()),
+            ]);
+            t.row(vec![
+                "geometric (Fig 1b)".into(),
+                format!("{:.3}", f.geometric_path),
+                format!("{:.2}", f.geometric_stretch()),
+            ]);
+            emit(&t, out, "fig1.csv");
+        }
+        "theorems" => {
+            banner("Theorems 1 & 2: stretch vs network size");
+            let sizes = [250, 500, 1000, 2000];
+            let r = theory::run_theorems(&sizes, 2, scenario.seeds[0]);
+            emit(&r.table(), out, "theorems.csv");
+            println!(
+                "expect: random stretch grows with n (Thm 1), geometric stays ~constant (Thm 2)"
+            );
+        }
+        "fig3a" | "fig3b" => {
+            let exp = cmd == "fig3b";
+            banner(if exp {
+                "Figure 3(b): exponential hash power"
+            } else {
+                "Figure 3(a): uniform hash power"
+            });
+            let s = if exp {
+                scenario.clone().with_exponential_hash_power()
+            } else {
+                scenario.clone()
+            };
+            let r = fig3::run(&s);
+            emit(&r.table(), out, &format!("{cmd}_summary.csv"));
+            if let Some(dir) = out {
+                let path = dir.join(format!("{cmd}_curves.csv"));
+                let _ = fig3::curves_csv(&r).write_csv(&path);
+                println!("[wrote {}]", path.display());
+            }
+            let subset = r.improvement(Algorithm::PerigeeSubset, Algorithm::Random) * 100.0;
+            let ucb = r.improvement(Algorithm::PerigeeUcb, Algorithm::Random) * 100.0;
+            println!("perigee-subset vs random: {subset:+.1}%  (paper: ~33%)");
+            println!("perigee-ucb    vs random: {ucb:+.1}%  (paper: ~11%)");
+        }
+        "fig4a" => {
+            banner("Figure 4(a): validation-delay sweep");
+            let r = fig4::run_fig4a(scenario, &fig4::FIG4A_FACTORS);
+            emit(&r.table(), out, "fig4a.csv");
+            println!("expect: improvement shrinks as validation delay grows");
+        }
+        "fig4b" => {
+            banner("Figure 4(b): 10% of nodes hold 90% of hash power");
+            let r = fig4::run_fig4b(scenario, MinerCliqueSpec::default());
+            emit(&r.table(), out, "fig4b.csv");
+            println!(
+                "perigee closes {:.0}% of the random→ideal gap",
+                r.gap_closed() * 100.0
+            );
+        }
+        "fig4c" => {
+            banner("Figure 4(c): fast relay network present");
+            let r = fig4::run_fig4c(scenario, RelaySpec::default());
+            emit(&r.table(), out, "fig4c.csv");
+            println!(
+                "perigee closes {:.0}% of the random→ideal gap",
+                r.gap_closed() * 100.0
+            );
+        }
+        "fig5" => {
+            banner("Figure 5: edge-latency histograms");
+            let r = fig5::run(scenario);
+            emit(&r.table(), out, "fig5.csv");
+            for h in &r.histograms {
+                println!("\n{}:", h.algorithm);
+                print!("{}", h.histogram.render(40));
+            }
+        }
+        "convergence" => {
+            banner("Convergence of Perigee-Subset (§5.2)");
+            let r = convergence::run(Algorithm::PerigeeSubset, scenario, scenario.seeds[0]);
+            emit(&r.table(), out, "convergence.csv");
+            println!(
+                "total median-λ90 improvement: {:+.1}%",
+                r.total_improvement() * 100.0
+            );
+        }
+        "ablation" => {
+            banner("Ablation: exploration count");
+            let s = scenario.seeds[0];
+            emit(
+                &ablation::sweep_exploration(scenario, s, &[0, 1, 2, 4]).table(),
+                out,
+                "ablation_explore.csv",
+            );
+            banner("Ablation: scoring percentile");
+            emit(
+                &ablation::sweep_percentile(scenario, s, &[50.0, 75.0, 90.0, 99.0]).table(),
+                out,
+                "ablation_percentile.csv",
+            );
+            banner("Ablation: blocks per round (fixed block budget)");
+            emit(
+                &ablation::sweep_round_length(scenario, s, &[20, 50, 100, 200]).table(),
+                out,
+                "ablation_blocks.csv",
+            );
+            banner("Ablation: UCB confidence constant");
+            emit(
+                &ablation::sweep_ucb_c(scenario, s, &[1.0, 10.0, 50.0, 200.0]).table(),
+                out,
+                "ablation_ucb_c.csv",
+            );
+        }
+        "adversary" => {
+            banner("Geo-spoofing (degrades geographic, not Perigee)");
+            let r = adversary::run_spoofing(scenario, scenario.seeds[0], scenario.nodes / 20);
+            emit(&r.table(), out, "adversary_spoofing.csv");
+            println!(
+                "spoofers degrade geographic by {:+.1}%; perigee ignores claimed locations",
+                r.geographic_degradation() * 100.0
+            );
+            banner("Free-rider starvation");
+            let r = adversary::run_free_rider(scenario, scenario.seeds[0]);
+            emit(&r.table(), out, "adversary_freerider.csv");
+            banner("Eclipse attack & recovery");
+            let r = adversary::run_eclipse(scenario, scenario.seeds[0]);
+            emit(&r.table(), out, "adversary_eclipse.csv");
+            banner("Churn");
+            let r = adversary::run_churn(scenario, scenario.seeds[0], scenario.nodes / 50);
+            let mut t = Table::new(vec!["setting".into(), "median λ90 (ms)".into()]);
+            t.row(vec!["stable".into(), format!("{:.1}", r.stable_median90_ms)]);
+            t.row(vec![
+                format!("churn ({} resets/round)", r.resets_per_round),
+                format!("{:.1}", r.churn_median90_ms),
+            ]);
+            emit(&t, out, "adversary_churn.csv");
+        }
+        "deployment" => {
+            banner("Incremental deployment");
+            let mut t = Table::new(vec![
+                "adoption".into(),
+                "adopters λ90 (ms)".into(),
+                "holdouts λ90 (ms)".into(),
+                "advantage".into(),
+            ]);
+            for adoption in [0.1, 0.3, 0.5, 0.9] {
+                let r = deployment::run(scenario, scenario.seeds[0], adoption);
+                t.row(vec![
+                    format!("{:.0}%", adoption * 100.0),
+                    format!("{:.1}", r.adopter_median90_ms),
+                    format!("{:.1}", r.holdout_median90_ms),
+                    format!("{:+.1}%", r.adopter_advantage() * 100.0),
+                ]);
+            }
+            emit(&t, out, "deployment.csv");
+        }
+        "discovery" => {
+            banner("Partial peer knowledge (gossiped address books)");
+            let caps = [scenario.nodes / 10, scenario.nodes / 4, scenario.nodes / 2];
+            let r = discovery::run(scenario, scenario.seeds[0], &caps);
+            emit(&r.table(), out, "discovery.csv");
+            println!(
+                "worst partial-view penalty: {:+.1}%",
+                r.worst_penalty() * 100.0
+            );
+        }
+        "bandwidth" => {
+            banner("Bandwidth heterogeneity (INV/GETDATA, 3-186 Mbit/s)");
+            let r = bandwidth::run(scenario, scenario.seeds[0], &[0.0, 0.5, 1.0]);
+            emit(&r.table(), out, "bandwidth.csv");
+            println!("expect: perigee improves in every block-size regime");
+        }
+        "all" => {
+            for c in [
+                "fig1",
+                "theorems",
+                "fig3a",
+                "fig3b",
+                "fig4a",
+                "fig4b",
+                "fig4c",
+                "fig5",
+                "convergence",
+                "ablation",
+                "adversary",
+                "deployment",
+                "discovery",
+                "bandwidth",
+            ] {
+                run_command(c, scenario, out)?;
+            }
+        }
+        other => return Err(format!("unknown command {other}\n{}", usage())),
+    }
+    println!("[{cmd} done in {:.1}s]", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "scenario: {} nodes, {} rounds x {} blocks, seeds {:?}",
+        args.scenario.nodes,
+        args.scenario.rounds,
+        args.scenario.blocks_per_round,
+        args.scenario.seeds
+    );
+    match run_command(&args.command, &args.scenario, &args.out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

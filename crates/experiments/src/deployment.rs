@@ -1,0 +1,132 @@
+//! Incremental deployment (§1.2): peers following Perigee should see
+//! better block delivery than peers that stay on random connections, even
+//! when only a fraction of the network adopts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_metrics::{percentile_or_inf, Table};
+use perigee_netsim::ConnectionLimits;
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+
+use crate::runner::build_world;
+use crate::scenario::Scenario;
+
+/// Outcome of a partial-adoption run.
+#[derive(Debug, Clone)]
+pub struct DeploymentResult {
+    /// Fraction of nodes running Perigee.
+    pub adoption: f64,
+    /// Median λ90 among adopters (ms).
+    pub adopter_median90_ms: f64,
+    /// Median λ90 among non-adopters (ms).
+    pub holdout_median90_ms: f64,
+    /// Median λ90 of the whole network (ms).
+    pub overall_median90_ms: f64,
+}
+
+impl DeploymentResult {
+    /// Relative advantage of adopters over holdouts (positive = adopters
+    /// faster).
+    pub fn adopter_advantage(&self) -> f64 {
+        if self.holdout_median90_ms == 0.0 {
+            return 0.0;
+        }
+        (self.holdout_median90_ms - self.adopter_median90_ms) / self.holdout_median90_ms
+    }
+
+    /// Summary table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["group".into(), "median λ90 (ms)".into()]);
+        t.row(vec![
+            format!("adopters ({:.0}%)", self.adoption * 100.0),
+            format!("{:.1}", self.adopter_median90_ms),
+        ]);
+        t.row(vec![
+            "holdouts".into(),
+            format!("{:.1}", self.holdout_median90_ms),
+        ]);
+        t.row(vec![
+            "overall".into(),
+            format!("{:.1}", self.overall_median90_ms),
+        ]);
+        t
+    }
+}
+
+/// Runs a mixed network where a random `adoption` fraction runs
+/// Perigee-Subset and the rest never rewire.
+pub fn run(scenario: &Scenario, seed: u64, adoption: f64) -> DeploymentResult {
+    assert!((0.0..=1.0).contains(&adoption), "adoption is a fraction");
+    let world = build_world(scenario, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDE91);
+    let topo = RandomBuilder::new().build(
+        &world.population,
+        &world.latency,
+        ConnectionLimits::paper_default(),
+        &mut rng,
+    );
+    let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    config.blocks_per_round = scenario.blocks_per_round;
+    let mut engine = PerigeeEngine::new(
+        world.population,
+        world.latency,
+        topo,
+        ScoringMethod::Subset,
+        config,
+    )
+    .expect("valid scenario");
+
+    let adopters: Vec<bool> = (0..scenario.nodes)
+        .map(|_| rng.gen::<f64>() < adoption)
+        .collect();
+    engine.set_adopters(adopters.clone());
+    engine.run_rounds(scenario.rounds, &mut rng);
+
+    let lambda90 = engine.evaluate(scenario.coverage);
+    let split = |keep: bool| -> Vec<f64> {
+        lambda90
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| adopters[*i] == keep)
+            .map(|(_, &v)| v)
+            .collect()
+    };
+    DeploymentResult {
+        adoption,
+        adopter_median90_ms: percentile_or_inf(&split(true), 50.0),
+        holdout_median90_ms: percentile_or_inf(&split(false), 50.0),
+        overall_median90_ms: percentile_or_inf(&lambda90, 50.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adopters_beat_holdouts_at_partial_adoption() {
+        let scenario = Scenario {
+            nodes: 200,
+            rounds: 10,
+            blocks_per_round: 25,
+            seeds: vec![1],
+            ..Scenario::paper()
+        };
+        let r = run(&scenario, 5, 0.3);
+        assert!(
+            r.adopter_advantage() > 0.0,
+            "adopters {:.1} vs holdouts {:.1}",
+            r.adopter_median90_ms,
+            r.holdout_median90_ms
+        );
+        assert_eq!(r.table().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "adoption is a fraction")]
+    fn bad_adoption_panics() {
+        let _ = run(&Scenario::quick(), 1, 1.5);
+    }
+}

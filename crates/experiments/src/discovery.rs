@@ -1,0 +1,130 @@
+//! Partial peer knowledge (§6): how much does Perigee lose when nodes only
+//! know a bounded, gossip-refreshed subset of addresses instead of the
+//! whole network (the paper's evaluation assumption)?
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use perigee_core::{AddressBook, PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_metrics::{percentile_or_inf, Table};
+use perigee_netsim::ConnectionLimits;
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+
+use crate::runner::build_world;
+use crate::scenario::Scenario;
+
+/// One partial-knowledge measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryPoint {
+    /// Address-book capacity (`None` = full knowledge).
+    pub capacity: Option<usize>,
+    /// Median λ90 of the learned topology (ms).
+    pub median90_ms: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct DiscoveryResult {
+    /// Points in sweep order (full knowledge first).
+    pub points: Vec<DiscoveryPoint>,
+}
+
+impl DiscoveryResult {
+    /// Relative penalty of the most restricted view vs full knowledge.
+    pub fn worst_penalty(&self) -> f64 {
+        let full = self.points[0].median90_ms;
+        let worst = self
+            .points
+            .iter()
+            .map(|p| p.median90_ms)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if full == 0.0 {
+            0.0
+        } else {
+            (worst - full) / full
+        }
+    }
+
+    /// Summary table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["address book".into(), "median λ90 (ms)".into()]);
+        for p in &self.points {
+            t.row(vec![
+                p.capacity
+                    .map_or("full knowledge".to_string(), |c| format!("{c} entries")),
+                format!("{:.1}", p.median90_ms),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs Perigee-Subset with full knowledge and with each address-book
+/// capacity in `capacities`.
+pub fn run(scenario: &Scenario, seed: u64, capacities: &[usize]) -> DiscoveryResult {
+    let mut points = vec![DiscoveryPoint {
+        capacity: None,
+        median90_ms: run_one(scenario, seed, None),
+    }];
+    for &cap in capacities {
+        points.push(DiscoveryPoint {
+            capacity: Some(cap),
+            median90_ms: run_one(scenario, seed, Some(cap)),
+        });
+    }
+    DiscoveryResult { points }
+}
+
+fn run_one(scenario: &Scenario, seed: u64, capacity: Option<usize>) -> f64 {
+    let world = build_world(scenario, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C);
+    let topo = RandomBuilder::new().build(
+        &world.population,
+        &world.latency,
+        ConnectionLimits::paper_default(),
+        &mut rng,
+    );
+    let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    config.blocks_per_round = scenario.blocks_per_round;
+    let mut engine = PerigeeEngine::new(
+        world.population,
+        world.latency,
+        topo,
+        ScoringMethod::Subset,
+        config,
+    )
+    .expect("valid scenario");
+    if let Some(cap) = capacity {
+        let bootstrap = (cap / 2).max(1);
+        let book = AddressBook::bootstrap(scenario.nodes, bootstrap, cap, &mut rng);
+        engine.set_address_book(book);
+    }
+    engine.run_rounds(scenario.rounds, &mut rng);
+    percentile_or_inf(&engine.evaluate(scenario.coverage), 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_views_cost_little() {
+        let scenario = Scenario {
+            nodes: 150,
+            rounds: 8,
+            blocks_per_round: 25,
+            seeds: vec![1],
+            ..Scenario::paper()
+        };
+        let r = run(&scenario, 2, &[40]);
+        assert_eq!(r.points.len(), 2);
+        assert!(r.points.iter().all(|p| p.median90_ms.is_finite()));
+        // A 40-entry view on 150 nodes should cost well under 15%.
+        assert!(
+            r.worst_penalty() < 0.15,
+            "partial-view penalty was {:.1}%",
+            r.worst_penalty() * 100.0
+        );
+        assert_eq!(r.table().len(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Figure 3: delay curves for all seven algorithms.
+//!
+//! (a) uniform hash power; (b) exponential hash power. The paper's headline:
+//! Perigee-Subset ≈33% and Perigee-UCB ≈11% lower delay than random;
+//! geographic beats random but trails Subset by ≈40% at the median node;
+//! Kademlia is slightly worse than geographic; the fully-connected "ideal"
+//! lower-bounds everything.
+
+use perigee_metrics::{DelayCurve, Table};
+
+use crate::runner::{run_parallel, Algorithm, RunOutput};
+use crate::scenario::Scenario;
+
+/// One algorithm's aggregated result.
+#[derive(Debug, Clone)]
+pub struct AlgorithmResult {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Per-seed outputs.
+    pub runs: Vec<RunOutput>,
+    /// Pointwise-mean λ(90%) curve over seeds (the plotted line).
+    pub mean90: DelayCurve,
+    /// Pointwise-mean λ(50%) curve over seeds.
+    pub mean50: DelayCurve,
+}
+
+impl AlgorithmResult {
+    /// Error bar (std over seeds) at a node index, `None` with one seed.
+    pub fn error_bar_at(&self, index: usize) -> Option<f64> {
+        let curves: Vec<DelayCurve> = self.runs.iter().map(|r| r.curve90.clone()).collect();
+        DelayCurve::pointwise_std(&curves, index)
+    }
+}
+
+/// The full figure: one result per algorithm.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Results in [`Algorithm::FIG3`] order.
+    pub results: Vec<AlgorithmResult>,
+    /// The scenario that was run.
+    pub scenario: Scenario,
+}
+
+impl Fig3Result {
+    /// The result for one algorithm.
+    pub fn get(&self, algorithm: Algorithm) -> &AlgorithmResult {
+        self.results
+            .iter()
+            .find(|r| r.algorithm == algorithm)
+            .expect("all FIG3 algorithms present")
+    }
+
+    /// Median-node improvement of `a` over `b` (positive = `a` faster).
+    pub fn improvement(&self, a: Algorithm, b: Algorithm) -> f64 {
+        self.get(a).mean90.improvement_over(&self.get(b).mean90)
+    }
+
+    /// Renders the paper-style summary table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "algorithm".into(),
+            "median λ90 (ms)".into(),
+            "mean λ90 (ms)".into(),
+            "median λ50 (ms)".into(),
+            "vs random".into(),
+            "err@median".into(),
+        ]);
+        let random_median = self.get(Algorithm::Random).mean90.median();
+        for r in &self.results {
+            let median = r.mean90.median();
+            let improvement = if random_median > 0.0 {
+                (random_median - median) / random_median * 100.0
+            } else {
+                0.0
+            };
+            let mid = r.mean90.len() / 2;
+            let err = r
+                .error_bar_at(mid)
+                .map_or("-".to_string(), |e| format!("{e:.1}"));
+            t.row(vec![
+                r.algorithm.name().into(),
+                format!("{median:.1}"),
+                format!("{:.1}", r.mean90.mean()),
+                format!("{:.1}", r.mean50.median()),
+                format!("{improvement:+.1}%"),
+                err,
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the figure over the scenario (3(a) with the default scenario,
+/// 3(b) with [`Scenario::with_exponential_hash_power`]).
+pub fn run(scenario: &Scenario) -> Fig3Result {
+    let jobs: Vec<(Algorithm, u64)> = Algorithm::FIG3
+        .iter()
+        .flat_map(|&a| scenario.seeds.iter().map(move |&s| (a, s)))
+        .collect();
+    let outputs = run_parallel(jobs, scenario);
+
+    let results = Algorithm::FIG3
+        .iter()
+        .map(|&algorithm| {
+            let runs: Vec<RunOutput> = outputs
+                .iter()
+                .filter(|o| o.algorithm == algorithm)
+                .cloned()
+                .collect();
+            let mean90 = DelayCurve::pointwise_mean(
+                &runs.iter().map(|r| r.curve90.clone()).collect::<Vec<_>>(),
+            );
+            let mean50 = DelayCurve::pointwise_mean(
+                &runs.iter().map(|r| r.curve50.clone()).collect::<Vec<_>>(),
+            );
+            AlgorithmResult {
+                algorithm,
+                runs,
+                mean90,
+                mean50,
+            }
+        })
+        .collect();
+
+    Fig3Result {
+        results,
+        scenario: scenario.clone(),
+    }
+}
+
+/// Writes the per-node curves (the actual figure series) as CSV:
+/// `node_index, <one column per algorithm>`.
+pub fn curves_csv(result: &Fig3Result) -> Table {
+    let mut headers = vec!["node".to_string()];
+    headers.extend(result.results.iter().map(|r| r.algorithm.name().to_string()));
+    let mut t = Table::new(headers);
+    let n = result.results[0].mean90.len();
+    for i in 0..n {
+        let mut row = vec![i.to_string()];
+        row.extend(
+            result
+                .results
+                .iter()
+                .map(|r| format!("{:.2}", r.mean90.value_at(i))),
+        );
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_holds_at_small_scale() {
+        let scenario = Scenario {
+            nodes: 120,
+            rounds: 6,
+            blocks_per_round: 20,
+            seeds: vec![5],
+            ..Scenario::paper()
+        };
+        let result = run(&scenario);
+        assert_eq!(result.results.len(), 7);
+
+        // The two robust shape constraints at any scale:
+        // ideal is the lower bound...
+        let ideal = result.get(Algorithm::Ideal).mean90.median();
+        for r in &result.results {
+            assert!(
+                r.mean90.median() >= ideal - 1e-9,
+                "{} beat the ideal bound",
+                r.algorithm
+            );
+        }
+        // ...and Perigee-Subset improves on random.
+        assert!(
+            result.improvement(Algorithm::PerigeeSubset, Algorithm::Random) > 0.0,
+            "subset must beat random"
+        );
+
+        let table = result.table();
+        assert_eq!(table.len(), 7);
+        let csv = curves_csv(&result);
+        assert_eq!(csv.len(), 120);
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 5: what does Perigee learn?
+//!
+//! Histograms of the final p2p graph's edge latencies are bimodal: a low
+//! mode (intra-continent links) and a high mode (inter-continent links).
+//! Perigee-Subset concentrates its edge mass at the low mode — nodes learn
+//! to pick nearby outgoing neighbors — while random and geometric do not
+//! shift mass the same way.
+
+use perigee_metrics::{Histogram, Table};
+use perigee_netsim::LatencyModel;
+
+use crate::runner::{run_parallel, Algorithm, RunOutput};
+use crate::scenario::Scenario;
+
+/// The edge-latency histogram of one algorithm's final topology.
+#[derive(Debug, Clone)]
+pub struct EdgeHistogram {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Histogram over edge latencies (ms).
+    pub histogram: Histogram,
+    /// Fraction of edges in the low (intra-continent) mode.
+    pub low_mode_fraction: f64,
+    /// Mean edge latency (ms).
+    pub mean_latency_ms: f64,
+}
+
+/// The figure: one histogram per algorithm.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Histograms, in run order.
+    pub histograms: Vec<EdgeHistogram>,
+    /// The low/high mode split point used (ms).
+    pub mode_split_ms: f64,
+}
+
+impl Fig5Result {
+    /// Result for one algorithm.
+    pub fn get(&self, algorithm: Algorithm) -> &EdgeHistogram {
+        self.histograms
+            .iter()
+            .find(|h| h.algorithm == algorithm)
+            .expect("algorithm was run")
+    }
+
+    /// Summary table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "algorithm".into(),
+            format!("edges < {:.0} ms", self.mode_split_ms),
+            "mean edge latency (ms)".into(),
+        ]);
+        for h in &self.histograms {
+            t.row(vec![
+                h.algorithm.name().into(),
+                format!("{:.1}%", h.low_mode_fraction * 100.0),
+                format!("{:.1}", h.mean_latency_ms),
+            ]);
+        }
+        t
+    }
+}
+
+/// The algorithms compared in the paper's Fig. 5.
+pub const FIG5_ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::Random,
+    Algorithm::Geographic,
+    Algorithm::Geometric,
+    Algorithm::PerigeeSubset,
+];
+
+/// Computes the edge histogram of one finished run.
+pub fn edge_histogram(run: &RunOutput, bins: usize, max_ms: f64, split_ms: f64) -> EdgeHistogram {
+    let mut histogram = Histogram::new(0.0, max_ms, bins);
+    let edges = run.topology.undirected_edges();
+    let mut sum = 0.0;
+    for &(u, v) in &edges {
+        let d = run.latency.delay(u, v).as_ms();
+        histogram.add(d);
+        sum += d;
+    }
+    let low_mode_fraction = histogram.fraction_below(split_ms);
+    EdgeHistogram {
+        algorithm: run.algorithm,
+        histogram,
+        low_mode_fraction,
+        mean_latency_ms: if edges.is_empty() { 0.0 } else { sum / edges.len() as f64 },
+    }
+}
+
+/// Runs Fig. 5 under `scenario` (uniform hash power in the paper).
+pub fn run(scenario: &Scenario) -> Fig5Result {
+    // One seed suffices for a histogram over thousands of edges; use the
+    // first scenario seed for reproducibility.
+    let seed = scenario.seeds.first().copied().unwrap_or(1);
+    let outputs = run_parallel(
+        FIG5_ALGORITHMS.iter().map(|&a| (a, seed)),
+        scenario,
+    );
+    // The geo matrix's intra-continent delays top out around 40 ms (plus
+    // jitter); 60 ms separates the two modes cleanly.
+    let split = 60.0;
+    let histograms = outputs
+        .iter()
+        .map(|run| edge_histogram(run, 20, 220.0, split))
+        .collect();
+    Fig5Result {
+        histograms,
+        mode_split_ms: split,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perigee_concentrates_mass_at_the_low_mode() {
+        let scenario = Scenario {
+            nodes: 150,
+            rounds: 8,
+            blocks_per_round: 25,
+            seeds: vec![2],
+            ..Scenario::paper()
+        };
+        let r = run(&scenario);
+        let perigee = r.get(Algorithm::PerigeeSubset).low_mode_fraction;
+        let random = r.get(Algorithm::Random).low_mode_fraction;
+        assert!(
+            perigee > random,
+            "perigee low-mode mass {perigee:.2} must exceed random {random:.2}"
+        );
+        // Geographic also shifts mass low (50% local connections).
+        let geo = r.get(Algorithm::Geographic).low_mode_fraction;
+        assert!(geo > random);
+        assert_eq!(r.table().len(), 4);
+    }
+}

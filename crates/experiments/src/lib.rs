@@ -1,0 +1,39 @@
+//! # perigee-experiments
+//!
+//! The reproduction harness: one module per figure of the Perigee paper's
+//! evaluation (§5), plus the theory experiments (§3) and our extension
+//! studies. The `repro` binary drives everything from the command line;
+//! benches and integration tests reuse the same library functions.
+//!
+//! | Module | Paper result |
+//! |--------|--------------|
+//! | [`theory`] | Fig. 1 and Theorems 1–2 (metric-embedding stretch) |
+//! | [`fig3`] | Fig. 3(a)/(b): delay curves for all seven algorithms |
+//! | [`fig4`] | Fig. 4(a)/(b)/(c): validation sweep, mining pools, relay networks |
+//! | [`fig5`] | Fig. 5: edge-latency histograms |
+//! | [`convergence`] | §5.2 convergence remark |
+//! | [`ablation`] | parameter sweeps (exploration, percentile, round size, UCB c) |
+//! | [`adversary`] | free-rider starvation, eclipse recovery, churn |
+//! | [`deployment`] | incremental deployment (§1.2) |
+//! | [`discovery`] | partial peer knowledge via gossiped address books (§6) |
+//! | [`bandwidth`] | bandwidth-heterogeneous INV/GETDATA regime (§2.1/§3.3) |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod adversary;
+pub mod bandwidth;
+pub mod convergence;
+pub mod deployment;
+pub mod discovery;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod runner;
+pub mod scenario;
+pub mod theory;
+
+pub use runner::{build_world, run_algorithm, run_parallel, run_seeds, Algorithm, RunOutput};
+pub use scenario::{MinerCliqueSpec, RelaySpec, Scenario};

@@ -1,0 +1,190 @@
+//! Experiment scenarios: the knobs shared by every figure reproduction.
+
+use perigee_netsim::{HashPowerDist, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Fast-miner clique of Fig. 4(b): a small set of nodes holds most of the
+/// hash power and enjoys low mutual latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinerCliqueSpec {
+    /// Fraction of nodes in the clique (paper: 0.1).
+    pub fraction_of_nodes: f64,
+    /// Fraction of hash power the clique holds (paper: 0.9).
+    pub fraction_of_power: f64,
+    /// Mutual latency inside the clique in ms (paper: "much smaller").
+    pub clique_latency_ms: f64,
+}
+
+impl Default for MinerCliqueSpec {
+    fn default() -> Self {
+        MinerCliqueSpec {
+            fraction_of_nodes: 0.1,
+            fraction_of_power: 0.9,
+            clique_latency_ms: 10.0,
+        }
+    }
+}
+
+/// Fast relay overlay of Fig. 4(c).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelaySpec {
+    /// Number of overlay members (paper: 100).
+    pub size: usize,
+    /// Tree-link latency in ms.
+    pub link_latency_ms: f64,
+    /// Validation-delay rescale for members (paper: 0.1).
+    pub validation_factor: f64,
+}
+
+impl Default for RelaySpec {
+    fn default() -> Self {
+        RelaySpec {
+            size: 100,
+            link_latency_ms: 5.0,
+            validation_factor: 0.1,
+        }
+    }
+}
+
+/// A complete experiment scenario.
+///
+/// [`Scenario::paper`] is the §5.1 default setting; figure-specific
+/// constructors tweak one attribute at a time, exactly as the paper does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Network size (paper: 1000).
+    pub nodes: usize,
+    /// Perigee adaptation rounds for Vanilla/Subset; UCB runs
+    /// `rounds × blocks_per_round` single-block rounds so every variant
+    /// sees the same number of blocks.
+    pub rounds: usize,
+    /// Blocks per round for Vanilla/Subset (paper: 100).
+    pub blocks_per_round: usize,
+    /// Seeds; the paper repeats every experiment 3 times.
+    pub seeds: Vec<u64>,
+    /// Hash power distribution.
+    pub hash_power: HashPowerDist,
+    /// Multiplier on the 50 ms default validation delay (Fig. 4(a) sweeps
+    /// 0.1–10).
+    pub validation_factor: f64,
+    /// Whether per-node validation delays are drawn from an exponential
+    /// distribution of mean 50 ms (§2.1: Δv varies with processing power)
+    /// or fixed at exactly 50 ms for every node. The Fig. 4(a) sweep uses
+    /// the homogeneous setting: its "large Δ ⇒ delay is dictated by hop
+    /// count" argument assumes comparable node delays — with heterogeneous
+    /// Δ, scaling validation *up* gives Perigee more to learn (it routes
+    /// around slow validators) and the trend inverts.
+    pub heterogeneous_validation: bool,
+    /// Optional fast-miner clique (Fig. 4(b)).
+    pub miner_clique: Option<MinerCliqueSpec>,
+    /// Optional relay overlay (Fig. 4(c)).
+    pub relay: Option<RelaySpec>,
+    /// Coverage fraction for the headline metric λv (paper: 0.9).
+    pub coverage: f64,
+}
+
+impl Scenario {
+    /// The paper's default setting (§5.1) at full size.
+    pub fn paper() -> Self {
+        Scenario {
+            nodes: 1000,
+            rounds: 30,
+            blocks_per_round: 100,
+            seeds: vec![1, 2, 3],
+            hash_power: HashPowerDist::Uniform,
+            validation_factor: 1.0,
+            heterogeneous_validation: true,
+            miner_clique: None,
+            relay: None,
+            coverage: 0.9,
+        }
+    }
+
+    /// A reduced-scale setting for quick runs and CI (same shape, less
+    /// compute).
+    pub fn quick() -> Self {
+        Scenario {
+            nodes: 300,
+            rounds: 12,
+            blocks_per_round: 50,
+            seeds: vec![1, 2],
+            ..Self::paper()
+        }
+    }
+
+    /// Fig. 3(b): exponential hash power.
+    pub fn with_exponential_hash_power(mut self) -> Self {
+        self.hash_power = HashPowerDist::Exponential;
+        self
+    }
+
+    /// Fig. 4(a): scale the validation delay.
+    pub fn with_validation_factor(mut self, factor: f64) -> Self {
+        self.validation_factor = factor;
+        self
+    }
+
+    /// Switches to homogeneous (constant) per-node validation delays.
+    pub fn with_homogeneous_validation(mut self) -> Self {
+        self.heterogeneous_validation = false;
+        self
+    }
+
+    /// Fig. 4(b): concentrated hash power over a fast clique.
+    pub fn with_miner_clique(mut self, spec: MinerCliqueSpec) -> Self {
+        self.hash_power = HashPowerDist::Pools {
+            fraction_of_nodes: spec.fraction_of_nodes,
+            fraction_of_power: spec.fraction_of_power,
+        };
+        self.miner_clique = Some(spec);
+        self
+    }
+
+    /// Fig. 4(c): a fast relay overlay.
+    pub fn with_relay(mut self, spec: RelaySpec) -> Self {
+        self.relay = Some(spec);
+        self
+    }
+
+    /// The default validation delay after scaling.
+    pub fn validation_delay(&self) -> SimTime {
+        SimTime::from_ms(50.0 * self.validation_factor)
+    }
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_1() {
+        let s = Scenario::paper();
+        assert_eq!(s.nodes, 1000);
+        assert_eq!(s.blocks_per_round, 100);
+        assert_eq!(s.seeds.len(), 3);
+        assert_eq!(s.coverage, 0.9);
+        assert_eq!(s.validation_delay(), SimTime::from_ms(50.0));
+    }
+
+    #[test]
+    fn figure_constructors_set_one_knob() {
+        let s = Scenario::paper().with_validation_factor(0.1);
+        assert_eq!(s.validation_delay(), SimTime::from_ms(5.0));
+
+        let s = Scenario::paper().with_miner_clique(MinerCliqueSpec::default());
+        assert!(matches!(s.hash_power, HashPowerDist::Pools { .. }));
+        assert!(s.miner_clique.is_some());
+
+        let s = Scenario::paper().with_relay(RelaySpec::default());
+        assert_eq!(s.relay.unwrap().size, 100);
+
+        let s = Scenario::paper().with_exponential_hash_power();
+        assert_eq!(s.hash_power, HashPowerDist::Exponential);
+    }
+}

@@ -1,0 +1,170 @@
+//! Sorted per-node delay curves — the paper's principal plot format.
+//!
+//! Fig. 3/4 plot, for every node `v`, the time λv for a block mined by `v`
+//! to reach 90% (or 50%) of the hash power, with nodes sorted by that value
+//! on the x-axis; repeated over 3 seeds, curves are averaged pointwise and
+//! error bars shown at nodes 100, 300, 500, 700 and 900. [`DelayCurve`]
+//! reproduces exactly that construction.
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted per-node delay curve (one experiment run).
+///
+/// # Examples
+///
+/// ```
+/// use perigee_metrics::DelayCurve;
+///
+/// let curve = DelayCurve::from_values(vec![30.0, 10.0, 20.0]);
+/// assert_eq!(curve.values(), &[10.0, 20.0, 30.0]);
+/// assert_eq!(curve.median(), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DelayCurve {
+    values: Vec<f64>,
+}
+
+impl DelayCurve {
+    /// Builds a curve, sorting the values ascending (the paper's x-axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|v| !v.is_nan()), "curve values must not be NaN");
+        values.sort_by(|a, b| a.total_cmp(b));
+        DelayCurve { values }
+    }
+
+    /// The sorted values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` for a curve with no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The delay of the x-th slowest node (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn value_at(&self, index: usize) -> f64 {
+        self.values[index]
+    }
+
+    /// Median delay (the value at node n/2 — the paper quotes comparisons
+    /// "at the 500th node" of 1000).
+    pub fn median(&self) -> f64 {
+        crate::percentile_or_inf(&self.values, 50.0)
+    }
+
+    /// Mean delay across nodes.
+    pub fn mean(&self) -> f64 {
+        crate::mean(&self.values).unwrap_or(f64::INFINITY)
+    }
+
+    /// Pointwise mean of several same-length curves — the paper's
+    /// "mean propagation times for different nodes in ascending order"
+    /// (nodes at the same x-index may differ between seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `curves` is empty or lengths differ.
+    pub fn pointwise_mean(curves: &[DelayCurve]) -> DelayCurve {
+        assert!(!curves.is_empty(), "need at least one curve");
+        let n = curves[0].len();
+        assert!(
+            curves.iter().all(|c| c.len() == n),
+            "curves must have equal length"
+        );
+        let values = (0..n)
+            .map(|i| curves.iter().map(|c| c.values[i]).sum::<f64>() / curves.len() as f64)
+            .collect();
+        DelayCurve { values }
+    }
+
+    /// Pointwise sample standard deviation across seeds at `index`
+    /// (the paper's error bars). `None` with fewer than two curves.
+    pub fn pointwise_std(curves: &[DelayCurve], index: usize) -> Option<f64> {
+        let samples: Vec<f64> = curves.iter().map(|c| c.value_at(index)).collect();
+        crate::std_dev(&samples)
+    }
+
+    /// Relative improvement of `self` over `other` at the median:
+    /// `(other − self) / other`. Positive when `self` is faster.
+    pub fn improvement_over(&self, other: &DelayCurve) -> f64 {
+        let (a, b) = (self.median(), other.median());
+        if b == 0.0 {
+            0.0
+        } else {
+            (b - a) / b
+        }
+    }
+}
+
+impl FromIterator<f64> for DelayCurve {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        DelayCurve::from_values(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_on_construction() {
+        let c = DelayCurve::from_values(vec![3.0, 1.0, 2.0]);
+        assert_eq!(c.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn pointwise_mean_averages_by_rank() {
+        let a = DelayCurve::from_values(vec![1.0, 5.0]);
+        let b = DelayCurve::from_values(vec![3.0, 7.0]);
+        let m = DelayCurve::pointwise_mean(&[a, b]);
+        assert_eq!(m.values(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn pointwise_std_measures_seed_spread() {
+        let a = DelayCurve::from_values(vec![1.0, 10.0]);
+        let b = DelayCurve::from_values(vec![3.0, 10.0]);
+        let s0 = DelayCurve::pointwise_std(&[a.clone(), b.clone()], 0).unwrap();
+        let s1 = DelayCurve::pointwise_std(&[a, b], 1).unwrap();
+        assert!((s0 - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(s1, 0.0);
+    }
+
+    #[test]
+    fn improvement_is_relative_at_median() {
+        let fast = DelayCurve::from_values(vec![50.0, 100.0, 150.0]);
+        let slow = DelayCurve::from_values(vec![100.0, 200.0, 300.0]);
+        assert!((fast.improvement_over(&slow) - 0.5).abs() < 1e-12);
+        assert!((slow.improvement_over(&fast) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let a = DelayCurve::from_values(vec![1.0]);
+        let b = DelayCurve::from_values(vec![1.0, 2.0]);
+        let _ = DelayCurve::pointwise_mean(&[a, b]);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let c: DelayCurve = [2.0, 1.0].into_iter().collect();
+        assert_eq!(c.values(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fixed-bin histograms — used for the Fig. 5 edge-latency analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[min, max)` with equal-width bins; samples outside the
+/// range clamp into the first/last bin.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10);
+/// h.add(5.0);
+/// h.add(95.0);
+/// h.add(95.0);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[9], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min < max` and `bins ≥ 1`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(min < max, "histogram range must be non-empty");
+        assert!(bins >= 1, "histogram needs at least one bin");
+        Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one sample (clamped into range). NaN samples are ignored.
+    pub fn add(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let bins = self.counts.len();
+        let width = (self.max - self.min) / bins as f64;
+        let idx = ((value - self.min) / width).floor();
+        let idx = (idx.max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every sample of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-bin fractions (empty histogram yields all zeros).
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.count().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        self.min + width * (i as f64 + 0.5)
+    }
+
+    /// Fraction of samples strictly below `x` (bin-resolution approximation:
+    /// bins entirely below `x` count fully).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let upper = self.min + width * (i as f64 + 1.0);
+            if upper <= x {
+                below += c;
+            }
+        }
+        below as f64 / total as f64
+    }
+
+    /// A crude text rendering (one line per bin), handy in harness output.
+    pub fn render(&self, bar_width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * bar_width) / max as usize);
+            out.push_str(&format!("{:8.1} | {:6} | {}\n", self.bin_center(i), c, bar));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([-1.0, 0.5, 3.0, 9.9, 42.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 2]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.extend([1.0, 2.0, 3.0, 8.0]);
+        let total: f64 = h.fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_counts_whole_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.extend([5.0, 15.0, 95.0]);
+        assert!((h.fraction_below(20.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.fraction_below(100.0), 1.0);
+        assert_eq!(Histogram::new(0.0, 1.0, 1).fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 100.0, 10);
+        assert_eq!(h.bin_center(0), 5.0);
+        assert_eq!(h.bin_center(9), 95.0);
+    }
+
+    #[test]
+    fn render_contains_all_bins() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.extend([0.5, 1.5, 1.6]);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram range must be non-empty")]
+    fn empty_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

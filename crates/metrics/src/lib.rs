@@ -1,0 +1,23 @@
+//! # perigee-metrics
+//!
+//! Measurement utilities shared by the Perigee reproduction: the single
+//! percentile definition used everywhere ([`percentile()`]), the paper's
+//! sorted per-node delay curves ([`DelayCurve`], Figs. 3–4), fixed-bin
+//! histograms ([`Histogram`], Fig. 5), summary statistics ([`Summary`]) and
+//! text/CSV tables ([`Table`]) for the harness output.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod curve;
+pub mod histogram;
+pub mod percentile;
+pub mod stats;
+pub mod table;
+
+pub use curve::DelayCurve;
+pub use histogram::Histogram;
+pub use percentile::{percentile, percentile_or_inf};
+pub use stats::{mean, median, std_dev, Summary};
+pub use table::Table;

@@ -1,0 +1,147 @@
+//! Percentile computation.
+//!
+//! One definition is used across the whole reproduction — for neighbor
+//! scores (§4.2's `90percentile(·)`), for the λv aggregation and for the
+//! reported delay curves — so results are internally consistent: linear
+//! interpolation between closest ranks (NumPy's default), extended to
+//! handle the `t = ∞` "never delivered" observations that the paper's
+//! observation sets contain.
+
+/// Returns the `p`-th percentile (`0 ≤ p ≤ 100`) of `values` using linear
+/// interpolation between closest ranks, or `None` for an empty slice.
+///
+/// Infinite values are legal and sort last: a multiset whose `p`-th rank
+/// touches an infinite observation yields `+∞`, which is exactly the
+/// penalty the paper intends for neighbors that failed to deliver more
+/// than `100 − p` percent of blocks.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_metrics::percentile;
+///
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 0.0), Some(1.0));
+/// assert_eq!(percentile(&v, 100.0), Some(4.0));
+/// assert_eq!(percentile(&v, 50.0), Some(2.5));
+/// assert_eq!(percentile(&[], 90.0), None);
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return None;
+    }
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "percentile input must not contain NaN"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo_idx = rank.floor() as usize;
+    let hi_idx = rank.ceil() as usize;
+    let frac = rank - lo_idx as f64;
+    let (lo, hi) = (sorted[lo_idx], sorted[hi_idx]);
+    if frac == 0.0 || lo == hi {
+        Some(lo)
+    } else if lo.is_infinite() || hi.is_infinite() {
+        // Interpolating toward (or from) ∞ is ∞; avoid ∞ − ∞ = NaN.
+        Some(f64::INFINITY)
+    } else {
+        Some(lo + frac * (hi - lo))
+    }
+}
+
+/// Like [`percentile`] but maps the empty multiset to `+∞` — the scoring
+/// convention: a neighbor with no observations is the worst possible.
+pub fn percentile_or_inf(values: &[f64], p: f64) -> f64 {
+    percentile(values, p).unwrap_or(f64::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 50.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 100.0), Some(7.0));
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let v = [10.0, 20.0];
+        assert_eq!(percentile(&v, 25.0), Some(12.5));
+        assert_eq!(percentile(&v, 75.0), Some(17.5));
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+    }
+
+    #[test]
+    fn ninety_of_hundred_uniform() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let p90 = percentile(&v, 90.0).unwrap();
+        assert!((p90 - 89.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinity_dominates_when_rank_touches_it() {
+        // 15% infinite: the 90th percentile lands in the infinite tail.
+        let mut v: Vec<f64> = (0..85).map(|i| i as f64).collect();
+        v.extend(std::iter::repeat_n(f64::INFINITY, 15));
+        assert_eq!(percentile(&v, 90.0), Some(f64::INFINITY));
+        // ...but the median is unaffected.
+        assert!(percentile(&v, 50.0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn five_percent_infinite_does_not_poison_p90() {
+        let mut v: Vec<f64> = (0..95).map(|i| i as f64).collect();
+        v.extend(std::iter::repeat_n(f64::INFINITY, 5));
+        assert!(percentile(&v, 90.0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn all_infinite_gives_infinite() {
+        let v = [f64::INFINITY; 4];
+        assert_eq!(percentile(&v, 50.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(percentile(&[], 90.0), None);
+        assert_eq!(percentile_or_inf(&[], 90.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn out_of_range_percentile_panics() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain NaN")]
+    fn nan_input_panics() {
+        let _ = percentile(&[f64::NAN], 50.0);
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut last = f64::NEG_INFINITY;
+        for p in 0..=100 {
+            let x = percentile(&v, p as f64).unwrap();
+            assert!(x >= last);
+            last = x;
+        }
+    }
+}

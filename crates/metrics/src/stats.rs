@@ -1,0 +1,115 @@
+//! Basic summary statistics over `f64` samples.
+
+/// Arithmetic mean; `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(perigee_metrics::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(perigee_metrics::mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n − 1 denominator); `None` for fewer than two
+/// samples.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Median via [`percentile`](crate::percentile()).
+pub fn median(values: &[f64]) -> Option<f64> {
+    crate::percentile(values, 50.0)
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample; `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            min: crate::percentile(values, 0.0)?,
+            p25: crate::percentile(values, 25.0)?,
+            median: crate::percentile(values, 50.0)?,
+            p75: crate::percentile(values, 75.0)?,
+            p90: crate::percentile(values, 90.0)?,
+            max: crate::percentile(values, 100.0)?,
+            mean: mean(values)?,
+            count: values.len(),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.1} p25={:.1} med={:.1} p75={:.1} p90={:.1} max={:.1} mean={:.1}",
+            self.count, self.min, self.p25, self.median, self.p75, self.p90, self.max, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), Some(5.0));
+        let sd = std_dev(&v).unwrap();
+        assert!((sd - 2.138089935299395).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[1.0]), None);
+        assert_eq!(median(&[]), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_fields_are_ordered() {
+        let v: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let s = Summary::of(&v).unwrap();
+        assert!(s.min <= s.p25 && s.p25 <= s.median);
+        assert!(s.median <= s.p75 && s.p75 <= s.p90 && s.p90 <= s.max);
+        assert_eq!(s.count, 50);
+        let rendered = s.to_string();
+        assert!(rendered.contains("n=50"));
+    }
+}

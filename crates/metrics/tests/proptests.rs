@@ -1,0 +1,108 @@
+//! Property-based tests of the measurement utilities.
+
+use proptest::prelude::*;
+
+use perigee_metrics::{mean, percentile, std_dev, DelayCurve, Histogram, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Percentiles of a constant sample equal that constant.
+    #[test]
+    fn percentile_of_constant_sample(c in -1e9f64..1e9, n in 1usize..50, p in 0.0f64..100.0) {
+        let v = vec![c; n];
+        prop_assert_eq!(percentile(&v, p), Some(c));
+    }
+
+    /// Percentile is invariant under permutation.
+    #[test]
+    fn percentile_is_permutation_invariant(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 2..60),
+        p in 0.0f64..100.0,
+    ) {
+        let a = percentile(&values, p);
+        values.reverse();
+        let b = percentile(&values, p);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Percentile scales linearly with the data.
+    #[test]
+    fn percentile_is_scale_equivariant(
+        values in proptest::collection::vec(0.0f64..1e6, 1..50),
+        p in 0.0f64..100.0,
+        k in 0.1f64..10.0,
+    ) {
+        let scaled: Vec<f64> = values.iter().map(|v| v * k).collect();
+        let a = percentile(&values, p).unwrap();
+        let b = percentile(&scaled, p).unwrap();
+        prop_assert!((b - a * k).abs() <= 1e-6 * (1.0 + b.abs()));
+    }
+
+    /// Mean lies within [min, max]; std_dev is non-negative.
+    #[test]
+    fn mean_and_std_bounds(values in proptest::collection::vec(-1e6f64..1e6, 2..60)) {
+        let m = mean(&values).unwrap();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(std_dev(&values).unwrap() >= 0.0);
+    }
+
+    /// Summary fields are totally ordered min ≤ p25 ≤ median ≤ p75 ≤ p90 ≤ max.
+    #[test]
+    fn summary_is_ordered(values in proptest::collection::vec(-1e6f64..1e6, 1..60)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.p25);
+        prop_assert!(s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75);
+        prop_assert!(s.p75 <= s.p90);
+        prop_assert!(s.p90 <= s.max);
+    }
+
+    /// Histograms conserve sample counts and fractions sum to one.
+    #[test]
+    fn histogram_conserves_mass(
+        values in proptest::collection::vec(-50.0f64..150.0, 1..200),
+        bins in 1usize..30,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        h.extend(values.iter().copied());
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let total: f64 = h.fractions().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(h.fraction_below(100.0) <= 1.0);
+    }
+
+    /// Pointwise curve means commute with constant shifts.
+    #[test]
+    fn curve_mean_shift_equivariance(
+        a in proptest::collection::vec(0.0f64..1e5, 1..40),
+        shift in 0.0f64..1e4,
+    ) {
+        let shifted: Vec<f64> = a.iter().map(|v| v + shift).collect();
+        let c1 = DelayCurve::from_values(a.clone());
+        let c2 = DelayCurve::from_values(shifted);
+        let m = DelayCurve::pointwise_mean(&[c1.clone(), c2]);
+        for i in 0..c1.len() {
+            prop_assert!((m.value_at(i) - (c1.value_at(i) + shift / 2.0)).abs() < 1e-6);
+        }
+    }
+
+    /// improvement_over is antisymmetric-ish: if a beats b, b does not beat a.
+    #[test]
+    fn improvement_direction_is_consistent(
+        (a, b) in (3usize..40).prop_flat_map(|n| (
+            proptest::collection::vec(1.0f64..1e5, n),
+            proptest::collection::vec(1.0f64..1e5, n),
+        )),
+    ) {
+        let ca = DelayCurve::from_values(a);
+        let cb = DelayCurve::from_values(b);
+        let ab = ca.improvement_over(&cb);
+        let ba = cb.improvement_over(&ca);
+        if ab > 1e-9 {
+            prop_assert!(ba < 1e-9);
+        }
+    }
+}

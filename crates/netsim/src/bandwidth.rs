@@ -1,0 +1,120 @@
+//! Transmission-delay model.
+//!
+//! §2.1 folds transmission delay into `δ(u,v)`; the default evaluation
+//! setting assumes blocks are small relative to node bandwidth, so the
+//! transfer time is zero. This module provides the optional non-zero model
+//! used by the bandwidth-heterogeneity extension experiments: a block of
+//! `block_size_mb` megabytes moves at the bottleneck of the sender's uplink
+//! and the receiver's downlink.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::population::Population;
+use crate::time::SimTime;
+
+/// Computes per-pair block transfer times from node access bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::{TransferModel, PopulationBuilder, NodeId};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pop = PopulationBuilder::new(2).build(&mut rng).unwrap();
+/// // Default profile is 33 Mbps; a 1 MB block takes 8e6/33e6 s ≈ 242 ms.
+/// let model = TransferModel::new(1.0);
+/// let t = model.transfer_time(&pop, NodeId::new(0), NodeId::new(1));
+/// assert!((t.as_ms() - 242.42).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    block_size_mb: f64,
+}
+
+impl TransferModel {
+    /// A model for blocks of `block_size_mb` megabytes.
+    pub fn new(block_size_mb: f64) -> Self {
+        TransferModel { block_size_mb }
+    }
+
+    /// The paper's default: negligible block size (zero transfer time).
+    pub fn negligible() -> Self {
+        TransferModel { block_size_mb: 0.0 }
+    }
+
+    /// The configured block size in megabytes.
+    pub fn block_size_mb(&self) -> f64 {
+        self.block_size_mb
+    }
+
+    /// Time to push one block from `u` to `v`, bottlenecked by
+    /// `min(uplink(u), downlink(v))`.
+    pub fn transfer_time(&self, population: &Population, u: NodeId, v: NodeId) -> SimTime {
+        if self.block_size_mb == 0.0 {
+            return SimTime::ZERO;
+        }
+        let up = population.profile(u).uplink_mbps;
+        let down = population.profile(v).downlink_mbps;
+        let bottleneck_mbps = up.min(down).max(f64::MIN_POSITIVE);
+        let bits = self.block_size_mb * 8.0 * 1_000_000.0;
+        SimTime::from_ms(bits / (bottleneck_mbps * 1_000_000.0) * 1_000.0)
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self::negligible()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeProfile;
+
+    fn pop(ups: &[f64], downs: &[f64]) -> Population {
+        let profiles = ups
+            .iter()
+            .zip(downs)
+            .map(|(&u, &d)| NodeProfile {
+                hash_power: 1.0,
+                uplink_mbps: u,
+                downlink_mbps: d,
+                ..NodeProfile::default()
+            })
+            .collect();
+        Population::from_profiles(profiles).unwrap()
+    }
+
+    #[test]
+    fn negligible_blocks_transfer_instantly() {
+        let p = pop(&[10.0, 10.0], &[10.0, 10.0]);
+        let m = TransferModel::negligible();
+        assert_eq!(
+            m.transfer_time(&p, NodeId::new(0), NodeId::new(1)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn bottleneck_is_min_of_up_and_down() {
+        let p = pop(&[100.0, 8.0], &[4.0, 50.0]);
+        let m = TransferModel::new(1.0); // 8 Mbit
+        // 0 -> 1: min(up0=100, down1=50) = 50 Mbps -> 160 ms
+        let t01 = m.transfer_time(&p, NodeId::new(0), NodeId::new(1));
+        assert!((t01.as_ms() - 160.0).abs() < 1e-6);
+        // 1 -> 0: min(up1=8, down0=4) = 4 Mbps -> 2000 ms
+        let t10 = m.transfer_time(&p, NodeId::new(1), NodeId::new(0));
+        assert!((t10.as_ms() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_blocks_take_proportionally_longer() {
+        let p = pop(&[33.0, 33.0], &[33.0, 33.0]);
+        let t1 = TransferModel::new(1.0).transfer_time(&p, NodeId::new(0), NodeId::new(1));
+        let t2 = TransferModel::new(2.0).transfer_time(&p, NodeId::new(0), NodeId::new(1));
+        assert!((t2.as_ms() - 2.0 * t1.as_ms()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,318 @@
+//! Fast block-propagation engine.
+//!
+//! Under the paper's network model (§2.1) a block mined by `s` floods the
+//! overlay: every node, upon *first* receiving the block, validates it for
+//! `Δu` and then relays it to every neighbor `v`, the relay taking
+//! `δ(u,v)`. First-arrival times are therefore exactly a shortest-path
+//! computation with edge weight `δ(u,v)` plus node weight `Δu` at every
+//! intermediate relay — computed here with Dijkstra's algorithm.
+//!
+//! The engine also exposes, for every node `v` and neighbor `u`, the time
+//! `tᵇu,v` at which `u` delivered (or would deliver) the block to `v` —
+//! the raw measurements Perigee's observation sets are built from.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::Topology;
+use crate::latency::LatencyModel;
+use crate::node::{Behavior, NodeId};
+use crate::population::Population;
+use crate::time::SimTime;
+
+/// The outcome of flooding a single block from a source.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::{
+///     broadcast, ConnectionLimits, GeoLatencyModel, NodeId, PopulationBuilder, Topology,
+/// };
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pop = PopulationBuilder::new(3).build(&mut rng).unwrap();
+/// let lat = GeoLatencyModel::new(&pop, 0);
+/// let mut topo = Topology::new(3, ConnectionLimits::paper_default());
+/// topo.connect(NodeId::new(0), NodeId::new(1))?;
+/// topo.connect(NodeId::new(1), NodeId::new(2))?;
+///
+/// let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+/// assert_eq!(prop.arrival(NodeId::new(0)), perigee_netsim::SimTime::ZERO);
+/// assert!(prop.arrival(NodeId::new(2)) > prop.arrival(NodeId::new(1)));
+/// # Ok::<(), perigee_netsim::ConnectError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Propagation {
+    source: NodeId,
+    arrival: Vec<SimTime>,
+    relay_at: Vec<SimTime>,
+}
+
+impl Propagation {
+    /// The miner of the block.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// First-arrival time of the block at `v` (`ZERO` at the source,
+    /// `INFINITY` if unreachable).
+    #[inline]
+    pub fn arrival(&self, v: NodeId) -> SimTime {
+        self.arrival[v.index()]
+    }
+
+    /// All first-arrival times, indexed by node.
+    #[inline]
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.arrival
+    }
+
+    /// The time at which `u` begins relaying the block to its neighbors
+    /// (`INFINITY` for non-relaying nodes or unreachable ones).
+    #[inline]
+    pub fn relay_start(&self, u: NodeId) -> SimTime {
+        self.relay_at[u.index()]
+    }
+
+    /// The time at which neighbor `u` delivers (or would deliver) the block
+    /// to `v`: `relay_start(u) + δ(u,v)`. This is the paper's `tᵇu,v`.
+    #[inline]
+    pub fn delivery<L: LatencyModel + ?Sized>(&self, latency: &L, u: NodeId, v: NodeId) -> SimTime {
+        let r = self.relay_at[u.index()];
+        if r.is_infinite() {
+            SimTime::INFINITY
+        } else {
+            r + latency.delay(u, v)
+        }
+    }
+
+    /// Number of nodes that received the block.
+    pub fn reached(&self) -> usize {
+        self.arrival.iter().filter(|t| t.is_finite()).count()
+    }
+
+    /// The time by which nodes holding at least `fraction` of total hash
+    /// power have the block (`λv` of §2.2 when `fraction = 0.9`), or
+    /// `INFINITY` if never.
+    pub fn coverage_time(&self, population: &Population, fraction: f64) -> SimTime {
+        let mut weighted: Vec<(SimTime, f64)> = self
+            .arrival
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, population.hash_power(NodeId::new(i as u32))))
+            .collect();
+        weighted.sort_by_key(|&(t, _)| t);
+        let mut acc = 0.0;
+        for (t, w) in weighted {
+            acc += w;
+            if acc >= fraction - 1e-12 {
+                return t;
+            }
+        }
+        SimTime::INFINITY
+    }
+}
+
+/// Floods one block from `source` over `topology` and returns all arrival
+/// and relay times.
+///
+/// Behavioural deviations are honoured: [`Behavior::Silent`] nodes receive
+/// but never relay; [`Behavior::Delay`] nodes add their extra delay before
+/// relaying. The miner relays its own block without validating it; every
+/// other node validates (`Δu`) between first receipt and relaying.
+pub fn broadcast<L: LatencyModel + ?Sized>(
+    topology: &Topology,
+    latency: &L,
+    population: &Population,
+    source: NodeId,
+) -> Propagation {
+    let n = topology.len();
+    debug_assert_eq!(n, population.len(), "topology and population must agree");
+    let mut arrival = vec![SimTime::INFINITY; n];
+    let mut relay_at = vec![SimTime::INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(SimTime, NodeId)>> = BinaryHeap::new();
+
+    arrival[source.index()] = SimTime::ZERO;
+    heap.push(Reverse((SimTime::ZERO, source)));
+
+    while let Some(Reverse((t, u))) = heap.pop() {
+        if t > arrival[u.index()] {
+            continue; // stale entry
+        }
+        let relay = relay_time(population, u, t, u == source);
+        relay_at[u.index()] = relay;
+        if relay.is_infinite() {
+            continue; // silent node: absorbs the block
+        }
+        for v in topology.neighbors(u) {
+            let tv = relay + latency.delay(u, v);
+            if tv < arrival[v.index()] {
+                arrival[v.index()] = tv;
+                heap.push(Reverse((tv, v)));
+            }
+        }
+    }
+
+    Propagation {
+        source,
+        arrival,
+        relay_at,
+    }
+}
+
+/// When `u`, having first received the block at `t`, starts relaying it.
+fn relay_time(population: &Population, u: NodeId, t: SimTime, is_miner: bool) -> SimTime {
+    let profile = population.profile(u);
+    let validated = if is_miner {
+        t // the miner does not re-validate its own block
+    } else {
+        t + profile.validation_delay
+    };
+    match profile.behavior {
+        Behavior::Honest => validated,
+        Behavior::Silent => SimTime::INFINITY,
+        Behavior::Delay(extra) => validated + extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConnectionLimits;
+    use crate::latency::MetricLatencyModel;
+    use crate::node::NodeProfile;
+    use crate::population::Population;
+
+    /// A tiny deterministic world: nodes on a line at given 1-d coords,
+    /// unit scale (so delay in ms equals coordinate distance).
+    fn line_world(coords: &[f64], validation_ms: f64) -> (Population, MetricLatencyModel) {
+        let profiles: Vec<NodeProfile> = coords
+            .iter()
+            .map(|&x| NodeProfile {
+                coords: vec![x],
+                hash_power: 1.0,
+                validation_delay: SimTime::from_ms(validation_ms),
+                ..NodeProfile::default()
+            })
+            .collect();
+        let pop = Population::from_profiles(profiles).unwrap();
+        let lat = MetricLatencyModel::new(&pop, 1.0);
+        (pop, lat)
+    }
+
+    fn path_topology(n: usize) -> Topology {
+        let mut t = Topology::new(n, ConnectionLimits::unlimited());
+        for i in 0..n - 1 {
+            t.connect(NodeId::new(i as u32), NodeId::new(i as u32 + 1))
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn line_arrival_times_are_exact() {
+        // Nodes at 0, 10, 30; validation 5ms; source node 0.
+        let (pop, lat) = line_world(&[0.0, 10.0, 30.0], 5.0);
+        let topo = path_topology(3);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        // miner relays immediately: node1 at 10; node1 validates 5 then
+        // relays: node2 at 10+5+20 = 35.
+        assert_eq!(prop.arrival(NodeId::new(0)).as_ms(), 0.0);
+        assert_eq!(prop.arrival(NodeId::new(1)).as_ms(), 10.0);
+        assert_eq!(prop.arrival(NodeId::new(2)).as_ms(), 35.0);
+        assert_eq!(prop.reached(), 3);
+    }
+
+    #[test]
+    fn delivery_times_cover_all_neighbors_even_late_ones() {
+        let (pop, lat) = line_world(&[0.0, 10.0, 30.0], 5.0);
+        let mut topo = path_topology(3);
+        // Triangle: also connect 0-2 directly.
+        topo.connect(NodeId::new(0), NodeId::new(2)).unwrap();
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        // node2 hears directly from the miner at 30.
+        assert_eq!(prop.arrival(NodeId::new(2)).as_ms(), 30.0);
+        // ...but node1 would still deliver to node2 at 10+5+20 = 35.
+        let t12 = prop.delivery(&lat, NodeId::new(1), NodeId::new(2));
+        assert_eq!(t12.as_ms(), 35.0);
+        // And node2 (validating at 30+5) would deliver back to node1 at 55.
+        let t21 = prop.delivery(&lat, NodeId::new(2), NodeId::new(1));
+        assert_eq!(t21.as_ms(), 55.0);
+    }
+
+    #[test]
+    fn silent_node_blocks_the_path() {
+        let (mut pop, lat) = line_world(&[0.0, 10.0, 30.0], 5.0);
+        pop.profile_mut(NodeId::new(1)).behavior = Behavior::Silent;
+        let topo = path_topology(3);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        assert_eq!(prop.arrival(NodeId::new(1)).as_ms(), 10.0);
+        assert!(prop.arrival(NodeId::new(2)).is_infinite());
+        assert!(prop.relay_start(NodeId::new(1)).is_infinite());
+        assert_eq!(prop.reached(), 2);
+        assert!(prop
+            .delivery(&lat, NodeId::new(1), NodeId::new(2))
+            .is_infinite());
+    }
+
+    #[test]
+    fn delaying_node_slows_the_path() {
+        let (mut pop, lat) = line_world(&[0.0, 10.0, 30.0], 5.0);
+        pop.profile_mut(NodeId::new(1)).behavior = Behavior::Delay(SimTime::from_ms(100.0));
+        let topo = path_topology(3);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        assert_eq!(prop.arrival(NodeId::new(2)).as_ms(), 135.0);
+    }
+
+    #[test]
+    fn silent_miner_never_shares_its_block() {
+        let (mut pop, lat) = line_world(&[0.0, 10.0], 5.0);
+        pop.profile_mut(NodeId::new(0)).behavior = Behavior::Silent;
+        let topo = path_topology(2);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        assert!(prop.arrival(NodeId::new(1)).is_infinite());
+    }
+
+    #[test]
+    fn coverage_time_uses_hash_power_weights() {
+        // Node powers: 0.5, 0.25, 0.25. Arrivals 0, 10, 35.
+        let (pop, lat) = line_world(&[0.0, 10.0, 30.0], 5.0);
+        let mut profiles: Vec<NodeProfile> = pop.iter().cloned().collect();
+        profiles[0].hash_power = 0.5;
+        profiles[1].hash_power = 0.25;
+        profiles[2].hash_power = 0.25;
+        let pop = Population::from_profiles(profiles).unwrap();
+        let topo = path_topology(3);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        // 50% covered instantly by the miner itself.
+        assert_eq!(prop.coverage_time(&pop, 0.5).as_ms(), 0.0);
+        // 75% needs node1 (t=10).
+        assert_eq!(prop.coverage_time(&pop, 0.75).as_ms(), 10.0);
+        // 100% needs node2 (t=35).
+        assert_eq!(prop.coverage_time(&pop, 1.0).as_ms(), 35.0);
+    }
+
+    #[test]
+    fn unreachable_coverage_is_infinite() {
+        let (pop, lat) = line_world(&[0.0, 10.0, 30.0], 5.0);
+        let mut topo = Topology::new(3, ConnectionLimits::unlimited());
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        // Node 2 isolated.
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        assert!(prop.coverage_time(&pop, 0.9).is_infinite());
+        assert_eq!(prop.coverage_time(&pop, 0.6).as_ms(), 10.0);
+    }
+
+    #[test]
+    fn shortest_path_beats_direct_slow_link() {
+        // 0 at x=0, 1 at x=5, 2 at x=9; triangle; with zero validation the
+        // direct 0->2 link (9ms) beats the two-hop (5+4=9 plus validation).
+        let (pop, lat) = line_world(&[0.0, 5.0, 9.0], 3.0);
+        let mut topo = path_topology(3);
+        topo.connect(NodeId::new(0), NodeId::new(2)).unwrap();
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        assert_eq!(prop.arrival(NodeId::new(2)).as_ms(), 9.0);
+    }
+}

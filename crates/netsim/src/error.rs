@@ -1,0 +1,93 @@
+//! Error types for the simulator substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors produced by the simulator substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetsimError {
+    /// A population must contain at least one node.
+    EmptyPopulation,
+    /// Hash powers must be non-negative and not all zero.
+    InvalidHashPower,
+    /// A node id referred outside the population.
+    UnknownNode(NodeId),
+    /// A configuration value was out of its valid range.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::EmptyPopulation => write!(f, "population must contain at least one node"),
+            NetsimError::InvalidHashPower => {
+                write!(f, "hash powers must be non-negative and not all zero")
+            }
+            NetsimError::UnknownNode(id) => write!(f, "node {id} is not part of the population"),
+            NetsimError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for NetsimError {}
+
+/// Errors produced while mutating a [`Topology`](crate::Topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConnectError {
+    /// A node cannot connect to itself.
+    SelfConnection(NodeId),
+    /// The requested edge already exists (in either direction).
+    AlreadyConnected(NodeId, NodeId),
+    /// The initiating node already has its maximum number of outgoing
+    /// connections.
+    OutgoingFull(NodeId),
+    /// The target node declined because its incoming slots are full (§5.1).
+    IncomingFull(NodeId),
+    /// A node id referred outside the topology.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::SelfConnection(u) => write!(f, "node {u} cannot connect to itself"),
+            ConnectError::AlreadyConnected(u, v) => {
+                write!(f, "nodes {u} and {v} are already connected")
+            }
+            ConnectError::OutgoingFull(u) => {
+                write!(f, "node {u} has no free outgoing connection slots")
+            }
+            ConnectError::IncomingFull(v) => {
+                write!(f, "node {v} declined: incoming connection slots full")
+            }
+            ConnectError::UnknownNode(u) => write!(f, "node {u} is not part of the topology"),
+        }
+    }
+}
+
+impl Error for ConnectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetsimError::UnknownNode(NodeId::new(3));
+        assert_eq!(e.to_string(), "node n3 is not part of the population");
+        let c = ConnectError::IncomingFull(NodeId::new(9));
+        assert!(c.to_string().contains("n9"));
+        assert!(c.to_string().starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetsimError>();
+        assert_send_sync::<ConnectError>();
+    }
+}

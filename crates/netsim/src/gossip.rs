@@ -1,0 +1,350 @@
+//! Message-level gossip engine.
+//!
+//! The fast engine in [`broadcast`](crate::broadcast()) computes arrival times
+//! analytically under the paper's §2 model. This module simulates the same
+//! flood at the *message* level with an explicit [`EventQueue`]: either
+//! direct block pushes ([`GossipMode::Flood`], which must agree exactly with
+//! the fast engine — a cross-validation exercised by tests and the
+//! integration suite), or Bitcoin's three-leg `INV → GETDATA → BLOCK`
+//! exchange ([`GossipMode::InvGetData`], §1.1.2) with optional per-transfer
+//! bandwidth delay.
+
+use std::collections::BTreeMap;
+
+use crate::bandwidth::TransferModel;
+use crate::event::EventQueue;
+use crate::graph::Topology;
+use crate::latency::LatencyModel;
+use crate::node::{Behavior, NodeId};
+use crate::population::Population;
+use crate::time::SimTime;
+
+/// How blocks move between peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GossipMode {
+    /// Validated blocks are pushed whole to every neighbor; one leg costs
+    /// `δ(u,v)`. Equivalent to the analytic engine.
+    #[default]
+    Flood,
+    /// Bitcoin-style announce/request/deliver. Each leg costs one link
+    /// latency `δ(u,v)`, so a full delivery costs `3 · δ(u,v)` plus the
+    /// transfer time; a node requests the block from the first announcer
+    /// only.
+    InvGetData,
+}
+
+/// Configuration of the message-level engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GossipConfig {
+    /// Message exchange pattern.
+    pub mode: GossipMode,
+    /// Block transfer (bandwidth) model; negligible by default.
+    pub transfer: TransferModel,
+}
+
+impl GossipConfig {
+    /// Flooding with negligible transfer time (matches the fast engine).
+    pub fn flood() -> Self {
+        GossipConfig {
+            mode: GossipMode::Flood,
+            transfer: TransferModel::negligible(),
+        }
+    }
+
+    /// Bitcoin-style INV/GETDATA with the given block size in MB.
+    pub fn inv_getdata(block_size_mb: f64) -> Self {
+        GossipConfig {
+            mode: GossipMode::InvGetData,
+            transfer: TransferModel::new(block_size_mb),
+        }
+    }
+}
+
+/// The outcome of gossiping one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipOutcome {
+    source: NodeId,
+    first_arrival: Vec<SimTime>,
+    /// Per node: the first time each neighbor announced/delivered the block.
+    per_neighbor: Vec<BTreeMap<NodeId, SimTime>>,
+}
+
+impl GossipOutcome {
+    /// The miner of the block.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// First (full-block) arrival time at `v`.
+    pub fn arrival(&self, v: NodeId) -> SimTime {
+        self.first_arrival[v.index()]
+    }
+
+    /// All first-arrival times indexed by node.
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.first_arrival
+    }
+
+    /// The first time neighbor `u` announced (INV mode) or delivered (flood
+    /// mode) the block to `v`; `None` if it never did.
+    pub fn neighbor_delivery(&self, v: NodeId, u: NodeId) -> Option<SimTime> {
+        self.per_neighbor[v.index()].get(&u).copied()
+    }
+
+    /// Per-neighbor announcement times of node `v`.
+    pub fn neighbor_deliveries(&self, v: NodeId) -> &BTreeMap<NodeId, SimTime> {
+        &self.per_neighbor[v.index()]
+    }
+
+    /// Time to cover `fraction` of the network's hash power.
+    pub fn coverage_time(&self, population: &Population, fraction: f64) -> SimTime {
+        let mut weighted: Vec<(SimTime, f64)> = self
+            .first_arrival
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, population.hash_power(NodeId::new(i as u32))))
+            .collect();
+        weighted.sort_by_key(|&(t, _)| t);
+        let mut acc = 0.0;
+        for (t, w) in weighted {
+            acc += w;
+            if acc >= fraction - 1e-12 {
+                return t;
+            }
+        }
+        SimTime::INFINITY
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// `from` announces the block to `at` (INV mode only).
+    Inv { at: NodeId, from: NodeId },
+    /// `at` asks `from` for the block (INV mode only).
+    GetData { at: NodeId, from: NodeId },
+    /// The full block from `from` lands at `at`.
+    Block { at: NodeId, from: NodeId },
+    /// `at` finished validating and starts announcing.
+    Announce { at: NodeId },
+}
+
+/// Simulates one block mined by `source` at time zero.
+pub fn gossip_block<L: LatencyModel + ?Sized>(
+    topology: &Topology,
+    latency: &L,
+    population: &Population,
+    source: NodeId,
+    config: &GossipConfig,
+) -> GossipOutcome {
+    let n = topology.len();
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut has_block = vec![false; n];
+    let mut requested = vec![false; n];
+    let mut first_arrival = vec![SimTime::INFINITY; n];
+    let mut per_neighbor: Vec<BTreeMap<NodeId, SimTime>> = vec![BTreeMap::new(); n];
+
+    has_block[source.index()] = true;
+    first_arrival[source.index()] = SimTime::ZERO;
+    // The miner announces immediately (no validation of its own block),
+    // unless it is a withholding adversary.
+    match population.profile(source).behavior {
+        Behavior::Silent => {}
+        Behavior::Honest => queue.schedule(SimTime::ZERO, Event::Announce { at: source }),
+        Behavior::Delay(d) => queue.schedule(d, Event::Announce { at: source }),
+    }
+
+    while let Some((t, event)) = queue.pop() {
+        match event {
+            Event::Announce { at } => {
+                for v in topology.neighbors(at) {
+                    let leg = latency.delay(at, v);
+                    match config.mode {
+                        GossipMode::Flood => {
+                            let transfer = config.transfer.transfer_time(population, at, v);
+                            queue.schedule(t + leg + transfer, Event::Block { at: v, from: at });
+                        }
+                        GossipMode::InvGetData => {
+                            queue.schedule(t + leg, Event::Inv { at: v, from: at });
+                        }
+                    }
+                }
+            }
+            Event::Inv { at, from } => {
+                per_neighbor[at.index()].entry(from).or_insert(t);
+                if !has_block[at.index()] && !requested[at.index()] {
+                    requested[at.index()] = true;
+                    let leg = latency.delay(at, from);
+                    queue.schedule(t + leg, Event::GetData { at: from, from: at });
+                }
+            }
+            Event::GetData { at, from } => {
+                // `from` requested the block from `at`; `at` must have it
+                // since it announced.
+                debug_assert!(has_block[at.index()]);
+                let leg = latency.delay(at, from);
+                let transfer = config.transfer.transfer_time(population, at, from);
+                queue.schedule(t + leg + transfer, Event::Block { at: from, from: at });
+            }
+            Event::Block { at, from } => {
+                if config.mode == GossipMode::Flood {
+                    per_neighbor[at.index()].entry(from).or_insert(t);
+                }
+                if has_block[at.index()] {
+                    continue;
+                }
+                has_block[at.index()] = true;
+                first_arrival[at.index()] = t;
+                let profile = population.profile(at);
+                let validated = t + profile.validation_delay;
+                match profile.behavior {
+                    Behavior::Honest => queue.schedule(validated, Event::Announce { at }),
+                    Behavior::Silent => {}
+                    Behavior::Delay(extra) => {
+                        queue.schedule(validated + extra, Event::Announce { at })
+                    }
+                }
+            }
+        }
+    }
+
+    GossipOutcome {
+        source,
+        first_arrival,
+        per_neighbor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::broadcast;
+    use crate::graph::ConnectionLimits;
+    use crate::latency::GeoLatencyModel;
+    use crate::population::PopulationBuilder;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_world(n: usize, seed: u64) -> (Population, GeoLatencyModel, Topology) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let mut topo = Topology::new(n, ConnectionLimits::paper_default());
+        // Ring + random chords so the graph is connected.
+        for i in 0..n as u32 {
+            let _ = topo.connect(NodeId::new(i), NodeId::new((i + 1) % n as u32));
+        }
+        for _ in 0..n * 3 {
+            let u = NodeId::new(rng.gen_range(0..n as u32));
+            let v = NodeId::new(rng.gen_range(0..n as u32));
+            let _ = topo.connect(u, v);
+        }
+        (pop, lat, topo)
+    }
+
+    #[test]
+    fn flood_mode_matches_fast_engine_exactly() {
+        let (pop, lat, topo) = random_world(60, 42);
+        let cfg = GossipConfig::flood();
+        for src in [0u32, 7, 33] {
+            let src = NodeId::new(src);
+            let fast = broadcast(&topo, &lat, &pop, src);
+            let slow = gossip_block(&topo, &lat, &pop, src, &cfg);
+            for i in 0..pop.len() as u32 {
+                let v = NodeId::new(i);
+                let (a, b) = (fast.arrival(v).as_ms(), slow.arrival(v).as_ms());
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "node {v}: fast {a} vs event-driven {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flood_per_neighbor_matches_fast_engine_delivery() {
+        let (pop, lat, topo) = random_world(40, 3);
+        let src = NodeId::new(5);
+        let fast = broadcast(&topo, &lat, &pop, src);
+        let slow = gossip_block(&topo, &lat, &pop, src, &GossipConfig::flood());
+        for i in 0..pop.len() as u32 {
+            let v = NodeId::new(i);
+            for u in topo.neighbors(v) {
+                let expect = fast.delivery(&lat, u, v);
+                match slow.neighbor_delivery(v, u) {
+                    Some(t) => assert!((t.as_ms() - expect.as_ms()).abs() < 1e-9),
+                    None => assert!(expect.is_infinite(), "{u}->{v} should deliver"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inv_mode_is_slower_than_flooding() {
+        let (pop, lat, topo) = random_world(50, 9);
+        let src = NodeId::new(0);
+        let flood = gossip_block(&topo, &lat, &pop, src, &GossipConfig::flood());
+        let inv = gossip_block(&topo, &lat, &pop, src, &GossipConfig::inv_getdata(0.0));
+        for i in 1..pop.len() as u32 {
+            let v = NodeId::new(i);
+            assert!(
+                inv.arrival(v) >= flood.arrival(v),
+                "INV adds round trips at {v}"
+            );
+            assert!(inv.arrival(v).is_finite(), "INV still reaches {v}");
+        }
+        // Network-wide, the three-leg exchange costs well under 3x the
+        // single-leg flood (validation delays are not tripled).
+        let f90 = flood.coverage_time(&pop, 0.9).as_ms();
+        let i90 = inv.coverage_time(&pop, 0.9).as_ms();
+        assert!(i90 > f90 && i90 < f90 * 3.0, "flood {f90} vs inv {i90}");
+    }
+
+    #[test]
+    fn inv_records_announcements_from_all_neighbors() {
+        let (pop, lat, topo) = random_world(30, 4);
+        let src = NodeId::new(2);
+        let out = gossip_block(&topo, &lat, &pop, src, &GossipConfig::inv_getdata(0.0));
+        for i in 0..pop.len() as u32 {
+            let v = NodeId::new(i);
+            if v == src {
+                continue;
+            }
+            // Every honest neighbor eventually announces to v.
+            assert_eq!(
+                out.neighbor_deliveries(v).len(),
+                topo.neighbors(v).len(),
+                "all neighbors of {v} announce"
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_slows_flood_delivery() {
+        let (pop, lat, topo) = random_world(30, 8);
+        let src = NodeId::new(0);
+        let small = gossip_block(&topo, &lat, &pop, src, &GossipConfig::flood());
+        let big_cfg = GossipConfig {
+            mode: GossipMode::Flood,
+            transfer: TransferModel::new(1.0),
+        };
+        let big = gossip_block(&topo, &lat, &pop, src, &big_cfg);
+        for i in 1..pop.len() as u32 {
+            let v = NodeId::new(i);
+            assert!(big.arrival(v) > small.arrival(v));
+        }
+    }
+
+    #[test]
+    fn withholding_miner_delays_everyone() {
+        let (mut pop, lat, topo) = random_world(20, 5);
+        let src = NodeId::new(0);
+        let honest = gossip_block(&topo, &lat, &pop, src, &GossipConfig::flood());
+        pop.profile_mut(src).behavior = Behavior::Delay(SimTime::from_ms(500.0));
+        let withheld = gossip_block(&topo, &lat, &pop, src, &GossipConfig::flood());
+        for i in 1..pop.len() as u32 {
+            let v = NodeId::new(i);
+            assert!((withheld.arrival(v) - honest.arrival(v)).as_ms() > 499.0);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The p2p overlay graph.
+//!
+//! A [`Topology`] tracks, per node, its *outgoing* connections (the ones it
+//! chose, at most `dout`) and its *incoming* connections (chosen by others,
+//! at most `din_max`, §2.1). Once established, a connection is undirected
+//! for communication: blocks flow both ways. *Pinned* edges model permanent
+//! overlay links (the relay tree of §5.4) that no node may remove.
+//!
+//! All collections are `BTreeSet`s so that iteration order — and therefore
+//! every simulation — is deterministic.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConnectError;
+use crate::node::NodeId;
+
+/// Connection-count limits (§2.1: Bitcoin uses 8 outgoing; the paper's
+/// experiments accept up to 20 incoming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionLimits {
+    /// Maximum outgoing connections per node.
+    pub dout: usize,
+    /// Maximum incoming connections per node; `None` means unlimited
+    /// (used by the theoretical constructions: geometric, fully-connected).
+    pub din_max: Option<usize>,
+}
+
+impl ConnectionLimits {
+    /// The paper's evaluation setting: 8 outgoing, at most 20 incoming.
+    pub const fn paper_default() -> Self {
+        ConnectionLimits {
+            dout: 8,
+            din_max: Some(20),
+        }
+    }
+
+    /// No limits at all (theoretical constructions).
+    pub const fn unlimited() -> Self {
+        ConnectionLimits {
+            dout: usize::MAX,
+            din_max: None,
+        }
+    }
+
+    /// Custom limits.
+    pub const fn new(dout: usize, din_max: Option<usize>) -> Self {
+        ConnectionLimits { dout, din_max }
+    }
+}
+
+impl Default for ConnectionLimits {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The p2p overlay: per-node outgoing/incoming/pinned adjacency under
+/// [`ConnectionLimits`].
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::{Topology, ConnectionLimits, NodeId};
+///
+/// let mut topo = Topology::new(4, ConnectionLimits::new(2, Some(2)));
+/// let (a, b) = (NodeId::new(0), NodeId::new(1));
+/// topo.connect(a, b)?;
+/// assert!(topo.are_connected(a, b));
+/// assert_eq!(topo.out_degree(a), 1);
+/// assert_eq!(topo.in_degree(b), 1);
+/// // Communication is bidirectional: b sees a as a neighbor too.
+/// assert_eq!(topo.neighbors(b), vec![a]);
+/// # Ok::<(), perigee_netsim::ConnectError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    out: Vec<BTreeSet<NodeId>>,
+    incoming: Vec<BTreeSet<NodeId>>,
+    pinned: Vec<BTreeSet<NodeId>>,
+    limits: ConnectionLimits,
+}
+
+impl Topology {
+    /// Creates an edgeless topology over `n` nodes.
+    pub fn new(n: usize, limits: ConnectionLimits) -> Self {
+        Topology {
+            out: vec![BTreeSet::new(); n],
+            incoming: vec![BTreeSet::new(); n],
+            pinned: vec![BTreeSet::new(); n],
+            limits,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Returns `true` if the topology covers no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// The configured limits.
+    #[inline]
+    pub fn limits(&self) -> ConnectionLimits {
+        self.limits
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<(), ConnectError> {
+        if u.index() >= self.len() {
+            Err(ConnectError::UnknownNode(u))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Establishes the outgoing connection `u → v`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the specific [`ConnectError`] when `u == v`, either id is
+    /// out of range, the pair is already connected (in either direction or
+    /// pinned), `u` is at its outgoing limit, or `v` declines because its
+    /// incoming slots are full.
+    pub fn connect(&mut self, u: NodeId, v: NodeId) -> Result<(), ConnectError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(ConnectError::SelfConnection(u));
+        }
+        if self.are_connected(u, v) {
+            return Err(ConnectError::AlreadyConnected(u, v));
+        }
+        if self.out[u.index()].len() >= self.limits.dout {
+            return Err(ConnectError::OutgoingFull(u));
+        }
+        if let Some(cap) = self.limits.din_max {
+            if self.incoming[v.index()].len() >= cap {
+                return Err(ConnectError::IncomingFull(v));
+            }
+        }
+        self.out[u.index()].insert(v);
+        self.incoming[v.index()].insert(u);
+        Ok(())
+    }
+
+    /// Removes the outgoing connection `u → v`. Returns `true` if it existed.
+    pub fn disconnect(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.len() || v.index() >= self.len() {
+            return false;
+        }
+        let removed = self.out[u.index()].remove(&v);
+        if removed {
+            self.incoming[v.index()].remove(&u);
+        }
+        removed
+    }
+
+    /// Removes **all** outgoing connections of `u`, returning them.
+    pub fn clear_outgoing(&mut self, u: NodeId) -> Vec<NodeId> {
+        let old: Vec<NodeId> = self.out[u.index()].iter().copied().collect();
+        for &v in &old {
+            self.incoming[v.index()].remove(&u);
+        }
+        self.out[u.index()].clear();
+        old
+    }
+
+    /// Adds a permanent undirected edge that does not count against either
+    /// node's limits and cannot be removed by protocol decisions (relay
+    /// overlay links, §5.4).
+    ///
+    /// # Errors
+    ///
+    /// Fails on self-loops, unknown nodes, or already-connected pairs.
+    pub fn pin(&mut self, u: NodeId, v: NodeId) -> Result<(), ConnectError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(ConnectError::SelfConnection(u));
+        }
+        if self.are_connected(u, v) {
+            return Err(ConnectError::AlreadyConnected(u, v));
+        }
+        self.pinned[u.index()].insert(v);
+        self.pinned[v.index()].insert(u);
+        Ok(())
+    }
+
+    /// Returns `true` if `u` and `v` share a connection of any kind
+    /// (outgoing either way, or pinned).
+    pub fn are_connected(&self, u: NodeId, v: NodeId) -> bool {
+        self.out[u.index()].contains(&v)
+            || self.out[v.index()].contains(&u)
+            || self.pinned[u.index()].contains(&v)
+    }
+
+    /// `u`'s outgoing neighbors (the set Perigee re-selects each round).
+    pub fn outgoing(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out[u.index()].iter().copied()
+    }
+
+    /// `u`'s outgoing neighbors as a vector.
+    pub fn outgoing_vec(&self, u: NodeId) -> Vec<NodeId> {
+        self.out[u.index()].iter().copied().collect()
+    }
+
+    /// `u`'s incoming neighbors.
+    pub fn incoming(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.incoming[u.index()].iter().copied()
+    }
+
+    /// All communication neighbors of `u` (outgoing ∪ incoming ∪ pinned),
+    /// deduplicated, in ascending id order.
+    pub fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut all: BTreeSet<NodeId> = self.out[u.index()].clone();
+        all.extend(self.incoming[u.index()].iter().copied());
+        all.extend(self.pinned[u.index()].iter().copied());
+        all.into_iter().collect()
+    }
+
+    /// Number of outgoing connections of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out[u.index()].len()
+    }
+
+    /// Number of incoming connections of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.incoming[u.index()].len()
+    }
+
+    /// Total communication degree of `u` (out + in + pinned).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.out[u.index()].len() + self.incoming[u.index()].len() + self.pinned[u.index()].len()
+    }
+
+    /// Returns `true` if `v` still has a free incoming slot.
+    pub fn accepts_incoming(&self, v: NodeId) -> bool {
+        match self.limits.din_max {
+            Some(cap) => self.incoming[v.index()].len() < cap,
+            None => true,
+        }
+    }
+
+    /// Every undirected communication edge exactly once (`u < v`), pinned
+    /// edges included. Used for the Fig. 5 edge-latency histograms.
+    pub fn undirected_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::new();
+        for u in 0..self.len() as u32 {
+            let u = NodeId::new(u);
+            for &v in &self.out[u.index()] {
+                let (a, b) = if u < v { (u, v) } else { (v, u) };
+                edges.push((a, b));
+            }
+            for &v in &self.pinned[u.index()] {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.undirected_edges().len()
+    }
+
+    /// Returns `true` if every node can reach every other node over
+    /// communication edges.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for v in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// Debug-checks internal invariants: out/in mirror images, limits
+    /// respected, no self-loops, no out↔out duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on any violated invariant. Intended for
+    /// tests and debug assertions.
+    pub fn assert_invariants(&self) {
+        for u in 0..self.len() as u32 {
+            let u = NodeId::new(u);
+            assert!(
+                self.out[u.index()].len() <= self.limits.dout,
+                "{u} exceeds dout"
+            );
+            if let Some(cap) = self.limits.din_max {
+                assert!(self.incoming[u.index()].len() <= cap, "{u} exceeds din");
+            }
+            assert!(!self.out[u.index()].contains(&u), "{u} has a self loop");
+            for &v in &self.out[u.index()] {
+                assert!(
+                    self.incoming[v.index()].contains(&u),
+                    "missing incoming mirror for {u}->{v}"
+                );
+                assert!(
+                    !self.out[v.index()].contains(&u),
+                    "double edge {u}<->{v} in both outgoing sets"
+                );
+            }
+            for &v in &self.incoming[u.index()] {
+                assert!(
+                    self.out[v.index()].contains(&u),
+                    "missing outgoing mirror for {v}->{u}"
+                );
+            }
+            for &v in &self.pinned[u.index()] {
+                assert!(
+                    self.pinned[v.index()].contains(&u),
+                    "pinned edge {u}-{v} not symmetric"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn connect_and_disconnect() {
+        let mut t = Topology::new(3, ConnectionLimits::new(2, Some(2)));
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        t.connect(a, b).unwrap();
+        t.connect(a, c).unwrap();
+        assert_eq!(t.out_degree(a), 2);
+        assert_eq!(t.neighbors(a), ids(&[1, 2]));
+        assert_eq!(t.neighbors(b), ids(&[0]));
+        assert!(t.disconnect(a, b));
+        assert!(!t.disconnect(a, b), "double disconnect returns false");
+        assert!(!t.are_connected(a, b));
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn rejects_self_and_duplicate_connections() {
+        let mut t = Topology::new(3, ConnectionLimits::new(8, Some(8)));
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(t.connect(a, a), Err(ConnectError::SelfConnection(a)));
+        t.connect(a, b).unwrap();
+        assert_eq!(t.connect(a, b), Err(ConnectError::AlreadyConnected(a, b)));
+        // Reverse direction is also a duplicate: the link is undirected.
+        assert_eq!(t.connect(b, a), Err(ConnectError::AlreadyConnected(b, a)));
+    }
+
+    #[test]
+    fn enforces_outgoing_limit() {
+        let mut t = Topology::new(4, ConnectionLimits::new(2, None));
+        let a = NodeId::new(0);
+        t.connect(a, NodeId::new(1)).unwrap();
+        t.connect(a, NodeId::new(2)).unwrap();
+        assert_eq!(
+            t.connect(a, NodeId::new(3)),
+            Err(ConnectError::OutgoingFull(a))
+        );
+    }
+
+    #[test]
+    fn enforces_incoming_limit() {
+        let mut t = Topology::new(4, ConnectionLimits::new(8, Some(2)));
+        let v = NodeId::new(3);
+        t.connect(NodeId::new(0), v).unwrap();
+        t.connect(NodeId::new(1), v).unwrap();
+        assert_eq!(
+            t.connect(NodeId::new(2), v),
+            Err(ConnectError::IncomingFull(v))
+        );
+        assert!(!t.accepts_incoming(v));
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let mut t = Topology::new(2, ConnectionLimits::unlimited());
+        let far = NodeId::new(7);
+        assert_eq!(
+            t.connect(NodeId::new(0), far),
+            Err(ConnectError::UnknownNode(far))
+        );
+    }
+
+    #[test]
+    fn clear_outgoing_returns_old_set() {
+        let mut t = Topology::new(4, ConnectionLimits::new(3, None));
+        let a = NodeId::new(0);
+        t.connect(a, NodeId::new(1)).unwrap();
+        t.connect(a, NodeId::new(3)).unwrap();
+        let old = t.clear_outgoing(a);
+        assert_eq!(old, ids(&[1, 3]));
+        assert_eq!(t.out_degree(a), 0);
+        assert_eq!(t.in_degree(NodeId::new(1)), 0);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn pinned_edges_do_not_consume_limits() {
+        let mut t = Topology::new(3, ConnectionLimits::new(1, Some(1)));
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        t.pin(a, b).unwrap();
+        assert_eq!(t.out_degree(a), 0);
+        assert!(t.are_connected(a, b));
+        // Regular connection capacity is still available.
+        t.connect(a, c).unwrap();
+        assert_eq!(t.neighbors(a), ids(&[1, 2]));
+        assert_eq!(t.pin(b, a), Err(ConnectError::AlreadyConnected(b, a)));
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn undirected_edges_dedup() {
+        let mut t = Topology::new(4, ConnectionLimits::unlimited());
+        t.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        t.connect(NodeId::new(2), NodeId::new(1)).unwrap();
+        t.pin(NodeId::new(3), NodeId::new(0)).unwrap();
+        let edges = t.undirected_edges();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(0), NodeId::new(3)),
+                (NodeId::new(1), NodeId::new(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let mut t = Topology::new(4, ConnectionLimits::unlimited());
+        t.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        t.connect(NodeId::new(2), NodeId::new(3)).unwrap();
+        assert!(!t.is_connected());
+        t.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn empty_topology_is_connected() {
+        assert!(Topology::new(0, ConnectionLimits::unlimited()).is_connected());
+    }
+}

@@ -1,0 +1,511 @@
+//! Link latency models.
+//!
+//! The paper assumes a constant per-pair block-transfer latency `δ(u,v)`
+//! (§2.1) assigned either from geographic measurements (the iPlane dataset,
+//! §5.1) or from a metric embedding of the nodes into `[0,1]^d` (§3.1).
+//! Both are provided here behind the [`LatencyModel`] trait, together with
+//! an override wrapper used to model fast miner–miner links and relay
+//! networks (§5.4).
+//!
+//! Following the paper's own metric-embedding argument (§3.1, Vivaldi
+//! \[16\]: Internet hosts embed into a low-dimensional space whose distances
+//! predict latency), [`GeoLatencyModel`] places every node at a point of a
+//! 2-D *latency space*: its region's center plus an intra-region scatter,
+//! plus a per-node "last-mile" access delay. Intra-continent link delays
+//! then spread over ~5–60 ms and inter-continent ones over ~60–200 ms,
+//! reproducing both the bimodal structure of Fig. 5 and the fine-grained
+//! per-node heterogeneity Perigee learns to exploit.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{NodeId, Region};
+use crate::population::Population;
+use crate::time::SimTime;
+
+/// A symmetric point-to-point latency oracle: `δ(u,v)` in milliseconds.
+///
+/// Implementations must be symmetric (`delay(u,v) == delay(v,u)`; the paper
+/// assumes symmetric latencies, footnote 1) and return `ZERO` for `u == v`.
+pub trait LatencyModel: Send + Sync {
+    /// One-way latency of sending a block between `u` and `v` over a direct
+    /// connection.
+    fn delay(&self, u: NodeId, v: NodeId) -> SimTime;
+
+    /// Number of nodes covered by the model.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the model covers no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: LatencyModel + ?Sized> LatencyModel for &T {
+    fn delay(&self, u: NodeId, v: NodeId) -> SimTime {
+        (**self).delay(u, v)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+}
+
+impl<T: LatencyModel + ?Sized> LatencyModel for Box<T> {
+    fn delay(&self, u: NodeId, v: NodeId) -> SimTime {
+        (**self).delay(u, v)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+}
+
+/// Region centers in the 2-D latency space, in milliseconds, ordered as
+/// [`Region::ALL`] (`[NA, SA, EU, AS, AF, CN, OC]`).
+///
+/// Pairwise center distances approximate measured one-way inter-region
+/// latencies (e.g. NA–EU ≈ 47 ms, NA–Asia ≈ 115 ms, Europe–China ≈ 80 ms).
+pub const REGION_CENTERS_MS: [(f64, f64); 7] = [
+    (0.0, 0.0),     // North America
+    (30.0, 65.0),   // South America
+    (45.0, -15.0),  // Europe
+    (115.0, -5.0),  // Asia
+    (70.0, 25.0),   // Africa
+    (125.0, -20.0), // China
+    (130.0, 45.0),  // Oceania
+];
+
+/// Intra-region scatter radius (ms), ordered as [`Region::ALL`]. Nodes are
+/// placed uniformly in a disc of this radius around their region center,
+/// so same-region pairs see ~0–2·radius ms of propagation distance.
+pub const REGION_RADIUS_MS: [f64; 7] = [20.0, 15.0, 12.0, 20.0, 15.0, 10.0, 12.0];
+
+/// Per-node last-mile access delay range (ms): every link endpoint adds a
+/// node-specific delay drawn uniformly from this range, modelling
+/// residential vs datacenter connectivity (§1: "differences in bandwidth
+/// ... across peers").
+pub const ACCESS_DELAY_RANGE_MS: (f64, f64) = (1.0, 40.0);
+
+/// Geographic latency model (§5.1): 2-D latency-space embedding.
+///
+/// `δ(u,v) = access(u) + access(v) + ‖pos(u) − pos(v)‖ · (1 ± jitter)`,
+/// where positions, access delays and the per-pair jitter are all
+/// deterministic functions of `(seed, node id)` — the model is symmetric,
+/// memoryless and reproducible without storing an `n×n` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::{GeoLatencyModel, LatencyModel, PopulationBuilder, NodeId};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pop = PopulationBuilder::new(50).build(&mut rng).unwrap();
+/// let lat = GeoLatencyModel::new(&pop, 1);
+/// let (a, b) = (NodeId::new(3), NodeId::new(17));
+/// assert_eq!(lat.delay(a, b), lat.delay(b, a));
+/// assert!(lat.delay(a, b).as_ms() > 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeoLatencyModel {
+    regions: Vec<Region>,
+    pos: Vec<(f64, f64)>,
+    access_ms: Vec<f64>,
+    jitter_frac: f64,
+    seed: u64,
+}
+
+impl GeoLatencyModel {
+    /// Builds the model from a population's region assignment with the
+    /// default geometry and ±10% per-pair jitter.
+    pub fn new(population: &Population, seed: u64) -> Self {
+        Self::with_jitter(population, 0.10, seed)
+    }
+
+    /// Builds the model with an explicit per-pair jitter fraction
+    /// (`jitter_frac ∈ [0, 1)`).
+    pub fn with_jitter(population: &Population, jitter_frac: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&jitter_frac),
+            "jitter fraction must be in [0, 1)"
+        );
+        let n = population.len();
+        let mut pos = Vec::with_capacity(n);
+        let mut access_ms = Vec::with_capacity(n);
+        let regions: Vec<Region> = population.iter().map(|p| p.region).collect();
+        for (i, &region) in regions.iter().enumerate() {
+            let (cx, cy) = REGION_CENTERS_MS[region.index()];
+            let radius = REGION_RADIUS_MS[region.index()];
+            // Uniform position in the disc around the region center.
+            let h1 = unit_hash(seed, i as u64, 0x5EED_0001);
+            let h2 = unit_hash(seed, i as u64, 0x5EED_0002);
+            let r = radius * h1.sqrt();
+            let theta = 2.0 * std::f64::consts::PI * h2;
+            pos.push((cx + r * theta.cos(), cy + r * theta.sin()));
+            let h3 = unit_hash(seed, i as u64, 0x5EED_0003);
+            let (lo, hi) = ACCESS_DELAY_RANGE_MS;
+            access_ms.push(lo + (hi - lo) * h3);
+        }
+        GeoLatencyModel {
+            regions,
+            pos,
+            access_ms,
+            jitter_frac,
+            seed,
+        }
+    }
+
+    /// The region of node `u`.
+    pub fn region(&self, u: NodeId) -> Region {
+        self.regions[u.index()]
+    }
+
+    /// Returns `true` if both endpoints are in the same region
+    /// (used by the Fig. 5 intra/inter-continent histogram split).
+    pub fn same_region(&self, u: NodeId, v: NodeId) -> bool {
+        self.regions[u.index()] == self.regions[v.index()]
+    }
+
+    /// The node's position in latency space (ms coordinates).
+    pub fn position(&self, u: NodeId) -> (f64, f64) {
+        self.pos[u.index()]
+    }
+
+    /// The node's last-mile access delay (ms, added at each link endpoint).
+    pub fn access_delay_ms(&self, u: NodeId) -> f64 {
+        self.access_ms[u.index()]
+    }
+}
+
+impl LatencyModel for GeoLatencyModel {
+    fn delay(&self, u: NodeId, v: NodeId) -> SimTime {
+        if u == v {
+            return SimTime::ZERO;
+        }
+        let (a, b) = (u.index().min(v.index()), u.index().max(v.index()));
+        let (ax, ay) = self.pos[a];
+        let (bx, by) = self.pos[b];
+        let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let x = unit_hash(self.seed, a as u64, b as u64) * 2.0 - 1.0;
+        let propagation = dist * (1.0 + self.jitter_frac * x);
+        SimTime::from_ms(self.access_ms[a] + self.access_ms[b] + propagation)
+    }
+
+    fn len(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+/// Metric-embedding latency model (§3.1): nodes at points of `[0,1]^d`,
+/// `δ(u,v) = scale · ‖Xu − Xv‖₂`.
+///
+/// Used by the theory experiments (Theorems 1 and 2, Fig. 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricLatencyModel {
+    coords: Vec<Vec<f64>>,
+    scale_ms: f64,
+}
+
+impl MetricLatencyModel {
+    /// Builds the model from the population's coordinates with a scale
+    /// converting unit distance to milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node lacks coordinates (build the population with
+    /// [`PopulationBuilder::metric_dim`](crate::PopulationBuilder::metric_dim)).
+    pub fn new(population: &Population, scale_ms: f64) -> Self {
+        let coords: Vec<Vec<f64>> = population.iter().map(|p| p.coords.clone()).collect();
+        assert!(
+            coords.iter().all(|c| !c.is_empty()),
+            "metric latency model requires node coordinates"
+        );
+        MetricLatencyModel { coords, scale_ms }
+    }
+
+    /// Euclidean distance between two nodes in the embedding (unitless).
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        let (a, b) = (&self.coords[u.index()], &self.coords[v.index()]);
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The embedding coordinates of `u`.
+    pub fn coords(&self, u: NodeId) -> &[f64] {
+        &self.coords[u.index()]
+    }
+}
+
+impl LatencyModel for MetricLatencyModel {
+    fn delay(&self, u: NodeId, v: NodeId) -> SimTime {
+        SimTime::from_ms(self.distance(u, v) * self.scale_ms)
+    }
+
+    fn len(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+/// Wraps a base model and overrides specific pairs (fast miner–miner links
+/// of Fig. 4(b), relay-tree links of Fig. 4(c)).
+#[derive(Debug, Clone)]
+pub struct OverrideLatencyModel<M> {
+    base: M,
+    overrides: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl<M: LatencyModel> OverrideLatencyModel<M> {
+    /// Wraps `base` with no overrides.
+    pub fn new(base: M) -> Self {
+        OverrideLatencyModel {
+            base,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Sets `δ(u,v) = δ(v,u) = delay`.
+    pub fn set(&mut self, u: NodeId, v: NodeId, delay: SimTime) -> &mut Self {
+        let key = ordered(u, v);
+        self.overrides.insert(key, delay);
+        self
+    }
+
+    /// Overrides every pair within `group` with `delay`
+    /// (Fig. 4(b): low latency among high-power miners).
+    pub fn set_clique(&mut self, group: &[NodeId], delay: SimTime) -> &mut Self {
+        for (i, &u) in group.iter().enumerate() {
+            for &v in &group[i + 1..] {
+                self.set(u, v, delay);
+            }
+        }
+        self
+    }
+
+    /// Number of overridden pairs.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Returns the wrapped base model.
+    pub fn into_inner(self) -> M {
+        self.base
+    }
+}
+
+impl<M: LatencyModel> LatencyModel for OverrideLatencyModel<M> {
+    fn delay(&self, u: NodeId, v: NodeId) -> SimTime {
+        if u == v {
+            return SimTime::ZERO;
+        }
+        match self.overrides.get(&ordered(u, v)) {
+            Some(&d) => d,
+            None => self.base.delay(u, v),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+}
+
+fn ordered(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Deterministic hash of `(seed, a, b)` to a uniform value in `[0, 1)`
+/// (splitmix64 finalizer).
+fn unit_hash(seed: u64, a: u64, b: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop(n: usize) -> Population {
+        PopulationBuilder::new(n)
+            .build(&mut StdRng::seed_from_u64(1))
+            .unwrap()
+    }
+
+    #[test]
+    fn region_centers_are_distinct_and_mostly_separated() {
+        // Asia and China may legitimately overlap in latency space; all
+        // other region pairs must be separated beyond their scatter radii.
+        let mut overlapping = 0;
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                let (ax, ay) = REGION_CENTERS_MS[i];
+                let (bx, by) = REGION_CENTERS_MS[j];
+                let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+                assert!(d > 1.0, "regions {i} and {j} coincide");
+                if d <= REGION_RADIUS_MS[i] + REGION_RADIUS_MS[j] {
+                    overlapping += 1;
+                }
+            }
+        }
+        assert!(overlapping <= 1, "{overlapping} region pairs overlap");
+    }
+
+    #[test]
+    fn intra_region_is_faster_than_inter_region_on_average() {
+        let p = pop(400);
+        let lat = GeoLatencyModel::new(&p, 7);
+        let (mut intra, mut inter) = ((0.0, 0usize), (0.0, 0usize));
+        for i in 0..400u32 {
+            for j in (i + 1)..400u32 {
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
+                let d = lat.delay(u, v).as_ms();
+                if lat.same_region(u, v) {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let (mi, mx) = (intra.0 / intra.1 as f64, inter.0 / inter.1 as f64);
+        assert!(mi * 1.5 < mx, "intra {mi:.1} should be well below inter {mx:.1}");
+    }
+
+    #[test]
+    fn geo_model_is_symmetric_deterministic_and_positive() {
+        let p = pop(60);
+        let lat = GeoLatencyModel::new(&p, 7);
+        let lat2 = GeoLatencyModel::new(&p, 7);
+        for i in 0..10u32 {
+            for j in 0..10u32 {
+                let (u, v) = (NodeId::new(i), NodeId::new(j + 20));
+                assert_eq!(lat.delay(u, v), lat.delay(v, u));
+                assert_eq!(lat.delay(u, v), lat2.delay(u, v));
+                assert!(lat.delay(u, v).as_ms() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn geo_self_delay_is_zero() {
+        let p = pop(5);
+        let lat = GeoLatencyModel::new(&p, 7);
+        assert_eq!(lat.delay(NodeId::new(2), NodeId::new(2)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn delays_include_access_floor_and_stay_bounded() {
+        let p = pop(200);
+        let lat = GeoLatencyModel::new(&p, 3);
+        let floor = 2.0 * ACCESS_DELAY_RANGE_MS.0;
+        // Max possible: two access delays + farthest centers + radii + jitter.
+        let ceiling = 2.0 * ACCESS_DELAY_RANGE_MS.1 + 260.0 * 1.1;
+        for i in 0..200u32 {
+            for j in (i + 1)..200u32 {
+                let d = lat.delay(NodeId::new(i), NodeId::new(j)).as_ms();
+                assert!(d >= floor, "delay {d} under access floor");
+                assert!(d <= ceiling, "delay {d} above ceiling");
+            }
+        }
+    }
+
+    #[test]
+    fn per_node_attributes_are_deterministic_and_in_range() {
+        let p = pop(50);
+        let lat = GeoLatencyModel::new(&p, 9);
+        for i in 0..50u32 {
+            let u = NodeId::new(i);
+            let a = lat.access_delay_ms(u);
+            assert!((ACCESS_DELAY_RANGE_MS.0..=ACCESS_DELAY_RANGE_MS.1).contains(&a));
+            let (x, y) = lat.position(u);
+            let (cx, cy) = REGION_CENTERS_MS[lat.region(u).index()];
+            let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+            assert!(r <= REGION_RADIUS_MS[lat.region(u).index()] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_worlds() {
+        let p = pop(30);
+        let a = GeoLatencyModel::new(&p, 1);
+        let b = GeoLatencyModel::new(&p, 2);
+        let (u, v) = (NodeId::new(0), NodeId::new(1));
+        assert_ne!(a.delay(u, v), b.delay(u, v));
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction must be in [0, 1)")]
+    fn invalid_jitter_panics() {
+        let p = pop(3);
+        let _ = GeoLatencyModel::with_jitter(&p, 1.0, 1);
+    }
+
+    #[test]
+    fn metric_model_matches_euclidean_distance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = PopulationBuilder::new(20)
+            .metric_dim(2)
+            .build(&mut rng)
+            .unwrap();
+        let lat = MetricLatencyModel::new(&p, 100.0);
+        let (u, v) = (NodeId::new(0), NodeId::new(1));
+        let dx = p.profile(u).coords[0] - p.profile(v).coords[0];
+        let dy = p.profile(u).coords[1] - p.profile(v).coords[1];
+        let expect = (dx * dx + dy * dy).sqrt() * 100.0;
+        assert!((lat.delay(u, v).as_ms() - expect).abs() < 1e-9);
+        assert_eq!(lat.delay(u, v), lat.delay(v, u));
+    }
+
+    #[test]
+    fn override_model_overrides_symmetrically() {
+        let p = pop(10);
+        let mut lat = OverrideLatencyModel::new(GeoLatencyModel::new(&p, 7));
+        let (u, v) = (NodeId::new(1), NodeId::new(8));
+        lat.set(u, v, SimTime::from_ms(2.0));
+        assert_eq!(lat.delay(u, v), SimTime::from_ms(2.0));
+        assert_eq!(lat.delay(v, u), SimTime::from_ms(2.0));
+        // Untouched pairs fall through to the base model.
+        let (a, b) = (NodeId::new(0), NodeId::new(2));
+        assert_eq!(lat.delay(a, b), GeoLatencyModel::new(&p, 7).delay(a, b));
+    }
+
+    #[test]
+    fn override_clique_covers_all_pairs() {
+        let p = pop(10);
+        let mut lat = OverrideLatencyModel::new(GeoLatencyModel::new(&p, 7));
+        let group: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        lat.set_clique(&group, SimTime::from_ms(1.0));
+        assert_eq!(lat.override_count(), 6);
+        for &u in &group {
+            for &v in &group {
+                if u != v {
+                    assert_eq!(lat.delay(u, v), SimTime::from_ms(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_hash_is_uniform_enough() {
+        let mut sum = 0.0;
+        let n = 10_000;
+        for i in 0..n {
+            sum += unit_hash(42, i, i * 7 + 1);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+}

@@ -1,0 +1,85 @@
+//! # perigee-netsim
+//!
+//! Discrete-event blockchain p2p network simulator — the substrate of the
+//! [Perigee (PODC 2020)](https://doi.org/10.1145/3382734.3405704)
+//! reproduction.
+//!
+//! The crate implements the paper's §2 network model from scratch:
+//!
+//! * [`Population`] — nodes with region, hash power `fv`, validation delay
+//!   `Δv`, optional metric-space coordinates, bandwidth and (adversarial)
+//!   behaviour, built via [`PopulationBuilder`] or the
+//!   [`dataset::synthetic_bitnodes`] stand-in for the paper's Bitnodes crawl.
+//! * [`LatencyModel`] — symmetric `δ(u,v)` oracles:
+//!   [`GeoLatencyModel`] (iPlane-flavoured region-pair latencies, §5.1),
+//!   [`MetricLatencyModel`] (`[0,1]^d` embedding, §3.1) and
+//!   [`OverrideLatencyModel`] (fast miner/relay links, §5.4).
+//! * [`Topology`] — the overlay graph with Bitcoin's `dout`/`din` connection
+//!   limits and pinned (relay) edges.
+//! * [`broadcast()`] — the fast analytic propagation engine (Dijkstra over the
+//!   store-validate-forward flood), exposing both first arrivals and the
+//!   per-neighbor delivery times `tᵇu,v` that Perigee observes.
+//! * [`gossip_block`] — a message-level event-driven engine (direct flood or
+//!   Bitcoin's `INV`/`GETDATA` exchange with bandwidth), cross-validated
+//!   against the analytic engine.
+//! * [`MinerSampler`] — hash-power-proportional block sources.
+//!
+//! ## Example: measure a block broadcast
+//!
+//! ```
+//! use perigee_netsim::{
+//!     broadcast, ConnectionLimits, GeoLatencyModel, MinerSampler, NodeId,
+//!     PopulationBuilder, Topology,
+//! };
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let population = PopulationBuilder::new(100).build(&mut rng)?;
+//! let latency = GeoLatencyModel::new(&population, 7);
+//!
+//! // A ring topology, for illustration.
+//! let mut topology = Topology::new(100, ConnectionLimits::paper_default());
+//! for i in 0..100u32 {
+//!     topology.connect(NodeId::new(i), NodeId::new((i + 1) % 100))?;
+//! }
+//!
+//! let miner = MinerSampler::new(&population).sample(&mut rng);
+//! let propagation = broadcast(&topology, &latency, &population, miner);
+//! let lambda_v = propagation.coverage_time(&population, 0.9);
+//! println!("90% hash power reached in {lambda_v}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bandwidth;
+pub mod broadcast;
+pub mod dataset;
+pub mod error;
+pub mod event;
+pub mod gossip;
+pub mod graph;
+pub mod latency;
+pub mod mining;
+pub mod node;
+pub mod population;
+pub mod time;
+
+pub use bandwidth::TransferModel;
+pub use broadcast::{broadcast, Propagation};
+pub use error::{ConnectError, NetsimError};
+pub use event::EventQueue;
+pub use gossip::{gossip_block, GossipConfig, GossipMode, GossipOutcome};
+pub use graph::{ConnectionLimits, Topology};
+pub use latency::{
+    GeoLatencyModel, LatencyModel, MetricLatencyModel, OverrideLatencyModel,
+    ACCESS_DELAY_RANGE_MS, REGION_CENTERS_MS, REGION_RADIUS_MS,
+};
+pub use mining::MinerSampler;
+pub use node::{Behavior, NodeId, NodeProfile, Region};
+pub use population::{HashPowerDist, Population, PopulationBuilder, ValidationDist};
+pub use time::SimTime;

@@ -1,0 +1,122 @@
+//! Block mining: which node produces each block.
+//!
+//! §2.1: blocks are generated periodically and the probability that node `v`
+//! mines a given block is its hash power fraction `fv`. [`MinerSampler`]
+//! preprocesses the cumulative distribution once and then samples miners in
+//! `O(log n)`.
+
+use rand::Rng;
+
+use crate::node::NodeId;
+use crate::population::Population;
+
+/// Samples block miners proportionally to hash power.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::{MinerSampler, PopulationBuilder};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let pop = PopulationBuilder::new(10).build(&mut rng).unwrap();
+/// let sampler = MinerSampler::new(&pop);
+/// let miner = sampler.sample(&mut rng);
+/// assert!(miner.index() < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinerSampler {
+    cumulative: Vec<f64>,
+}
+
+impl MinerSampler {
+    /// Builds the sampler from a population's (normalized) hash powers.
+    pub fn new(population: &Population) -> Self {
+        let mut cumulative = Vec::with_capacity(population.len());
+        let mut acc = 0.0;
+        for p in population.iter() {
+            acc += p.hash_power;
+            cumulative.push(acc);
+        }
+        // Guard against floating point drift so the last bucket always wins.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        MinerSampler { cumulative }
+    }
+
+    /// Samples one miner.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        let x: f64 = rng.gen();
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        NodeId::new(idx.min(self.cumulative.len() - 1) as u32)
+    }
+
+    /// Samples the miners of `k` consecutive blocks (one round of size `k`).
+    pub fn sample_round<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<NodeId> {
+        (0..k).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop_with_powers(powers: &[f64]) -> Population {
+        let profiles = powers
+            .iter()
+            .map(|&h| NodeProfile {
+                hash_power: h,
+                ..NodeProfile::default()
+            })
+            .collect();
+        Population::from_profiles(profiles).unwrap()
+    }
+
+    #[test]
+    fn sampling_respects_hash_power() {
+        let pop = pop_with_powers(&[0.7, 0.2, 0.1]);
+        let sampler = MinerSampler::new(&pop);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng).index()] += 1;
+        }
+        let f0 = counts[0] as f64 / n as f64;
+        let f1 = counts[1] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f0 - 0.7).abs() < 0.02, "f0 = {f0}");
+        assert!((f1 - 0.2).abs() < 0.02, "f1 = {f1}");
+        assert!((f2 - 0.1).abs() < 0.02, "f2 = {f2}");
+    }
+
+    #[test]
+    fn zero_power_nodes_never_mine() {
+        let pop = pop_with_powers(&[0.0, 1.0, 0.0]);
+        let sampler = MinerSampler::new(&pop);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(sampler.sample(&mut rng), NodeId::new(1));
+        }
+    }
+
+    #[test]
+    fn sample_round_has_requested_length() {
+        let pop = pop_with_powers(&[0.5, 0.5]);
+        let sampler = MinerSampler::new(&pop);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sampler.sample_round(100, &mut rng).len(), 100);
+    }
+
+    #[test]
+    fn single_node_always_mines() {
+        let pop = pop_with_powers(&[1.0]);
+        let sampler = MinerSampler::new(&pop);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sampler.sample(&mut rng), NodeId::new(0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Node identities and per-node attributes.
+//!
+//! A *node* is a Bitcoin-style server (§2.1 of the paper): it accepts
+//! incoming connections, relays blocks, may mine, and spends a fixed
+//! validation delay `Δv` on every block it receives. Nodes are identified by
+//! dense [`NodeId`] indices so that all per-node state lives in flat vectors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Dense identifier of a node in the simulated network.
+///
+/// Ids are indices into the [`Population`](crate::Population); they are
+/// assigned contiguously from zero.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::NodeId;
+///
+/// let id = NodeId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(id.to_string(), "n7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> u32 {
+        id.0
+    }
+}
+
+/// Geographic region of a node (§5.1: the Bitnodes dataset spans seven
+/// regions).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Region {
+    /// North America.
+    #[default]
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia (excluding China, which the dataset tracks separately).
+    Asia,
+    /// Africa.
+    Africa,
+    /// China.
+    China,
+    /// Oceania.
+    Oceania,
+}
+
+impl Region {
+    /// All seven regions, in a fixed order used for matrix indexing.
+    pub const ALL: [Region; 7] = [
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::Africa,
+        Region::China,
+        Region::Oceania,
+    ];
+
+    /// Dense index of the region inside [`Region::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Region::NorthAmerica => 0,
+            Region::SouthAmerica => 1,
+            Region::Europe => 2,
+            Region::Asia => 3,
+            Region::Africa => 4,
+            Region::China => 5,
+            Region::Oceania => 6,
+        }
+    }
+
+    /// Short human-readable code (`NA`, `SA`, `EU`, `AS`, `AF`, `CN`, `OC`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "NA",
+            Region::SouthAmerica => "SA",
+            Region::Europe => "EU",
+            Region::Asia => "AS",
+            Region::Africa => "AF",
+            Region::China => "CN",
+            Region::Oceania => "OC",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How a node behaves when relaying blocks.
+///
+/// `Honest` nodes follow the protocol. The other variants model the
+/// adversarial/deviant behaviours discussed in §1 and §6 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Behavior {
+    /// Follows the protocol: validates then relays to every neighbor.
+    #[default]
+    Honest,
+    /// Receives blocks but never relays them (a free-rider). Its neighbors
+    /// observe `t = ∞` from it and Perigee will eventually disconnect it.
+    Silent,
+    /// Relays, but only after an extra fixed delay (e.g. a throttling or
+    /// withholding adversary).
+    Delay(SimTime),
+}
+
+impl Behavior {
+    /// Returns `true` for the protocol-following behaviour.
+    #[inline]
+    pub fn is_honest(self) -> bool {
+        matches!(self, Behavior::Honest)
+    }
+}
+
+/// Static attributes of a single node.
+///
+/// Constructed through [`PopulationBuilder`](crate::PopulationBuilder); the
+/// fields are public because this is passive configuration data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeProfile {
+    /// Geographic region (drives the [`GeoLatencyModel`](crate::GeoLatencyModel)).
+    pub region: Region,
+    /// Fraction of total network hash power held by this node (`fv`, §2.1).
+    /// The population normalizes these to sum to 1.
+    pub hash_power: f64,
+    /// Fixed block-validation delay `Δv` (§2.1).
+    pub validation_delay: SimTime,
+    /// Coordinates in the metric-embedding model (§3.1); empty when the
+    /// geographic model is used instead.
+    pub coords: Vec<f64>,
+    /// Uplink bandwidth in Mbit/s (used only when a bandwidth model is
+    /// enabled; §2.1 notes δ includes transmission delay).
+    pub uplink_mbps: f64,
+    /// Downlink bandwidth in Mbit/s.
+    pub downlink_mbps: f64,
+    /// Relay behaviour (honest by default).
+    pub behavior: Behavior,
+}
+
+impl Default for NodeProfile {
+    fn default() -> Self {
+        NodeProfile {
+            region: Region::default(),
+            hash_power: 0.0,
+            validation_delay: SimTime::from_ms(50.0),
+            coords: Vec::new(),
+            uplink_mbps: 33.0,
+            downlink_mbps: 33.0,
+            behavior: Behavior::Honest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn region_indices_are_dense_and_unique() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn region_codes_are_distinct() {
+        let mut codes: Vec<_> = Region::ALL.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 7);
+    }
+
+    #[test]
+    fn behavior_default_is_honest() {
+        assert!(Behavior::default().is_honest());
+        assert!(!Behavior::Silent.is_honest());
+        assert!(!Behavior::Delay(SimTime::from_ms(10.0)).is_honest());
+    }
+
+    #[test]
+    fn default_profile_matches_paper_defaults() {
+        let p = NodeProfile::default();
+        assert_eq!(p.validation_delay, SimTime::from_ms(50.0));
+        assert!(p.behavior.is_honest());
+    }
+}

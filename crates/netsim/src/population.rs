@@ -1,0 +1,488 @@
+//! Node populations and their construction.
+//!
+//! A [`Population`] is the set of simulated nodes with all their static
+//! attributes (region, hash power, validation delay, coordinates, bandwidth,
+//! behaviour). Build one with [`PopulationBuilder`].
+
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetsimError;
+use crate::node::{Behavior, NodeId, NodeProfile, Region};
+use crate::time::SimTime;
+
+/// How hash power is distributed across the population (§5.1–§5.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum HashPowerDist {
+    /// Every node has the same hash power (the paper's default).
+    #[default]
+    Uniform,
+    /// Hash power drawn i.i.d. from an exponential distribution of mean 1
+    /// and normalized (Fig. 3(b)).
+    Exponential,
+    /// A `fraction_of_nodes` random subset of "mining-pool" nodes jointly
+    /// holds `fraction_of_power` of the total hash power; remaining power is
+    /// spread uniformly over the other nodes (Fig. 4(b) uses 10% / 90%).
+    Pools {
+        /// Fraction of nodes that are high-power miners, in `(0, 1]`.
+        fraction_of_nodes: f64,
+        /// Fraction of total hash power those miners jointly hold, in `[0, 1]`.
+        fraction_of_power: f64,
+    },
+}
+
+/// How validation delay is distributed across the population.
+///
+/// §2.1: "each node v spends a fixed amount of time Δv … Δv varies between
+/// nodes depending on their processing power"; §5.1 sets the *mean* to
+/// 50 ms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValidationDist {
+    /// All nodes share one fixed delay.
+    Constant(SimTime),
+    /// Delay drawn uniformly from `[low, high]`.
+    Uniform(SimTime, SimTime),
+    /// Per-node delay drawn from an exponential distribution with the
+    /// given mean — the evaluation default (heterogeneous processing
+    /// power with a long tail of slow validators).
+    Exponential(SimTime),
+}
+
+impl Default for ValidationDist {
+    fn default() -> Self {
+        ValidationDist::Constant(SimTime::from_ms(50.0))
+    }
+}
+
+/// The full set of simulated nodes.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::{PopulationBuilder, Region};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pop = PopulationBuilder::new(100).build(&mut rng).unwrap();
+/// assert_eq!(pop.len(), 100);
+/// // Hash power is normalized.
+/// let total: f64 = pop.iter().map(|p| p.hash_power).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Population {
+    profiles: Vec<NodeProfile>,
+}
+
+impl Population {
+    /// Creates a population directly from profiles, normalizing hash power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyPopulation`] when `profiles` is empty and
+    /// [`NetsimError::InvalidHashPower`] when hash powers are negative or sum
+    /// to zero.
+    pub fn from_profiles(mut profiles: Vec<NodeProfile>) -> Result<Self, NetsimError> {
+        if profiles.is_empty() {
+            return Err(NetsimError::EmptyPopulation);
+        }
+        let total: f64 = profiles.iter().map(|p| p.hash_power).sum();
+        if total <= 0.0 || total.is_nan() || profiles.iter().any(|p| p.hash_power < 0.0) {
+            return Err(NetsimError::InvalidHashPower);
+        }
+        for p in &mut profiles {
+            p.hash_power /= total;
+        }
+        Ok(Population { profiles })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Returns `true` if the population has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Profile of a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this population.
+    #[inline]
+    pub fn profile(&self, id: NodeId) -> &NodeProfile {
+        &self.profiles[id.index()]
+    }
+
+    /// Mutable profile access (used by churn and adversary injection).
+    #[inline]
+    pub fn profile_mut(&mut self, id: NodeId) -> &mut NodeProfile {
+        &mut self.profiles[id.index()]
+    }
+
+    /// Iterates over all profiles in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, NodeProfile> {
+        self.profiles.iter()
+    }
+
+    /// Iterates over all node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + Clone {
+        (0..self.profiles.len() as u32).map(NodeId::new)
+    }
+
+    /// Hash power of a node (`fv`).
+    #[inline]
+    pub fn hash_power(&self, id: NodeId) -> f64 {
+        self.profiles[id.index()].hash_power
+    }
+
+    /// Validation delay of a node (`Δv`).
+    #[inline]
+    pub fn validation_delay(&self, id: NodeId) -> SimTime {
+        self.profiles[id.index()].validation_delay
+    }
+
+    /// All hash powers as a slice-backed vector (for metrics).
+    pub fn hash_powers(&self) -> Vec<f64> {
+        self.profiles.iter().map(|p| p.hash_power).collect()
+    }
+
+    /// Ids of nodes holding the `k` largest hash powers.
+    pub fn top_miners(&self, k: usize) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.ids().collect();
+        ids.sort_by(|a, b| {
+            self.hash_power(*b)
+                .partial_cmp(&self.hash_power(*a))
+                .expect("hash power is finite")
+        });
+        ids.truncate(k);
+        ids
+    }
+
+    /// Scales every node's validation delay by `factor` (Fig. 4(a) sweep).
+    pub fn scale_validation_delay(&mut self, factor: f64) {
+        for p in &mut self.profiles {
+            p.validation_delay = p.validation_delay * factor;
+        }
+    }
+}
+
+impl std::ops::Index<NodeId> for Population {
+    type Output = NodeProfile;
+    fn index(&self, id: NodeId) -> &NodeProfile {
+        self.profile(id)
+    }
+}
+
+/// Builder for [`Population`] (non-consuming, per the builder guideline).
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::{PopulationBuilder, HashPowerDist, SimTime};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let pop = PopulationBuilder::new(500)
+///     .hash_power(HashPowerDist::Exponential)
+///     .validation_delay_ms(50.0)
+///     .build(&mut rng)
+///     .unwrap();
+/// assert_eq!(pop.len(), 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopulationBuilder {
+    n: usize,
+    region_weights: [f64; 7],
+    hash_power: HashPowerDist,
+    validation: ValidationDist,
+    metric_dim: Option<usize>,
+    bandwidth_skew: bool,
+}
+
+impl PopulationBuilder {
+    /// Starts building a population of `n` nodes with the paper's default
+    /// setting: Bitnodes-like region mix, uniform hash power, 50 ms
+    /// validation delay, no metric coordinates, homogeneous bandwidth.
+    pub fn new(n: usize) -> Self {
+        PopulationBuilder {
+            n,
+            region_weights: crate::dataset::BITNODES_REGION_WEIGHTS,
+            hash_power: HashPowerDist::Uniform,
+            validation: ValidationDist::default(),
+            metric_dim: None,
+            bandwidth_skew: false,
+        }
+    }
+
+    /// Overrides the region mix (weights need not be normalized).
+    pub fn region_weights(&mut self, weights: [f64; 7]) -> &mut Self {
+        self.region_weights = weights;
+        self
+    }
+
+    /// Sets the hash power distribution.
+    pub fn hash_power(&mut self, dist: HashPowerDist) -> &mut Self {
+        self.hash_power = dist;
+        self
+    }
+
+    /// Sets a constant validation delay in milliseconds.
+    pub fn validation_delay_ms(&mut self, ms: f64) -> &mut Self {
+        self.validation = ValidationDist::Constant(SimTime::from_ms(ms));
+        self
+    }
+
+    /// Sets the validation delay distribution.
+    pub fn validation(&mut self, dist: ValidationDist) -> &mut Self {
+        self.validation = dist;
+        self
+    }
+
+    /// Also embeds every node uniformly at random in `[0,1]^dim` (the §3.1
+    /// metric model, used by the theory experiments).
+    pub fn metric_dim(&mut self, dim: usize) -> &mut Self {
+        self.metric_dim = Some(dim);
+        self
+    }
+
+    /// Draws per-node access bandwidth from the skewed 3–186 Mbit/s range
+    /// reported by Croman et al. (cited in §3.3) instead of a constant.
+    pub fn bandwidth_skew(&mut self, enable: bool) -> &mut Self {
+        self.bandwidth_skew = enable;
+        self
+    }
+
+    /// Builds the population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyPopulation`] for `n == 0` and
+    /// [`NetsimError::InvalidHashPower`] if the configured hash power
+    /// distribution produced an all-zero assignment.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Population, NetsimError> {
+        if self.n == 0 {
+            return Err(NetsimError::EmptyPopulation);
+        }
+        let regions = sample_regions(self.n, &self.region_weights, rng);
+        let powers = sample_hash_power(self.n, &self.hash_power, rng);
+        let mut profiles = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let validation_delay = match self.validation {
+                ValidationDist::Constant(d) => d,
+                ValidationDist::Uniform(lo, hi) => {
+                    SimTime::from_ms(rng.gen_range(lo.as_ms()..=hi.as_ms()))
+                }
+                ValidationDist::Exponential(mean) => {
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    SimTime::from_ms(-mean.as_ms() * u.ln())
+                }
+            };
+            let coords = match self.metric_dim {
+                Some(d) => (0..d).map(|_| rng.gen::<f64>()).collect(),
+                None => Vec::new(),
+            };
+            let (uplink_mbps, downlink_mbps) = if self.bandwidth_skew {
+                // Log-uniform over [3, 186] Mbps, matching the measured skew.
+                let lo: f64 = 3.0;
+                let hi: f64 = 186.0;
+                let up = lo * (hi / lo).powf(rng.gen::<f64>());
+                let down = lo * (hi / lo).powf(rng.gen::<f64>());
+                (up, down)
+            } else {
+                (33.0, 33.0)
+            };
+            profiles.push(NodeProfile {
+                region: regions[i],
+                hash_power: powers[i],
+                validation_delay,
+                coords,
+                uplink_mbps,
+                downlink_mbps,
+                behavior: Behavior::Honest,
+            });
+        }
+        Population::from_profiles(profiles)
+    }
+}
+
+fn sample_regions<R: Rng + ?Sized>(n: usize, weights: &[f64; 7], rng: &mut R) -> Vec<Region> {
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut x = rng.gen::<f64>() * total;
+        let mut chosen = Region::Oceania;
+        for (w, region) in weights.iter().zip(Region::ALL) {
+            if x < *w {
+                chosen = region;
+                break;
+            }
+            x -= *w;
+        }
+        out.push(chosen);
+    }
+    out
+}
+
+fn sample_hash_power<R: Rng + ?Sized>(n: usize, dist: &HashPowerDist, rng: &mut R) -> Vec<f64> {
+    match dist {
+        HashPowerDist::Uniform => vec![1.0 / n as f64; n],
+        HashPowerDist::Exponential => {
+            let exp = rand::distributions::Uniform::new(f64::MIN_POSITIVE, 1.0f64);
+            (0..n).map(|_| -exp.sample(rng).ln()).collect()
+        }
+        HashPowerDist::Pools {
+            fraction_of_nodes,
+            fraction_of_power,
+        } => {
+            let k = ((n as f64 * fraction_of_nodes).round() as usize).clamp(1, n);
+            let mut ids: Vec<usize> = (0..n).collect();
+            // Partial Fisher-Yates: the first k entries become the pool set.
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                ids.swap(i, j);
+            }
+            let mut powers = vec![0.0; n];
+            let pool_each = fraction_of_power / k as f64;
+            let rest_each = if n > k {
+                (1.0 - fraction_of_power) / (n - k) as f64
+            } else {
+                0.0
+            };
+            for (rank, &node) in ids.iter().enumerate() {
+                powers[node] = if rank < k { pool_each } else { rest_each };
+            }
+            powers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_population_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            PopulationBuilder::new(0).build(&mut rng),
+            Err(NetsimError::EmptyPopulation)
+        ));
+        assert!(matches!(
+            Population::from_profiles(vec![]),
+            Err(NetsimError::EmptyPopulation)
+        ));
+    }
+
+    #[test]
+    fn hash_power_is_normalized_for_all_distributions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dist in [
+            HashPowerDist::Uniform,
+            HashPowerDist::Exponential,
+            HashPowerDist::Pools {
+                fraction_of_nodes: 0.1,
+                fraction_of_power: 0.9,
+            },
+        ] {
+            let pop = PopulationBuilder::new(200)
+                .hash_power(dist)
+                .build(&mut rng)
+                .unwrap();
+            let total: f64 = pop.iter().map(|p| p.hash_power).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pools_concentrate_power() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop = PopulationBuilder::new(1000)
+            .hash_power(HashPowerDist::Pools {
+                fraction_of_nodes: 0.1,
+                fraction_of_power: 0.9,
+            })
+            .build(&mut rng)
+            .unwrap();
+        let top = pop.top_miners(100);
+        let pool_power: f64 = top.iter().map(|&id| pop.hash_power(id)).sum();
+        assert!((pool_power - 0.9).abs() < 1e-9, "pool holds 90%");
+    }
+
+    #[test]
+    fn region_mix_roughly_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pop = PopulationBuilder::new(4000).build(&mut rng).unwrap();
+        let mut counts = [0usize; 7];
+        for p in pop.iter() {
+            counts[p.region.index()] += 1;
+        }
+        // Europe and North America dominate the Bitnodes mix.
+        assert!(counts[Region::Europe.index()] > counts[Region::Africa.index()]);
+        assert!(counts[Region::NorthAmerica.index()] > counts[Region::Oceania.index()]);
+        assert!(counts.iter().all(|&c| c > 0), "every region is populated");
+    }
+
+    #[test]
+    fn metric_dim_populates_coords() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = PopulationBuilder::new(10)
+            .metric_dim(3)
+            .build(&mut rng)
+            .unwrap();
+        for p in pop.iter() {
+            assert_eq!(p.coords.len(), 3);
+            assert!(p.coords.iter().all(|&c| (0.0..1.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn scale_validation_delay_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pop = PopulationBuilder::new(4).build(&mut rng).unwrap();
+        pop.scale_validation_delay(0.1);
+        for p in pop.iter() {
+            assert!((p.validation_delay.as_ms() - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bandwidth_skew_stays_in_measured_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = PopulationBuilder::new(300)
+            .bandwidth_skew(true)
+            .build(&mut rng)
+            .unwrap();
+        for p in pop.iter() {
+            assert!((3.0..=186.0).contains(&p.uplink_mbps));
+            assert!((3.0..=186.0).contains(&p.downlink_mbps));
+        }
+    }
+
+    #[test]
+    fn top_miners_orders_by_power() {
+        let profiles = vec![
+            NodeProfile {
+                hash_power: 0.1,
+                ..NodeProfile::default()
+            },
+            NodeProfile {
+                hash_power: 0.7,
+                ..NodeProfile::default()
+            },
+            NodeProfile {
+                hash_power: 0.2,
+                ..NodeProfile::default()
+            },
+        ];
+        let pop = Population::from_profiles(profiles).unwrap();
+        assert_eq!(pop.top_miners(2), vec![NodeId::new(1), NodeId::new(2)]);
+    }
+}

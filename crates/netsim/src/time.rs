@@ -1,0 +1,244 @@
+//! Simulation time.
+//!
+//! All delays in the simulator are wall-clock milliseconds represented by
+//! [`SimTime`], a thin `f64` newtype with a *total* order (via
+//! [`f64::total_cmp`]) so it can live in heaps and be sorted without panics.
+//! `SimTime::INFINITY` encodes "never" (e.g. a block that was never relayed,
+//! the `t = ∞` convention of the paper's observation sets).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or duration of) simulated time, in milliseconds.
+///
+/// `SimTime` is totally ordered: `NaN` sorts after `+∞` per
+/// [`f64::total_cmp`], but the API never produces `NaN` from finite inputs.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::SimTime;
+///
+/// let a = SimTime::from_ms(12.5);
+/// let b = SimTime::from_ms(30.0);
+/// assert!(a < b);
+/// assert_eq!((a + b).as_ms(), 42.5);
+/// assert!(SimTime::INFINITY.is_infinite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The zero time (simulation start / zero delay).
+    pub const ZERO: SimTime = SimTime(0.0);
+    /// "Never": used for blocks that are never delivered.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: f64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates a time from seconds.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        SimTime(secs * 1_000.0)
+    }
+
+    /// Returns the time in milliseconds.
+    #[inline]
+    pub const fn as_ms(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the time in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Returns `true` if this time is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns `true` if this time is `+∞` (the "never delivered" marker).
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for SimTime {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{:.3}ms", self.0)
+        }
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(ms: f64) -> Self {
+        SimTime(ms)
+    }
+}
+
+impl From<SimTime> for f64 {
+    fn from(t: SimTime) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_infinity_sorts_last() {
+        let mut v = [
+            SimTime::INFINITY,
+            SimTime::from_ms(3.0),
+            SimTime::ZERO,
+            SimTime::from_ms(1.5),
+        ];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[1], SimTime::from_ms(1.5));
+        assert_eq!(v[2], SimTime::from_ms(3.0));
+        assert!(v[3].is_infinite());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ms(10.0);
+        let b = SimTime::from_ms(2.5);
+        assert_eq!((a + b).as_ms(), 12.5);
+        assert_eq!((a - b).as_ms(), 7.5);
+        assert_eq!((a * 2.0).as_ms(), 20.0);
+        assert_eq!((a / 2.0).as_ms(), 5.0);
+        assert_eq!(SimTime::from_secs(1.5).as_ms(), 1500.0);
+        assert_eq!(SimTime::from_ms(250.0).as_secs(), 0.25);
+    }
+
+    #[test]
+    fn infinity_propagates_through_addition() {
+        let t = SimTime::INFINITY + SimTime::from_ms(5.0);
+        assert!(t.is_infinite());
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_ms(1.0);
+        let b = SimTime::from_ms(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(SimTime::INFINITY), a);
+        assert_eq!(a.max(SimTime::INFINITY), SimTime::INFINITY);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ms(1.2345).to_string(), "1.234ms");
+        assert_eq!(SimTime::INFINITY.to_string(), "∞");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = [1.0, 2.0, 3.0].iter().map(|&m| SimTime::from_ms(m)).sum();
+        assert_eq!(total.as_ms(), 6.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the simulator substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use perigee_netsim::{
+    broadcast, gossip_block, ConnectionLimits, EventQueue, GeoLatencyModel, GossipConfig,
+    LatencyModel, NodeId, PopulationBuilder, SimTime, Topology,
+};
+
+fn random_connected_topology(n: usize, rng: &mut StdRng) -> Topology {
+    let mut topo = Topology::new(n, ConnectionLimits::paper_default());
+    for i in 0..n as u32 {
+        let _ = topo.connect(NodeId::new(i), NodeId::new((i + 1) % n as u32));
+    }
+    for _ in 0..2 * n {
+        let u = NodeId::new(rng.gen_range(0..n as u32));
+        let v = NodeId::new(rng.gen_range(0..n as u32));
+        let _ = topo.connect(u, v);
+    }
+    topo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// δ is symmetric, zero on the diagonal and positive elsewhere — for
+    /// arbitrary populations and seeds.
+    #[test]
+    fn latency_model_axioms(n in 2usize..80, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        for i in 0..n as u32 {
+            let u = NodeId::new(i);
+            prop_assert_eq!(lat.delay(u, u), SimTime::ZERO);
+            for j in (i + 1)..n as u32 {
+                let v = NodeId::new(j);
+                prop_assert_eq!(lat.delay(u, v), lat.delay(v, u));
+                prop_assert!(lat.delay(u, v).as_ms() > 0.0);
+            }
+        }
+    }
+
+    /// The two propagation engines agree exactly in flooding mode on
+    /// arbitrary connected topologies.
+    #[test]
+    fn engines_agree_in_flood_mode(n in 3usize..60, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = random_connected_topology(n, &mut rng);
+        let src = NodeId::new(rng.gen_range(0..n as u32));
+        let fast = broadcast(&topo, &lat, &pop, src);
+        let slow = gossip_block(&topo, &lat, &pop, src, &GossipConfig::flood());
+        for i in 0..n as u32 {
+            let v = NodeId::new(i);
+            prop_assert!(
+                (fast.arrival(v).as_ms() - slow.arrival(v).as_ms()).abs() < 1e-9,
+                "disagreement at {}", v
+            );
+        }
+    }
+
+    /// Coverage time is monotone in the coverage fraction.
+    #[test]
+    fn coverage_time_is_monotone(n in 3usize..60, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = random_connected_topology(n, &mut rng);
+        let prop_out = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        let mut last = SimTime::ZERO;
+        for f in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let t = prop_out.coverage_time(&pop, f);
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// First arrivals never precede the source's direct-link time and the
+    /// miner always has its own block at time zero.
+    #[test]
+    fn arrival_lower_bounds(n in 3usize..60, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = random_connected_topology(n, &mut rng);
+        let src = NodeId::new(rng.gen_range(0..n as u32));
+        let out = broadcast(&topo, &lat, &pop, src);
+        prop_assert_eq!(out.arrival(src), SimTime::ZERO);
+        for i in 0..n as u32 {
+            let v = NodeId::new(i);
+            if v == src { continue; }
+            prop_assert!(out.arrival(v).as_ms() >= lat.delay(src, v).as_ms() - 1e-9);
+        }
+    }
+
+    /// The event queue dequeues in non-decreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0.0f64..1e5, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ms(t), i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t.as_ms() >= last);
+            last = t.as_ms();
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Per-neighbor delivery times always upper-bound the first arrival.
+    #[test]
+    fn delivery_upper_bounds_arrival(n in 3usize..50, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = random_connected_topology(n, &mut rng);
+        let src = NodeId::new(0);
+        let out = broadcast(&topo, &lat, &pop, src);
+        for i in 0..n as u32 {
+            let v = NodeId::new(i);
+            for u in topo.neighbors(v) {
+                prop_assert!(
+                    out.delivery(&lat, u, v) >= out.arrival(v),
+                    "neighbor {} delivered to {} before its first arrival", u, v
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The [`TopologyBuilder`] trait and shared connection helpers.
+
+use rand::Rng;
+
+use perigee_netsim::{ConnectionLimits, LatencyModel, NodeId, Population, Topology};
+
+/// Constructs an initial p2p overlay for a population.
+///
+/// Builders are deterministic given the `rng` state, so experiments are
+/// exactly reproducible from a seed.
+pub trait TopologyBuilder {
+    /// Builds a topology over `population` under `limits`.
+    ///
+    /// The latency model is available because some constructions
+    /// (geometric, relay) are latency-aware; latency-oblivious builders
+    /// ignore it.
+    fn build<L: LatencyModel + ?Sized, R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        latency: &L,
+        limits: ConnectionLimits,
+        rng: &mut R,
+    ) -> Topology;
+
+    /// Human-readable algorithm name (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Attempts to connect `u` to a uniformly random peer, respecting limits and
+/// skipping peers in `exclude`. Returns the chosen peer on success.
+///
+/// Gives up after `max_attempts` declined/duplicate picks, mirroring how a
+/// real client would stop retrying a saturated address book.
+pub fn connect_random_peer<R: Rng + ?Sized>(
+    topology: &mut Topology,
+    u: NodeId,
+    exclude: &[NodeId],
+    max_attempts: usize,
+    rng: &mut R,
+) -> Option<NodeId> {
+    let n = topology.len() as u32;
+    for _ in 0..max_attempts {
+        let v = NodeId::new(rng.gen_range(0..n));
+        if v == u || exclude.contains(&v) {
+            continue;
+        }
+        if topology.connect(u, v).is_ok() {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Fills every node up to `dout` outgoing connections with random peers
+/// (used as a post-pass by builders whose primary rule may fall short).
+pub fn fill_with_random<R: Rng + ?Sized>(topology: &mut Topology, dout: usize, rng: &mut R) {
+    let n = topology.len() as u32;
+    for i in 0..n {
+        let u = NodeId::new(i);
+        let mut attempts = 0;
+        while topology.out_degree(u) < dout && attempts < 200 {
+            attempts += 1;
+            let v = NodeId::new(rng.gen_range(0..n));
+            if v == u {
+                continue;
+            }
+            let _ = topology.connect(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::{GeoLatencyModel, PopulationBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn connect_random_peer_respects_exclusions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = PopulationBuilder::new(3).build(&mut rng).unwrap();
+        let _lat = GeoLatencyModel::new(&pop, 1);
+        let mut topo = Topology::new(3, ConnectionLimits::paper_default());
+        let u = NodeId::new(0);
+        let exclude = [NodeId::new(1)];
+        // Only node 2 remains eligible.
+        let got = connect_random_peer(&mut topo, u, &exclude, 100, &mut rng);
+        assert_eq!(got, Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn connect_random_peer_gives_up_when_saturated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut topo = Topology::new(2, ConnectionLimits::paper_default());
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        // The only possible peer is already connected.
+        let got = connect_random_peer(&mut topo, NodeId::new(0), &[], 50, &mut rng);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn fill_with_random_reaches_target_degree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut topo = Topology::new(50, ConnectionLimits::paper_default());
+        fill_with_random(&mut topo, 8, &mut rng);
+        for i in 0..50u32 {
+            assert_eq!(topo.out_degree(NodeId::new(i)), 8);
+        }
+        topo.assert_invariants();
+    }
+}

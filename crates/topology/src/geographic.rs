@@ -1,0 +1,210 @@
+//! Geography-aware connection policy (§3.2).
+//!
+//! Half of each node's connections go to peers in the same continent
+//! (cluster), half to uniformly random peers — the natural
+//! geolocation-based improvement over random the paper evaluates (and that
+//! Perigee beats without needing any location information).
+
+use rand::Rng;
+
+use perigee_netsim::{ConnectionLimits, LatencyModel, NodeId, Population, Topology};
+
+use crate::builder::TopologyBuilder;
+
+/// Geography-clustered topology: `local_fraction` of the out-degree to
+/// same-region peers, the rest random.
+///
+/// Spoofed nodes (see [`GeographicBuilder::with_spoofed`]) are *believed* to
+/// be in whatever region they claim: this models the geo-spoofing attack of
+/// §3.2 that degrades location-based selection but not Perigee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeographicBuilder {
+    local_fraction: f64,
+    spoofed: Vec<NodeId>,
+}
+
+impl GeographicBuilder {
+    /// The paper's 50/50 split.
+    pub fn new() -> Self {
+        GeographicBuilder {
+            local_fraction: 0.5,
+            spoofed: Vec::new(),
+        }
+    }
+
+    /// Overrides the fraction of connections made inside the cluster.
+    pub fn local_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        self.local_fraction = fraction;
+        self
+    }
+
+    /// Marks nodes whose advertised location is spoofed: every node treats
+    /// them as local to its own region, so they attract "local" connections
+    /// from everywhere — the geo-spoofing failure mode.
+    pub fn with_spoofed(mut self, spoofed: Vec<NodeId>) -> Self {
+        self.spoofed = spoofed;
+        self
+    }
+}
+
+impl Default for GeographicBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopologyBuilder for GeographicBuilder {
+    fn build<L: LatencyModel + ?Sized, R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        _latency: &L,
+        limits: ConnectionLimits,
+        rng: &mut R,
+    ) -> Topology {
+        let n = population.len();
+        let mut topo = Topology::new(n, limits);
+        let dout = limits.dout.min(n.saturating_sub(1));
+        let local_target = (dout as f64 * self.local_fraction).round() as usize;
+
+        // Bucket node ids by region once.
+        let mut by_region: Vec<Vec<NodeId>> = vec![Vec::new(); 7];
+        for (i, p) in population.iter().enumerate() {
+            by_region[p.region.index()].push(NodeId::new(i as u32));
+        }
+
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+
+        for &i in &order {
+            let u = NodeId::new(i);
+            let region = population.profile(u).region;
+            // Local candidates: same-region peers plus any spoofed node
+            // (which pretends to be local to everyone).
+            let locals = &by_region[region.index()];
+            let mut attempts = 0;
+            while topo.out_degree(u) < local_target && attempts < 50 * dout.max(1) {
+                attempts += 1;
+                let pick_spoofed = !self.spoofed.is_empty()
+                    && rng.gen_range(0..locals.len() + self.spoofed.len()) >= locals.len();
+                let v = if pick_spoofed {
+                    self.spoofed[rng.gen_range(0..self.spoofed.len())]
+                } else if locals.len() > 1 {
+                    locals[rng.gen_range(0..locals.len())]
+                } else {
+                    break; // region too small for local picks
+                };
+                if v == u {
+                    continue;
+                }
+                let _ = topo.connect(u, v);
+            }
+            // Remaining connections: uniformly random.
+            attempts = 0;
+            while topo.out_degree(u) < dout && attempts < 50 * dout.max(1) {
+                attempts += 1;
+                let v = NodeId::new(rng.gen_range(0..n as u32));
+                if v == u {
+                    continue;
+                }
+                let _ = topo.connect(u, v);
+            }
+        }
+        topo
+    }
+
+    fn name(&self) -> &'static str {
+        "geographic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::{GeoLatencyModel, PopulationBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, seed: u64, builder: &GeographicBuilder) -> (Population, Topology) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = builder.build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+        (pop, topo)
+    }
+
+    #[test]
+    fn reaches_full_degree_and_respects_limits() {
+        let (_, topo) = build(400, 1, &GeographicBuilder::new());
+        for i in 0..400u32 {
+            let u = NodeId::new(i);
+            assert_eq!(topo.out_degree(u), 8, "node {u}");
+            assert!(topo.in_degree(u) <= 20);
+        }
+        topo.assert_invariants();
+    }
+
+    #[test]
+    fn about_half_the_edges_are_intra_region() {
+        let (pop, topo) = build(600, 2, &GeographicBuilder::new());
+        let mut local = 0usize;
+        let mut total = 0usize;
+        for i in 0..600u32 {
+            let u = NodeId::new(i);
+            for v in topo.outgoing(u) {
+                total += 1;
+                if pop.profile(u).region == pop.profile(v).region {
+                    local += 1;
+                }
+            }
+        }
+        let frac = local as f64 / total as f64;
+        // Target 0.5 locally + random picks that happen to be local;
+        // allow a generous band.
+        assert!(frac > 0.45 && frac < 0.80, "local fraction {frac}");
+    }
+
+    #[test]
+    fn local_fraction_zero_degenerates_to_random_mix() {
+        let (pop, topo) = build(400, 3, &GeographicBuilder::new().local_fraction(0.0));
+        let mut local = 0usize;
+        let mut total = 0usize;
+        for i in 0..400u32 {
+            let u = NodeId::new(i);
+            for v in topo.outgoing(u) {
+                total += 1;
+                if pop.profile(u).region == pop.profile(v).region {
+                    local += 1;
+                }
+            }
+        }
+        // Under a random mix the intra-region fraction is the sum of
+        // squared region weights (~0.26 for the Bitnodes mix).
+        let frac = local as f64 / total as f64;
+        assert!(frac < 0.40, "local fraction {frac} should be near random");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn invalid_fraction_panics() {
+        let _ = GeographicBuilder::new().local_fraction(1.5);
+    }
+
+    #[test]
+    fn spoofed_nodes_attract_connections_from_everywhere() {
+        let spoofed = vec![NodeId::new(0)];
+        let (_, topo) = build(300, 4, &GeographicBuilder::new().with_spoofed(spoofed));
+        // Node 0 saturates its incoming slots because everyone believes it
+        // is local.
+        assert!(
+            topo.in_degree(NodeId::new(0)) >= 15,
+            "spoofed node drew {} incoming",
+            topo.in_degree(NodeId::new(0))
+        );
+    }
+}

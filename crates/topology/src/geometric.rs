@@ -1,0 +1,204 @@
+//! The geometric graph (§3.3, Theorem 2) — the theoretical optimum.
+//!
+//! Two nodes are connected iff their point-to-point latency is below a
+//! threshold `r`. With `r = Θ((log n / n)^{1/d})` on the unit hypercube the
+//! graph is connected w.h.p. and its shortest paths have constant stretch.
+//! Because it is a theoretical construction, it is built with *unlimited*
+//! connection limits by default (the paper uses it as a reference, not as a
+//! deployable protocol).
+
+use rand::Rng;
+
+use perigee_netsim::{ConnectionLimits, LatencyModel, NodeId, Population, Topology};
+
+use crate::builder::TopologyBuilder;
+
+/// Geometric (latency-threshold) graph builder.
+///
+/// Choose the threshold directly with [`GeometricBuilder::with_threshold_ms`],
+/// or let the builder bisect a threshold that yields a target mean degree
+/// with [`GeometricBuilder::with_target_degree`] (useful under the
+/// geographic latency model where there is no closed-form `r`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricBuilder {
+    threshold_ms: Option<f64>,
+    target_degree: Option<f64>,
+}
+
+impl GeometricBuilder {
+    /// A builder with an explicit latency threshold in milliseconds.
+    pub fn with_threshold_ms(threshold_ms: f64) -> Self {
+        assert!(threshold_ms > 0.0, "threshold must be positive");
+        GeometricBuilder {
+            threshold_ms: Some(threshold_ms),
+            target_degree: None,
+        }
+    }
+
+    /// A builder that bisects the threshold until the mean degree is within
+    /// 10% of `target` (capped at 25 bisection steps).
+    pub fn with_target_degree(target: f64) -> Self {
+        assert!(target > 0.0, "target degree must be positive");
+        GeometricBuilder {
+            threshold_ms: None,
+            target_degree: Some(target),
+        }
+    }
+
+    /// The connectivity threshold of Theorem 2 for `n` points in `[0,1]^d`
+    /// scaled by `scale_ms` (the constant `c` multiplies the critical
+    /// radius; `c ≥ 2` gives connectivity w.h.p. in practice).
+    pub fn theorem2_threshold_ms(n: usize, d: usize, scale_ms: f64, c: f64) -> f64 {
+        let r = ((n as f64).ln() / n as f64).powf(1.0 / d as f64);
+        c * r * scale_ms
+    }
+
+    fn resolve_threshold<L: LatencyModel + ?Sized>(&self, n: usize, latency: &L) -> f64 {
+        if let Some(t) = self.threshold_ms {
+            return t;
+        }
+        let target = self.target_degree.expect("one of the two is set");
+        // Bisect over the threshold; mean degree is monotone in it.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        // Find an upper bound that overshoots the target.
+        while mean_degree(n, latency, hi) < target && hi < 1e7 {
+            hi *= 2.0;
+        }
+        for _ in 0..25 {
+            let mid = 0.5 * (lo + hi);
+            if mean_degree(n, latency, mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+fn mean_degree<L: LatencyModel + ?Sized>(n: usize, latency: &L, threshold_ms: f64) -> f64 {
+    let mut edges = 0usize;
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if latency.delay(NodeId::new(i), NodeId::new(j)).as_ms() < threshold_ms {
+                edges += 1;
+            }
+        }
+    }
+    2.0 * edges as f64 / n as f64
+}
+
+impl TopologyBuilder for GeometricBuilder {
+    fn build<L: LatencyModel + ?Sized, R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        latency: &L,
+        limits: ConnectionLimits,
+        _rng: &mut R,
+    ) -> Topology {
+        let n = population.len();
+        let threshold = self.resolve_threshold(n, latency);
+        let mut topo = Topology::new(n, limits);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
+                if latency.delay(u, v).as_ms() < threshold {
+                    // Geometric edges ignore degree budgets conceptually;
+                    // under finite limits a declined edge is simply skipped.
+                    let _ = topo.connect(u, v);
+                }
+            }
+        }
+        topo
+    }
+
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::{GeoLatencyModel, MetricLatencyModel, PopulationBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn metric_geometric_graph_connects_whp() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop = PopulationBuilder::new(500)
+            .metric_dim(2)
+            .build(&mut rng)
+            .unwrap();
+        let lat = MetricLatencyModel::new(&pop, 100.0);
+        let r = GeometricBuilder::theorem2_threshold_ms(500, 2, 100.0, 2.0);
+        let topo = GeometricBuilder::with_threshold_ms(r).build(
+            &pop,
+            &lat,
+            ConnectionLimits::unlimited(),
+            &mut rng,
+        );
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn edges_respect_threshold() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pop = PopulationBuilder::new(100)
+            .metric_dim(2)
+            .build(&mut rng)
+            .unwrap();
+        let lat = MetricLatencyModel::new(&pop, 100.0);
+        let topo = GeometricBuilder::with_threshold_ms(20.0).build(
+            &pop,
+            &lat,
+            ConnectionLimits::unlimited(),
+            &mut rng,
+        );
+        for (u, v) in topo.undirected_edges() {
+            assert!(lat.delay(u, v).as_ms() < 20.0);
+        }
+        // And all sub-threshold pairs are edges.
+        for i in 0..100u32 {
+            for j in (i + 1)..100u32 {
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
+                if lat.delay(u, v).as_ms() < 20.0 {
+                    assert!(topo.are_connected(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn target_degree_bisection_lands_near_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pop = PopulationBuilder::new(300).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, 7);
+        let topo = GeometricBuilder::with_target_degree(16.0).build(
+            &pop,
+            &lat,
+            ConnectionLimits::unlimited(),
+            &mut rng,
+        );
+        let mean = 2.0 * topo.edge_count() as f64 / 300.0;
+        assert!(
+            (mean - 16.0).abs() / 16.0 < 0.25,
+            "mean degree {mean} too far from 16"
+        );
+    }
+
+    #[test]
+    fn threshold_grows_with_dimension_shrinkage() {
+        let r2 = GeometricBuilder::theorem2_threshold_ms(1000, 2, 1.0, 1.0);
+        let r5 = GeometricBuilder::theorem2_threshold_ms(1000, 5, 1.0, 1.0);
+        assert!(r5 > r2, "higher dimension needs a larger radius");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn non_positive_threshold_panics() {
+        let _ = GeometricBuilder::with_threshold_ms(0.0);
+    }
+}

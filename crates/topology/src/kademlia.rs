@@ -1,0 +1,195 @@
+//! Kadcast-style structured overlay (§5.1, Rohrer & Tschorsch \[37\]).
+//!
+//! Each node draws a random identifier; peers are grouped into XOR-distance
+//! buckets and each node connects to a bounded number of peers per bucket,
+//! from the most distant bucket downward, until its out-degree budget is
+//! spent. The result is the structured-but-latency-oblivious baseline the
+//! paper compares against.
+
+use rand::Rng;
+
+use perigee_netsim::{ConnectionLimits, LatencyModel, NodeId, Population, Topology};
+
+use crate::builder::TopologyBuilder;
+
+/// Kademlia/Kadcast structured topology builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KademliaBuilder {
+    /// Peers to connect per bucket before moving to the next bucket.
+    per_bucket: usize,
+}
+
+impl KademliaBuilder {
+    /// One connection per bucket (classic Kadcast broadcast overlay).
+    pub fn new() -> Self {
+        KademliaBuilder { per_bucket: 1 }
+    }
+
+    /// Overrides the per-bucket connection count.
+    pub fn per_bucket(mut self, k: usize) -> Self {
+        assert!(k >= 1, "per_bucket must be at least 1");
+        self.per_bucket = k;
+        self
+    }
+}
+
+impl Default for KademliaBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopologyBuilder for KademliaBuilder {
+    fn build<L: LatencyModel + ?Sized, R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        _latency: &L,
+        limits: ConnectionLimits,
+        rng: &mut R,
+    ) -> Topology {
+        let n = population.len();
+        let mut topo = Topology::new(n, limits);
+        let dout = limits.dout.min(n.saturating_sub(1));
+
+        // Random 64-bit overlay identifiers, all distinct.
+        let mut ids: Vec<u64> = Vec::with_capacity(n);
+        while ids.len() < n {
+            let id = rng.gen::<u64>();
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+
+        for &i in &order {
+            let u = NodeId::new(i);
+            // Bucket peers by the position of the highest differing bit.
+            let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); 64];
+            for j in 0..n as u32 {
+                if j == i {
+                    continue;
+                }
+                let xor = ids[i as usize] ^ ids[j as usize];
+                let bucket = 63 - xor.leading_zeros() as usize;
+                buckets[bucket].push(NodeId::new(j));
+            }
+            // Walk buckets from most distant (most populated) down,
+            // taking `per_bucket` random peers from each.
+            'outer: for bucket in (0..64).rev() {
+                if buckets[bucket].is_empty() {
+                    continue;
+                }
+                // Shuffle the bucket so declined picks fall through fairly.
+                let b = &mut buckets[bucket];
+                for k in (1..b.len()).rev() {
+                    b.swap(k, rng.gen_range(0..=k));
+                }
+                let mut taken = 0;
+                for &v in b.iter() {
+                    if taken >= self.per_bucket {
+                        break;
+                    }
+                    if topo.out_degree(u) >= dout {
+                        break 'outer;
+                    }
+                    if topo.connect(u, v).is_ok() {
+                        taken += 1;
+                    }
+                }
+            }
+            // If the id space left spare budget (few non-empty buckets),
+            // fill with random peers so the comparison is degree-fair.
+            let mut attempts = 0;
+            while topo.out_degree(u) < dout && attempts < 50 * dout.max(1) {
+                attempts += 1;
+                let v = NodeId::new(rng.gen_range(0..n as u32));
+                if v == u {
+                    continue;
+                }
+                let _ = topo.connect(u, v);
+            }
+        }
+        topo
+    }
+
+    fn name(&self) -> &'static str {
+        "kademlia"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::{GeoLatencyModel, PopulationBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        KademliaBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng)
+    }
+
+    #[test]
+    fn reaches_full_degree_and_respects_limits() {
+        let topo = build(300, 1);
+        for i in 0..300u32 {
+            let u = NodeId::new(i);
+            assert_eq!(topo.out_degree(u), 8);
+            assert!(topo.in_degree(u) <= 20);
+        }
+        topo.assert_invariants();
+    }
+
+    #[test]
+    fn is_connected() {
+        for seed in 0..3 {
+            assert!(build(200, seed).is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn covers_multiple_distance_scales() {
+        // With 200 nodes and 64-bit ids, each node sees ~8 non-empty
+        // buckets; taking one per bucket yields connections at multiple
+        // XOR scales. We verify structure indirectly: the graph is
+        // connected and has low diameter-ish reach (every node reaches 50+
+        // nodes within 3 hops).
+        let topo = build(200, 2);
+        for start in [0u32, 50, 150] {
+            let mut frontier = vec![NodeId::new(start)];
+            let mut seen = [false; 200];
+            seen[start as usize] = true;
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for u in frontier {
+                    for v in topo.neighbors(u) {
+                        if !seen[v.index()] {
+                            seen[v.index()] = true;
+                            next.push(v);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            let reached = seen.iter().filter(|&&s| s).count();
+            assert!(reached > 50, "reached only {reached} in 3 hops");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per_bucket must be at least 1")]
+    fn zero_per_bucket_panics() {
+        let _ = KademliaBuilder::new().per_bucket(0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(build(100, 9), build(100, 9));
+    }
+}

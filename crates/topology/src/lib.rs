@@ -1,0 +1,51 @@
+//! # perigee-topology
+//!
+//! Baseline p2p topology constructions for the
+//! [Perigee (PODC 2020)](https://doi.org/10.1145/3382734.3405704)
+//! reproduction — every algorithm the paper compares Perigee against:
+//!
+//! * [`RandomBuilder`] — Bitcoin's random connection policy (§3.1)
+//! * [`GeographicBuilder`] — continent-clustered connections (§3.2)
+//! * [`KademliaBuilder`] — Kadcast-style structured overlay (§5.1)
+//! * [`GeometricBuilder`] — latency-threshold graph, the theoretical
+//!   optimum of Theorem 2 (§3.3)
+//! * [`FullMeshBuilder`] — the fully-connected "ideal" lower bound (§5.1)
+//! * [`RelayOverlay`] — bloXroute-style fast distribution tree (§5.4)
+//!
+//! All builders implement [`TopologyBuilder`] and are deterministic given
+//! the RNG seed.
+//!
+//! ```
+//! use perigee_topology::{RandomBuilder, TopologyBuilder};
+//! use perigee_netsim::{ConnectionLimits, GeoLatencyModel, PopulationBuilder};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let pop = PopulationBuilder::new(100).build(&mut rng)?;
+//! let lat = GeoLatencyModel::new(&pop, 1);
+//! let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+//! assert!(topo.is_connected());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod full;
+pub mod geographic;
+pub mod geometric;
+pub mod kademlia;
+pub mod random;
+pub mod relay;
+
+pub use builder::{connect_random_peer, fill_with_random, TopologyBuilder};
+pub use full::FullMeshBuilder;
+pub use geographic::GeographicBuilder;
+pub use geometric::GeometricBuilder;
+pub use kademlia::KademliaBuilder;
+pub use random::RandomBuilder;
+pub use relay::RelayOverlay;

@@ -1,0 +1,132 @@
+//! The random connection policy (§3.1) — Bitcoin's de-facto topology.
+
+use rand::Rng;
+
+use perigee_netsim::{ConnectionLimits, LatencyModel, NodeId, Population, Topology};
+
+use crate::builder::TopologyBuilder;
+
+/// Every node opens `dout` connections to uniformly random peers, subject to
+/// the targets' incoming limits (declined connections are retried against
+/// fresh picks).
+///
+/// # Examples
+///
+/// ```
+/// use perigee_topology::{RandomBuilder, TopologyBuilder};
+/// use perigee_netsim::{ConnectionLimits, GeoLatencyModel, PopulationBuilder};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pop = PopulationBuilder::new(200).build(&mut rng).unwrap();
+/// let lat = GeoLatencyModel::new(&pop, 0);
+/// let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+/// assert!(topo.is_connected());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomBuilder {
+    _private: (),
+}
+
+impl RandomBuilder {
+    /// Creates the builder.
+    pub fn new() -> Self {
+        RandomBuilder { _private: () }
+    }
+}
+
+impl TopologyBuilder for RandomBuilder {
+    fn build<L: LatencyModel + ?Sized, R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        _latency: &L,
+        limits: ConnectionLimits,
+        rng: &mut R,
+    ) -> Topology {
+        let n = population.len();
+        let mut topo = Topology::new(n, limits);
+        let dout = limits.dout.min(n.saturating_sub(1));
+        // Shuffled node order avoids biasing early nodes' incoming slots.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for &i in &order {
+            let u = NodeId::new(i);
+            let mut attempts = 0;
+            while topo.out_degree(u) < dout && attempts < 50 * dout.max(1) {
+                attempts += 1;
+                let v = NodeId::new(rng.gen_range(0..n as u32));
+                if v == u {
+                    continue;
+                }
+                let _ = topo.connect(u, v);
+            }
+        }
+        topo
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigee_netsim::{GeoLatencyModel, PopulationBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, seed: u64) -> (Population, Topology) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo =
+            RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+        (pop, topo)
+    }
+
+    #[test]
+    fn every_node_reaches_full_out_degree() {
+        let (_, topo) = build(300, 1);
+        for i in 0..300u32 {
+            assert_eq!(topo.out_degree(NodeId::new(i)), 8);
+        }
+        topo.assert_invariants();
+    }
+
+    #[test]
+    fn incoming_limits_respected() {
+        let (_, topo) = build(300, 2);
+        for i in 0..300u32 {
+            assert!(topo.in_degree(NodeId::new(i)) <= 20);
+        }
+    }
+
+    #[test]
+    fn random_graph_is_connected_whp() {
+        // Degree-8 random graphs on hundreds of nodes are connected with
+        // overwhelming probability; check a few seeds.
+        for seed in 0..5 {
+            let (_, topo) = build(250, seed);
+            assert!(topo.is_connected(), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = build(100, 7);
+        let (_, b) = build(100, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_network_handles_degree_clamp() {
+        let (_, topo) = build(3, 1);
+        // dout clamps to n-1 = 2.
+        for i in 0..3u32 {
+            assert!(topo.out_degree(NodeId::new(i)) <= 2);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the topology builders: for arbitrary network
+//! sizes and limits, every builder must respect the connection constraints
+//! and be deterministic under a fixed seed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use perigee_netsim::{ConnectionLimits, GeoLatencyModel, NodeId, PopulationBuilder};
+use perigee_topology::{
+    FullMeshBuilder, GeographicBuilder, GeometricBuilder, KademliaBuilder, RandomBuilder,
+    TopologyBuilder,
+};
+
+fn check_builder<B: TopologyBuilder>(
+    builder: &B,
+    n: usize,
+    dout: usize,
+    din: usize,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+    let lat = GeoLatencyModel::new(&pop, seed);
+    let limits = ConnectionLimits::new(dout, Some(din));
+    let topo = builder.build(&pop, &lat, limits, &mut rng);
+    topo.assert_invariants();
+    for i in 0..n as u32 {
+        let v = NodeId::new(i);
+        prop_assert!(topo.out_degree(v) <= dout, "{} out-degree over limit", v);
+        prop_assert!(topo.in_degree(v) <= din, "{} in-degree over limit", v);
+    }
+    // Determinism: same seed, same topology.
+    let mut rng2 = StdRng::seed_from_u64(seed);
+    let pop2 = PopulationBuilder::new(n).build(&mut rng2).unwrap();
+    let lat2 = GeoLatencyModel::new(&pop2, seed);
+    let topo2 = builder.build(&pop2, &lat2, limits, &mut rng2);
+    prop_assert_eq!(topo, topo2, "builder is not deterministic");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_builder_respects_limits(
+        n in 4usize..120, dout in 1usize..8, din in 4usize..24, seed in 0u64..500
+    ) {
+        check_builder(&RandomBuilder::new(), n, dout, din, seed)?;
+    }
+
+    #[test]
+    fn geographic_builder_respects_limits(
+        n in 4usize..120, dout in 1usize..8, din in 4usize..24, seed in 0u64..500
+    ) {
+        check_builder(&GeographicBuilder::new(), n, dout, din, seed)?;
+    }
+
+    #[test]
+    fn kademlia_builder_respects_limits(
+        n in 4usize..120, dout in 1usize..8, din in 4usize..24, seed in 0u64..500
+    ) {
+        check_builder(&KademliaBuilder::new(), n, dout, din, seed)?;
+    }
+
+    /// The full mesh always produces the complete graph, whatever limits
+    /// are passed (it documents that it ignores them).
+    #[test]
+    fn full_mesh_is_complete(n in 2usize..60, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = FullMeshBuilder::new().build(
+            &pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+        prop_assert_eq!(topo.edge_count(), n * (n - 1) / 2);
+    }
+
+    /// Geometric graphs include exactly the sub-threshold pairs.
+    #[test]
+    fn geometric_edges_match_threshold(
+        n in 4usize..60, threshold in 20.0f64..120.0, seed in 0u64..100
+    ) {
+        use perigee_netsim::LatencyModel;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = GeometricBuilder::with_threshold_ms(threshold).build(
+            &pop, &lat, ConnectionLimits::unlimited(), &mut rng);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
+                let below = lat.delay(u, v).as_ms() < threshold;
+                prop_assert_eq!(topo.are_connected(u, v), below);
+            }
+        }
+    }
+}

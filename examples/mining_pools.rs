@@ -1,0 +1,28 @@
+//! Mining pools (§5.4, Fig. 4(b)): 10% of the nodes hold 90% of the hash
+//! power and enjoy fast mutual links. Perigee learns to sit close to the
+//! miners — not close to the average node — because it scores neighbors by
+//! block arrival times and blocks originate from the pools.
+//!
+//! Run with: `cargo run --release --example mining_pools`
+
+use perigee::experiments::{fig4, MinerCliqueSpec, Scenario};
+
+fn main() {
+    let scenario = Scenario {
+        nodes: 300,
+        rounds: 12,
+        blocks_per_round: 50,
+        seeds: vec![7],
+        ..Scenario::paper()
+    };
+
+    println!("simulating {} nodes; 10% of them hold 90% of hash power...", scenario.nodes);
+    let result = fig4::run_fig4b(&scenario, MinerCliqueSpec::default());
+
+    println!("\n{}", result.table().render());
+    println!(
+        "perigee closes {:.0}% of the random → fully-connected gap",
+        result.gap_closed() * 100.0
+    );
+    println!("(the paper's Fig. 4(b) shows Perigee nearly reaching the ideal curve)");
+}
