@@ -21,11 +21,17 @@ fn ablations(c: &mut Criterion) {
 
     let r = ablation::sweep_exploration(&scenario, 1, &[0, 2, 4]);
     for p in &r.points {
-        println!("ablation/explore={}: median λ90 = {:.1} ms", p.value, p.median90_ms);
+        println!(
+            "ablation/explore={}: median λ90 = {:.1} ms",
+            p.value, p.median90_ms
+        );
     }
     let r = ablation::sweep_percentile(&scenario, 1, &[50.0, 90.0]);
     for p in &r.points {
-        println!("ablation/percentile={}: median λ90 = {:.1} ms", p.value, p.median90_ms);
+        println!(
+            "ablation/percentile={}: median λ90 = {:.1} ms",
+            p.value, p.median90_ms
+        );
     }
 
     let mut group = c.benchmark_group("ablation");

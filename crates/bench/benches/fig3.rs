@@ -46,7 +46,11 @@ fn fig3b(c: &mut Criterion) {
     group.sample_size(10);
     for algo in [Algorithm::Random, Algorithm::PerigeeSubset] {
         let out = run_algorithm(algo, &scenario, 1);
-        println!("fig3b/{}: median λ90 = {:.1} ms", algo, out.curve90.median());
+        println!(
+            "fig3b/{}: median λ90 = {:.1} ms",
+            algo,
+            out.curve90.median()
+        );
         group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
             b.iter(|| run_algorithm(algo, &scenario, 1));
         });

@@ -8,12 +8,10 @@ use rand::{Rng, SeedableRng};
 use perigee_core::{ObservationCollector, ScoringMethod};
 use perigee_metrics::percentile_or_inf;
 use perigee_netsim::{
-    broadcast, gossip_block, ConnectionLimits, GeoLatencyModel, GossipConfig, MinerSampler,
-    NodeId, Population, PopulationBuilder, Topology,
+    broadcast, gossip_block, ConnectionLimits, GeoLatencyModel, GossipConfig, MinerSampler, NodeId,
+    Population, PopulationBuilder, Topology,
 };
-use perigee_topology::{
-    GeographicBuilder, KademliaBuilder, RandomBuilder, TopologyBuilder,
-};
+use perigee_topology::{GeographicBuilder, KademliaBuilder, RandomBuilder, TopologyBuilder};
 
 fn world(n: usize, seed: u64) -> (Population, GeoLatencyModel, Topology) {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,0 +1,258 @@
+//! The tentpole benchmark: frozen CSR snapshots + reusable scratch vs the
+//! seed's legacy propagation pipeline, at the paper's evaluation scale
+//! (1000 nodes, 100 blocks per round).
+//!
+//! The `legacy_*` baselines are faithful replicas (through the public API)
+//! of the pre-CSR hot path this PR replaced: Dijkstra that calls
+//! `Topology::neighbors()` — a fresh `BTreeSet` + `Vec` allocation — per
+//! settled node and `LatencyModel::delay` per edge, observation rows that
+//! call `delay` per neighbor per block, and a freshly allocated + sorted
+//! weighted vector per `coverage_time` call (twice per block).
+//!
+//! Three comparisons:
+//!
+//! * `broadcast/*` — one flood: the legacy Dijkstra vs the per-call
+//!   [`broadcast`] wrapper (one view snapshot per block) vs an
+//!   allocation-free flood through a prebuilt [`TopologyView`].
+//! * `round/*` — a full observation round (floods + observation rows +
+//!   λ50/λ90 per block): the legacy sequential pipeline vs
+//!   [`PerigeeEngine::observe_round`] (one snapshot per round, cached edge
+//!   latencies, rayon block fan-out).
+//!
+//! After the criterion groups, the bench prints the measured
+//! round-throughput speedup explicitly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_netsim::{
+    broadcast, Behavior, BroadcastScratch, ConnectionLimits, GeoLatencyModel, LatencyModel,
+    MinerSampler, NodeId, Population, PopulationBuilder, SimTime, Topology, TopologyView,
+};
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+
+const NODES: usize = 1000;
+const BLOCKS_PER_ROUND: usize = 100;
+
+fn world(seed: u64) -> (Population, GeoLatencyModel, Topology) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = PopulationBuilder::new(NODES).build(&mut rng).unwrap();
+    let lat = GeoLatencyModel::new(&pop, seed);
+    let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+    (pop, lat, topo)
+}
+
+/// The seed's Dijkstra flood: `Topology::neighbors()` (BTreeSet clone +
+/// Vec collect) per settled node, `LatencyModel::delay` per relaxed edge.
+/// Returns `(arrival, relay_at)`.
+fn legacy_flood(
+    topo: &Topology,
+    lat: &GeoLatencyModel,
+    pop: &Population,
+    source: NodeId,
+) -> (Vec<SimTime>, Vec<SimTime>) {
+    let n = topo.len();
+    let mut arrival = vec![SimTime::INFINITY; n];
+    let mut relay_at = vec![SimTime::INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(SimTime, NodeId)>> = BinaryHeap::new();
+    arrival[source.index()] = SimTime::ZERO;
+    heap.push(Reverse((SimTime::ZERO, source)));
+    while let Some(Reverse((t, u))) = heap.pop() {
+        if t > arrival[u.index()] {
+            continue;
+        }
+        let profile = pop.profile(u);
+        let validated = if u == source {
+            t
+        } else {
+            t + profile.validation_delay
+        };
+        let relay = match profile.behavior {
+            Behavior::Honest => validated,
+            Behavior::Silent => SimTime::INFINITY,
+            Behavior::Delay(extra) => validated + extra,
+        };
+        relay_at[u.index()] = relay;
+        if relay.is_infinite() {
+            continue;
+        }
+        for v in topo.neighbors(u) {
+            let tv = relay + lat.delay(u, v);
+            if tv < arrival[v.index()] {
+                arrival[v.index()] = tv;
+                heap.push(Reverse((tv, v)));
+            }
+        }
+    }
+    (arrival, relay_at)
+}
+
+/// The seed's `coverage_time`: a fresh weighted vector, a full sort, and a
+/// scan — per call.
+fn legacy_coverage(arrival: &[SimTime], pop: &Population, fraction: f64) -> SimTime {
+    let mut weighted: Vec<(SimTime, f64)> = arrival
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, pop.hash_power(NodeId::new(i as u32))))
+        .collect();
+    weighted.sort_by_key(|&(t, _)| t);
+    let mut acc = 0.0;
+    for (t, w) in weighted {
+        acc += w;
+        if acc >= fraction - 1e-12 {
+            return t;
+        }
+    }
+    SimTime::INFINITY
+}
+
+/// The seed's observation recording: `LatencyModel::delay` per neighbor
+/// per block, one freshly allocated row per node per block.
+fn legacy_record(
+    rows: &mut [Vec<Vec<f64>>],
+    neighbors: &[Vec<NodeId>],
+    lat: &GeoLatencyModel,
+    relay_at: &[SimTime],
+) {
+    for (i, node_rows) in rows.iter_mut().enumerate() {
+        let v = NodeId::new(i as u32);
+        let mut row: Vec<f64> = neighbors[i]
+            .iter()
+            .map(|&u| {
+                let r = relay_at[u.index()];
+                if r.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    (r + lat.delay(u, v)).as_ms()
+                }
+            })
+            .collect();
+        let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            for t in &mut row {
+                *t -= min;
+            }
+        }
+        node_rows.push(row);
+    }
+}
+
+/// The seed's full sequential round: flood, two coverage sorts, and
+/// latency-model-driven observation rows per block.
+fn legacy_round(
+    topo: &Topology,
+    lat: &GeoLatencyModel,
+    pop: &Population,
+    miners: &[NodeId],
+) -> f64 {
+    let neighbors: Vec<Vec<NodeId>> = (0..topo.len() as u32)
+        .map(|i| topo.neighbors(NodeId::new(i)))
+        .collect();
+    let mut rows: Vec<Vec<Vec<f64>>> = vec![Vec::new(); topo.len()];
+    let mut sum90 = 0.0;
+    for &miner in miners {
+        let (arrival, relay_at) = legacy_flood(topo, lat, pop, miner);
+        sum90 += legacy_coverage(&arrival, pop, 0.9).as_ms();
+        let _ = legacy_coverage(&arrival, pop, 0.5);
+        legacy_record(&mut rows, &neighbors, lat, &relay_at);
+    }
+    sum90
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let (pop, lat, topo) = world(1);
+    let view = TopologyView::new(&topo, &lat, &pop);
+    let mut group = c.benchmark_group("broadcast");
+    group.sample_size(20);
+    group.bench_function("legacy_1000", |b| {
+        b.iter(|| legacy_flood(&topo, &lat, &pop, NodeId::new(0)));
+    });
+    group.bench_function("snapshot_per_call_1000", |b| {
+        b.iter(|| broadcast(&topo, &lat, &pop, NodeId::new(0)));
+    });
+    group.bench_function("csr_1000", |b| {
+        let mut scratch = BroadcastScratch::with_capacity(NODES);
+        b.iter(|| view.broadcast_into(NodeId::new(0), &mut scratch));
+    });
+    group.finish();
+
+    // Sanity: the legacy replica and the CSR engine agree exactly.
+    let (arrival, _) = legacy_flood(&topo, &lat, &pop, NodeId::new(0));
+    let prop = view.broadcast(NodeId::new(0));
+    assert_eq!(
+        arrival,
+        prop.arrivals(),
+        "legacy replica diverged from CSR engine"
+    );
+}
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let (pop, lat, topo) = world(2);
+    let mut rng = StdRng::seed_from_u64(3);
+    let miners = MinerSampler::new(&pop).sample_round(BLOCKS_PER_ROUND, &mut rng);
+
+    let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    config.blocks_per_round = BLOCKS_PER_ROUND;
+    let engine = PerigeeEngine::new(
+        pop.clone(),
+        lat.clone(),
+        topo.clone(),
+        ScoringMethod::Subset,
+        config,
+    )
+    .expect("bench configuration is valid");
+
+    let mut group = c.benchmark_group("round");
+    group.sample_size(10);
+    group.bench_function("legacy_sequential_1000x100", |b| {
+        b.iter(|| legacy_round(&topo, &lat, &pop, &miners));
+    });
+    group.bench_function("csr_rayon_1000x100", |b| {
+        b.iter(|| engine.observe_round(&miners));
+    });
+    group.finish();
+
+    // Cross-check the pipelines agree before reporting a speedup.
+    let sum90: f64 = engine.observe_round(&miners).lambda90_ms().iter().sum();
+    let legacy_sum90 = legacy_round(&topo, &lat, &pop, &miners);
+    assert_eq!(sum90, legacy_sum90, "round pipelines diverged");
+
+    // Explicit speedup report (median of 3 runs each), so the number the
+    // tentpole promises is visible without post-processing.
+    let median = |samples: &mut [f64]| {
+        samples.sort_unstable_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let mut legacy = [0.0f64; 3];
+    for slot in &mut legacy {
+        let start = Instant::now();
+        criterion::black_box(legacy_round(&topo, &lat, &pop, &miners));
+        *slot = start.elapsed().as_secs_f64();
+    }
+    let mut fast = [0.0f64; 3];
+    for slot in &mut fast {
+        let start = Instant::now();
+        criterion::black_box(engine.observe_round(&miners));
+        *slot = start.elapsed().as_secs_f64();
+    }
+    let (l, f) = (median(&mut legacy), median(&mut fast));
+    println!(
+        "round-throughput: legacy {:.3} s, csr+rayon {:.3} s -> speedup {:.1}x \
+         ({} nodes, {} blocks/round, {} threads)",
+        l,
+        f,
+        l / f,
+        NODES,
+        BLOCKS_PER_ROUND,
+        rayon::current_num_threads(),
+    );
+}
+
+criterion_group!(benches, bench_broadcast, bench_round_throughput);
+criterion_main!(benches);

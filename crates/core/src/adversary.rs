@@ -78,7 +78,10 @@ mod tests {
         make_free_rider(&mut pop, v);
         assert_eq!(pop.profile(v).behavior, Behavior::Silent);
         make_throttler(&mut pop, v, SimTime::from_ms(100.0));
-        assert_eq!(pop.profile(v).behavior, Behavior::Delay(SimTime::from_ms(100.0)));
+        assert_eq!(
+            pop.profile(v).behavior,
+            Behavior::Delay(SimTime::from_ms(100.0))
+        );
         make_honest(&mut pop, v);
         assert!(pop.profile(v).behavior.is_honest());
     }

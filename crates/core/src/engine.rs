@@ -8,15 +8,16 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rayon::prelude::*;
 
 use perigee_netsim::{
-    broadcast, gossip_block, GossipConfig, LatencyModel, MinerSampler, NodeId, Population,
-    Topology,
+    gossip_block, BroadcastScratch, GossipConfig, LatencyModel, MinerSampler, NodeId, Population,
+    SimTime, Topology, TopologyView,
 };
 
 use crate::config::PerigeeConfig;
 use crate::discovery::AddressBook;
-use crate::observation::ObservationCollector;
+use crate::observation::{NodeObservations, ObservationCollector};
 use crate::score::{ScoringMethod, SelectionStrategy};
 
 /// How the engine simulates block propagation inside a round.
@@ -86,7 +87,43 @@ pub struct PerigeeEngine<L> {
     adopters: Vec<bool>,
     mode: PropagationMode,
     address_book: Option<AddressBook>,
+    parallel: bool,
     round: usize,
+}
+
+/// The propagation phase of one round: per-node observation sets plus the
+/// per-block coverage times, in block order.
+///
+/// Produced by [`PerigeeEngine::observe_round`]; block order is the miner
+/// order passed in, whatever the parallel execution interleaving, so the
+/// contents are bit-identical between parallel and sequential runs.
+#[derive(Debug, Clone)]
+pub struct RoundObservations {
+    observations: Vec<NodeObservations>,
+    lambda90_ms: Vec<f64>,
+    lambda50_ms: Vec<f64>,
+}
+
+impl RoundObservations {
+    /// Per-node observation sets, indexed by node id.
+    pub fn observations(&self) -> &[NodeObservations] {
+        &self.observations
+    }
+
+    /// λ(90%) of each block, in ms, in block order.
+    pub fn lambda90_ms(&self) -> &[f64] {
+        &self.lambda90_ms
+    }
+
+    /// λ(50%) of each block, in ms, in block order.
+    pub fn lambda50_ms(&self) -> &[f64] {
+        &self.lambda50_ms
+    }
+
+    /// Decomposes into `(observations, lambda90_ms, lambda50_ms)`.
+    pub fn into_parts(self) -> (Vec<NodeObservations>, Vec<f64>, Vec<f64>) {
+        (self.observations, self.lambda90_ms, self.lambda50_ms)
+    }
 }
 
 impl<L: std::fmt::Debug> std::fmt::Debug for PerigeeEngine<L> {
@@ -136,8 +173,22 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             adopters,
             mode: PropagationMode::Analytic,
             address_book: None,
+            parallel: true,
             round: 0,
         })
+    }
+
+    /// Enables or disables the parallel block fan-out inside rounds
+    /// (enabled by default). Results are bit-identical either way — blocks
+    /// within a round are independent and merged in block order — so this
+    /// only exists for determinism tests and single-core benchmarking.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Whether rounds fan blocks out across the rayon pool.
+    pub fn parallel(&self) -> bool {
+        self.parallel
     }
 
     /// Restricts peer discovery to per-node partial views (§2.1's
@@ -210,37 +261,101 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         self.round
     }
 
+    /// The propagation phase of a round: floods `miners`' blocks over the
+    /// current topology (fanned out across the rayon pool when
+    /// [`PerigeeEngine::parallel`] is set) and collects every node's
+    /// per-neighbor observations plus per-block λ50/λ90.
+    ///
+    /// Blocks are independent under the §2.1 model and consume no RNG, so
+    /// each worker floods a contiguous chunk of blocks through one
+    /// [`TopologyView`] snapshot with its own reusable
+    /// [`BroadcastScratch`], and the chunks are merged back in block
+    /// order: the result is bit-identical to a sequential loop.
+    pub fn observe_round(&self, miners: &[NodeId]) -> RoundObservations {
+        let chunk_count = if self.parallel {
+            rayon::current_num_threads().clamp(1, miners.len().max(1))
+        } else {
+            1
+        };
+        let chunk_size = miners.len().max(1).div_ceil(chunk_count);
+        let chunks: Vec<&[NodeId]> = miners.chunks(chunk_size).collect();
+
+        let parts: Vec<(ObservationCollector, Vec<f64>, Vec<f64>)> = match self.mode {
+            PropagationMode::Analytic => {
+                let view = TopologyView::new(&self.topology, &self.latency, &self.population);
+                let view = &view;
+                chunks
+                    .par_iter()
+                    .map(|chunk| {
+                        let mut scratch = BroadcastScratch::with_capacity(view.len());
+                        let mut collector = ObservationCollector::from_view(view);
+                        collector.reserve_blocks(chunk.len());
+                        let mut l90 = Vec::with_capacity(chunk.len());
+                        let mut l50 = Vec::with_capacity(chunk.len());
+                        let mut coverage = [SimTime::ZERO; 2];
+                        for &miner in *chunk {
+                            view.broadcast_into(miner, &mut scratch);
+                            scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
+                            l90.push(coverage[0].as_ms());
+                            l50.push(coverage[1].as_ms());
+                            collector.record_scratch(view, &scratch);
+                        }
+                        (collector, l90, l50)
+                    })
+                    .collect()
+            }
+            PropagationMode::Gossip(cfg) => {
+                let (topology, latency, population) =
+                    (&self.topology, &self.latency, &self.population);
+                chunks
+                    .par_iter()
+                    .map(|chunk| {
+                        let mut collector = ObservationCollector::new(topology);
+                        let mut l90 = Vec::with_capacity(chunk.len());
+                        let mut l50 = Vec::with_capacity(chunk.len());
+                        for &miner in *chunk {
+                            let outcome = gossip_block(topology, latency, population, miner, &cfg);
+                            l90.push(outcome.coverage_time(population, 0.9).as_ms());
+                            l50.push(outcome.coverage_time(population, 0.5).as_ms());
+                            collector.record_gossip(&outcome);
+                        }
+                        (collector, l90, l50)
+                    })
+                    .collect()
+            }
+        };
+
+        // Merge chunks back in block order.
+        let mut parts = parts.into_iter();
+        let (mut collector, mut lambda90_ms, mut lambda50_ms) = parts.next().unwrap_or_else(|| {
+            (
+                ObservationCollector::new(&self.topology),
+                Vec::new(),
+                Vec::new(),
+            )
+        });
+        for (c, l90, l50) in parts {
+            collector.append(c);
+            lambda90_ms.extend(l90);
+            lambda50_ms.extend(l50);
+        }
+        RoundObservations {
+            observations: collector.finish(),
+            lambda90_ms,
+            lambda50_ms,
+        }
+    }
+
     /// Runs one full round: mine, observe, score, rewire.
     pub fn run_round<R: Rng>(&mut self, rng: &mut R) -> RoundStats {
         let k = self.config.blocks_per_round;
         let miners = self.sampler.sample_round(k, rng);
-        let mut collector = ObservationCollector::new(&self.topology);
-        let mut sum90 = 0.0;
-        let mut sum50 = 0.0;
-        for &miner in &miners {
-            match self.mode {
-                PropagationMode::Analytic => {
-                    let prop =
-                        broadcast(&self.topology, &self.latency, &self.population, miner);
-                    sum90 += prop.coverage_time(&self.population, 0.9).as_ms();
-                    sum50 += prop.coverage_time(&self.population, 0.5).as_ms();
-                    collector.record(&prop, &self.latency);
-                }
-                PropagationMode::Gossip(cfg) => {
-                    let outcome = gossip_block(
-                        &self.topology,
-                        &self.latency,
-                        &self.population,
-                        miner,
-                        &cfg,
-                    );
-                    sum90 += outcome.coverage_time(&self.population, 0.9).as_ms();
-                    sum50 += outcome.coverage_time(&self.population, 0.5).as_ms();
-                    collector.record_gossip(&outcome);
-                }
-            }
-        }
-        let observations = collector.finish();
+        let round_obs = self.observe_round(&miners);
+        let (observations, lambda90, lambda50) = round_obs.into_parts();
+        // Left-fold in block order: the exact accumulation order of the
+        // legacy sequential loop, so the means are bit-identical.
+        let sum90: f64 = lambda90.iter().sum();
+        let sum50: f64 = lambda50.iter().sum();
 
         // Phase 1: every adopter decides which outgoing neighbors to keep,
         // based on the same synchronous snapshot.
@@ -328,12 +443,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// engine; see [`PerigeeEngine::evaluate_in_mode`] to measure under the
     /// active propagation mode instead.
     pub fn evaluate(&self, fraction: f64) -> Vec<f64> {
-        evaluate_topology(
-            &self.topology,
-            &self.latency,
-            &self.population,
-            fraction,
-        )
+        evaluate_topology(&self.topology, &self.latency, &self.population, fraction)
     }
 
     /// Like [`PerigeeEngine::evaluate`] but measures under the active
@@ -395,6 +505,10 @@ pub fn evaluate_topology<L: LatencyModel + ?Sized>(
 /// Like [`evaluate_topology`] but measures several coverage fractions from
 /// a single flood per source (the paper reports both 90% and 50%).
 /// Returns one per-node vector per fraction, in the order given.
+///
+/// Floods one [`TopologyView`] snapshot from every source, fanning the
+/// independent sources across the rayon pool; per-source values land in id
+/// order, so the output is identical to the sequential computation.
 pub fn evaluate_topology_multi<L: LatencyModel + ?Sized>(
     topology: &Topology,
     latency: &L,
@@ -402,11 +516,32 @@ pub fn evaluate_topology_multi<L: LatencyModel + ?Sized>(
     fractions: &[f64],
 ) -> Vec<Vec<f64>> {
     let n = population.len();
+    let view = TopologyView::new(topology, latency, population);
+    let view = &view;
+    let chunk_count = rayon::current_num_threads().clamp(1, n.max(1));
+    let chunk_size = n.max(1).div_ceil(chunk_count);
+    let sources: Vec<u32> = (0..n as u32).collect();
+    let chunks: Vec<&[u32]> = sources.chunks(chunk_size).collect();
+    let parts: Vec<Vec<Vec<f64>>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut scratch = BroadcastScratch::with_capacity(n);
+            let mut coverage = vec![SimTime::ZERO; fractions.len()];
+            let mut out = vec![Vec::with_capacity(chunk.len()); fractions.len()];
+            for &src in *chunk {
+                view.broadcast_into(NodeId::new(src), &mut scratch);
+                scratch.coverage_times_into(view, fractions, &mut coverage);
+                for (k, &c) in coverage.iter().enumerate() {
+                    out[k].push(c.as_ms());
+                }
+            }
+            out
+        })
+        .collect();
     let mut out = vec![Vec::with_capacity(n); fractions.len()];
-    for i in 0..n as u32 {
-        let prop = broadcast(topology, latency, population, NodeId::new(i));
-        for (k, &f) in fractions.iter().enumerate() {
-            out[k].push(prop.coverage_time(population, f).as_ms());
+    for part in parts {
+        for (k, column) in part.into_iter().enumerate() {
+            out[k].extend(column);
         }
     }
     out
@@ -455,8 +590,7 @@ mod tests {
     #[test]
     fn subset_rounds_reduce_propagation_delay() {
         let (mut engine, mut rng) = small_engine(150, ScoringMethod::Subset, 30, 2);
-        let before: f64 =
-            engine.evaluate(0.9).iter().sum::<f64>() / 150.0;
+        let before: f64 = engine.evaluate(0.9).iter().sum::<f64>() / 150.0;
         engine.run_rounds(12, &mut rng);
         let after: f64 = engine.evaluate(0.9).iter().sum::<f64>() / 150.0;
         assert!(

@@ -62,9 +62,8 @@ pub use adversary::EclipseAttacker;
 pub use config::PerigeeConfig;
 pub use discovery::AddressBook;
 pub use engine::{
-    evaluate_topology, evaluate_topology_multi, PerigeeEngine, PropagationMode, RoundStats,
+    evaluate_topology, evaluate_topology_multi, PerigeeEngine, PropagationMode, RoundObservations,
+    RoundStats,
 };
 pub use observation::{NodeObservations, ObservationCollector};
-pub use score::{
-    ScoringMethod, SelectionStrategy, SubsetScoring, UcbScoring, VanillaScoring,
-};
+pub use score::{ScoringMethod, SelectionStrategy, SubsetScoring, UcbScoring, VanillaScoring};

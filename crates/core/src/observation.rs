@@ -6,18 +6,22 @@
 //! timestamp is taken relative to the first time `v` heard about the block
 //! from any neighbor, which proxies the unknown mining time.
 
-use perigee_netsim::{LatencyModel, NodeId, Propagation, Topology};
+use perigee_netsim::{BroadcastScratch, LatencyModel, NodeId, Propagation, Topology, TopologyView};
 
 /// The normalized observations of one node over one round.
 ///
-/// Stored column-major: `neighbors[i]` is a neighbor, and
-/// `rel_times[b][i]` is the normalized relative timestamp `t̃ᵇu,v` of block
-/// `b` from that neighbor (`f64::INFINITY` when the neighbor never
-/// delivered — the paper's `t = ∞` convention).
+/// Stored as one flat row-major matrix: `neighbors[i]` is a neighbor and
+/// `times[b * neighbors.len() + i]` is the normalized relative timestamp
+/// `t̃ᵇu,v` of block `b` from that neighbor (`f64::INFINITY` when the
+/// neighbor never delivered — the paper's `t = ∞` convention). The flat
+/// layout means one buffer per node per *round*, not one per node per
+/// block, which keeps the engine's per-block hot path allocation-free
+/// after warm-up.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct NodeObservations {
     neighbors: Vec<NodeId>,
-    rel_times: Vec<Vec<f64>>,
+    blocks: usize,
+    times: Vec<f64>,
 }
 
 impl NodeObservations {
@@ -28,14 +32,17 @@ impl NodeObservations {
 
     /// Number of blocks observed.
     pub fn block_count(&self) -> usize {
-        self.rel_times.len()
+        self.blocks
     }
 
     /// The multiset `T̃u,v` of normalized times for neighbor `u`, in block
     /// order; empty if `u` was not a neighbor this round.
     pub fn times_for(&self, u: NodeId) -> Vec<f64> {
+        let stride = self.neighbors.len();
         match self.neighbors.iter().position(|&x| x == u) {
-            Some(i) => self.rel_times.iter().map(|row| row[i]).collect(),
+            Some(i) => (0..self.blocks)
+                .map(|b| self.times[b * stride + i])
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -43,15 +50,19 @@ impl NodeObservations {
     /// The normalized time of block `b` from neighbor `u`
     /// (`INFINITY` if unknown).
     pub fn time_of(&self, block: usize, u: NodeId) -> f64 {
+        let stride = self.neighbors.len();
         match self.neighbors.iter().position(|&x| x == u) {
-            Some(i) => self.rel_times.get(block).map_or(f64::INFINITY, |r| r[i]),
-            None => f64::INFINITY,
+            Some(i) if block < self.blocks => self.times[block * stride + i],
+            _ => f64::INFINITY,
         }
     }
 
-    /// Per-block rows (`rel_times[b][i]`, aligned with [`Self::neighbors`]).
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rel_times
+    /// Per-block rows, aligned with [`Self::neighbors`].
+    pub fn rows(&self) -> Vec<&[f64]> {
+        let stride = self.neighbors.len();
+        (0..self.blocks)
+            .map(|b| &self.times[b * stride..(b + 1) * stride])
+            .collect()
     }
 }
 
@@ -72,32 +83,60 @@ impl ObservationCollector {
         let per_node = (0..topology.len() as u32)
             .map(|i| NodeObservations {
                 neighbors: topology.neighbors(NodeId::new(i)),
-                rel_times: Vec::new(),
+                blocks: 0,
+                times: Vec::new(),
             })
             .collect();
         ObservationCollector { per_node }
     }
 
+    /// Snapshots the neighbor sets of a frozen [`TopologyView`] — same
+    /// sets as [`ObservationCollector::new`] on the view's source
+    /// topology, read from the CSR arrays instead of the `BTreeSet`s.
+    pub fn from_view(view: &TopologyView) -> Self {
+        let per_node = (0..view.len() as u32)
+            .map(|i| NodeObservations {
+                neighbors: view.neighbors(NodeId::new(i)).collect(),
+                blocks: 0,
+                times: Vec::new(),
+            })
+            .collect();
+        ObservationCollector { per_node }
+    }
+
+    /// Pre-allocates room for `blocks` further rows per node, so the
+    /// per-block recording never reallocates mid-round.
+    pub fn reserve_blocks(&mut self, blocks: usize) {
+        for obs in &mut self.per_node {
+            obs.times.reserve_exact(blocks * obs.neighbors.len());
+        }
+    }
+
     /// Records one block's propagation: appends, for every node, the
     /// normalized per-neighbor delivery times.
+    ///
+    /// Normalization is relative to the first delivery from any neighbor
+    /// (eq. 2). If no neighbor ever delivers, the row carries no
+    /// information and stays all-infinite.
     pub fn record<L: LatencyModel + ?Sized>(&mut self, propagation: &Propagation, latency: &L) {
         for (i, obs) in self.per_node.iter_mut().enumerate() {
             let v = NodeId::new(i as u32);
-            let mut row: Vec<f64> = obs
-                .neighbors
-                .iter()
-                .map(|&u| propagation.delivery(latency, u, v).as_ms())
-                .collect();
-            // Normalize relative to the first delivery from any neighbor
-            // (eq. 2). If no neighbor ever delivers, the row carries no
-            // information and stays all-infinite.
-            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            // Split the borrow: read neighbors while extending times.
+            let (neighbors, times) = (&obs.neighbors, &mut obs.times);
+            let start = times.len();
+            times.extend(
+                neighbors
+                    .iter()
+                    .map(|&u| propagation.delivery(latency, u, v).as_ms()),
+            );
+            let segment = &mut times[start..];
+            let min = segment.iter().copied().fold(f64::INFINITY, f64::min);
             if min.is_finite() {
-                for t in &mut row {
+                for t in segment {
                     *t -= min;
                 }
             }
-            obs.rel_times.push(row);
+            obs.blocks += 1;
         }
     }
 
@@ -108,22 +147,110 @@ impl ObservationCollector {
     pub fn record_gossip(&mut self, outcome: &perigee_netsim::GossipOutcome) {
         for (i, obs) in self.per_node.iter_mut().enumerate() {
             let v = NodeId::new(i as u32);
-            let mut row: Vec<f64> = obs
-                .neighbors
-                .iter()
-                .map(|&u| {
-                    outcome
-                        .neighbor_delivery(v, u)
-                        .map_or(f64::INFINITY, |t| t.as_ms())
-                })
-                .collect();
-            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            let (neighbors, times) = (&obs.neighbors, &mut obs.times);
+            let start = times.len();
+            times.extend(neighbors.iter().map(|&u| {
+                outcome
+                    .neighbor_delivery(v, u)
+                    .map_or(f64::INFINITY, |t| t.as_ms())
+            }));
+            let segment = &mut times[start..];
+            let min = segment.iter().copied().fold(f64::INFINITY, f64::min);
             if min.is_finite() {
-                for t in &mut row {
+                for t in segment {
                     *t -= min;
                 }
             }
-            obs.rel_times.push(row);
+            obs.blocks += 1;
+        }
+    }
+
+    /// Records one block flooded through a [`TopologyView`] into a
+    /// [`BroadcastScratch`]: per-neighbor delivery times come from the
+    /// view's **cached** edge latencies (`relay_start(u) + δ(u,v)`),
+    /// with no latency-model call per neighbor per block.
+    ///
+    /// Produces bit-identical rows to [`ObservationCollector::record`] on
+    /// the equivalent [`Propagation`], provided this collector was built
+    /// from the same view ([`ObservationCollector::from_view`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view covers a different number of nodes than this
+    /// collector.
+    pub fn record_scratch(&mut self, view: &TopologyView, scratch: &BroadcastScratch) {
+        assert_eq!(
+            self.per_node.len(),
+            view.len(),
+            "view/collector size mismatch"
+        );
+        let relay_at = scratch.relay_starts();
+        let source = scratch.source();
+        for (i, obs) in self.per_node.iter_mut().enumerate() {
+            let v = NodeId::new(i as u32);
+            let neighbors = view.neighbors_raw(v);
+            let delays = view.neighbor_delays(v);
+            let arrival = scratch.arrival(v);
+            let times = &mut obs.times;
+            let start = times.len();
+            // `relay + δ` is ∞ exactly when the relay never happened
+            // (∞ + finite = ∞ in IEEE-754), so no branch per entry.
+            if v != source && arrival.is_finite() {
+                // Fast path: for every node but the miner, the first
+                // delivery from any neighbor IS the first arrival (both
+                // are `min_u relay(u) + δ(u,v)`, computed from the same
+                // floats), so normalization fuses into the fill loop.
+                let min = arrival.as_ms();
+                times.extend(
+                    neighbors
+                        .iter()
+                        .zip(delays)
+                        .map(|(&u, &delay)| (relay_at[u as usize] + delay).as_ms() - min),
+                );
+            } else {
+                // The miner normalizes against its earliest *echo* (its
+                // own arrival is 0 at mining time), and unreached nodes
+                // keep their all-infinite row: two-pass like `record`.
+                times.extend(
+                    neighbors
+                        .iter()
+                        .zip(delays)
+                        .map(|(&u, &delay)| (relay_at[u as usize] + delay).as_ms()),
+                );
+                let segment = &mut times[start..];
+                let min = segment.iter().copied().fold(f64::INFINITY, f64::min);
+                if min.is_finite() {
+                    for t in segment {
+                        *t -= min;
+                    }
+                }
+            }
+            obs.blocks += 1;
+        }
+    }
+
+    /// Appends another collector's blocks after this one's, in order —
+    /// the merge step of the engine's parallel fan-out (each worker
+    /// collects a contiguous chunk of the round's blocks; appending the
+    /// chunks in block order reproduces the sequential collector exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two collectors snapshotted different node counts or
+    /// neighbor sets.
+    pub fn append(&mut self, other: ObservationCollector) {
+        assert_eq!(
+            self.per_node.len(),
+            other.per_node.len(),
+            "node count mismatch"
+        );
+        for (mine, theirs) in self.per_node.iter_mut().zip(other.per_node) {
+            assert_eq!(
+                mine.neighbors, theirs.neighbors,
+                "neighbor snapshot mismatch"
+            );
+            mine.times.extend(theirs.times);
+            mine.blocks += theirs.blocks;
         }
     }
 

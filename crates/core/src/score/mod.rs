@@ -65,13 +65,22 @@ pub enum ScoringMethod {
 
 impl ScoringMethod {
     /// All three methods, in paper order.
-    pub const ALL: [ScoringMethod; 3] =
-        [ScoringMethod::Vanilla, ScoringMethod::Ucb, ScoringMethod::Subset];
+    pub const ALL: [ScoringMethod; 3] = [
+        ScoringMethod::Vanilla,
+        ScoringMethod::Ucb,
+        ScoringMethod::Subset,
+    ];
 
     /// Instantiates the strategy for a network of `n` nodes, retaining
     /// `retain_count` neighbors (Vanilla/Subset) and scoring at
     /// `percentile`; `ucb_c` is the confidence-width constant of eqs. (3–4).
-    pub fn strategy(self, n: usize, retain_count: usize, percentile: f64, ucb_c: f64) -> Box<dyn SelectionStrategy> {
+    pub fn strategy(
+        self,
+        n: usize,
+        retain_count: usize,
+        percentile: f64,
+        ucb_c: f64,
+    ) -> Box<dyn SelectionStrategy> {
         match self {
             ScoringMethod::Vanilla => Box::new(VanillaScoring::new(retain_count, percentile)),
             ScoringMethod::Ucb => Box::new(UcbScoring::new(n, percentile, ucb_c)),

@@ -132,8 +132,7 @@ mod tests {
     use super::*;
     use crate::observation::ObservationCollector;
     use perigee_netsim::{
-        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime,
-        Topology,
+        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime, Topology,
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;

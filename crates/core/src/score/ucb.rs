@@ -97,7 +97,12 @@ impl UcbScoring {
         let h = &mut self.history[v.index()];
         for &u in outgoing {
             let entry = h.entry(u).or_default();
-            entry.extend(observations.times_for(u).into_iter().filter(|t| t.is_finite()));
+            entry.extend(
+                observations
+                    .times_for(u)
+                    .into_iter()
+                    .filter(|t| t.is_finite()),
+            );
         }
     }
 
@@ -119,10 +124,8 @@ impl SelectionStrategy for UcbScoring {
         if outgoing.len() <= 1 {
             return outgoing.to_vec();
         }
-        let bounds: Vec<(NodeId, ConfidenceBounds)> = outgoing
-            .iter()
-            .map(|&u| (u, self.bounds(v, u)))
-            .collect();
+        let bounds: Vec<(NodeId, ConfidenceBounds)> =
+            outgoing.iter().map(|&u| (u, self.bounds(v, u))).collect();
         // max lcb (worst plausible neighbor) vs min ucb (best pessimistic).
         let (worst, worst_b) = bounds
             .iter()
@@ -158,8 +161,7 @@ mod tests {
     use super::*;
     use crate::observation::ObservationCollector;
     use perigee_netsim::{
-        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime,
-        Topology,
+        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime, Topology,
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;

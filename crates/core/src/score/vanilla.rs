@@ -69,8 +69,7 @@ impl SelectionStrategy for VanillaScoring {
 mod tests {
     use super::*;
     use perigee_netsim::{
-        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime,
-        Topology,
+        broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime, Topology,
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;

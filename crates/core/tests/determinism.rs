@@ -1,0 +1,129 @@
+//! The parallel round engine must be *bit-identical* to the sequential
+//! path: same RoundStats floats, same learned topology, same observation
+//! rows — and the view-based propagation must reproduce the legacy
+//! per-call `broadcast()` + `ObservationCollector::record` pipeline
+//! exactly.
+
+use perigee_core::{
+    ObservationCollector, PerigeeConfig, PerigeeEngine, PropagationMode, ScoringMethod,
+};
+use perigee_netsim::{
+    broadcast, ConnectionLimits, GeoLatencyModel, GossipConfig, MinerSampler, NodeId,
+    PopulationBuilder,
+};
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine(n: usize, blocks: usize, seed: u64) -> (PerigeeEngine<GeoLatencyModel>, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+    let lat = GeoLatencyModel::new(&pop, seed);
+    let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+    let mut cfg = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    cfg.blocks_per_round = blocks;
+    let engine = PerigeeEngine::new(pop, lat, topo, ScoringMethod::Subset, cfg).unwrap();
+    (engine, rng)
+}
+
+/// Parallel fan-out vs forced single-thread: every per-round statistic is
+/// the same IEEE-754 value, and the learned topologies match edge for
+/// edge.
+#[test]
+fn parallel_rounds_are_bit_identical_to_sequential() {
+    let (mut par, mut rng_par) = engine(150, 30, 42);
+    let (mut seq, mut rng_seq) = engine(150, 30, 42);
+    par.set_parallel(true);
+    seq.set_parallel(false);
+    for _ in 0..4 {
+        let a = par.run_round(&mut rng_par);
+        let b = seq.run_round(&mut rng_seq);
+        assert_eq!(a, b, "RoundStats must match bit for bit");
+    }
+    assert_eq!(par.topology(), seq.topology());
+    assert_eq!(
+        par.evaluate(0.9),
+        seq.evaluate(0.9),
+        "static evaluation must not depend on the thread count"
+    );
+}
+
+/// The same holds when the thread count is pinned through the rayon pool
+/// rather than the engine flag.
+#[test]
+fn pinned_thread_pool_matches_default_pool() {
+    let (engine_a, mut rng) = engine(120, 25, 7);
+    let miners = MinerSampler::new(engine_a.population()).sample_round(25, &mut rng);
+    let wide = engine_a.observe_round(&miners);
+    let narrow = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| engine_a.observe_round(&miners));
+    assert_eq!(wide.lambda90_ms(), narrow.lambda90_ms());
+    assert_eq!(wide.lambda50_ms(), narrow.lambda50_ms());
+    assert_eq!(wide.observations(), narrow.observations());
+}
+
+/// The view-based propagation phase reproduces the legacy sequential
+/// pipeline — per-call `broadcast()`, `record()` against the latency
+/// model, `coverage_time()` per fraction — bit for bit.
+#[test]
+fn observe_round_matches_legacy_pipeline() {
+    let (engine_a, mut rng) = engine(130, 20, 11);
+    let miners = MinerSampler::new(engine_a.population()).sample_round(20, &mut rng);
+
+    let round = engine_a.observe_round(&miners);
+
+    let mut collector = ObservationCollector::new(engine_a.topology());
+    let mut legacy90 = Vec::new();
+    let mut legacy50 = Vec::new();
+    for &miner in &miners {
+        let prop = broadcast(
+            engine_a.topology(),
+            engine_a.latency(),
+            engine_a.population(),
+            miner,
+        );
+        legacy90.push(prop.coverage_time(engine_a.population(), 0.9).as_ms());
+        legacy50.push(prop.coverage_time(engine_a.population(), 0.5).as_ms());
+        collector.record(&prop, engine_a.latency());
+    }
+    let legacy_obs = collector.finish();
+
+    assert_eq!(round.lambda90_ms(), legacy90.as_slice());
+    assert_eq!(round.lambda50_ms(), legacy50.as_slice());
+    assert_eq!(round.observations(), legacy_obs.as_slice());
+}
+
+/// Gossip-mode rounds go through the same chunked fan-out; they too must
+/// not depend on the thread count.
+#[test]
+fn gossip_mode_is_thread_count_independent() {
+    let (mut par, mut rng_par) = engine(80, 12, 23);
+    let (mut seq, mut rng_seq) = engine(80, 12, 23);
+    par.set_propagation_mode(PropagationMode::Gossip(GossipConfig::inv_getdata(0.0)));
+    seq.set_propagation_mode(PropagationMode::Gossip(GossipConfig::inv_getdata(0.0)));
+    seq.set_parallel(false);
+    for _ in 0..3 {
+        let a = par.run_round(&mut rng_par);
+        let b = seq.run_round(&mut rng_seq);
+        assert_eq!(a, b);
+    }
+    assert_eq!(par.topology(), seq.topology());
+}
+
+/// Observation rows from the view path match the legacy collector on the
+/// exact same flood, node by node and neighbor by neighbor.
+#[test]
+fn per_neighbor_rows_match_legacy_exactly() {
+    let (engine_a, _) = engine(90, 5, 31);
+    let miners: Vec<NodeId> = (0..5).map(|i| NodeId::new(i * 13)).collect();
+    let round = engine_a.observe_round(&miners);
+    for i in 0..90u32 {
+        let v = NodeId::new(i);
+        let obs = &round.observations()[v.index()];
+        assert_eq!(obs.neighbors(), engine_a.topology().neighbors(v));
+        assert_eq!(obs.block_count(), 5);
+    }
+}

@@ -2,8 +2,8 @@
 //! the open questions in §3.2/§6: how many exploration links? which
 //! percentile? how long a round?).
 
-use perigee_metrics::{DelayCurve, Table};
 use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_metrics::{DelayCurve, Table};
 use perigee_netsim::ConnectionLimits;
 use perigee_topology::{RandomBuilder, TopologyBuilder};
 use rand::rngs::StdRng;

@@ -377,10 +377,18 @@ mod tests {
             "lure failed: in-degree {}",
             r.lure_in_degree
         );
-        // After withholding, scoring evicts it almost completely.
+        // After withholding, scoring evicts it almost completely; what
+        // survives is this round's random exploration picks, the same
+        // noise floor the free-rider test tolerates (≈ 2·n/100 links).
         assert!(
-            r.post_attack_in_degree <= 2,
+            r.post_attack_in_degree <= 6,
             "attacker in-degree {} -> {}",
+            r.lure_in_degree,
+            r.post_attack_in_degree
+        );
+        assert!(
+            r.post_attack_in_degree <= r.lure_in_degree / 2,
+            "eviction must at least halve the lure in-degree: {} -> {}",
             r.lure_in_degree,
             r.post_attack_in_degree
         );

@@ -107,14 +107,9 @@ fn run_one(scenario: &Scenario, seed: u64, block_size_mb: f64) -> BandwidthPoint
 
     let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
     config.blocks_per_round = scenario.blocks_per_round;
-    let mut engine = PerigeeEngine::new(
-        population,
-        latency,
-        topology,
-        ScoringMethod::Subset,
-        config,
-    )
-    .expect("valid scenario");
+    let mut engine =
+        PerigeeEngine::new(population, latency, topology, ScoringMethod::Subset, config)
+            .expect("valid scenario");
     engine.set_propagation_mode(PropagationMode::Gossip(gossip));
 
     let random_median90_ms = percentile_or_inf(&engine.evaluate_in_mode(scenario.coverage), 50.0);

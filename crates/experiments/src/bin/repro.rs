@@ -241,7 +241,10 @@ fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<
             banner("Churn");
             let r = adversary::run_churn(scenario, scenario.seeds[0], scenario.nodes / 50);
             let mut t = Table::new(vec!["setting".into(), "median λ90 (ms)".into()]);
-            t.row(vec!["stable".into(), format!("{:.1}", r.stable_median90_ms)]);
+            t.row(vec![
+                "stable".into(),
+                format!("{:.1}", r.stable_median90_ms),
+            ]);
             t.row(vec![
                 format!("churn ({} resets/round)", r.resets_per_round),
                 format!("{:.1}", r.churn_median90_ms),

@@ -76,24 +76,13 @@ pub fn run(algorithm: Algorithm, scenario: &Scenario, seed: u64) -> ConvergenceR
     );
     let mut config = PerigeeConfig::paper_default(method);
     config.blocks_per_round = scenario.blocks_per_round;
-    let mut engine = PerigeeEngine::new(
-        world.population,
-        world.latency,
-        topology,
-        method,
-        config,
-    )
-    .expect("valid scenario");
+    let mut engine = PerigeeEngine::new(world.population, world.latency, topology, method, config)
+        .expect("valid scenario");
 
     let mut median90 = Vec::with_capacity(scenario.rounds + 1);
     let mut median50 = Vec::with_capacity(scenario.rounds + 1);
     let measure = |e: &PerigeeEngine<crate::runner::WorldLatency>| {
-        let vals = evaluate_topology_multi(
-            e.topology(),
-            e.latency(),
-            e.population(),
-            &[0.9, 0.5],
-        );
+        let vals = evaluate_topology_multi(e.topology(), e.latency(), e.population(), &[0.9, 0.5]);
         (
             percentile_or_inf(&vals[0], 50.0),
             percentile_or_inf(&vals[1], 50.0),
@@ -138,8 +127,7 @@ mod tests {
         // Late rounds are better than the start (convergence, allowing
         // small non-monotonic wiggles).
         let first = r.median90_by_round[0];
-        let tail_mean: f64 =
-            r.median90_by_round[8..].iter().sum::<f64>() / 3.0;
+        let tail_mean: f64 = r.median90_by_round[8..].iter().sum::<f64>() / 3.0;
         assert!(tail_mean < first);
         assert_eq!(r.table().len(), 11);
     }

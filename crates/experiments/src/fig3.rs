@@ -132,7 +132,12 @@ pub fn run(scenario: &Scenario) -> Fig3Result {
 /// `node_index, <one column per algorithm>`.
 pub fn curves_csv(result: &Fig3Result) -> Table {
     let mut headers = vec!["node".to_string()];
-    headers.extend(result.results.iter().map(|r| r.algorithm.name().to_string()));
+    headers.extend(
+        result
+            .results
+            .iter()
+            .map(|r| r.algorithm.name().to_string()),
+    );
     let mut t = Table::new(headers);
     let n = result.results[0].mean90.len();
     for i in 0..n {

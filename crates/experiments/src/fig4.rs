@@ -129,7 +129,10 @@ impl SpecialWorldResult {
     /// Summary table.
     pub fn table(&self) -> Table {
         let mut t = Table::new(vec!["algorithm".into(), "median λ90 (ms)".into()]);
-        t.row(vec!["random".into(), format!("{:.1}", self.random.median())]);
+        t.row(vec![
+            "random".into(),
+            format!("{:.1}", self.random.median()),
+        ]);
         t.row(vec![
             "perigee-subset".into(),
             format!("{:.1}", self.perigee.median()),
@@ -140,11 +143,14 @@ impl SpecialWorldResult {
 }
 
 fn run_special(scenario: Scenario) -> SpecialWorldResult {
-    let jobs: Vec<(Algorithm, u64)> =
-        [Algorithm::PerigeeSubset, Algorithm::Random, Algorithm::Ideal]
-            .iter()
-            .flat_map(|&a| scenario.seeds.iter().map(move |&s| (a, s)))
-            .collect();
+    let jobs: Vec<(Algorithm, u64)> = [
+        Algorithm::PerigeeSubset,
+        Algorithm::Random,
+        Algorithm::Ideal,
+    ]
+    .iter()
+    .flat_map(|&a| scenario.seeds.iter().map(move |&s| (a, s)))
+    .collect();
     let outputs = run_parallel(jobs, &scenario);
     let mean_of = |algo: Algorithm| {
         let curves: Vec<DelayCurve> = outputs

@@ -84,7 +84,11 @@ pub fn edge_histogram(run: &RunOutput, bins: usize, max_ms: f64, split_ms: f64) 
         algorithm: run.algorithm,
         histogram,
         low_mode_fraction,
-        mean_latency_ms: if edges.is_empty() { 0.0 } else { sum / edges.len() as f64 },
+        mean_latency_ms: if edges.is_empty() {
+            0.0
+        } else {
+            sum / edges.len() as f64
+        },
     }
 }
 
@@ -93,10 +97,7 @@ pub fn run(scenario: &Scenario) -> Fig5Result {
     // One seed suffices for a histogram over thousands of edges; use the
     // first scenario seed for reproducibility.
     let seed = scenario.seeds.first().copied().unwrap_or(1);
-    let outputs = run_parallel(
-        FIG5_ALGORITHMS.iter().map(|&a| (a, seed)),
-        scenario,
-    );
+    let outputs = run_parallel(FIG5_ALGORITHMS.iter().map(|&a| (a, seed)), scenario);
     // The geo matrix's intra-continent delays top out around 40 ms (plus
     // jitter); 60 ms separates the two modes cleanly.
     let split = 60.0;

@@ -3,6 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use perigee_core::{evaluate_topology_multi, PerigeeConfig, PerigeeEngine, ScoringMethod};
 use perigee_metrics::DelayCurve;
@@ -218,9 +219,8 @@ pub fn run_algorithm(algorithm: Algorithm, scenario: &Scenario, seed: u64) -> Ru
                 ScoringMethod::Ucb => scenario.rounds * scenario.blocks_per_round,
                 _ => scenario.rounds,
             };
-            let mut engine =
-                PerigeeEngine::new(population, latency, topology, method, config)
-                    .expect("scenario configuration is valid");
+            let mut engine = PerigeeEngine::new(population, latency, topology, method, config)
+                .expect("scenario configuration is valid");
             for _ in 0..rounds {
                 let stats = engine.run_round(&mut rng);
                 per_round.push(stats.mean_lambda90_ms);
@@ -232,12 +232,8 @@ pub fn run_algorithm(algorithm: Algorithm, scenario: &Scenario, seed: u64) -> Ru
         }
     };
 
-    let mut curves = evaluate_topology_multi(
-        &topology,
-        &latency,
-        &population,
-        &[scenario.coverage, 0.5],
-    );
+    let mut curves =
+        evaluate_topology_multi(&topology, &latency, &population, &[scenario.coverage, 0.5]);
     let curve50 = DelayCurve::from_values(curves.pop().expect("two fractions"));
     let curve90 = DelayCurve::from_values(curves.pop().expect("one fraction"));
 
@@ -258,40 +254,26 @@ pub fn run_algorithm(algorithm: Algorithm, scenario: &Scenario, seed: u64) -> Ru
 pub fn run_seeds(algorithm: Algorithm, scenario: &Scenario) -> (Vec<RunOutput>, DelayCurve) {
     let outputs = run_parallel(scenario.seeds.iter().map(|&s| (algorithm, s)), scenario);
     let mean = DelayCurve::pointwise_mean(
-        &outputs.iter().map(|o| o.curve90.clone()).collect::<Vec<_>>(),
+        &outputs
+            .iter()
+            .map(|o| o.curve90.clone())
+            .collect::<Vec<_>>(),
     );
     (outputs, mean)
 }
 
-/// Runs a set of (algorithm, seed) jobs on worker threads.
+/// Runs a set of (algorithm, seed) jobs across the rayon pool, returning
+/// outputs in job order. Every cell is an independent deterministic
+/// simulation (its own seeded RNG), so the parallel fan-out is observably
+/// identical to a sequential loop.
 pub fn run_parallel<I>(jobs: I, scenario: &Scenario) -> Vec<RunOutput>
 where
     I: IntoIterator<Item = (Algorithm, u64)>,
 {
     let jobs: Vec<(Algorithm, u64)> = jobs.into_iter().collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    let results = parking_lot::Mutex::new(Vec::with_capacity(jobs.len()));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (algo, seed) = jobs[i];
-                let out = run_algorithm(algo, scenario, seed);
-                results.lock().push((i, out));
-            });
-        }
-    })
-    .expect("worker threads do not panic");
-    let mut results = results.into_inner();
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, o)| o).collect()
+    jobs.par_iter()
+        .map(|&(algo, seed)| run_algorithm(algo, scenario, seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -312,7 +294,11 @@ mod tests {
     #[test]
     fn static_algorithms_produce_full_curves() {
         let s = tiny();
-        for algo in [Algorithm::Random, Algorithm::Geographic, Algorithm::Kademlia] {
+        for algo in [
+            Algorithm::Random,
+            Algorithm::Geographic,
+            Algorithm::Kademlia,
+        ] {
             let out = run_algorithm(algo, &s, 7);
             assert_eq!(out.curve90.len(), 80);
             assert!(out.per_round_lambda90.is_empty());
@@ -367,10 +353,7 @@ mod tests {
     #[test]
     fn run_parallel_preserves_job_order() {
         let s = tiny();
-        let outs = run_parallel(
-            vec![(Algorithm::Random, 1), (Algorithm::Ideal, 2)],
-            &s,
-        );
+        let outs = run_parallel(vec![(Algorithm::Random, 1), (Algorithm::Ideal, 2)], &s);
         assert_eq!(outs[0].algorithm, Algorithm::Random);
         assert_eq!(outs[0].seed, 1);
         assert_eq!(outs[1].algorithm, Algorithm::Ideal);

@@ -31,7 +31,10 @@ impl DelayCurve {
     ///
     /// Panics if any value is NaN.
     pub fn from_values(mut values: Vec<f64>) -> Self {
-        assert!(values.iter().all(|v| !v.is_nan()), "curve values must not be NaN");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "curve values must not be NaN"
+        );
         values.sort_by(|a, b| a.total_cmp(b));
         DelayCurve { values }
     }

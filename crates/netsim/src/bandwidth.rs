@@ -102,7 +102,7 @@ mod tests {
     fn bottleneck_is_min_of_up_and_down() {
         let p = pop(&[100.0, 8.0], &[4.0, 50.0]);
         let m = TransferModel::new(1.0); // 8 Mbit
-        // 0 -> 1: min(up0=100, down1=50) = 50 Mbps -> 160 ms
+                                         // 0 -> 1: min(up0=100, down1=50) = 50 Mbps -> 160 ms
         let t01 = m.transfer_time(&p, NodeId::new(0), NodeId::new(1));
         assert!((t01.as_ms() - 160.0).abs() < 1e-6);
         // 1 -> 0: min(up1=8, down0=4) = 4 Mbps -> 2000 ms

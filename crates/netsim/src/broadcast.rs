@@ -11,14 +11,12 @@
 //! `tᵇu,v` at which `u` delivered (or would deliver) the block to `v` —
 //! the raw measurements Perigee's observation sets are built from.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
-use crate::node::{Behavior, NodeId};
+use crate::node::NodeId;
 use crate::population::Population;
 use crate::time::SimTime;
+use crate::view::{coverage_scan, BroadcastScratch, TopologyView};
 
 /// The outcome of flooding a single block from a source.
 ///
@@ -50,6 +48,20 @@ pub struct Propagation {
 }
 
 impl Propagation {
+    /// Assembles a propagation from raw per-node times (used by the view
+    /// engine to hand over scratch buffers without copying).
+    pub(crate) fn from_parts(
+        source: NodeId,
+        arrival: Vec<SimTime>,
+        relay_at: Vec<SimTime>,
+    ) -> Self {
+        Propagation {
+            source,
+            arrival,
+            relay_at,
+        }
+    }
+
     /// The miner of the block.
     #[inline]
     pub fn source(&self) -> NodeId {
@@ -96,85 +108,61 @@ impl Propagation {
     /// The time by which nodes holding at least `fraction` of total hash
     /// power have the block (`λv` of §2.2 when `fraction = 0.9`), or
     /// `INFINITY` if never.
+    ///
+    /// When several fractions are needed from the same flood, prefer
+    /// [`Propagation::coverage_times`], which sorts the weighted arrivals
+    /// once instead of once per call.
     pub fn coverage_time(&self, population: &Population, fraction: f64) -> SimTime {
+        self.coverage_times(population, &[fraction])[0]
+    }
+
+    /// Computes λ(fraction) for every entry of `fractions` from a single
+    /// sort of the weighted arrivals (the engine reads both λ50 and λ90
+    /// per block).
+    pub fn coverage_times(&self, population: &Population, fractions: &[f64]) -> Vec<SimTime> {
         let mut weighted: Vec<(SimTime, f64)> = self
             .arrival
             .iter()
             .enumerate()
             .map(|(i, &t)| (t, population.hash_power(NodeId::new(i as u32))))
             .collect();
-        weighted.sort_by_key(|&(t, _)| t);
-        let mut acc = 0.0;
-        for (t, w) in weighted {
-            acc += w;
-            if acc >= fraction - 1e-12 {
-                return t;
-            }
-        }
-        SimTime::INFINITY
+        weighted.sort_unstable_by_key(|&(t, _)| t);
+        fractions
+            .iter()
+            .map(|&f| coverage_scan(&weighted, f))
+            .collect()
     }
 }
 
 /// Floods one block from `source` over `topology` and returns all arrival
 /// and relay times.
 ///
-/// Behavioural deviations are honoured: [`Behavior::Silent`] nodes receive
-/// but never relay; [`Behavior::Delay`] nodes add their extra delay before
-/// relaying. The miner relays its own block without validating it; every
-/// other node validates (`Δu`) between first receipt and relaying.
+/// Behavioural deviations are honoured: [`Behavior`](crate::Behavior)
+/// `Silent` nodes receive but never relay; `Delay` nodes add their extra
+/// delay before relaying. The miner relays its own block without
+/// validating it; every other node validates (`Δu`) between first receipt
+/// and relaying.
+///
+/// This is a thin convenience wrapper that snapshots a [`TopologyView`] on
+/// the fly and floods once through it. When flooding many blocks over one
+/// topology (the engine's round loop, static evaluations), build the view
+/// once and reuse a [`BroadcastScratch`] instead — same results, bit for
+/// bit, with zero allocation per block.
 pub fn broadcast<L: LatencyModel + ?Sized>(
     topology: &Topology,
     latency: &L,
     population: &Population,
     source: NodeId,
 ) -> Propagation {
-    let n = topology.len();
-    debug_assert_eq!(n, population.len(), "topology and population must agree");
-    let mut arrival = vec![SimTime::INFINITY; n];
-    let mut relay_at = vec![SimTime::INFINITY; n];
-    let mut heap: BinaryHeap<Reverse<(SimTime, NodeId)>> = BinaryHeap::new();
-
-    arrival[source.index()] = SimTime::ZERO;
-    heap.push(Reverse((SimTime::ZERO, source)));
-
-    while let Some(Reverse((t, u))) = heap.pop() {
-        if t > arrival[u.index()] {
-            continue; // stale entry
-        }
-        let relay = relay_time(population, u, t, u == source);
-        relay_at[u.index()] = relay;
-        if relay.is_infinite() {
-            continue; // silent node: absorbs the block
-        }
-        for v in topology.neighbors(u) {
-            let tv = relay + latency.delay(u, v);
-            if tv < arrival[v.index()] {
-                arrival[v.index()] = tv;
-                heap.push(Reverse((tv, v)));
-            }
-        }
-    }
-
-    Propagation {
-        source,
-        arrival,
-        relay_at,
-    }
-}
-
-/// When `u`, having first received the block at `t`, starts relaying it.
-fn relay_time(population: &Population, u: NodeId, t: SimTime, is_miner: bool) -> SimTime {
-    let profile = population.profile(u);
-    let validated = if is_miner {
-        t // the miner does not re-validate its own block
-    } else {
-        t + profile.validation_delay
-    };
-    match profile.behavior {
-        Behavior::Honest => validated,
-        Behavior::Silent => SimTime::INFINITY,
-        Behavior::Delay(extra) => validated + extra,
-    }
+    debug_assert_eq!(
+        topology.len(),
+        population.len(),
+        "topology and population must agree"
+    );
+    let view = TopologyView::new(topology, latency, population);
+    let mut scratch = BroadcastScratch::with_capacity(topology.len());
+    view.broadcast_into(source, &mut scratch);
+    scratch.into_propagation()
 }
 
 #[cfg(test)]
@@ -182,7 +170,7 @@ mod tests {
     use super::*;
     use crate::graph::ConnectionLimits;
     use crate::latency::MetricLatencyModel;
-    use crate::node::NodeProfile;
+    use crate::node::{Behavior, NodeProfile};
     use crate::population::Population;
 
     /// A tiny deterministic world: nodes on a line at given 1-d coords,

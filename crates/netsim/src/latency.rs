@@ -381,7 +381,10 @@ mod tests {
             }
         }
         let (mi, mx) = (intra.0 / intra.1 as f64, inter.0 / inter.1 as f64);
-        assert!(mi * 1.5 < mx, "intra {mi:.1} should be well below inter {mx:.1}");
+        assert!(
+            mi * 1.5 < mx,
+            "intra {mi:.1} should be well below inter {mx:.1}"
+        );
     }
 
     #[test]

@@ -19,10 +19,28 @@
 //! * [`broadcast()`] — the fast analytic propagation engine (Dijkstra over the
 //!   store-validate-forward flood), exposing both first arrivals and the
 //!   per-neighbor delivery times `tᵇu,v` that Perigee observes.
+//! * [`TopologyView`] + [`BroadcastScratch`] — the propagation substrate
+//!   underneath: a frozen CSR snapshot of the overlay with per-edge
+//!   latencies precomputed once, flooded allocation-free any number of
+//!   times. [`broadcast()`] is a thin per-call wrapper over it.
 //! * [`gossip_block`] — a message-level event-driven engine (direct flood or
 //!   Bitcoin's `INV`/`GETDATA` exchange with bandwidth), cross-validated
 //!   against the analytic engine.
 //! * [`MinerSampler`] — hash-power-proportional block sources.
+//!
+//! ## Snapshot lifecycle and determinism
+//!
+//! A [`TopologyView`] freezes `(topology, latency, population)` at a point
+//! in time: build one per Perigee round (connection updates run
+//! synchronously *between* rounds, §2.1, so a round sees a constant
+//! overlay), flood all of the round's blocks through it — from as many
+//! threads as you like, each with its own [`BroadcastScratch`] — and drop
+//! it before the next rewiring. Floods through a view are **bit-identical**
+//! to [`broadcast()`] on the source topology: identical adjacency order,
+//! identical cached `δ(u,v)` values, identical heap tie-breaking. Blocks
+//! within a round are mutually independent (no RNG is consumed inside a
+//! flood), which is what makes the engine's parallel fan-out exactly
+//! reproducible.
 //!
 //! ## Example: measure a block broadcast
 //!
@@ -68,6 +86,7 @@ pub mod mining;
 pub mod node;
 pub mod population;
 pub mod time;
+pub mod view;
 
 pub use bandwidth::TransferModel;
 pub use broadcast::{broadcast, Propagation};
@@ -76,10 +95,11 @@ pub use event::EventQueue;
 pub use gossip::{gossip_block, GossipConfig, GossipMode, GossipOutcome};
 pub use graph::{ConnectionLimits, Topology};
 pub use latency::{
-    GeoLatencyModel, LatencyModel, MetricLatencyModel, OverrideLatencyModel,
-    ACCESS_DELAY_RANGE_MS, REGION_CENTERS_MS, REGION_RADIUS_MS,
+    GeoLatencyModel, LatencyModel, MetricLatencyModel, OverrideLatencyModel, ACCESS_DELAY_RANGE_MS,
+    REGION_CENTERS_MS, REGION_RADIUS_MS,
 };
 pub use mining::MinerSampler;
 pub use node::{Behavior, NodeId, NodeProfile, Region};
 pub use population::{HashPowerDist, Population, PopulationBuilder, ValidationDist};
 pub use time::SimTime;
+pub use view::{BroadcastScratch, TopologyView};

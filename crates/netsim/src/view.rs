@@ -1,0 +1,546 @@
+//! Frozen, flood-optimized topology snapshots.
+//!
+//! [`Topology`] is built for *mutation*: per-node `BTreeSet`s give cheap
+//! connect/disconnect with deterministic iteration, but make the flood hot
+//! path allocate a fresh neighbor vector per visited node and recompute
+//! `δ(u,v)` (a hash + square root for the geographic model) per edge per
+//! block. A [`TopologyView`] freezes the communication graph
+//! (out ∪ in ∪ pinned) into CSR arrays — flat `offsets`/`edges` with the
+//! per-edge latency and per-node relay profile precomputed **once** — so
+//! that [`TopologyView::broadcast_into`] performs zero heap allocation and
+//! zero latency-model calls per block.
+//!
+//! # Lifecycle
+//!
+//! A view is a *snapshot*: build one per round (or per static evaluation),
+//! flood any number of blocks through it, drop it before mutating the
+//! topology again. The engine rebuilds its view at the start of every
+//! round, which keeps the §2.1 synchronous-round semantics: neighbor sets
+//! and latencies are constant within a round by construction.
+//!
+//! # Determinism
+//!
+//! `broadcast_into` reproduces [`broadcast`](crate::broadcast()) **bit for
+//! bit**: adjacency is stored in the same ascending-id order
+//! [`Topology::neighbors`] yields, cached latencies are the exact `f64`s
+//! the latency model returns, and the Dijkstra heap orders ties identically
+//! — so arrival, relay and delivery times are the same IEEE-754 values
+//! whichever engine computed them, on any thread.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::broadcast::Propagation;
+use crate::graph::Topology;
+use crate::latency::LatencyModel;
+use crate::node::{Behavior, NodeId};
+use crate::population::Population;
+use crate::time::SimTime;
+
+/// How a node relays once it first holds a block (resolved from
+/// [`Behavior`] and the validation delay at snapshot time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RelayProfile {
+    /// Validates for the given delay, then relays.
+    Honest { validation: SimTime },
+    /// Receives but never relays.
+    Silent,
+    /// Validates, then waits `extra` before relaying.
+    Delayed { validation: SimTime, extra: SimTime },
+}
+
+impl RelayProfile {
+    #[inline]
+    fn relay_time(self, t: SimTime, is_miner: bool) -> SimTime {
+        match self {
+            RelayProfile::Honest { validation } => {
+                if is_miner {
+                    t
+                } else {
+                    t + validation
+                }
+            }
+            RelayProfile::Silent => SimTime::INFINITY,
+            RelayProfile::Delayed { validation, extra } => {
+                let validated = if is_miner { t } else { t + validation };
+                validated + extra
+            }
+        }
+    }
+}
+
+/// A frozen CSR snapshot of a [`Topology`] with per-edge latencies and
+/// per-node relay profiles precomputed.
+///
+/// # Examples
+///
+/// ```
+/// use perigee_netsim::{
+///     broadcast, BroadcastScratch, ConnectionLimits, GeoLatencyModel, NodeId,
+///     PopulationBuilder, Topology, TopologyView,
+/// };
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pop = PopulationBuilder::new(50).build(&mut rng).unwrap();
+/// let lat = GeoLatencyModel::new(&pop, 1);
+/// let mut topo = Topology::new(50, ConnectionLimits::paper_default());
+/// for i in 0..50u32 {
+///     topo.connect(NodeId::new(i), NodeId::new((i + 1) % 50))?;
+/// }
+///
+/// let view = TopologyView::new(&topo, &lat, &pop);
+/// let mut scratch = BroadcastScratch::new();
+/// view.broadcast_into(NodeId::new(0), &mut scratch);
+/// // Bit-identical to the legacy engine.
+/// let legacy = broadcast(&topo, &lat, &pop, NodeId::new(0));
+/// assert_eq!(scratch.arrivals(), legacy.arrivals());
+/// # Ok::<(), perigee_netsim::ConnectError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyView {
+    /// CSR row starts: node `u`'s adjacency is `edges[offsets[u]..offsets[u+1]]`.
+    offsets: Vec<usize>,
+    /// Neighbor ids, ascending within each node (the [`Topology::neighbors`] order).
+    edges: Vec<u32>,
+    /// `δ(u, edges[e])` for every directed adjacency entry, cached once.
+    delay: Vec<SimTime>,
+    /// Per-node relay profile (validation delay + behavior).
+    relay: Vec<RelayProfile>,
+    /// Per-node hash power `fv` (for coverage times).
+    hash_power: Vec<f64>,
+    /// When every node holds bit-identical hash power (the paper's default
+    /// uniform setting), coverage times reduce to an order statistic of
+    /// the arrivals — computed by selection instead of a full sort.
+    uniform_weight: Option<f64>,
+}
+
+impl TopologyView {
+    /// Snapshots `topology` with latencies from `latency` and relay
+    /// profiles from `population`.
+    ///
+    /// Cost: one `δ(u,v)` evaluation per directed edge — paid once instead
+    /// of once per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology, latency model and population disagree on
+    /// the node count.
+    pub fn new<L: LatencyModel + ?Sized>(
+        topology: &Topology,
+        latency: &L,
+        population: &Population,
+    ) -> Self {
+        let n = topology.len();
+        assert_eq!(n, population.len(), "topology and population must agree");
+        assert_eq!(n, latency.len(), "topology and latency model must agree");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::new();
+        let mut delay = Vec::new();
+        offsets.push(0);
+        for i in 0..n as u32 {
+            let u = NodeId::new(i);
+            for v in topology.neighbors(u) {
+                edges.push(v.as_u32());
+                delay.push(latency.delay(u, v));
+            }
+            offsets.push(edges.len());
+        }
+        let relay = population
+            .iter()
+            .map(|p| match p.behavior {
+                Behavior::Honest => RelayProfile::Honest {
+                    validation: p.validation_delay,
+                },
+                Behavior::Silent => RelayProfile::Silent,
+                Behavior::Delay(extra) => RelayProfile::Delayed {
+                    validation: p.validation_delay,
+                    extra,
+                },
+            })
+            .collect();
+        let hash_power: Vec<f64> = population.iter().map(|p| p.hash_power).collect();
+        let uniform_weight = match hash_power.split_first() {
+            Some((&w, rest)) if rest.iter().all(|&x| x == w) => Some(w),
+            _ => None,
+        };
+        TopologyView {
+            offsets,
+            edges,
+            delay,
+            relay,
+            hash_power,
+            uniform_weight,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the snapshot covers no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of directed adjacency entries (twice the undirected
+    /// edge count).
+    #[inline]
+    pub fn directed_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `u`'s communication neighbors as raw ids, ascending — exactly
+    /// [`Topology::neighbors`] at snapshot time.
+    #[inline]
+    pub fn neighbors_raw(&self, u: NodeId) -> &[u32] {
+        &self.edges[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// `u`'s communication neighbors as [`NodeId`]s, ascending.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors_raw(u).iter().copied().map(NodeId::new)
+    }
+
+    /// The cached latencies aligned with [`TopologyView::neighbors_raw`].
+    #[inline]
+    pub fn neighbor_delays(&self, u: NodeId) -> &[SimTime] {
+        &self.delay[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// The hash power of node `u` at snapshot time.
+    #[inline]
+    pub fn hash_power(&self, u: NodeId) -> f64 {
+        self.hash_power[u.index()]
+    }
+
+    /// Floods one block from `source`, writing arrival and relay times
+    /// into `scratch` without allocating (after `scratch` has warmed up to
+    /// this network size once).
+    ///
+    /// Behaviour matches [`broadcast`](crate::broadcast()) exactly; see the
+    /// module docs for the determinism guarantee.
+    pub fn broadcast_into(&self, source: NodeId, scratch: &mut BroadcastScratch) {
+        let n = self.len();
+        scratch.source = source;
+        scratch.arrival.clear();
+        scratch.arrival.resize(n, SimTime::INFINITY);
+        scratch.relay_at.clear();
+        scratch.relay_at.resize(n, SimTime::INFINITY);
+        scratch.heap.clear();
+
+        scratch.arrival[source.index()] = SimTime::ZERO;
+        scratch
+            .heap
+            .push(Reverse((SimTime::ZERO.as_ms().to_bits(), source.as_u32())));
+
+        while let Some(Reverse((t_bits, u))) = scratch.heap.pop() {
+            let ui = u as usize;
+            let t = SimTime::from_ms(f64::from_bits(t_bits));
+            // Raw f64 compare: times are never NaN and never -0.0, so
+            // this matches SimTime's total order at lower cost.
+            if t.as_ms() > scratch.arrival[ui].as_ms() {
+                continue; // stale entry
+            }
+            let relay = self.relay[ui].relay_time(t, u == source.as_u32());
+            scratch.relay_at[ui] = relay;
+            if relay.is_infinite() {
+                continue; // silent node: absorbs the block
+            }
+            let (start, end) = (self.offsets[ui], self.offsets[ui + 1]);
+            for (&v, &delay) in self.edges[start..end].iter().zip(&self.delay[start..end]) {
+                let vi = v as usize;
+                let tv = relay + delay;
+                if tv.as_ms() < scratch.arrival[vi].as_ms() {
+                    scratch.arrival[vi] = tv;
+                    scratch.heap.push(Reverse((tv.as_ms().to_bits(), v)));
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper: floods from `source` into a fresh
+    /// [`Propagation`] (one allocation per call; use
+    /// [`TopologyView::broadcast_into`] with a reused scratch on hot
+    /// paths).
+    pub fn broadcast(&self, source: NodeId) -> Propagation {
+        let mut scratch = BroadcastScratch::new();
+        self.broadcast_into(source, &mut scratch);
+        scratch.into_propagation()
+    }
+}
+
+/// Reusable flood state: arrival/relay buffers, the Dijkstra heap and the
+/// coverage sort buffer.
+///
+/// Create once per worker thread and reuse across blocks; after the first
+/// flood of a given network size, subsequent floods perform no heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BroadcastScratch {
+    source: NodeId,
+    arrival: Vec<SimTime>,
+    relay_at: Vec<SimTime>,
+    /// Keys are `t.to_bits()`: simulated times are non-negative, where the
+    /// IEEE-754 bit pattern is monotone in the value, so integer ordering
+    /// reproduces `SimTime`'s total order exactly at lower compare cost.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    coverage: Vec<(SimTime, f64)>,
+    select: Vec<SimTime>,
+}
+
+impl BroadcastScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        BroadcastScratch {
+            source: NodeId::new(0),
+            arrival: Vec::with_capacity(n),
+            relay_at: Vec::with_capacity(n),
+            heap: BinaryHeap::with_capacity(n),
+            coverage: Vec::with_capacity(n),
+            select: Vec::with_capacity(n),
+        }
+    }
+
+    /// The source of the last flood.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// First-arrival time of the last flood at `v`.
+    #[inline]
+    pub fn arrival(&self, v: NodeId) -> SimTime {
+        self.arrival[v.index()]
+    }
+
+    /// All first-arrival times of the last flood, indexed by node.
+    #[inline]
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.arrival
+    }
+
+    /// When `u` began relaying in the last flood (`INFINITY` for silent or
+    /// unreached nodes).
+    #[inline]
+    pub fn relay_start(&self, u: NodeId) -> SimTime {
+        self.relay_at[u.index()]
+    }
+
+    /// All relay-start times of the last flood, indexed by node.
+    #[inline]
+    pub fn relay_starts(&self) -> &[SimTime] {
+        &self.relay_at
+    }
+
+    /// Number of nodes the last flood reached.
+    pub fn reached(&self) -> usize {
+        self.arrival.iter().filter(|t| t.is_finite()).count()
+    }
+
+    /// Computes λ(fraction) of the last flood for every entry of
+    /// `fractions` in one pass over a reusable sorted buffer, writing into
+    /// `out` (`out.len()` must equal `fractions.len()`).
+    ///
+    /// Equivalent to calling [`Propagation::coverage_time`] per fraction,
+    /// without the per-call allocation and re-sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` and `fractions` have different lengths.
+    pub fn coverage_times_into(
+        &mut self,
+        view: &TopologyView,
+        fractions: &[f64],
+        out: &mut [SimTime],
+    ) {
+        assert_eq!(fractions.len(), out.len(), "one output slot per fraction");
+        if let Some(w) = view.uniform_weight {
+            // Uniform hash power: the crossing index of the cumulative
+            // weight scan is independent of arrival order, so λ(f) is the
+            // k-th smallest arrival — an O(n) selection, no sort. The
+            // accumulation below replays the scan's float additions
+            // exactly, keeping the result bit-identical to the weighted
+            // path.
+            self.select.clear();
+            self.select.extend_from_slice(&self.arrival);
+            for (slot, &fraction) in out.iter_mut().zip(fractions) {
+                let mut acc = 0.0;
+                let mut k = 0usize;
+                for _ in 0..self.select.len() {
+                    acc += w;
+                    k += 1;
+                    if acc >= fraction - 1e-12 {
+                        break;
+                    }
+                }
+                *slot = if k > 0 && acc >= fraction - 1e-12 {
+                    *self.select.select_nth_unstable(k - 1).1
+                } else {
+                    SimTime::INFINITY
+                };
+            }
+            return;
+        }
+        self.coverage.clear();
+        self.coverage.extend(
+            self.arrival
+                .iter()
+                .zip(&view.hash_power)
+                .map(|(&t, &w)| (t, w)),
+        );
+        self.coverage.sort_unstable_by_key(|&(t, _)| t);
+        for (slot, &fraction) in out.iter_mut().zip(fractions) {
+            *slot = coverage_scan(&self.coverage, fraction);
+        }
+    }
+
+    /// Converts the scratch into an owned [`Propagation`], consuming the
+    /// buffers (no copy).
+    pub fn into_propagation(self) -> Propagation {
+        Propagation::from_parts(self.source, self.arrival, self.relay_at)
+    }
+}
+
+/// Scans weighted arrivals (sorted ascending by time) for the first time
+/// at which the cumulative weight reaches `fraction`.
+pub(crate) fn coverage_scan(sorted: &[(SimTime, f64)], fraction: f64) -> SimTime {
+    let mut acc = 0.0;
+    for &(t, w) in sorted {
+        acc += w;
+        if acc >= fraction - 1e-12 {
+            return t;
+        }
+    }
+    SimTime::INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConnectionLimits;
+    use crate::latency::GeoLatencyModel;
+    use crate::population::PopulationBuilder;
+    use crate::{broadcast, LatencyModel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_world(n: usize, seed: u64) -> (Population, GeoLatencyModel, Topology, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let mut topo = Topology::new(n, ConnectionLimits::paper_default());
+        for i in 0..n as u32 {
+            let _ = topo.connect(NodeId::new(i), NodeId::new((i + 1) % n as u32));
+        }
+        for _ in 0..3 * n {
+            let u = NodeId::new(rng.gen_range(0..n as u32));
+            let v = NodeId::new(rng.gen_range(0..n as u32));
+            let _ = topo.connect(u, v);
+        }
+        (pop, lat, topo, rng)
+    }
+
+    #[test]
+    fn csr_matches_topology_neighbors() {
+        let (pop, lat, topo, _) = random_world(80, 3);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        for i in 0..80u32 {
+            let u = NodeId::new(i);
+            let from_view: Vec<NodeId> = view.neighbors(u).collect();
+            assert_eq!(from_view, topo.neighbors(u));
+            let delays = view.neighbor_delays(u);
+            for (k, v) in view.neighbors(u).enumerate() {
+                assert_eq!(delays[k], lat.delay(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn flood_is_bit_identical_to_legacy_broadcast() {
+        for seed in 0..10 {
+            let (pop, lat, topo, mut rng) = random_world(120, seed);
+            let view = TopologyView::new(&topo, &lat, &pop);
+            let mut scratch = BroadcastScratch::new();
+            for _ in 0..5 {
+                let src = NodeId::new(rng.gen_range(0..120));
+                let legacy = broadcast(&topo, &lat, &pop, src);
+                view.broadcast_into(src, &mut scratch);
+                assert_eq!(scratch.arrivals(), legacy.arrivals(), "seed {seed}");
+                assert_eq!(scratch.relay_starts().len(), 120);
+                for i in 0..120u32 {
+                    let v = NodeId::new(i);
+                    assert_eq!(scratch.relay_start(v), legacy.relay_start(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_coverage_matches_propagation_coverage() {
+        let (pop, lat, topo, _) = random_world(100, 9);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut scratch = BroadcastScratch::new();
+        view.broadcast_into(NodeId::new(4), &mut scratch);
+        let legacy = broadcast(&topo, &lat, &pop, NodeId::new(4));
+        let mut cov = [SimTime::ZERO; 3];
+        scratch.coverage_times_into(&view, &[0.5, 0.9, 1.0], &mut cov);
+        assert_eq!(cov[0], legacy.coverage_time(&pop, 0.5));
+        assert_eq!(cov[1], legacy.coverage_time(&pop, 0.9));
+        assert_eq!(cov[2], legacy.coverage_time(&pop, 1.0));
+    }
+
+    #[test]
+    fn behaviors_are_honoured_through_the_view() {
+        let (mut pop, lat, topo, _) = random_world(40, 5);
+        pop.profile_mut(NodeId::new(3)).behavior = Behavior::Silent;
+        pop.profile_mut(NodeId::new(7)).behavior = Behavior::Delay(SimTime::from_ms(250.0));
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let legacy = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        let mut scratch = BroadcastScratch::new();
+        view.broadcast_into(NodeId::new(0), &mut scratch);
+        assert_eq!(scratch.arrivals(), legacy.arrivals());
+        assert!(scratch.relay_start(NodeId::new(3)).is_infinite());
+    }
+
+    #[test]
+    fn view_broadcast_convenience_matches_into_propagation() {
+        let (pop, lat, topo, _) = random_world(60, 8);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let a = view.broadcast(NodeId::new(2));
+        let b = broadcast(&topo, &lat, &pop, NodeId::new(2));
+        assert_eq!(a, b);
+        assert_eq!(a.source(), NodeId::new(2));
+        assert_eq!(a.reached(), b.reached());
+    }
+
+    #[test]
+    fn scratch_reuse_across_network_sizes() {
+        let mut scratch = BroadcastScratch::new();
+        for n in [10usize, 50, 20] {
+            let (pop, lat, topo, _) = random_world(n, n as u64);
+            let view = TopologyView::new(&topo, &lat, &pop);
+            view.broadcast_into(NodeId::new(0), &mut scratch);
+            assert_eq!(scratch.arrivals().len(), n);
+            assert_eq!(scratch.reached(), n, "ring keeps the overlay connected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree")]
+    fn mismatched_population_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = PopulationBuilder::new(5).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, 0);
+        let topo = Topology::new(6, ConnectionLimits::paper_default());
+        let _ = TopologyView::new(&topo, &lat, &pop);
+    }
+}

@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use perigee_netsim::{
-    broadcast, gossip_block, ConnectionLimits, EventQueue, GeoLatencyModel, GossipConfig,
-    LatencyModel, NodeId, PopulationBuilder, SimTime, Topology,
+    broadcast, gossip_block, BroadcastScratch, ConnectionLimits, EventQueue, GeoLatencyModel,
+    GossipConfig, LatencyModel, NodeId, PopulationBuilder, SimTime, Topology, TopologyView,
 };
 
 fn random_connected_topology(n: usize, rng: &mut StdRng) -> Topology {
@@ -113,6 +113,50 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+
+    /// The frozen CSR snapshot exposes exactly `Topology::neighbors` (same
+    /// sets, same ascending order) with exactly the latency model's edge
+    /// delays — on arbitrary randomized topologies.
+    #[test]
+    fn view_matches_topology_neighbors(n in 3usize..80, seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = random_connected_topology(n, &mut rng);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        for i in 0..n as u32 {
+            let u = NodeId::new(i);
+            let from_view: Vec<NodeId> = view.neighbors(u).collect();
+            prop_assert_eq!(&from_view, &topo.neighbors(u), "neighbor mismatch at {}", u);
+            let delays = view.neighbor_delays(u);
+            prop_assert_eq!(delays.len(), from_view.len());
+            for (k, v) in from_view.iter().enumerate() {
+                prop_assert_eq!(delays[k], lat.delay(u, *v), "latency mismatch {}–{}", u, v);
+            }
+        }
+    }
+
+    /// Allocation-free floods through a reused scratch are bit-identical
+    /// to the per-call `broadcast()` wrapper, across many blocks.
+    #[test]
+    fn scratch_floods_match_broadcast(n in 3usize..60, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = random_connected_topology(n, &mut rng);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut scratch = BroadcastScratch::new();
+        for _ in 0..4 {
+            let src = NodeId::new(rng.gen_range(0..n as u32));
+            view.broadcast_into(src, &mut scratch);
+            let legacy = broadcast(&topo, &lat, &pop, src);
+            prop_assert_eq!(scratch.arrivals(), legacy.arrivals());
+            for i in 0..n as u32 {
+                let v = NodeId::new(i);
+                prop_assert_eq!(scratch.relay_start(v), legacy.relay_start(v));
+            }
+        }
     }
 
     /// Per-neighbor delivery times always upper-bound the first arrival.

@@ -10,9 +10,7 @@
 
 use rand::Rng;
 
-use perigee_netsim::{
-    LatencyModel, NodeId, OverrideLatencyModel, Population, SimTime, Topology,
-};
+use perigee_netsim::{LatencyModel, NodeId, OverrideLatencyModel, Population, SimTime, Topology};
 
 /// Specification of a fast relay overlay.
 #[derive(Debug, Clone, PartialEq)]

@@ -16,7 +16,10 @@ fn main() {
         ..Scenario::paper()
     };
 
-    println!("simulating {} nodes; 10% of them hold 90% of hash power...", scenario.nodes);
+    println!(
+        "simulating {} nodes; 10% of them hold 90% of hash power...",
+        scenario.nodes
+    );
     let result = fig4::run_fig4b(&scenario, MinerCliqueSpec::default());
 
     println!("\n{}", result.table().render());

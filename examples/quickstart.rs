@@ -20,19 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Both protocols start from the same random topology.
     let limits = ConnectionLimits::paper_default();
-    let random_topology =
-        RandomBuilder::new().build(&population, &latency, limits, &mut rng);
+    let random_topology = RandomBuilder::new().build(&population, &latency, limits, &mut rng);
 
     // Evaluate the random baseline: for every possible miner, how long
     // until 90% of the network's hash power has the block?
-    let baseline: DelayCurve = perigee::core::evaluate_topology(
-        &random_topology,
-        &latency,
-        &population,
-        0.9,
-    )
-    .into_iter()
-    .collect();
+    let baseline: DelayCurve =
+        perigee::core::evaluate_topology(&random_topology, &latency, &population, 0.9)
+            .into_iter()
+            .collect();
 
     // 4. Run Perigee-Subset for 15 rounds of 50 blocks each.
     let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
@@ -54,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Compare.
     let learned: DelayCurve = engine.evaluate(0.9).into_iter().collect();
-    println!("\nrandom topology : median λ90 = {:7.1} ms", baseline.median());
+    println!(
+        "\nrandom topology : median λ90 = {:7.1} ms",
+        baseline.median()
+    );
     println!("perigee topology: median λ90 = {:7.1} ms", learned.median());
     println!(
         "improvement     : {:+.1}%  (paper reports ~33% at 1000 nodes)",

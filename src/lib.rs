@@ -25,13 +25,13 @@ pub use perigee_topology as topology;
 /// Commonly used items, for `use perigee::prelude::*`.
 pub mod prelude {
     pub use perigee_core::{
-        PerigeeConfig, PerigeeEngine, ScoringMethod, SelectionStrategy, SubsetScoring,
-        UcbScoring, VanillaScoring,
+        PerigeeConfig, PerigeeEngine, ScoringMethod, SelectionStrategy, SubsetScoring, UcbScoring,
+        VanillaScoring,
     };
     pub use perigee_metrics::{percentile, DelayCurve, Histogram};
     pub use perigee_netsim::{
-        broadcast, ConnectionLimits, GeoLatencyModel, LatencyModel, MinerSampler, NodeId,
-        Population, PopulationBuilder, SimTime, Topology,
+        broadcast, BroadcastScratch, ConnectionLimits, GeoLatencyModel, LatencyModel, MinerSampler,
+        NodeId, Population, PopulationBuilder, SimTime, Topology, TopologyView,
     };
     pub use perigee_topology::{
         FullMeshBuilder, GeographicBuilder, GeometricBuilder, KademliaBuilder, RandomBuilder,

@@ -2,9 +2,7 @@
 //! through the public API at reduced (CI-friendly) scale.
 
 use perigee::experiments::{fig3, fig5, Algorithm, Scenario};
-use perigee::netsim::{
-    broadcast, gossip_block, GossipConfig, LatencyModel, NodeId,
-};
+use perigee::netsim::{broadcast, gossip_block, GossipConfig, LatencyModel, NodeId};
 
 fn ci_scenario() -> Scenario {
     Scenario {

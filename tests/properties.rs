@@ -2,11 +2,12 @@
 
 use proptest::prelude::*;
 
-use perigee::core::{ObservationCollector, ScoringMethod, SelectionStrategy, SubsetScoring, VanillaScoring};
+use perigee::core::{
+    ObservationCollector, ScoringMethod, SelectionStrategy, SubsetScoring, VanillaScoring,
+};
 use perigee::metrics::{percentile, DelayCurve};
 use perigee::netsim::{
-    broadcast, ConnectionLimits, GeoLatencyModel, LatencyModel, NodeId, PopulationBuilder,
-    Topology,
+    broadcast, ConnectionLimits, GeoLatencyModel, LatencyModel, NodeId, PopulationBuilder, Topology,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,8 +15,8 @@ use rand::{Rng, SeedableRng};
 /// Arbitrary connect/disconnect sequences never violate topology limits.
 fn topology_ops_strategy() -> impl Strategy<Value = (u8, u8, Vec<(u8, u8, bool)>)> {
     (
-        4u8..40,       // nodes
-        1u8..6,        // dout
+        4u8..40, // nodes
+        1u8..6,  // dout
         proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..200),
     )
 }

@@ -29,7 +29,11 @@ fn free_riders_are_starved() {
 #[test]
 fn eclipse_attacks_are_evicted() {
     let r = adversary::run_eclipse(&ci_scenario(), 12);
-    assert!(r.lure_in_degree >= 10, "lure in-degree {}", r.lure_in_degree);
+    assert!(
+        r.lure_in_degree >= 10,
+        "lure in-degree {}",
+        r.lure_in_degree
+    );
     assert!(
         r.post_attack_in_degree <= r.lure_in_degree / 2,
         "attacker kept {} of {} incoming links",

@@ -1,0 +1,299 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API subset the perigee benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `criterion_group!`, `criterion_main!` — with a simple
+//! wall-clock harness: each benchmark is warmed up once, then timed for a
+//! fixed number of samples, and the min / median / mean sample times are
+//! printed. No statistics beyond that, no plots, no baseline storage.
+//!
+//! Benchmark filtering works as with real criterion: extra command-line
+//! arguments are substring filters on the full benchmark id.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes flags like `--bench`; anything that does not
+        // start with `-` is treated as a name filter, as criterion does.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (kept for API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Benchmarks a single function under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API parity; the stand-in always times `sample_size`
+    /// samples regardless of the requested measurement window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, self.sample_size, |b| {
+            b_input(&mut f, b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing happens as benches run).
+    pub fn finish(self) {}
+}
+
+fn b_input<T: ?Sized, F: FnMut(&mut Bencher, &T)>(f: &mut F, b: &mut Bencher, input: &T) {
+    f(b, input)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into the display id used for reporting and filtering.
+pub trait IntoBenchmarkId {
+    /// The id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput hint (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code to
+/// time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` executions of `routine`, recording each.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up to populate caches / branch predictors.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    if !criterion.enabled(id) {
+        return;
+    }
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<50} (no samples: routine never called iter)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{id:<50} min {:>12} med {:>12} mean {:>12} ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        sorted.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(count, 6, "one warm-up plus five samples");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 10).into_benchmark_id(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).ends_with('s'));
+    }
+}

@@ -1,0 +1,210 @@
+//! Sampling distributions: `Standard`, `Uniform`, and the range plumbing
+//! behind `Rng::gen_range`.
+
+use crate::{Rng, RngCore};
+
+/// A type that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution of a type: uniform `[0, 1)` for floats,
+/// uniform over the whole value range for integers, fair for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $m:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64, u128 => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+/// A uniform distribution over `[low, high)`, precomputed once.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: uniform::SampleUniform + Copy + PartialOrd> Uniform<T> {
+    /// Creates the half-open uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `low >= high`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform { low, high }
+    }
+
+    /// Creates the closed uniform distribution over `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `low > high`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Uniform { low, high }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(self.low, self.high, rng)
+    }
+}
+
+/// Uniform-sampling plumbing: per-type samplers and the range adapters
+/// consumed by `Rng::gen_range`.
+pub mod uniform {
+    use super::unit_f64;
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from an interval.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform over `[low, high)`.
+        fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform over `[low, high]`.
+        fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! sample_uniform_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    debug_assert!(low < high);
+                    let span = (high as u128).wrapping_sub(low as u128);
+                    let x = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (low as u128).wrapping_add(x) as $t
+                }
+                #[inline]
+                fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    debug_assert!(low <= high);
+                    let span = (high as u128).wrapping_sub(low as u128) + 1;
+                    let x = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (low as u128).wrapping_add(x) as $t
+                }
+            }
+        )*};
+    }
+    sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        #[inline]
+        fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            low + unit_f64(rng) * (high - low)
+        }
+        #[inline]
+        fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            low + unit_f64(rng) * (high - low)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        #[inline]
+        fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            low + (unit_f64(rng) as f32) * (high - low)
+        }
+        #[inline]
+        fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            low + (unit_f64(rng) as f32) * (high - low)
+        }
+    }
+
+    /// A range argument accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics when the range is empty.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample from an empty range");
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample from an empty range");
+            T::sample_inclusive(low, high, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = Uniform::new(f64::MIN_POSITIVE, 1.0f64);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[crate::Rng::gen_range(&mut rng, 0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API subset the perigee workspace uses on top of `std::thread::scope`:
+//!
+//! * `items.par_iter().map(f).collect::<Vec<_>>()` over slices,
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` over ranges,
+//! * [`join`], [`current_num_threads`],
+//! * [`ThreadPoolBuilder`] → [`ThreadPool::install`] to pin the thread
+//!   count in a scope (the determinism tests force a single thread).
+//!
+//! Results always come back in input order, whatever the execution
+//! interleaving, so parallel and sequential runs are observably identical
+//! for pure per-item work. Work is distributed dynamically: workers pull
+//! the next index from a shared atomic counter, which load-balances uneven
+//! items (e.g. Dijkstra floods from sources of very different
+//! eccentricity) without any unsafe code.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude;
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations on this thread will use:
+/// an installed [`ThreadPool`]'s size, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|p| p.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            mark_worker_thread();
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Pins the *current* thread to sequential execution of nested parallel
+/// operations. Called on every spawned worker: real rayon runs nested
+/// parallelism on the one shared pool, so a stand-in worker must not
+/// recursively spawn its own full set of threads (a fan-out of jobs each
+/// fanning out rounds would otherwise run cores² threads).
+fn mark_worker_thread() {
+    POOL_THREADS.with(|p| p.set(Some(1)));
+}
+
+/// Order-preserving parallel indexed map: applies `f` to every index in
+/// `0..len` and returns the results in index order.
+///
+/// This is the primitive behind the iterator facade; it is public so that
+/// callers who already have an index space don't need an input slice.
+pub fn par_map_index<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = current_num_threads().min(len).max(1);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    mark_worker_thread();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    let mut flat: Vec<(usize, U)> = Vec::with_capacity(len);
+    for bucket in &mut buckets {
+        flat.append(bucket);
+    }
+    flat.sort_unstable_by_key(|&(i, _)| i);
+    flat.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Parallel iterator over `&[T]` (created by
+/// [`prelude::IntoParallelRefIterator::par_iter`]).
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every item through `f` (runs when collected).
+    pub fn map<U, F>(self, f: F) -> MapSlice<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        MapSlice {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped slice iterator, ready to collect.
+#[derive(Debug)]
+pub struct MapSlice<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MapSlice<'a, T, F> {
+    /// Runs the map in parallel, returning results in input order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+        C: FromParallel<U>,
+    {
+        C::from_vec(par_map_index(self.items.len(), |i| {
+            (self.f)(&self.items[i])
+        }))
+    }
+}
+
+/// Parallel iterator over an integer range (created by
+/// [`prelude::IntoParallelIterator::into_par_iter`]).
+#[derive(Debug)]
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+/// A mapped range iterator, ready to collect.
+#[derive(Debug)]
+pub struct MapRange<T, F> {
+    start: T,
+    len: usize,
+    f: F,
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),* $(,)?) => {$(
+        impl RangeParIter<$t> {
+            /// Maps every index through `f` (runs when collected).
+            pub fn map<U, F>(self, f: F) -> MapRange<$t, F>
+            where
+                U: Send,
+                F: Fn($t) -> U + Sync,
+            {
+                MapRange { start: self.start, len: self.len, f }
+            }
+        }
+
+        impl<F> MapRange<$t, F> {
+            /// Runs the map in parallel, returning results in input order.
+            pub fn collect<C, U>(self) -> C
+            where
+                U: Send,
+                F: Fn($t) -> U + Sync,
+                C: FromParallel<U>,
+            {
+                let start = self.start;
+                C::from_vec(par_map_index(self.len, |i| (self.f)(start + i as $t)))
+            }
+        }
+
+        impl prelude::IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeParIter<$t>;
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeParIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+range_par_iter!(u32, u64, usize);
+
+/// Collection types a parallel map can collect into.
+pub trait FromParallel<U> {
+    /// Builds the collection from the in-order result vector.
+    fn from_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallel<U> for Vec<U> {
+    fn from_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 means "automatic").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: parallel operations run inside
+/// [`ThreadPool::install`] use its thread count.
+///
+/// Unlike real rayon there are no persistent workers; the pool only pins
+/// the thread count used by parallel operations in the installed scope.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count pinned for all parallel
+    /// operations it performs on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(self.threads));
+        let guard = RestoreThreads(prev);
+        let out = f();
+        drop(guard);
+        out
+    }
+
+    /// The pinned thread count (automatic if built with 0/unset).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+struct RestoreThreads(Option<usize>);
+
+impl Drop for RestoreThreads {
+    fn drop(&mut self) {
+        let prev = self.0;
+        POOL_THREADS.with(|p| p.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_matches_sequential() {
+        let par: Vec<u32> = (0u32..257).into_par_iter().map(|i| i * i).collect();
+        let seq: Vec<u32> = (0u32..257).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let v: Vec<usize> = (0usize..10).into_par_iter().map(|i| i).collect();
+            assert_eq!(v, (0..10).collect::<Vec<_>>());
+        });
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn workers_do_not_nest_parallelism() {
+        // A nested par op inside a worker must run sequentially on that
+        // worker (one shared pool, as in real rayon), not spawn its own
+        // full set of threads.
+        let nested_counts: Vec<usize> = (0usize..8)
+            .into_par_iter()
+            .map(|_| current_num_threads())
+            .collect();
+        if current_num_threads() > 1 {
+            assert!(
+                nested_counts.iter().all(|&c| c == 1),
+                "workers saw thread counts {nested_counts:?}"
+            );
+        }
+        // And nested maps still produce correct, ordered results.
+        let nested: Vec<Vec<u32>> = (0u32..4)
+            .into_par_iter()
+            .map(|i| (0u32..4).into_par_iter().map(|j| i * 10 + j).collect())
+            .collect();
+        for (i, inner) in nested.iter().enumerate() {
+            assert_eq!(
+                *inner,
+                (0u32..4).map(|j| i as u32 * 10 + j).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and model
+//! types for downstream consumers, but nothing in-tree actually serializes.
+//! With no crates.io access, this crate supplies the two trait names as
+//! blanket-implemented markers and re-exports no-op derive macros, so the
+//! annotations keep compiling (and keep marking the serializable surface)
+//! until the real dependency can be restored.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for "this type is serializable". Blanket-implemented: the
+/// vendored stand-in performs no serialization.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for "this type is deserializable". Blanket-implemented: the
+/// vendored stand-in performs no deserialization.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned variant of [`Deserialize`], for API parity.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized + for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits, so the
+//! derives have nothing to emit; they exist so `#[derive(Serialize,
+//! Deserialize)]` and inert `#[serde(...)]` attributes keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
