@@ -11,7 +11,7 @@ use rand::Rng;
 use rayon::prelude::*;
 
 use perigee_netsim::{
-    gossip_block, BroadcastScratch, GossipConfig, LatencyModel, MinerSampler, NodeId, Population,
+    BroadcastScratch, GossipConfig, GossipScratch, LatencyModel, MinerSampler, NodeId, Population,
     SimTime, Topology, TopologyView,
 };
 
@@ -267,10 +267,12 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// per-neighbor observations plus per-block λ50/λ90.
     ///
     /// Blocks are independent under the §2.1 model and consume no RNG, so
-    /// each worker floods a contiguous chunk of blocks through one
-    /// [`TopologyView`] snapshot with its own reusable
-    /// [`BroadcastScratch`], and the chunks are merged back in block
-    /// order: the result is bit-identical to a sequential loop.
+    /// each worker pushes a contiguous chunk of blocks through one
+    /// [`TopologyView`] snapshot with its own reusable scratch — a
+    /// [`BroadcastScratch`] under [`PropagationMode::Analytic`], a
+    /// [`GossipScratch`] under [`PropagationMode::Gossip`] — and the
+    /// chunks are merged back in block order: the result is bit-identical
+    /// to a sequential loop in either mode.
     pub fn observe_round(&self, miners: &[NodeId]) -> RoundObservations {
         let chunk_count = if self.parallel {
             rayon::current_num_threads().clamp(1, miners.len().max(1))
@@ -305,19 +307,24 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                     .collect()
             }
             PropagationMode::Gossip(cfg) => {
-                let (topology, latency, population) =
-                    (&self.topology, &self.latency, &self.population);
+                let view = TopologyView::new(&self.topology, &self.latency, &self.population);
+                let view = &view;
                 chunks
                     .par_iter()
                     .map(|chunk| {
-                        let mut collector = ObservationCollector::new(topology);
+                        let mut scratch =
+                            GossipScratch::with_capacity(view.len(), view.directed_edge_count());
+                        let mut collector = ObservationCollector::from_view(view);
+                        collector.reserve_blocks(chunk.len());
                         let mut l90 = Vec::with_capacity(chunk.len());
                         let mut l50 = Vec::with_capacity(chunk.len());
+                        let mut coverage = [SimTime::ZERO; 2];
                         for &miner in *chunk {
-                            let outcome = gossip_block(topology, latency, population, miner, &cfg);
-                            l90.push(outcome.coverage_time(population, 0.9).as_ms());
-                            l50.push(outcome.coverage_time(population, 0.5).as_ms());
-                            collector.record_gossip(&outcome);
+                            view.gossip_into(miner, &cfg, &mut scratch);
+                            scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
+                            l90.push(coverage[0].as_ms());
+                            l50.push(coverage[1].as_ms());
+                            collector.record_gossip_scratch(view, &scratch);
                         }
                         (collector, l90, l50)
                     })
@@ -358,29 +365,39 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         let sum50: f64 = lambda50.iter().sum();
 
         // Phase 1: every adopter decides which outgoing neighbors to keep,
-        // based on the same synchronous snapshot.
-        let mut drops: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
-        for i in 0..self.population.len() as u32 {
-            let v = NodeId::new(i);
-            if !self.adopters[v.index()] {
-                continue;
-            }
-            let outgoing = self.topology.outgoing_vec(v);
-            if outgoing.is_empty() {
-                continue;
-            }
-            let retained = self
-                .strategy
-                .retain(v, &outgoing, &observations[v.index()], rng);
-            let dropped: Vec<NodeId> = outgoing
-                .iter()
-                .copied()
-                .filter(|u| !retained.contains(u))
+        // based on the same synchronous snapshot. Nodes score
+        // independently, so stateless strategies (Vanilla/Subset — no
+        // cross-round state, no RNG) fan out over the rayon pool in
+        // id-ordered chunks; merging the chunks in order reproduces the
+        // sequential loop exactly, and the RNG stream is untouched either
+        // way because stateless strategies never draw from it. UCB
+        // mutates per-connection history inside `retain` and stays on the
+        // sequential path.
+        let drops: Vec<(NodeId, Vec<NodeId>)> = if self.parallel && self.strategy.is_stateless() {
+            let n = self.population.len();
+            let ids: Vec<u32> = (0..n as u32).collect();
+            let chunk_count = rayon::current_num_threads().clamp(1, n.max(1));
+            let chunk_size = n.max(1).div_ceil(chunk_count);
+            let chunks: Vec<&[u32]> = ids.chunks(chunk_size).collect();
+            let (strategy, topology, adopters) = (&self.strategy, &self.topology, &self.adopters);
+            let observations = &observations;
+            let parts: Vec<Vec<(NodeId, Vec<NodeId>)>> = chunks
+                .par_iter()
+                .map(|chunk| {
+                    compute_drops(chunk.iter().copied(), adopters, topology, |v, outgoing| {
+                        strategy.retain_stateless(v, outgoing, &observations[v.index()])
+                    })
+                })
                 .collect();
-            if !dropped.is_empty() {
-                drops.push((v, dropped));
-            }
-        }
+            parts.into_iter().flatten().collect()
+        } else {
+            let (strategy, topology, adopters) =
+                (&mut self.strategy, &self.topology, &self.adopters);
+            let observations = &observations;
+            compute_drops(0..self.population.len() as u32, adopters, topology, {
+                |v, outgoing| strategy.retain(v, outgoing, &observations[v.index()], &mut *rng)
+            })
+        };
 
         // Phase 2: apply all disconnections first (freeing incoming slots
         // network-wide), then refill in random node order for fairness.
@@ -449,22 +466,38 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// Like [`PerigeeEngine::evaluate`] but measures under the active
     /// [`PropagationMode`] — e.g. with INV/GETDATA round trips and
     /// bandwidth-limited block transfers included.
+    ///
+    /// Like [`evaluate_topology_multi`], the per-source simulations run
+    /// through one frozen [`TopologyView`] with per-worker scratches over
+    /// the rayon pool; values land in id order either way.
     pub fn evaluate_in_mode(&self, fraction: f64) -> Vec<f64> {
         match self.mode {
             PropagationMode::Analytic => self.evaluate(fraction),
-            PropagationMode::Gossip(cfg) => (0..self.population.len() as u32)
-                .map(|i| {
-                    gossip_block(
-                        &self.topology,
-                        &self.latency,
-                        &self.population,
-                        NodeId::new(i),
-                        &cfg,
-                    )
-                    .coverage_time(&self.population, fraction)
-                    .as_ms()
-                })
-                .collect(),
+            PropagationMode::Gossip(cfg) => {
+                let n = self.population.len();
+                let view = TopologyView::new(&self.topology, &self.latency, &self.population);
+                let view = &view;
+                let chunk_count = rayon::current_num_threads().clamp(1, n.max(1));
+                let chunk_size = n.max(1).div_ceil(chunk_count);
+                let sources: Vec<u32> = (0..n as u32).collect();
+                let chunks: Vec<&[u32]> = sources.chunks(chunk_size).collect();
+                let parts: Vec<Vec<f64>> = chunks
+                    .par_iter()
+                    .map(|chunk| {
+                        let mut scratch =
+                            GossipScratch::with_capacity(view.len(), view.directed_edge_count());
+                        let mut coverage = [SimTime::ZERO];
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for &src in *chunk {
+                            view.gossip_into(NodeId::new(src), &cfg, &mut scratch);
+                            scratch.coverage_times_into(view, &[fraction], &mut coverage);
+                            out.push(coverage[0].as_ms());
+                        }
+                        out
+                    })
+                    .collect();
+                parts.into_iter().flatten().collect()
+            }
         }
     }
 
@@ -487,6 +520,40 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             let _ = self.topology.connect(v, u);
         }
     }
+}
+
+/// The per-node drop computation shared by the sequential and parallel
+/// scoring phases: for every adopting node in `ids` with outgoing
+/// connections, asks `retain` which to keep and collects the rest. Keeping
+/// this body in one place is what guarantees the two phases can only
+/// differ in the retain call itself.
+fn compute_drops(
+    ids: impl Iterator<Item = u32>,
+    adopters: &[bool],
+    topology: &Topology,
+    mut retain: impl FnMut(NodeId, &[NodeId]) -> Vec<NodeId>,
+) -> Vec<(NodeId, Vec<NodeId>)> {
+    let mut drops = Vec::new();
+    for i in ids {
+        let v = NodeId::new(i);
+        if !adopters[v.index()] {
+            continue;
+        }
+        let outgoing = topology.outgoing_vec(v);
+        if outgoing.is_empty() {
+            continue;
+        }
+        let retained = retain(v, &outgoing);
+        let dropped: Vec<NodeId> = outgoing
+            .iter()
+            .copied()
+            .filter(|u| !retained.contains(u))
+            .collect();
+        if !dropped.is_empty() {
+            drops.push((v, dropped));
+        }
+    }
+    drops
 }
 
 /// Evaluates λ(`fraction`) for every node as block source on a static

@@ -165,6 +165,54 @@ impl ObservationCollector {
         }
     }
 
+    /// Records one block simulated at the message level through a
+    /// [`TopologyView`] into a [`GossipScratch`](perigee_netsim::GossipScratch):
+    /// per-neighbor announcement times are read straight off the scratch's
+    /// flat per-edge delivery matrix — no `BTreeMap` walk, no allocation
+    /// per node per block.
+    ///
+    /// Produces bit-identical rows to [`ObservationCollector::record_gossip`]
+    /// on the equivalent [`GossipOutcome`](perigee_netsim::GossipOutcome),
+    /// provided this collector was built from the same view
+    /// ([`ObservationCollector::from_view`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view covers a different number of nodes than this
+    /// collector, or if a node's snapshotted neighbor set disagrees with
+    /// the view's CSR row.
+    pub fn record_gossip_scratch(
+        &mut self,
+        view: &TopologyView,
+        scratch: &perigee_netsim::GossipScratch,
+    ) {
+        assert_eq!(
+            self.per_node.len(),
+            view.len(),
+            "view/collector size mismatch"
+        );
+        for (i, obs) in self.per_node.iter_mut().enumerate() {
+            let v = NodeId::new(i as u32);
+            let deliveries = scratch.neighbor_deliveries(view, v);
+            assert_eq!(
+                deliveries.len(),
+                obs.neighbors.len(),
+                "neighbor snapshot disagrees with the view"
+            );
+            let times = &mut obs.times;
+            let start = times.len();
+            times.extend(deliveries.iter().map(|t| t.as_ms()));
+            let segment = &mut times[start..];
+            let min = segment.iter().copied().fold(f64::INFINITY, f64::min);
+            if min.is_finite() {
+                for t in segment {
+                    *t -= min;
+                }
+            }
+            obs.blocks += 1;
+        }
+    }
+
     /// Records one block flooded through a [`TopologyView`] into a
     /// [`BroadcastScratch`]: per-neighbor delivery times come from the
     /// view's **cached** edge latencies (`relay_start(u) + δ(u,v)`),

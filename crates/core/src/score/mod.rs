@@ -31,7 +31,7 @@ use crate::observation::NodeObservations;
 ///
 /// Implementations may hold per-node state across rounds (UCB keeps each
 /// neighbor's observation history for as long as the connection lives).
-pub trait SelectionStrategy: Send {
+pub trait SelectionStrategy: Send + Sync {
     /// Returns the subset of `outgoing` that node `v` retains. Anything not
     /// returned is disconnected; the engine refills the freed slots with
     /// random exploration peers.
@@ -42,6 +42,36 @@ pub trait SelectionStrategy: Send {
         observations: &NodeObservations,
         rng: &mut dyn RngCore,
     ) -> Vec<NodeId>;
+
+    /// Returns `true` when [`SelectionStrategy::retain`] is a pure
+    /// function of its inputs — no cross-round state mutated, no
+    /// randomness consumed (Vanilla and Subset). The engine then fans
+    /// per-node scoring across the rayon pool via
+    /// [`SelectionStrategy::retain_stateless`], with results bit-identical
+    /// to the sequential loop. UCB keeps per-connection history across
+    /// rounds (a split-borrow redesign is tracked in the ROADMAP) and
+    /// stays sequential.
+    fn is_stateless(&self) -> bool {
+        false
+    }
+
+    /// Parallel-safe scoring, used by the engine when
+    /// [`SelectionStrategy::is_stateless`] returns `true`; strategies
+    /// advertising statelessness must override it to match
+    /// [`SelectionStrategy::retain`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: a stateful strategy has no
+    /// parallel-safe scoring path.
+    fn retain_stateless(
+        &self,
+        _v: NodeId,
+        _outgoing: &[NodeId],
+        _observations: &NodeObservations,
+    ) -> Vec<NodeId> {
+        panic!("{} has no stateless retain path", self.name());
+    }
 
     /// Notifies the strategy that `v`'s connection to `u` is gone (history,
     /// if any, must be forgotten — the paper keeps per-neighbor history only

@@ -60,16 +60,10 @@ impl SubsetScoring {
             .collect();
         percentile_or_inf(&per_block, self.percentile)
     }
-}
 
-impl SelectionStrategy for SubsetScoring {
-    fn retain(
-        &mut self,
-        _v: NodeId,
-        outgoing: &[NodeId],
-        observations: &NodeObservations,
-        _rng: &mut dyn RngCore,
-    ) -> Vec<NodeId> {
+    /// The greedy selection itself: pure in its inputs, shared by the
+    /// sequential and parallel retain paths.
+    fn select(&self, outgoing: &[NodeId], observations: &NodeObservations) -> Vec<NodeId> {
         let blocks = observations.block_count();
         // Column extraction once per candidate, plus each candidate's
         // individual score: when two candidates add nothing new to the
@@ -120,6 +114,31 @@ impl SelectionStrategy for SubsetScoring {
             remaining.retain(|&i| i != pick);
         }
         chosen
+    }
+}
+
+impl SelectionStrategy for SubsetScoring {
+    fn retain(
+        &mut self,
+        _v: NodeId,
+        outgoing: &[NodeId],
+        observations: &NodeObservations,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        self.select(outgoing, observations)
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
+    fn retain_stateless(
+        &self,
+        _v: NodeId,
+        outgoing: &[NodeId],
+        observations: &NodeObservations,
+    ) -> Vec<NodeId> {
+        self.select(outgoing, observations)
     }
 
     fn name(&self) -> &'static str {

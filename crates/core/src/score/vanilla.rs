@@ -38,16 +38,10 @@ impl VanillaScoring {
     pub fn score(&self, observations: &NodeObservations, u: NodeId) -> f64 {
         percentile_or_inf(&observations.times_for(u), self.percentile)
     }
-}
 
-impl SelectionStrategy for VanillaScoring {
-    fn retain(
-        &mut self,
-        _v: NodeId,
-        outgoing: &[NodeId],
-        observations: &NodeObservations,
-        _rng: &mut dyn RngCore,
-    ) -> Vec<NodeId> {
+    /// The selection itself: pure in its inputs, shared by the sequential
+    /// and parallel retain paths.
+    fn select(&self, outgoing: &[NodeId], observations: &NodeObservations) -> Vec<NodeId> {
         let mut scored: Vec<(f64, NodeId)> = outgoing
             .iter()
             .map(|&u| (self.score(observations, u), u))
@@ -58,6 +52,31 @@ impl SelectionStrategy for VanillaScoring {
             .take(self.retain_count)
             .map(|(_, u)| u)
             .collect()
+    }
+}
+
+impl SelectionStrategy for VanillaScoring {
+    fn retain(
+        &mut self,
+        _v: NodeId,
+        outgoing: &[NodeId],
+        observations: &NodeObservations,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        self.select(outgoing, observations)
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
+    fn retain_stateless(
+        &self,
+        _v: NodeId,
+        outgoing: &[NodeId],
+        observations: &NodeObservations,
+    ) -> Vec<NodeId> {
+        self.select(outgoing, observations)
     }
 
     fn name(&self) -> &'static str {

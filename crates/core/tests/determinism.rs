@@ -8,8 +8,8 @@ use perigee_core::{
     ObservationCollector, PerigeeConfig, PerigeeEngine, PropagationMode, ScoringMethod,
 };
 use perigee_netsim::{
-    broadcast, ConnectionLimits, GeoLatencyModel, GossipConfig, MinerSampler, NodeId,
-    PopulationBuilder,
+    broadcast, gossip_block, ConnectionLimits, GeoLatencyModel, GossipConfig, MinerSampler, NodeId,
+    PopulationBuilder, SimTime,
 };
 use perigee_topology::{RandomBuilder, TopologyBuilder};
 use rand::rngs::StdRng;
@@ -111,6 +111,81 @@ fn gossip_mode_is_thread_count_independent() {
         assert_eq!(a, b);
     }
     assert_eq!(par.topology(), seq.topology());
+}
+
+/// The scratch-based Gossip arm of `observe_round` reproduces the legacy
+/// sequential gossip pipeline — per-call `gossip_block()`,
+/// `record_gossip()` over the BTreeMap delivery logs, multi-fraction
+/// coverage on the outcome — bit for bit, for both modes and with
+/// bandwidth-limited transfers.
+#[test]
+fn gossip_observe_round_matches_legacy_gossip_pipeline() {
+    for cfg in [
+        GossipConfig::flood(),
+        GossipConfig::inv_getdata(0.0),
+        GossipConfig::inv_getdata(1.0),
+    ] {
+        let (mut engine_a, mut rng) = engine(100, 15, 19);
+        engine_a.set_propagation_mode(PropagationMode::Gossip(cfg));
+        let miners = MinerSampler::new(engine_a.population()).sample_round(15, &mut rng);
+
+        let round = engine_a.observe_round(&miners);
+
+        let mut collector = ObservationCollector::new(engine_a.topology());
+        let mut legacy90 = Vec::new();
+        let mut legacy50 = Vec::new();
+        let mut coverage = [SimTime::ZERO; 2];
+        for &miner in &miners {
+            let outcome = gossip_block(
+                engine_a.topology(),
+                engine_a.latency(),
+                engine_a.population(),
+                miner,
+                &cfg,
+            );
+            outcome.coverage_times(engine_a.population(), &[0.9, 0.5], &mut coverage);
+            legacy90.push(coverage[0].as_ms());
+            legacy50.push(coverage[1].as_ms());
+            collector.record_gossip(&outcome);
+        }
+        let legacy_obs = collector.finish();
+
+        assert_eq!(round.lambda90_ms(), legacy90.as_slice());
+        assert_eq!(round.lambda50_ms(), legacy50.as_slice());
+        assert_eq!(round.observations(), legacy_obs.as_slice());
+    }
+}
+
+/// Flood-mode gossip rounds are bit-identical to analytic rounds: the
+/// pooled message-level engine computes the exact same arrival floats as
+/// the analytic Dijkstra, both coverage paths share one implementation,
+/// and the observation rows coincide — so whole learning trajectories
+/// match RoundStats for RoundStats and edge for edge.
+#[test]
+fn flood_gossip_rounds_are_bit_identical_to_analytic_rounds() {
+    let (mut analytic, mut rng_a) = engine(120, 20, 37);
+    let (mut flood, mut rng_b) = engine(120, 20, 37);
+    flood.set_propagation_mode(PropagationMode::Gossip(GossipConfig::flood()));
+    for _ in 0..3 {
+        let a = analytic.run_round(&mut rng_a);
+        let b = flood.run_round(&mut rng_b);
+        assert_eq!(a, b, "RoundStats must match bit for bit across engines");
+    }
+    assert_eq!(analytic.topology(), flood.topology());
+}
+
+/// Gossip-mode static evaluation is thread-count independent too.
+#[test]
+fn gossip_evaluation_is_thread_count_independent() {
+    let (mut engine_a, _) = engine(90, 5, 41);
+    engine_a.set_propagation_mode(PropagationMode::Gossip(GossipConfig::inv_getdata(0.5)));
+    let wide = engine_a.evaluate_in_mode(0.9);
+    let narrow = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| engine_a.evaluate_in_mode(0.9));
+    assert_eq!(wide, narrow);
 }
 
 /// Observation rows from the view path match the legacy collector on the

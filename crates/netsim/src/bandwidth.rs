@@ -52,12 +52,23 @@ impl TransferModel {
     /// Time to push one block from `u` to `v`, bottlenecked by
     /// `min(uplink(u), downlink(v))`.
     pub fn transfer_time(&self, population: &Population, u: NodeId, v: NodeId) -> SimTime {
+        self.transfer_time_mbps(
+            population.profile(u).uplink_mbps,
+            population.profile(v).downlink_mbps,
+        )
+    }
+
+    /// [`TransferModel::transfer_time`] on raw link rates: sender uplink
+    /// and receiver downlink in Mbit/s. Used by the view-based gossip
+    /// engine, which caches the rates per node instead of holding a
+    /// [`Population`] reference; bit-identical to the profile-based path
+    /// by construction.
+    #[inline]
+    pub fn transfer_time_mbps(&self, uplink_mbps: f64, downlink_mbps: f64) -> SimTime {
         if self.block_size_mb == 0.0 {
             return SimTime::ZERO;
         }
-        let up = population.profile(u).uplink_mbps;
-        let down = population.profile(v).downlink_mbps;
-        let bottleneck_mbps = up.min(down).max(f64::MIN_POSITIVE);
+        let bottleneck_mbps = uplink_mbps.min(downlink_mbps).max(f64::MIN_POSITIVE);
         let bits = self.block_size_mb * 8.0 * 1_000_000.0;
         SimTime::from_ms(bits / (bottleneck_mbps * 1_000_000.0) * 1_000.0)
     }

@@ -2,6 +2,15 @@
 //!
 //! Events fire in time order; ties break by insertion sequence so
 //! simulations are fully deterministic.
+//!
+//! This is the general-purpose, boxed-payload queue — the *reference*
+//! semantics for event ordering. The gossip hot path no longer uses it:
+//! [`GossipScratch`](crate::GossipScratch) inlines the same
+//! `(time, insertion-sequence)` ordering over a reusable index-based event
+//! pool, which avoids one slot allocation per event while reproducing this
+//! queue's pop order bit for bit. Keep the two in agreement: the legacy
+//! cross-validation suite (`tests/gossip_legacy.rs`) re-implements the old
+//! engine on top of this queue and asserts equality.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

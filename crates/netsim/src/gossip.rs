@@ -2,22 +2,53 @@
 //!
 //! The fast engine in [`broadcast`](crate::broadcast()) computes arrival times
 //! analytically under the paper's §2 model. This module simulates the same
-//! flood at the *message* level with an explicit [`EventQueue`]: either
-//! direct block pushes ([`GossipMode::Flood`], which must agree exactly with
-//! the fast engine — a cross-validation exercised by tests and the
-//! integration suite), or Bitcoin's three-leg `INV → GETDATA → BLOCK`
-//! exchange ([`GossipMode::InvGetData`], §1.1.2) with optional per-transfer
-//! bandwidth delay.
+//! flood at the *message* level: either direct block pushes
+//! ([`GossipMode::Flood`], which must agree exactly with the fast engine — a
+//! cross-validation exercised by tests and the integration suite), or
+//! Bitcoin's three-leg `INV → GETDATA → BLOCK` exchange
+//! ([`GossipMode::InvGetData`], §1.1.2) with optional per-transfer bandwidth
+//! delay.
+//!
+//! # Architecture: scratch engines over a frozen view
+//!
+//! Like the analytic path ([`TopologyView::broadcast_into`] +
+//! [`BroadcastScratch`](crate::BroadcastScratch)), the hot path here is
+//! [`TopologyView::gossip_into`] + [`GossipScratch`]: events are single
+//! packed `u128` words (time bits · insertion sequence · kind · CSR edge
+//! index — no boxed events, no per-event allocation) in one reusable
+//! `BinaryHeap`, deliveries land in a flat per-edge matrix indexed by the
+//! view's CSR edge offsets (replacing one `BTreeMap` per node per block),
+//! and `has_block`/`requested` are bit-packed words. Two structural wins
+//! over the generic queue: a node announces at most once, so each directed
+//! edge carries exactly one announcement whose delivery time is final at
+//! *schedule* time (written straight to the matrix), and events that can
+//! no longer have any effect — an INV to a node that already requested, a
+//! flood BLOCK to a node that already holds it — never enter the heap at
+//! all, only consuming their insertion-sequence number so every later
+//! tie-break stays exact. After the first block of a given network size,
+//! simulating further blocks performs no heap allocation.
+//!
+//! [`gossip_block`] remains as a thin per-call wrapper: it snapshots a
+//! [`TopologyView`], runs the scratch engine once and converts the flat
+//! delivery matrix into an owned [`GossipOutcome`]. The wrapper is
+//! bit-identical to the scratch engine *by construction*, and both are
+//! bit-identical to the legacy event-queue engine: side-effectful events
+//! are scheduled in the same order and pop in the same order, with time
+//! ties broken by insertion sequence exactly as
+//! [`EventQueue`](crate::EventQueue) did (cross-validated against a
+//! faithful replica of the legacy engine in `tests/gossip_legacy.rs` and
+//! the propagation bench).
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::bandwidth::TransferModel;
-use crate::event::EventQueue;
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
-use crate::node::{Behavior, NodeId};
+use crate::node::NodeId;
 use crate::population::Population;
 use crate::time::SimTime;
+use crate::view::{coverage_scan, coverage_times_from_arrivals, TopologyView};
 
 /// How blocks move between peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,37 +129,429 @@ impl GossipOutcome {
 
     /// Time to cover `fraction` of the network's hash power.
     pub fn coverage_time(&self, population: &Population, fraction: f64) -> SimTime {
+        let mut out = [SimTime::ZERO];
+        self.coverage_times(population, &[fraction], &mut out);
+        out[0]
+    }
+
+    /// Computes λ(fraction) for every entry of `fractions` from a single
+    /// sort of the weighted arrivals, writing into `out` — the
+    /// multi-fraction counterpart of [`GossipOutcome::coverage_time`],
+    /// mirroring
+    /// [`BroadcastScratch::coverage_times_into`](crate::BroadcastScratch::coverage_times_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` and `fractions` have different lengths.
+    pub fn coverage_times(&self, population: &Population, fractions: &[f64], out: &mut [SimTime]) {
+        assert_eq!(fractions.len(), out.len(), "one output slot per fraction");
         let mut weighted: Vec<(SimTime, f64)> = self
             .first_arrival
             .iter()
             .enumerate()
             .map(|(i, &t)| (t, population.hash_power(NodeId::new(i as u32))))
             .collect();
-        weighted.sort_by_key(|&(t, _)| t);
-        let mut acc = 0.0;
-        for (t, w) in weighted {
-            acc += w;
-            if acc >= fraction - 1e-12 {
-                return t;
-            }
+        weighted.sort_unstable_by_key(|&(t, _)| t);
+        for (slot, &fraction) in out.iter_mut().zip(fractions) {
+            *slot = coverage_scan(&weighted, fraction);
         }
-        SimTime::INFINITY
     }
 }
 
-#[derive(Debug)]
-enum Event {
-    /// `from` announces the block to `at` (INV mode only).
-    Inv { at: NodeId, from: NodeId },
-    /// `at` asks `from` for the block (INV mode only).
-    GetData { at: NodeId, from: NodeId },
-    /// The full block from `from` lands at `at`.
-    Block { at: NodeId, from: NodeId },
-    /// `at` finished validating and starts announcing.
-    Announce { at: NodeId },
+/// Event kinds of the pooled message-level engine. The discriminants are
+/// the 2-bit kind field of the packed event word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A neighbor announces the block (INV mode only).
+    Inv = 0,
+    /// An announcer is asked for the block (INV mode only).
+    GetData = 1,
+    /// The full block lands.
+    Block = 2,
+    /// A node finished validating and starts announcing.
+    Announce = 3,
+}
+
+/// Events are single `u128` words — no event pool lookup at all:
+///
+/// ```text
+/// bits 127..64   event time as f64 bits (non-negative ⇒ bit order = value order)
+/// bits  63..32   insertion sequence (the legacy EventQueue tie-break)
+/// bits  31..30   EventKind
+/// bits  29..0    payload: a directed CSR edge index, or a node id
+/// ```
+///
+/// Integer order on the whole word is therefore exactly "by time, ties by
+/// insertion sequence" (the sequence is unique, so the low bits never
+/// decide), which is the legacy [`EventQueue`](crate::EventQueue) pop
+/// order. The 30-bit payload caps supported snapshots at 2^30 directed
+/// edges — an 8 GB+ view, far beyond simulation scale (debug-asserted in
+/// [`TopologyView::gossip_into`]).
+#[inline]
+fn pack_event(time: SimTime, seq: u32, kind: EventKind, payload: u32) -> u128 {
+    debug_assert!(payload < (1 << 30), "payload exceeds 30 bits");
+    ((time.as_ms().to_bits() as u128) << 64)
+        | ((seq as u128) << 32)
+        | ((kind as u128) << 30)
+        | payload as u128
+}
+
+#[inline]
+fn event_time(word: u128) -> SimTime {
+    SimTime::from_ms(f64::from_bits((word >> 64) as u64))
+}
+
+#[inline]
+fn event_kind(word: u128) -> u32 {
+    (word as u32) >> 30
+}
+
+#[inline]
+fn event_payload(word: u128) -> usize {
+    (word as u32 & 0x3FFF_FFFF) as usize
+}
+
+/// Reusable message-level simulation state: the packed event heap,
+/// bit-packed per-node flags, the first-arrival vector and the flat
+/// per-edge delivery matrix.
+///
+/// Create once per worker thread and reuse across blocks; after the first
+/// block of a given network size, subsequent blocks perform no heap
+/// allocation. The delivery matrix is indexed by the view's CSR edge
+/// offsets: entry `e` of [`GossipScratch::delivery_matrix`] is the first
+/// time `edges[e]` announced (INV mode) or delivered (flood mode) the
+/// block to the row owner of `e` (`INFINITY` if it never did) — the flat
+/// replacement for the per-node `BTreeMap` logs of [`GossipOutcome`].
+#[derive(Debug, Clone, Default)]
+pub struct GossipScratch {
+    source: NodeId,
+    /// Min-heap of packed event words (see [`pack_event`]). Only events
+    /// with a possible side effect are ever pushed; provably-inert ones
+    /// (an INV to a node that has already requested, a flood BLOCK to a
+    /// node that already holds it) only consume a sequence number, so the
+    /// pop order of the rest replays the legacy queue exactly.
+    heap: BinaryHeap<Reverse<u128>>,
+    /// Next insertion sequence (reset per block). Counts every event the
+    /// legacy engine would have scheduled, pushed or not.
+    seq: u32,
+    /// Bit-packed "node holds the block" flags.
+    has_block: Vec<u64>,
+    /// Bit-packed "node already sent a GETDATA" flags (INV mode).
+    requested: Vec<u64>,
+    first_arrival: Vec<SimTime>,
+    delivery: Vec<SimTime>,
+    coverage: Vec<(SimTime, f64)>,
+    select: Vec<SimTime>,
+}
+
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i >> 6] & (1 << (i & 63)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+impl GossipScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for `nodes` nodes and `directed_edges`
+    /// directed adjacency entries (see
+    /// [`TopologyView::directed_edge_count`]).
+    pub fn with_capacity(nodes: usize, directed_edges: usize) -> Self {
+        GossipScratch {
+            source: NodeId::new(0),
+            // INV mode fires ~1 event per directed edge plus ~3 per node,
+            // but inert events never reach the heap and only a fraction
+            // of the rest is pending at once.
+            heap: BinaryHeap::with_capacity(directed_edges / 2 + nodes),
+            seq: 0,
+            has_block: Vec::with_capacity(nodes.div_ceil(64)),
+            requested: Vec::with_capacity(nodes.div_ceil(64)),
+            first_arrival: Vec::with_capacity(nodes),
+            delivery: Vec::with_capacity(directed_edges),
+            coverage: Vec::with_capacity(nodes),
+            select: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// The source of the last simulated block.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// First (full-block) arrival time of the last block at `v`.
+    #[inline]
+    pub fn arrival(&self, v: NodeId) -> SimTime {
+        self.first_arrival[v.index()]
+    }
+
+    /// All first-arrival times of the last block, indexed by node.
+    #[inline]
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.first_arrival
+    }
+
+    /// Number of nodes the last block reached.
+    pub fn reached(&self) -> usize {
+        self.first_arrival.iter().filter(|t| t.is_finite()).count()
+    }
+
+    /// The flat per-edge delivery matrix of the last block, indexed by the
+    /// view's CSR edge offsets ([`TopologyView::edge_range`]): entry `e`
+    /// is the first announcement (INV) or delivery (flood) time across the
+    /// directed edge `e`'s *reverse* direction — i.e. from the neighbor
+    /// `edges[e]` to `e`'s row owner — with `INFINITY` meaning never.
+    #[inline]
+    pub fn delivery_matrix(&self) -> &[SimTime] {
+        &self.delivery
+    }
+
+    /// Per-neighbor announcement/delivery times of node `v`, aligned with
+    /// [`TopologyView::neighbors_raw`] — the zero-copy equivalent of
+    /// [`GossipOutcome::neighbor_deliveries`].
+    #[inline]
+    pub fn neighbor_deliveries<'a>(&'a self, view: &TopologyView, v: NodeId) -> &'a [SimTime] {
+        &self.delivery[view.edge_range(v)]
+    }
+
+    /// Computes λ(fraction) of the last block for every entry of
+    /// `fractions` in one pass over a reusable sorted buffer, writing into
+    /// `out` (`out.len()` must equal `fractions.len()`). Equivalent to
+    /// [`GossipOutcome::coverage_time`] per fraction, without the per-call
+    /// allocation and re-sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` and `fractions` have different lengths.
+    pub fn coverage_times_into(
+        &mut self,
+        view: &TopologyView,
+        fractions: &[f64],
+        out: &mut [SimTime],
+    ) {
+        coverage_times_from_arrivals(
+            view,
+            &self.first_arrival,
+            fractions,
+            out,
+            &mut self.coverage,
+            &mut self.select,
+        );
+    }
+
+    /// Converts the last block's flat state into an owned
+    /// [`GossipOutcome`] (allocates; hot paths should read the scratch
+    /// directly).
+    pub fn to_outcome(&self, view: &TopologyView) -> GossipOutcome {
+        let per_neighbor = (0..view.len() as u32)
+            .map(|i| {
+                let v = NodeId::new(i);
+                view.neighbors_raw(v)
+                    .iter()
+                    .zip(self.neighbor_deliveries(view, v))
+                    .filter(|(_, t)| t.is_finite())
+                    .map(|(&u, &t)| (NodeId::new(u), t))
+                    .collect()
+            })
+            .collect();
+        GossipOutcome {
+            source: self.source,
+            first_arrival: self.first_arrival.clone(),
+            per_neighbor,
+        }
+    }
+
+    /// Resets per-block state for a network of `nodes` nodes and
+    /// `directed_edges` CSR entries.
+    fn reset(&mut self, nodes: usize, directed_edges: usize) {
+        self.heap.clear();
+        self.seq = 0;
+        let words = nodes.div_ceil(64);
+        self.has_block.clear();
+        self.has_block.resize(words, 0);
+        self.requested.clear();
+        self.requested.resize(words, 0);
+        self.first_arrival.clear();
+        self.first_arrival.resize(nodes, SimTime::INFINITY);
+        self.delivery.clear();
+        self.delivery.resize(directed_edges, SimTime::INFINITY);
+    }
+
+    /// Schedules an event at `time`, stamping the next insertion sequence
+    /// — the legacy queue's deterministic tie-break.
+    #[inline]
+    fn schedule(&mut self, time: SimTime, kind: EventKind, payload: u32) {
+        let word = pack_event(time, self.seq, kind, payload);
+        self.seq += 1;
+        self.heap.push(Reverse(word));
+    }
+
+    /// Consumes a sequence number for an event the legacy engine would
+    /// have scheduled but whose pop is provably a no-op here, keeping the
+    /// tie-break numbering of every later event bit-identical.
+    #[inline]
+    fn skip_inert(&mut self) {
+        self.seq += 1;
+    }
+}
+
+impl TopologyView {
+    /// Simulates one block mined by `source` at time zero at the message
+    /// level, writing arrivals and the per-edge delivery matrix into
+    /// `scratch` without allocating (after `scratch` has warmed up to this
+    /// network size once).
+    ///
+    /// Behaviour matches [`gossip_block`] exactly — which in turn matches
+    /// the original event-queue engine event for event: identical schedule
+    /// order, identical time-tie insertion-sequence break, identical
+    /// `δ(u,v)` call directions (cached per directed edge), identical
+    /// transfer-time floats. In [`GossipMode::Flood`] with negligible
+    /// transfer the arrivals are additionally bit-identical to
+    /// [`TopologyView::broadcast_into`].
+    pub fn gossip_into(&self, source: NodeId, config: &GossipConfig, scratch: &mut GossipScratch) {
+        let n = self.len();
+        let m = self.edges.len();
+        debug_assert!(m < (1 << 30), "snapshot exceeds the 2^30-edge cap");
+        scratch.source = source;
+        scratch.reset(n, m);
+        // Adding a zero transfer is a bitwise no-op on non-negative times,
+        // so the negligible-block default skips the per-edge computation.
+        let no_transfer = config.transfer.block_size_mb() == 0.0;
+
+        bit_set(&mut scratch.has_block, source.index());
+        scratch.first_arrival[source.index()] = SimTime::ZERO;
+        // The miner announces immediately (no validation of its own
+        // block), unless it is a withholding adversary.
+        let relay0 = self.relay[source.index()].relay_time(SimTime::ZERO, true);
+        if relay0.is_finite() {
+            scratch.schedule(relay0, EventKind::Announce, source.as_u32());
+        }
+
+        while let Some(Reverse(word)) = scratch.heap.pop() {
+            let t = event_time(word);
+            match event_kind(word) {
+                k if k == EventKind::Announce as u32 => {
+                    // Payload: the announcing node u. A node announces at
+                    // most once, so each directed edge carries exactly one
+                    // INV (or flood-mode BLOCK): its delivery time is
+                    // final at schedule time and is written here directly.
+                    // Events that can no longer have any other effect —
+                    // the target has already requested (INV) or already
+                    // holds the block (flood) — are provably no-ops at pop
+                    // and skip the heap, consuming only their sequence
+                    // number.
+                    let u = event_payload(word);
+                    let (start, end) = (self.offsets[u], self.offsets[u + 1]);
+                    let edges = &self.edges[start..end];
+                    let delays = &self.delay[start..end];
+                    let revs = &self.reverse[start..end];
+                    match config.mode {
+                        GossipMode::Flood => {
+                            for ((&v, &leg), &rev) in edges.iter().zip(delays).zip(revs) {
+                                let vi = v as usize;
+                                let tv = if no_transfer {
+                                    t + leg
+                                } else {
+                                    t + leg + self.edge_transfer(config, u, vi)
+                                };
+                                debug_assert!(scratch.delivery[rev as usize].is_infinite());
+                                scratch.delivery[rev as usize] = tv;
+                                if bit_get(&scratch.has_block, vi) {
+                                    scratch.skip_inert();
+                                } else {
+                                    scratch.schedule(tv, EventKind::Block, v);
+                                }
+                            }
+                        }
+                        GossipMode::InvGetData => {
+                            for ((&v, &leg), &rev) in edges.iter().zip(delays).zip(revs) {
+                                let vi = v as usize;
+                                let tv = t + leg;
+                                debug_assert!(scratch.delivery[rev as usize].is_infinite());
+                                scratch.delivery[rev as usize] = tv;
+                                if bit_get(&scratch.has_block, vi)
+                                    || bit_get(&scratch.requested, vi)
+                                {
+                                    scratch.skip_inert();
+                                } else {
+                                    scratch.schedule(tv, EventKind::Inv, rev);
+                                }
+                            }
+                        }
+                    }
+                }
+                k if k == EventKind::Inv as u32 => {
+                    // Payload: the entry for the announcer u within the
+                    // announced-to node v's row (the delivery was already
+                    // recorded at schedule time).
+                    let rev = event_payload(word);
+                    let fwd = self.reverse[rev] as usize;
+                    let v = self.edges[fwd] as usize;
+                    if !bit_get(&scratch.has_block, v) && !bit_get(&scratch.requested, v) {
+                        bit_set(&mut scratch.requested, v);
+                        let leg = self.delay[rev];
+                        scratch.schedule(t + leg, EventKind::GetData, fwd as u32);
+                    }
+                }
+                k if k == EventKind::GetData as u32 => {
+                    // Payload: the announcer u's entry for the requester v
+                    // (u must hold the block, since it announced).
+                    let e = event_payload(word);
+                    debug_assert!(bit_get(
+                        &scratch.has_block,
+                        self.edges[self.reverse[e] as usize] as usize
+                    ));
+                    let v = self.edges[e];
+                    let leg = self.delay[e];
+                    let transfer = if no_transfer {
+                        SimTime::ZERO
+                    } else {
+                        let u = self.edges[self.reverse[e] as usize] as usize;
+                        self.edge_transfer(config, u, v as usize)
+                    };
+                    scratch.schedule(t + leg + transfer, EventKind::Block, v);
+                }
+                _ => {
+                    // Block. Payload: the receiving node v.
+                    let v = event_payload(word);
+                    if bit_get(&scratch.has_block, v) {
+                        continue;
+                    }
+                    bit_set(&mut scratch.has_block, v);
+                    scratch.first_arrival[v] = t;
+                    let relay = self.relay[v].relay_time(t, false);
+                    if relay.is_finite() {
+                        scratch.schedule(relay, EventKind::Announce, v as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Block transfer time across the directed edge `u → v`, from the
+    /// per-node link rates cached at snapshot time.
+    #[inline]
+    fn edge_transfer(&self, config: &GossipConfig, u: usize, v: usize) -> SimTime {
+        config
+            .transfer
+            .transfer_time_mbps(self.uplink_mbps[u], self.downlink_mbps[v])
+    }
 }
 
 /// Simulates one block mined by `source` at time zero.
+///
+/// Thin per-call wrapper over [`TopologyView::gossip_into`]: snapshots the
+/// topology, runs the scratch engine once and converts the flat delivery
+/// matrix into an owned [`GossipOutcome`]. Hot paths (many blocks on a
+/// constant overlay) should build the view once and reuse a
+/// [`GossipScratch`] instead.
 pub fn gossip_block<L: LatencyModel + ?Sized>(
     topology: &Topology,
     latency: &L,
@@ -136,82 +559,10 @@ pub fn gossip_block<L: LatencyModel + ?Sized>(
     source: NodeId,
     config: &GossipConfig,
 ) -> GossipOutcome {
-    let n = topology.len();
-    let mut queue: EventQueue<Event> = EventQueue::new();
-    let mut has_block = vec![false; n];
-    let mut requested = vec![false; n];
-    let mut first_arrival = vec![SimTime::INFINITY; n];
-    let mut per_neighbor: Vec<BTreeMap<NodeId, SimTime>> = vec![BTreeMap::new(); n];
-
-    has_block[source.index()] = true;
-    first_arrival[source.index()] = SimTime::ZERO;
-    // The miner announces immediately (no validation of its own block),
-    // unless it is a withholding adversary.
-    match population.profile(source).behavior {
-        Behavior::Silent => {}
-        Behavior::Honest => queue.schedule(SimTime::ZERO, Event::Announce { at: source }),
-        Behavior::Delay(d) => queue.schedule(d, Event::Announce { at: source }),
-    }
-
-    while let Some((t, event)) = queue.pop() {
-        match event {
-            Event::Announce { at } => {
-                for v in topology.neighbors(at) {
-                    let leg = latency.delay(at, v);
-                    match config.mode {
-                        GossipMode::Flood => {
-                            let transfer = config.transfer.transfer_time(population, at, v);
-                            queue.schedule(t + leg + transfer, Event::Block { at: v, from: at });
-                        }
-                        GossipMode::InvGetData => {
-                            queue.schedule(t + leg, Event::Inv { at: v, from: at });
-                        }
-                    }
-                }
-            }
-            Event::Inv { at, from } => {
-                per_neighbor[at.index()].entry(from).or_insert(t);
-                if !has_block[at.index()] && !requested[at.index()] {
-                    requested[at.index()] = true;
-                    let leg = latency.delay(at, from);
-                    queue.schedule(t + leg, Event::GetData { at: from, from: at });
-                }
-            }
-            Event::GetData { at, from } => {
-                // `from` requested the block from `at`; `at` must have it
-                // since it announced.
-                debug_assert!(has_block[at.index()]);
-                let leg = latency.delay(at, from);
-                let transfer = config.transfer.transfer_time(population, at, from);
-                queue.schedule(t + leg + transfer, Event::Block { at: from, from: at });
-            }
-            Event::Block { at, from } => {
-                if config.mode == GossipMode::Flood {
-                    per_neighbor[at.index()].entry(from).or_insert(t);
-                }
-                if has_block[at.index()] {
-                    continue;
-                }
-                has_block[at.index()] = true;
-                first_arrival[at.index()] = t;
-                let profile = population.profile(at);
-                let validated = t + profile.validation_delay;
-                match profile.behavior {
-                    Behavior::Honest => queue.schedule(validated, Event::Announce { at }),
-                    Behavior::Silent => {}
-                    Behavior::Delay(extra) => {
-                        queue.schedule(validated + extra, Event::Announce { at })
-                    }
-                }
-            }
-        }
-    }
-
-    GossipOutcome {
-        source,
-        first_arrival,
-        per_neighbor,
-    }
+    let view = TopologyView::new(topology, latency, population);
+    let mut scratch = GossipScratch::with_capacity(view.len(), view.directed_edge_count());
+    view.gossip_into(source, config, &mut scratch);
+    scratch.to_outcome(&view)
 }
 
 #[cfg(test)]
@@ -220,6 +571,7 @@ mod tests {
     use crate::broadcast::broadcast;
     use crate::graph::ConnectionLimits;
     use crate::latency::GeoLatencyModel;
+    use crate::node::Behavior;
     use crate::population::PopulationBuilder;
     use rand::rngs::StdRng;
     use rand::Rng;
@@ -346,5 +698,69 @@ mod tests {
             let v = NodeId::new(i);
             assert!((withheld.arrival(v) - honest.arrival(v)).as_ms() > 499.0);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_across_blocks_and_modes_matches_wrapper() {
+        let (pop, lat, topo) = random_world(50, 17);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut scratch = GossipScratch::new();
+        for cfg in [
+            GossipConfig::flood(),
+            GossipConfig::inv_getdata(0.0),
+            GossipConfig::inv_getdata(1.0),
+        ] {
+            for src in [0u32, 13, 47] {
+                let src = NodeId::new(src);
+                view.gossip_into(src, &cfg, &mut scratch);
+                let owned = gossip_block(&topo, &lat, &pop, src, &cfg);
+                assert_eq!(scratch.arrivals(), owned.arrivals());
+                assert_eq!(scratch.to_outcome(&view), owned);
+                assert_eq!(scratch.reached(), 50);
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_matrix_aligns_with_view_rows() {
+        let (pop, lat, topo) = random_world(40, 21);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut scratch = GossipScratch::new();
+        view.gossip_into(
+            NodeId::new(3),
+            &GossipConfig::inv_getdata(0.0),
+            &mut scratch,
+        );
+        assert_eq!(scratch.delivery_matrix().len(), view.directed_edge_count());
+        let out = scratch.to_outcome(&view);
+        for i in 0..view.len() as u32 {
+            let v = NodeId::new(i);
+            let row = scratch.neighbor_deliveries(&view, v);
+            for (k, u) in view.neighbors(v).enumerate() {
+                assert_eq!(
+                    out.neighbor_delivery(v, u),
+                    row[k].is_finite().then(|| row[k])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_coverage_matches_outcome_coverage() {
+        let (pop, lat, topo) = random_world(60, 29);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut scratch = GossipScratch::new();
+        view.gossip_into(
+            NodeId::new(7),
+            &GossipConfig::inv_getdata(0.0),
+            &mut scratch,
+        );
+        let out = scratch.to_outcome(&view);
+        let mut multi = [SimTime::ZERO; 3];
+        scratch.coverage_times_into(&view, &[0.5, 0.9, 1.0], &mut multi);
+        let mut owned = [SimTime::ZERO; 3];
+        out.coverage_times(&pop, &[0.5, 0.9, 1.0], &mut owned);
+        assert_eq!(multi, owned);
+        assert_eq!(multi[1], out.coverage_time(&pop, 0.9));
     }
 }

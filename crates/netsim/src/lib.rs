@@ -19,13 +19,17 @@
 //! * [`broadcast()`] — the fast analytic propagation engine (Dijkstra over the
 //!   store-validate-forward flood), exposing both first arrivals and the
 //!   per-neighbor delivery times `tᵇu,v` that Perigee observes.
-//! * [`TopologyView`] + [`BroadcastScratch`] — the propagation substrate
-//!   underneath: a frozen CSR snapshot of the overlay with per-edge
-//!   latencies precomputed once, flooded allocation-free any number of
-//!   times. [`broadcast()`] is a thin per-call wrapper over it.
-//! * [`gossip_block`] — a message-level event-driven engine (direct flood or
-//!   Bitcoin's `INV`/`GETDATA` exchange with bandwidth), cross-validated
-//!   against the analytic engine.
+//! * [`TopologyView`] — the propagation substrate underneath both engines:
+//!   a frozen CSR snapshot of the overlay with per-edge latencies, reverse
+//!   edge indices, relay profiles and link rates precomputed once.
+//! * [`BroadcastScratch`] — reusable analytic flood state for
+//!   [`TopologyView::broadcast_into`]; [`broadcast()`] is a thin per-call
+//!   wrapper over it.
+//! * [`GossipScratch`] — reusable message-level state (index-based event
+//!   pool, flat per-edge delivery matrix, bit-packed flags) for
+//!   [`TopologyView::gossip_into`]: direct flood or Bitcoin's
+//!   `INV`/`GETDATA` exchange with bandwidth, cross-validated against the
+//!   analytic engine. [`gossip_block`] is the thin per-call wrapper.
 //! * [`MinerSampler`] — hash-power-proportional block sources.
 //!
 //! ## Snapshot lifecycle and determinism
@@ -33,14 +37,16 @@
 //! A [`TopologyView`] freezes `(topology, latency, population)` at a point
 //! in time: build one per Perigee round (connection updates run
 //! synchronously *between* rounds, §2.1, so a round sees a constant
-//! overlay), flood all of the round's blocks through it — from as many
-//! threads as you like, each with its own [`BroadcastScratch`] — and drop
-//! it before the next rewiring. Floods through a view are **bit-identical**
-//! to [`broadcast()`] on the source topology: identical adjacency order,
-//! identical cached `δ(u,v)` values, identical heap tie-breaking. Blocks
-//! within a round are mutually independent (no RNG is consumed inside a
-//! flood), which is what makes the engine's parallel fan-out exactly
-//! reproducible.
+//! overlay), push all of the round's blocks through it — from as many
+//! threads as you like, each with its own [`BroadcastScratch`] or
+//! [`GossipScratch`] — and drop it before the next rewiring. Both scratch
+//! engines allocate nothing per block after warming up to the network
+//! size. Floods through a view are **bit-identical** to [`broadcast()`] on
+//! the source topology, and message-level runs are bit-identical to
+//! [`gossip_block`]: identical adjacency order, identical cached `δ(u,v)`
+//! values, identical heap tie-breaking. Blocks within a round are mutually
+//! independent (no RNG is consumed inside a block simulation), which is
+//! what makes the round engine's parallel fan-out exactly reproducible.
 //!
 //! ## Example: measure a block broadcast
 //!
@@ -85,6 +91,7 @@ pub mod latency;
 pub mod mining;
 pub mod node;
 pub mod population;
+pub mod reference;
 pub mod time;
 pub mod view;
 
@@ -92,7 +99,7 @@ pub use bandwidth::TransferModel;
 pub use broadcast::{broadcast, Propagation};
 pub use error::{ConnectError, NetsimError};
 pub use event::EventQueue;
-pub use gossip::{gossip_block, GossipConfig, GossipMode, GossipOutcome};
+pub use gossip::{gossip_block, GossipConfig, GossipMode, GossipOutcome, GossipScratch};
 pub use graph::{ConnectionLimits, Topology};
 pub use latency::{
     GeoLatencyModel, LatencyModel, MetricLatencyModel, OverrideLatencyModel, ACCESS_DELAY_RANGE_MS,

@@ -40,7 +40,7 @@ use crate::time::SimTime;
 /// How a node relays once it first holds a block (resolved from
 /// [`Behavior`] and the validation delay at snapshot time).
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum RelayProfile {
+pub(crate) enum RelayProfile {
     /// Validates for the given delay, then relays.
     Honest { validation: SimTime },
     /// Receives but never relays.
@@ -51,7 +51,7 @@ enum RelayProfile {
 
 impl RelayProfile {
     #[inline]
-    fn relay_time(self, t: SimTime, is_miner: bool) -> SimTime {
+    pub(crate) fn relay_time(self, t: SimTime, is_miner: bool) -> SimTime {
         match self {
             RelayProfile::Honest { validation } => {
                 if is_miner {
@@ -100,19 +100,28 @@ impl RelayProfile {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TopologyView {
     /// CSR row starts: node `u`'s adjacency is `edges[offsets[u]..offsets[u+1]]`.
-    offsets: Vec<usize>,
+    pub(crate) offsets: Vec<usize>,
     /// Neighbor ids, ascending within each node (the [`Topology::neighbors`] order).
-    edges: Vec<u32>,
+    pub(crate) edges: Vec<u32>,
     /// `δ(u, edges[e])` for every directed adjacency entry, cached once.
-    delay: Vec<SimTime>,
+    pub(crate) delay: Vec<SimTime>,
+    /// `reverse[e]` is the index of the opposite directed entry: for
+    /// `e = (u → v)`, `edges[reverse[e]] == u` and `reverse[e]` lies in
+    /// `v`'s row. The communication graph (out ∪ in ∪ pinned) is symmetric
+    /// by construction, so every entry has an opposite.
+    pub(crate) reverse: Vec<u32>,
     /// Per-node relay profile (validation delay + behavior).
-    relay: Vec<RelayProfile>,
+    pub(crate) relay: Vec<RelayProfile>,
     /// Per-node hash power `fv` (for coverage times).
-    hash_power: Vec<f64>,
+    pub(crate) hash_power: Vec<f64>,
+    /// Per-node access uplink (Mbit/s), for bandwidth-limited transfers.
+    pub(crate) uplink_mbps: Vec<f64>,
+    /// Per-node access downlink (Mbit/s), for bandwidth-limited transfers.
+    pub(crate) downlink_mbps: Vec<f64>,
     /// When every node holds bit-identical hash power (the paper's default
     /// uniform setting), coverage times reduce to an order statistic of
     /// the arrivals — computed by selection instead of a full sort.
-    uniform_weight: Option<f64>,
+    pub(crate) uniform_weight: Option<f64>,
 }
 
 impl TopologyView {
@@ -146,6 +155,17 @@ impl TopologyView {
             }
             offsets.push(edges.len());
         }
+        let mut reverse = vec![0u32; edges.len()];
+        for u in 0..n {
+            for e in offsets[u]..offsets[u + 1] {
+                let v = edges[e] as usize;
+                let row = &edges[offsets[v]..offsets[v + 1]];
+                let k = row
+                    .binary_search(&(u as u32))
+                    .expect("communication graph is symmetric");
+                reverse[e] = (offsets[v] + k) as u32;
+            }
+        }
         let relay = population
             .iter()
             .map(|p| match p.behavior {
@@ -164,12 +184,17 @@ impl TopologyView {
             Some((&w, rest)) if rest.iter().all(|&x| x == w) => Some(w),
             _ => None,
         };
+        let uplink_mbps = population.iter().map(|p| p.uplink_mbps).collect();
+        let downlink_mbps = population.iter().map(|p| p.downlink_mbps).collect();
         TopologyView {
             offsets,
             edges,
             delay,
+            reverse,
             relay,
             hash_power,
+            uplink_mbps,
+            downlink_mbps,
             uniform_weight,
         }
     }
@@ -198,6 +223,14 @@ impl TopologyView {
     #[inline]
     pub fn neighbors_raw(&self, u: NodeId) -> &[u32] {
         &self.edges[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// The range of directed-edge indices forming `u`'s CSR row — the
+    /// index space of per-edge data such as
+    /// [`GossipScratch::delivery_matrix`](crate::GossipScratch::delivery_matrix).
+    #[inline]
+    pub fn edge_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        self.offsets[u.index()]..self.offsets[u.index() + 1]
     }
 
     /// `u`'s communication neighbors as [`NodeId`]s, ascending.
@@ -362,51 +395,68 @@ impl BroadcastScratch {
         fractions: &[f64],
         out: &mut [SimTime],
     ) {
-        assert_eq!(fractions.len(), out.len(), "one output slot per fraction");
-        if let Some(w) = view.uniform_weight {
-            // Uniform hash power: the crossing index of the cumulative
-            // weight scan is independent of arrival order, so λ(f) is the
-            // k-th smallest arrival — an O(n) selection, no sort. The
-            // accumulation below replays the scan's float additions
-            // exactly, keeping the result bit-identical to the weighted
-            // path.
-            self.select.clear();
-            self.select.extend_from_slice(&self.arrival);
-            for (slot, &fraction) in out.iter_mut().zip(fractions) {
-                let mut acc = 0.0;
-                let mut k = 0usize;
-                for _ in 0..self.select.len() {
-                    acc += w;
-                    k += 1;
-                    if acc >= fraction - 1e-12 {
-                        break;
-                    }
-                }
-                *slot = if k > 0 && acc >= fraction - 1e-12 {
-                    *self.select.select_nth_unstable(k - 1).1
-                } else {
-                    SimTime::INFINITY
-                };
-            }
-            return;
-        }
-        self.coverage.clear();
-        self.coverage.extend(
-            self.arrival
-                .iter()
-                .zip(&view.hash_power)
-                .map(|(&t, &w)| (t, w)),
+        coverage_times_from_arrivals(
+            view,
+            &self.arrival,
+            fractions,
+            out,
+            &mut self.coverage,
+            &mut self.select,
         );
-        self.coverage.sort_unstable_by_key(|&(t, _)| t);
-        for (slot, &fraction) in out.iter_mut().zip(fractions) {
-            *slot = coverage_scan(&self.coverage, fraction);
-        }
     }
 
     /// Converts the scratch into an owned [`Propagation`], consuming the
     /// buffers (no copy).
     pub fn into_propagation(self) -> Propagation {
         Propagation::from_parts(self.source, self.arrival, self.relay_at)
+    }
+}
+
+/// Computes λ(fraction) for every entry of `fractions` from one arrival
+/// vector, reusing the caller's sort/selection buffers — the shared
+/// implementation behind [`BroadcastScratch::coverage_times_into`] and
+/// [`GossipScratch::coverage_times_into`](crate::GossipScratch::coverage_times_into).
+pub(crate) fn coverage_times_from_arrivals(
+    view: &TopologyView,
+    arrival: &[SimTime],
+    fractions: &[f64],
+    out: &mut [SimTime],
+    coverage: &mut Vec<(SimTime, f64)>,
+    select: &mut Vec<SimTime>,
+) {
+    assert_eq!(fractions.len(), out.len(), "one output slot per fraction");
+    if let Some(w) = view.uniform_weight {
+        // Uniform hash power: the crossing index of the cumulative
+        // weight scan is independent of arrival order, so λ(f) is the
+        // k-th smallest arrival — an O(n) selection, no sort. The
+        // accumulation below replays the scan's float additions
+        // exactly, keeping the result bit-identical to the weighted
+        // path.
+        select.clear();
+        select.extend_from_slice(arrival);
+        for (slot, &fraction) in out.iter_mut().zip(fractions) {
+            let mut acc = 0.0;
+            let mut k = 0usize;
+            for _ in 0..select.len() {
+                acc += w;
+                k += 1;
+                if acc >= fraction - 1e-12 {
+                    break;
+                }
+            }
+            *slot = if k > 0 && acc >= fraction - 1e-12 {
+                *select.select_nth_unstable(k - 1).1
+            } else {
+                SimTime::INFINITY
+            };
+        }
+        return;
+    }
+    coverage.clear();
+    coverage.extend(arrival.iter().zip(&view.hash_power).map(|(&t, &w)| (t, w)));
+    coverage.sort_unstable_by_key(|&(t, _)| t);
+    for (slot, &fraction) in out.iter_mut().zip(fractions) {
+        *slot = coverage_scan(coverage, fraction);
     }
 }
 
