@@ -70,7 +70,7 @@ fn bench_scoring(c: &mut Criterion) {
                     for i in 0..500u32 {
                         let v = NodeId::new(i);
                         let outgoing = topo.outgoing_vec(v);
-                        let _ = strategy.retain(v, &outgoing, &observations[v.index()], &mut rng);
+                        let _ = strategy.retain(v, &outgoing, observations.node(v), &mut rng);
                     }
                 });
             },

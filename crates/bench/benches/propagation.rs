@@ -173,22 +173,15 @@ fn legacy_round(
     sum90
 }
 
-/// Mirrors criterion's name filtering for the manual (non-criterion)
-/// sections below: extra non-flag CLI args are substring filters on
-/// benchmark ids, and criterion only gates its own `bench_function`
-/// sampling — the bench fn bodies always run. Guarding the hand-timed
-/// speedup reports (and the `BENCH_gossip.json` write) on the same rule
-/// keeps a filtered invocation (e.g. CI's `-- round`) from re-running the
-/// other sections or silently overwriting the checked-in baseline.
-fn section_enabled(id: &str) -> bool {
-    let filters: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with('-'))
-        .collect();
-    filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()))
-}
+use perigee_bench::{median, section_enabled};
 
 fn bench_broadcast(c: &mut Criterion) {
+    // Each bench fn gates its (1000-node) world construction on its own
+    // group name, so a filtered invocation (CI runs `-- round` and
+    // `-- gossip` separately) pays only the setup it samples.
+    if !section_enabled("broadcast") {
+        return;
+    }
     let (pop, lat, topo) = world(1);
     let view = TopologyView::new(&topo, &lat, &pop);
     let mut group = c.benchmark_group("broadcast");
@@ -216,6 +209,9 @@ fn bench_broadcast(c: &mut Criterion) {
 }
 
 fn bench_round_throughput(c: &mut Criterion) {
+    if !section_enabled("round") {
+        return;
+    }
     let (pop, lat, topo) = world(2);
     let mut rng = StdRng::seed_from_u64(3);
     let miners = MinerSampler::new(&pop).sample_round(BLOCKS_PER_ROUND, &mut rng);
@@ -252,10 +248,6 @@ fn bench_round_throughput(c: &mut Criterion) {
 
     // Explicit speedup report (median of 3 runs each), so the number the
     // tentpole promises is visible without post-processing.
-    let median = |samples: &mut [f64]| {
-        samples.sort_unstable_by(f64::total_cmp);
-        samples[samples.len() / 2]
-    };
     let mut legacy = [0.0f64; 3];
     for slot in &mut legacy {
         let start = Instant::now();
@@ -282,6 +274,9 @@ fn bench_round_throughput(c: &mut Criterion) {
 }
 
 fn bench_gossip(c: &mut Criterion) {
+    if !section_enabled("gossip") {
+        return;
+    }
     let (pop, lat, topo) = world(5);
     let view = TopologyView::new(&topo, &lat, &pop);
     let flood_cfg = GossipConfig::flood();
@@ -339,10 +334,6 @@ fn bench_gossip(c: &mut Criterion) {
     // pinning is needed.
     let mut rng = StdRng::seed_from_u64(6);
     let miners = MinerSampler::new(&pop).sample_round(BLOCKS_PER_ROUND, &mut rng);
-    let median = |samples: &mut [f64]| {
-        samples.sort_unstable_by(f64::total_cmp);
-        samples[samples.len() / 2]
-    };
     let time_legacy = |cfg: &GossipConfig| {
         let mut samples = [0.0f64; 3];
         for slot in &mut samples {

@@ -1,0 +1,204 @@
+//! The 10k-node scale benchmarks — the workload the flat observation
+//! store, split-borrow parallel UCB and incremental CSR patching were
+//! built for.
+//!
+//! Two criterion groups:
+//!
+//! * `scale/*` — 10 000 nodes: one analytic flood, one INV/GETDATA
+//!   message-level block, and a full 100-block analytic observation round
+//!   through [`PerigeeEngine::observe_round`] (rayon fan-out, flat `f32`
+//!   store). The former per-node `f64` row layout held
+//!   `2 × blocks × directed-edges × 8 B` per round at this scale; the
+//!   flat store holds half that and appends chunks by `memcpy`.
+//! * `scale_smoke/*` — the same shapes at 1 000 nodes and 10 blocks,
+//!   cheap enough for CI to run on every push so the scale path cannot
+//!   rot.
+//!
+//! After the groups (when run unfiltered or with a `scale-report`
+//! filter), the bench hand-times the 10k round and the 1k single-thread
+//! gossip round (the `BENCH_gossip.json` trajectory quantity) and writes
+//! the results to `BENCH_scale.json` at the workspace root.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use perigee_bench::{median, section_enabled};
+use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_netsim::{
+    BroadcastScratch, ConnectionLimits, GeoLatencyModel, GossipConfig, GossipScratch, MinerSampler,
+    NodeId, Population, PopulationBuilder, Topology, TopologyView,
+};
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+
+const SCALE_NODES: usize = 10_000;
+const SCALE_BLOCKS: usize = 100;
+const SMOKE_NODES: usize = 1_000;
+const SMOKE_BLOCKS: usize = 10;
+
+fn world(n: usize, seed: u64) -> (Population, GeoLatencyModel, Topology) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+    let lat = GeoLatencyModel::new(&pop, seed);
+    let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+    (pop, lat, topo)
+}
+
+fn engine_for(
+    pop: &Population,
+    lat: &GeoLatencyModel,
+    topo: &Topology,
+    blocks: usize,
+) -> PerigeeEngine<GeoLatencyModel> {
+    let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    config.blocks_per_round = blocks;
+    PerigeeEngine::new(
+        pop.clone(),
+        lat.clone(),
+        topo.clone(),
+        ScoringMethod::Subset,
+        config,
+    )
+    .expect("bench configuration is valid")
+}
+
+fn bench_scale(c: &mut Criterion) {
+    if !section_enabled("scale/") && !section_enabled("scale-report") {
+        return;
+    }
+    let (pop, lat, topo) = world(SCALE_NODES, 1);
+    let view = TopologyView::new(&topo, &lat, &pop);
+    let engine = engine_for(&pop, &lat, &topo, SCALE_BLOCKS);
+    let mut rng = StdRng::seed_from_u64(2);
+    let miners = MinerSampler::new(&pop).sample_round(SCALE_BLOCKS, &mut rng);
+
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function("flood_10000", |b| {
+        let mut scratch = BroadcastScratch::with_capacity(SCALE_NODES);
+        b.iter(|| view.broadcast_into(NodeId::new(0), &mut scratch));
+    });
+    group.bench_function("inv_getdata_10000", |b| {
+        let cfg = GossipConfig::inv_getdata(0.0);
+        let mut scratch = GossipScratch::with_capacity(view.len(), view.directed_edge_count());
+        b.iter(|| view.gossip_into(NodeId::new(0), &cfg, &mut scratch));
+    });
+    group.bench_function("analytic_round_10000x100", |b| {
+        b.iter(|| engine.observe_round_with(&view, &miners));
+    });
+    group.finish();
+
+    if !section_enabled("scale-report") {
+        return;
+    }
+
+    // The 10k × 100-block analytic round (rayon fan-out, flat f32 store).
+    let mut round = [0.0f64; 3];
+    for slot in &mut round {
+        let start = Instant::now();
+        criterion::black_box(engine.observe_round_with(&view, &miners));
+        *slot = start.elapsed().as_secs_f64();
+    }
+    let round_s = median(&mut round);
+    let store = engine.observe_round_with(&view, &miners);
+    let matrix_mb = store.observations().matrix_bytes() as f64 / (1024.0 * 1024.0);
+    let edges = store.observations().directed_edge_count();
+    println!(
+        "scale: 10k-node round {round_s:.3} s ({:.1} blocks/s, {} threads), \
+         observation matrix {matrix_mb:.1} MiB over {edges} directed edges \
+         (f32; the former f64 rows held {:.1} MiB)",
+        SCALE_BLOCKS as f64 / round_s,
+        rayon::current_num_threads(),
+        matrix_mb * 2.0,
+    );
+
+    // The BENCH_gossip.json trajectory quantity — 1k nodes, 100 blocks,
+    // single thread through the pooled gossip engine — so the scale
+    // baseline records that 1k round throughput did not regress.
+    let (pop1k, lat1k, topo1k) = world(SMOKE_NODES, 5);
+    let view1k = TopologyView::new(&topo1k, &lat1k, &pop1k);
+    let mut rng = StdRng::seed_from_u64(6);
+    let miners1k = MinerSampler::new(&pop1k).sample_round(100, &mut rng);
+    let time_gossip = |cfg: &GossipConfig| {
+        let mut scratch = GossipScratch::with_capacity(view1k.len(), view1k.directed_edge_count());
+        let mut samples = [0.0f64; 3];
+        for slot in &mut samples {
+            let start = Instant::now();
+            for &miner in &miners1k {
+                view1k.gossip_into(miner, cfg, &mut scratch);
+                criterion::black_box(scratch.arrivals());
+            }
+            *slot = start.elapsed().as_secs_f64();
+        }
+        median(&mut samples)
+    };
+    let flood_1k = time_gossip(&GossipConfig::flood());
+    let inv_1k = time_gossip(&GossipConfig::inv_getdata(0.0));
+    println!(
+        "scale: 1k-node 100-block gossip round (1 thread): flood {flood_1k:.4} s, \
+         inv {inv_1k:.4} s (BENCH_gossip.json baseline: 0.0444 / 0.0405)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"nodes\": {SCALE_NODES},\n  \
+         \"blocks_per_round\": {SCALE_BLOCKS},\n  \
+         \"analytic_round\": {{ \"seconds\": {round_s:.4}, \"blocks_per_s\": {:.1}, \
+         \"threads\": {} }},\n  \
+         \"observation_store\": {{ \"directed_edges\": {edges}, \"matrix_mib_f32\": {matrix_mb:.1}, \
+         \"former_f64_mib\": {:.1} }},\n  \
+         \"gossip_1k_100blocks_1thread\": {{ \"flood_s\": {flood_1k:.4}, \"inv_s\": {inv_1k:.4} }}\n}}\n",
+        SCALE_BLOCKS as f64 / round_s,
+        rayon::current_num_threads(),
+        matrix_mb * 2.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+fn bench_scale_smoke(c: &mut Criterion) {
+    if !section_enabled("scale_smoke/") {
+        return;
+    }
+    let (pop, lat, topo) = world(SMOKE_NODES, 3);
+    let view = TopologyView::new(&topo, &lat, &pop);
+    let engine = engine_for(&pop, &lat, &topo, SMOKE_BLOCKS);
+    let mut rng = StdRng::seed_from_u64(4);
+    let miners = MinerSampler::new(&pop).sample_round(SMOKE_BLOCKS, &mut rng);
+
+    let mut group = c.benchmark_group("scale_smoke");
+    group.sample_size(10);
+    group.bench_function("flood_1000", |b| {
+        let mut scratch = BroadcastScratch::with_capacity(SMOKE_NODES);
+        b.iter(|| view.broadcast_into(NodeId::new(0), &mut scratch));
+    });
+    group.bench_function("inv_getdata_1000", |b| {
+        let cfg = GossipConfig::inv_getdata(0.0);
+        let mut scratch = GossipScratch::with_capacity(view.len(), view.directed_edge_count());
+        b.iter(|| view.gossip_into(NodeId::new(0), &cfg, &mut scratch));
+    });
+    group.bench_function("analytic_round_1000x10", |b| {
+        b.iter(|| engine.observe_round_with(&view, &miners));
+    });
+    group.finish();
+
+    // The smoke pass also cross-checks the flat store against the legacy
+    // recording path once, so CI exercises the equivalence, not just the
+    // speed.
+    let round = engine.observe_round_with(&view, &miners);
+    let mut legacy = perigee_core::ObservationCollector::new(&topo);
+    for &miner in &miners {
+        legacy.record(&perigee_netsim::broadcast(&topo, &lat, &pop, miner), &lat);
+    }
+    assert_eq!(
+        round.observations(),
+        &legacy.finish(),
+        "flat store diverged from the legacy recording path"
+    );
+}
+
+criterion_group!(benches, bench_scale, bench_scale_smoke);
+criterion_main!(benches);

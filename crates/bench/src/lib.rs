@@ -1,8 +1,33 @@
 //! # perigee-bench
 //!
 //! Criterion benchmarks regenerating the Perigee paper's figures (see the
-//! `benches/` directory): `fig3`, `fig4`, `fig5`, `theory`, `ablation` and
-//! the `micro` substrate benchmarks. The crate itself has no library code.
+//! `benches/` directory): `fig3`, `fig4`, `fig5`, `theory`, `ablation`,
+//! the `micro` substrate benchmarks, the `propagation` engine comparison
+//! and the 10k-node `scale` group. The library carries only the tiny
+//! helpers shared by the hand-timed (non-criterion) bench sections.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+/// Mirrors criterion's name filtering for hand-written (non-criterion)
+/// bench sections: extra non-flag CLI args are substring filters on
+/// benchmark ids, and criterion only gates its own `bench_function`
+/// sampling — bench fn bodies always run. Gating world construction,
+/// hand-timed speedup reports and baseline-JSON writes on the same rule
+/// keeps a filtered invocation (e.g. CI's `-- round` or `-- scale_smoke`)
+/// from re-running the other sections or silently overwriting a
+/// checked-in baseline.
+pub fn section_enabled(id: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()))
+}
+
+/// Median of a small hand-timed sample set (sorts in place) — the
+/// aggregation every speedup report in this crate uses.
+pub fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}

@@ -12,13 +12,13 @@ use rayon::prelude::*;
 
 use perigee_netsim::{
     BroadcastScratch, GossipConfig, GossipScratch, LatencyModel, MinerSampler, NodeId, Population,
-    SimTime, Topology, TopologyView,
+    RoundDelta, SimTime, Topology, TopologyView,
 };
 
 use crate::config::PerigeeConfig;
 use crate::discovery::AddressBook;
-use crate::observation::{NodeObservations, ObservationCollector};
-use crate::score::{ScoringMethod, SelectionStrategy};
+use crate::observation::{ObservationCollector, ObservationStore};
+use crate::score::{ScoringMethod, SelectionStrategy, StatefulSplit};
 
 /// How the engine simulates block propagation inside a round.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -89,24 +89,31 @@ pub struct PerigeeEngine<L> {
     address_book: Option<AddressBook>,
     parallel: bool,
     round: usize,
+    /// The CSR snapshot carried across rounds: after each rewiring the
+    /// engine patches it in place ([`TopologyView::apply_rewiring`])
+    /// instead of rebuilding — only the ~2·n changed edges pay a
+    /// latency-model call. Invalidated (`None`) by any out-of-band
+    /// mutation: churn, population edits.
+    view: Option<TopologyView>,
 }
 
-/// The propagation phase of one round: per-node observation sets plus the
-/// per-block coverage times, in block order.
+/// The propagation phase of one round: the flat network-wide observation
+/// store plus the per-block coverage times, in block order.
 ///
 /// Produced by [`PerigeeEngine::observe_round`]; block order is the miner
 /// order passed in, whatever the parallel execution interleaving, so the
 /// contents are bit-identical between parallel and sequential runs.
 #[derive(Debug, Clone)]
 pub struct RoundObservations {
-    observations: Vec<NodeObservations>,
+    observations: ObservationStore,
     lambda90_ms: Vec<f64>,
     lambda50_ms: Vec<f64>,
 }
 
 impl RoundObservations {
-    /// Per-node observation sets, indexed by node id.
-    pub fn observations(&self) -> &[NodeObservations] {
+    /// The round's observation store; per-node views via
+    /// [`ObservationStore::node`].
+    pub fn observations(&self) -> &ObservationStore {
         &self.observations
     }
 
@@ -121,7 +128,7 @@ impl RoundObservations {
     }
 
     /// Decomposes into `(observations, lambda90_ms, lambda50_ms)`.
-    pub fn into_parts(self) -> (Vec<NodeObservations>, Vec<f64>, Vec<f64>) {
+    pub fn into_parts(self) -> (ObservationStore, Vec<f64>, Vec<f64>) {
         (self.observations, self.lambda90_ms, self.lambda50_ms)
     }
 }
@@ -175,6 +182,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             address_book: None,
             parallel: true,
             round: 0,
+            view: None,
         })
     }
 
@@ -242,7 +250,12 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     }
 
     /// Mutable population access (adversary injection mid-run).
+    ///
+    /// Invalidates the cached round snapshot: relay profiles, hash power
+    /// and link rates are frozen into the view, so any population edit
+    /// forces the next round to rebuild it.
     pub fn population_mut(&mut self) -> &mut Population {
+        self.view = None;
         &mut self.population
     }
 
@@ -274,6 +287,21 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// chunks are merged back in block order: the result is bit-identical
     /// to a sequential loop in either mode.
     pub fn observe_round(&self, miners: &[NodeId]) -> RoundObservations {
+        let view = TopologyView::new(&self.topology, &self.latency, &self.population);
+        self.observe_round_with(&view, miners)
+    }
+
+    /// Like [`PerigeeEngine::observe_round`] but floods through a
+    /// caller-supplied snapshot instead of building one — the hot path of
+    /// [`PerigeeEngine::run_round`], which carries one view across rounds
+    /// and patches it incrementally between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics (possibly deep in the flood) if `view` is not a faithful
+    /// snapshot of the engine's current topology, latency model and
+    /// population.
+    pub fn observe_round_with(&self, view: &TopologyView, miners: &[NodeId]) -> RoundObservations {
         let chunk_count = if self.parallel {
             rayon::current_num_threads().clamp(1, miners.len().max(1))
         } else {
@@ -283,60 +311,52 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         let chunks: Vec<&[NodeId]> = miners.chunks(chunk_size).collect();
 
         let parts: Vec<(ObservationCollector, Vec<f64>, Vec<f64>)> = match self.mode {
-            PropagationMode::Analytic => {
-                let view = TopologyView::new(&self.topology, &self.latency, &self.population);
-                let view = &view;
-                chunks
-                    .par_iter()
-                    .map(|chunk| {
-                        let mut scratch = BroadcastScratch::with_capacity(view.len());
-                        let mut collector = ObservationCollector::from_view(view);
-                        collector.reserve_blocks(chunk.len());
-                        let mut l90 = Vec::with_capacity(chunk.len());
-                        let mut l50 = Vec::with_capacity(chunk.len());
-                        let mut coverage = [SimTime::ZERO; 2];
-                        for &miner in *chunk {
-                            view.broadcast_into(miner, &mut scratch);
-                            scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
-                            l90.push(coverage[0].as_ms());
-                            l50.push(coverage[1].as_ms());
-                            collector.record_scratch(view, &scratch);
-                        }
-                        (collector, l90, l50)
-                    })
-                    .collect()
-            }
-            PropagationMode::Gossip(cfg) => {
-                let view = TopologyView::new(&self.topology, &self.latency, &self.population);
-                let view = &view;
-                chunks
-                    .par_iter()
-                    .map(|chunk| {
-                        let mut scratch =
-                            GossipScratch::with_capacity(view.len(), view.directed_edge_count());
-                        let mut collector = ObservationCollector::from_view(view);
-                        collector.reserve_blocks(chunk.len());
-                        let mut l90 = Vec::with_capacity(chunk.len());
-                        let mut l50 = Vec::with_capacity(chunk.len());
-                        let mut coverage = [SimTime::ZERO; 2];
-                        for &miner in *chunk {
-                            view.gossip_into(miner, &cfg, &mut scratch);
-                            scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
-                            l90.push(coverage[0].as_ms());
-                            l50.push(coverage[1].as_ms());
-                            collector.record_gossip_scratch(view, &scratch);
-                        }
-                        (collector, l90, l50)
-                    })
-                    .collect()
-            }
+            PropagationMode::Analytic => chunks
+                .par_iter()
+                .map(|chunk| {
+                    let mut scratch = BroadcastScratch::with_capacity(view.len());
+                    let mut collector = ObservationCollector::from_view(view);
+                    collector.reserve_blocks(chunk.len());
+                    let mut l90 = Vec::with_capacity(chunk.len());
+                    let mut l50 = Vec::with_capacity(chunk.len());
+                    let mut coverage = [SimTime::ZERO; 2];
+                    for &miner in *chunk {
+                        view.broadcast_into(miner, &mut scratch);
+                        scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
+                        l90.push(coverage[0].as_ms());
+                        l50.push(coverage[1].as_ms());
+                        collector.record_scratch(view, &scratch);
+                    }
+                    (collector, l90, l50)
+                })
+                .collect(),
+            PropagationMode::Gossip(cfg) => chunks
+                .par_iter()
+                .map(|chunk| {
+                    let mut scratch =
+                        GossipScratch::with_capacity(view.len(), view.directed_edge_count());
+                    let mut collector = ObservationCollector::from_view(view);
+                    collector.reserve_blocks(chunk.len());
+                    let mut l90 = Vec::with_capacity(chunk.len());
+                    let mut l50 = Vec::with_capacity(chunk.len());
+                    let mut coverage = [SimTime::ZERO; 2];
+                    for &miner in *chunk {
+                        view.gossip_into(miner, &cfg, &mut scratch);
+                        scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
+                        l90.push(coverage[0].as_ms());
+                        l50.push(coverage[1].as_ms());
+                        collector.record_gossip_scratch(view, &scratch);
+                    }
+                    (collector, l90, l50)
+                })
+                .collect(),
         };
 
         // Merge chunks back in block order.
         let mut parts = parts.into_iter();
         let (mut collector, mut lambda90_ms, mut lambda50_ms) = parts.next().unwrap_or_else(|| {
             (
-                ObservationCollector::new(&self.topology),
+                ObservationCollector::from_view(view),
                 Vec::new(),
                 Vec::new(),
             )
@@ -353,11 +373,17 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         }
     }
 
-    /// Runs one full round: mine, observe, score, rewire.
+    /// Runs one full round: mine, observe, score, rewire — then patch the
+    /// carried CSR snapshot with the round's net edge delta instead of
+    /// rebuilding it for the next round.
     pub fn run_round<R: Rng>(&mut self, rng: &mut R) -> RoundStats {
         let k = self.config.blocks_per_round;
         let miners = self.sampler.sample_round(k, rng);
-        let round_obs = self.observe_round(&miners);
+        let mut view = self
+            .view
+            .take()
+            .unwrap_or_else(|| TopologyView::new(&self.topology, &self.latency, &self.population));
+        let round_obs = self.observe_round_with(&view, &miners);
         let (observations, lambda90, lambda50) = round_obs.into_parts();
         // Left-fold in block order: the exact accumulation order of the
         // legacy sequential loop, so the means are bit-identical.
@@ -366,13 +392,15 @@ impl<L: LatencyModel> PerigeeEngine<L> {
 
         // Phase 1: every adopter decides which outgoing neighbors to keep,
         // based on the same synchronous snapshot. Nodes score
-        // independently, so stateless strategies (Vanilla/Subset — no
-        // cross-round state, no RNG) fan out over the rayon pool in
+        // independently, so scoring fans out over the rayon pool in
         // id-ordered chunks; merging the chunks in order reproduces the
-        // sequential loop exactly, and the RNG stream is untouched either
-        // way because stateless strategies never draw from it. UCB
-        // mutates per-connection history inside `retain` and stays on the
-        // sequential path.
+        // sequential loop exactly. Stateless strategies (Vanilla/Subset —
+        // no cross-round state, no RNG) share themselves immutably;
+        // stateful-but-partitioned strategies (UCB) split into a shared
+        // scorer plus disjoint per-node `&mut` histories
+        // ([`SelectionStrategy::split_stateful`]), so each worker mutates
+        // only its own chunk's state. Neither path consumes RNG, so the
+        // stream matches the sequential loop either way.
         let drops: Vec<(NodeId, Vec<NodeId>)> = if self.parallel && self.strategy.is_stateless() {
             let n = self.population.len();
             let ids: Vec<u32> = (0..n as u32).collect();
@@ -385,27 +413,68 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 .par_iter()
                 .map(|chunk| {
                     compute_drops(chunk.iter().copied(), adopters, topology, |v, outgoing| {
-                        strategy.retain_stateless(v, outgoing, &observations[v.index()])
+                        strategy.retain_stateless(v, outgoing, observations.node(v))
                     })
                 })
                 .collect();
+            parts.into_iter().flatten().collect()
+        } else if self.parallel && self.strategy.split_stateful().is_some() {
+            let n = self.population.len();
+            let chunk_size = n
+                .max(1)
+                .div_ceil(rayon::current_num_threads().clamp(1, n.max(1)));
+            let (strategy, topology, adopters) =
+                (&mut self.strategy, &self.topology, &self.adopters);
+            let observations = &observations;
+            let StatefulSplit { scorer, states } =
+                strategy.split_stateful().expect("checked above");
+            assert_eq!(states.len(), n, "per-node state must cover every node");
+            let parts: Vec<Vec<(NodeId, Vec<NodeId>)>> =
+                rayon::par_map_chunks_mut(states, chunk_size, |ci, chunk| {
+                    let base = (ci * chunk_size) as u32;
+                    let mut drops = Vec::new();
+                    for (j, state) in chunk.iter_mut().enumerate() {
+                        let v = NodeId::new(base + j as u32);
+                        if !adopters[v.index()] {
+                            continue;
+                        }
+                        let outgoing = topology.outgoing_vec(v);
+                        if outgoing.is_empty() {
+                            continue;
+                        }
+                        let retained =
+                            scorer.retain_stateful(v, &outgoing, observations.node(v), state);
+                        let dropped = diff_drops(&outgoing, &retained);
+                        if !dropped.is_empty() {
+                            drops.push((v, dropped));
+                        }
+                    }
+                    drops
+                });
             parts.into_iter().flatten().collect()
         } else {
             let (strategy, topology, adopters) =
                 (&mut self.strategy, &self.topology, &self.adopters);
             let observations = &observations;
             compute_drops(0..self.population.len() as u32, adopters, topology, {
-                |v, outgoing| strategy.retain(v, outgoing, &observations[v.index()], &mut *rng)
+                |v, outgoing| strategy.retain(v, outgoing, observations.node(v), &mut *rng)
             })
         };
 
         // Phase 2: apply all disconnections first (freeing incoming slots
         // network-wide), then refill in random node order for fairness.
+        // Every net change to the undirected communication graph is
+        // logged so the view can be patched instead of rebuilt.
+        let mut removed: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut added: Vec<(NodeId, NodeId)> = Vec::new();
         let mut dropped_total = 0;
         for (v, dropped) in &drops {
             for &u in dropped {
                 self.topology.disconnect(*v, u);
                 self.strategy.on_disconnect(*v, u);
+                if !self.topology.are_connected(*v, u) {
+                    removed.push((*v, u));
+                }
                 dropped_total += 1;
             }
         }
@@ -416,13 +485,24 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             if !self.adopters[v.index()] {
                 continue;
             }
-            self.fill_random_connections(v, rng);
+            self.fill_random_connections(v, rng, Some(&mut added));
         }
 
         // Refresh partial views by gossiping addresses along the new edges.
         if let Some(book) = &mut self.address_book {
             book.exchange(&self.topology, 2, rng);
         }
+
+        // Carry the snapshot into the next round: patch the ~2·n rewired
+        // edges in place — latency calls only for the additions.
+        view.apply_rewiring(&RoundDelta::new(removed, added), &self.latency);
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            view,
+            TopologyView::new(&self.topology, &self.latency, &self.population),
+            "incrementally patched view diverged from a fresh build"
+        );
+        self.view = Some(view);
 
         self.round += 1;
         RoundStats {
@@ -442,7 +522,11 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// Simulates node churn: `v` leaves (all its connections are torn
     /// down) and immediately rejoins with fresh random outgoing
     /// connections, forgetting all scoring history about and of it.
+    ///
+    /// Invalidates the cached round snapshot — churn is an out-of-band
+    /// rewiring, so the next round rebuilds the view from scratch.
     pub fn churn_reset<R: Rng>(&mut self, v: NodeId, rng: &mut R) {
+        self.view = None;
         for u in self.topology.clear_outgoing(v) {
             self.strategy.on_disconnect(v, u);
         }
@@ -451,7 +535,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             self.topology.disconnect(w, v);
             self.strategy.on_disconnect(w, v);
         }
-        self.fill_random_connections(v, rng);
+        self.fill_random_connections(v, rng, None);
     }
 
     /// Evaluates the current topology: for every node `v`, the time λv for
@@ -501,7 +585,17 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         }
     }
 
-    fn fill_random_connections<R: Rng>(&mut self, v: NodeId, rng: &mut R) {
+    /// Refills `v`'s free outgoing slots with random exploration peers.
+    /// Each successful `connect` creates a brand-new communication edge
+    /// (duplicates in either direction are rejected by the topology), so
+    /// when `added` is given every new undirected edge is logged for the
+    /// incremental view patch.
+    fn fill_random_connections<R: Rng>(
+        &mut self,
+        v: NodeId,
+        rng: &mut R,
+        mut added: Option<&mut Vec<(NodeId, NodeId)>>,
+    ) {
         let n = self.population.len() as u32;
         let dout = self.config.limits.dout.min(self.population.len() - 1);
         let mut attempts = 0;
@@ -517,7 +611,11 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             if u == v {
                 continue;
             }
-            let _ = self.topology.connect(v, u);
+            if self.topology.connect(v, u).is_ok() {
+                if let Some(log) = added.as_deref_mut() {
+                    log.push((v, u));
+                }
+            }
         }
     }
 }
@@ -544,16 +642,23 @@ fn compute_drops(
             continue;
         }
         let retained = retain(v, &outgoing);
-        let dropped: Vec<NodeId> = outgoing
-            .iter()
-            .copied()
-            .filter(|u| !retained.contains(u))
-            .collect();
+        let dropped = diff_drops(&outgoing, &retained);
         if !dropped.is_empty() {
             drops.push((v, dropped));
         }
     }
     drops
+}
+
+/// The connections a retain decision gives up: `outgoing` minus
+/// `retained`, in outgoing order — shared by every scoring path so drops
+/// can only differ if the retain calls themselves do.
+fn diff_drops(outgoing: &[NodeId], retained: &[NodeId]) -> Vec<NodeId> {
+    outgoing
+        .iter()
+        .copied()
+        .filter(|u| !retained.contains(u))
+        .collect()
 }
 
 /// Evaluates λ(`fraction`) for every node as block source on a static

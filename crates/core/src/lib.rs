@@ -9,13 +9,21 @@
 //! ## Structure
 //!
 //! * [`observation`] — the per-round observation sets `Ov` and their
-//!   time-normalization (§4.1, eq. 2);
+//!   time-normalization (§4.1, eq. 2), stored as one flat
+//!   struct-of-arrays [`ObservationStore`] (`f32` normalized times on the
+//!   round snapshot's directed-edge offsets) read through borrowed
+//!   [`NodeObservations`] windows;
 //! * [`score`] — the three published scoring methods:
 //!   [`VanillaScoring`] (§4.2.1), [`UcbScoring`] (§4.2.2) and
 //!   [`SubsetScoring`] (§4.3), behind the [`SelectionStrategy`] trait;
+//!   all three fan over the rayon pool — Vanilla/Subset statelessly, UCB
+//!   through the split-borrow `split_stateful` API that hands each node a
+//!   disjoint `&mut` slice of its own connection history;
 //! * [`engine`] — [`PerigeeEngine`], Algorithm 1's round loop
 //!   (observe → score → retain best → explore), including incremental
-//!   deployment and churn;
+//!   deployment and churn; the round's CSR snapshot is carried across
+//!   rounds and patched in place with the net rewiring delta instead of
+//!   rebuilt;
 //! * [`adversary`] — free-rider / eclipse / throttling attacker models.
 //!
 //! ## Quickstart
@@ -65,5 +73,8 @@ pub use engine::{
     evaluate_topology, evaluate_topology_multi, PerigeeEngine, PropagationMode, RoundObservations,
     RoundStats,
 };
-pub use observation::{NodeObservations, ObservationCollector};
-pub use score::{ScoringMethod, SelectionStrategy, SubsetScoring, UcbScoring, VanillaScoring};
+pub use observation::{NodeObservations, ObservationCollector, ObservationStore, TimesIter};
+pub use score::{
+    NodeHistory, ScoringMethod, SelectionStrategy, StatefulScorer, StatefulSplit, SubsetScoring,
+    UcbScoring, VanillaScoring,
+};

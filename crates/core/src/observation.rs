@@ -1,33 +1,127 @@
-//! Observation sets (§4.1).
+//! Observation sets (§4.1), stored flat.
 //!
 //! During a round of `K` blocks, every node `v` records the time `tᵇu,v` at
 //! which each neighbor `u` delivered (or announced) each block `b` — the set
 //! `Ov`. Scores are computed on the *time-normalized* set `Õv` (eq. 2): each
 //! timestamp is taken relative to the first time `v` heard about the block
 //! from any neighbor, which proxies the unknown mining time.
+//!
+//! # Layout
+//!
+//! The whole round lives in **one** struct-of-arrays [`ObservationStore`]
+//! indexed by the [`TopologyView`]'s directed-edge offsets: block `b`'s
+//! observations occupy `times[b·m..(b+1)·m]` where `m` is the directed
+//! edge count, and node `v`'s slice of each block is its CSR row
+//! `offsets[v]..offsets[v+1]`. Normalized times are `f32` (they are
+//! relative millisecond offsets within one block's propagation — ~7
+//! significant digits is far below the simulation's physical fidelity),
+//! which halves the round's memory against the former per-node `f64`
+//! rows and is what makes 10k-node × 100-block rounds fit comfortably.
+//! Merging per-worker chunks back into block order
+//! ([`ObservationCollector::append`]) is a single `memcpy`-style extend.
+//!
+//! Scoring reads the store through borrowed, allocation-free
+//! [`NodeObservations`] views ([`ObservationStore::node`]).
 
 use perigee_netsim::{BroadcastScratch, LatencyModel, NodeId, Propagation, Topology, TopologyView};
 
-/// The normalized observations of one node over one round.
-///
-/// Stored as one flat row-major matrix: `neighbors[i]` is a neighbor and
-/// `times[b * neighbors.len() + i]` is the normalized relative timestamp
-/// `t̃ᵇu,v` of block `b` from that neighbor (`f64::INFINITY` when the
-/// neighbor never delivered — the paper's `t = ∞` convention). The flat
-/// layout means one buffer per node per *round*, not one per node per
-/// block, which keeps the engine's per-block hot path allocation-free
-/// after warm-up.
+/// One round's normalized observations for the whole network: a single
+/// contiguous `blocks × directed-edges` matrix over the CSR index space
+/// of the [`TopologyView`] the round ran on.
 #[derive(Debug, Clone, PartialEq, Default)]
-pub struct NodeObservations {
-    neighbors: Vec<NodeId>,
+pub struct ObservationStore {
+    /// CSR row starts (n+1 entries): node `v`'s per-block slice is
+    /// `offsets[v]..offsets[v+1]` within each block row.
+    offsets: Vec<usize>,
+    /// Neighbor id per directed edge, ascending within each row — the
+    /// view's `csr_edges` at snapshot time. `edges[e]` is the neighbor
+    /// that delivered on edge `e` to the row's owner.
+    edges: Vec<u32>,
+    /// Blocks recorded so far.
     blocks: usize,
-    times: Vec<f64>,
+    /// `times[b * edges.len() + e]`: normalized time `t̃ᵇu,v` of block `b`
+    /// on directed edge `e` (`f32::INFINITY` when the neighbor never
+    /// delivered — the paper's `t = ∞` convention).
+    times: Vec<f32>,
 }
 
-impl NodeObservations {
-    /// All neighbors observed this round (outgoing and incoming).
-    pub fn neighbors(&self) -> &[NodeId] {
-        &self.neighbors
+impl ObservationStore {
+    fn from_csr(offsets: Vec<usize>, edges: Vec<u32>) -> Self {
+        ObservationStore {
+            offsets,
+            edges,
+            blocks: 0,
+            times: Vec::new(),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` when the store covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of blocks recorded.
+    pub fn block_count(&self) -> usize {
+        self.blocks
+    }
+
+    /// Total directed-edge count `m` — the stride between consecutive
+    /// block rows of the matrix.
+    pub fn directed_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Bytes held by the observation matrix (the round's dominant
+    /// allocation) — for capacity planning and the scale benches.
+    pub fn matrix_bytes(&self) -> usize {
+        self.times.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Borrowed, allocation-free view of node `v`'s observations.
+    pub fn node(&self, v: NodeId) -> NodeObservations<'_> {
+        let start = self.offsets[v.index()];
+        let end = self.offsets[v.index() + 1];
+        NodeObservations {
+            neighbors: &self.edges[start..end],
+            start,
+            stride: self.edges.len(),
+            blocks: self.blocks,
+            times: &self.times,
+        }
+    }
+}
+
+/// One node's observations for the round: a borrowed window into the
+/// [`ObservationStore`] — no per-node or per-query allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeObservations<'a> {
+    neighbors: &'a [u32],
+    start: usize,
+    stride: usize,
+    blocks: usize,
+    times: &'a [f32],
+}
+
+impl<'a> NodeObservations<'a> {
+    /// All neighbors observed this round (outgoing and incoming),
+    /// ascending.
+    pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + 'a {
+        self.neighbors.iter().copied().map(NodeId::new)
+    }
+
+    /// The neighbors as raw ids, ascending — the node's CSR row.
+    pub fn neighbor_ids(&self) -> &'a [u32] {
+        self.neighbors
+    }
+
+    /// Number of neighbors.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
     }
 
     /// Number of blocks observed.
@@ -35,80 +129,164 @@ impl NodeObservations {
         self.blocks
     }
 
-    /// The multiset `T̃u,v` of normalized times for neighbor `u`, in block
-    /// order; empty if `u` was not a neighbor this round.
-    pub fn times_for(&self, u: NodeId) -> Vec<f64> {
-        let stride = self.neighbors.len();
-        match self.neighbors.iter().position(|&x| x == u) {
-            Some(i) => (0..self.blocks)
-                .map(|b| self.times[b * stride + i])
-                .collect(),
-            None => Vec::new(),
-        }
+    /// The position of neighbor `u` within the row, if present (the row
+    /// is ascending, so this is a binary search).
+    pub fn index_of(&self, u: NodeId) -> Option<usize> {
+        self.neighbors.binary_search(&u.as_u32()).ok()
     }
 
-    /// The normalized time of block `b` from neighbor `u`
-    /// (`INFINITY` if unknown).
+    /// Block `b`'s normalized times for this node, aligned with
+    /// [`NodeObservations::neighbor_ids`] — a contiguous slice of the
+    /// round matrix.
+    pub fn row(&self, block: usize) -> &'a [f32] {
+        let base = block * self.stride + self.start;
+        &self.times[base..base + self.neighbors.len()]
+    }
+
+    /// The normalized time of block `block` from the neighbor at row
+    /// position `i` (`INFINITY` if it never delivered).
+    pub fn time_at(&self, block: usize, i: usize) -> f64 {
+        self.times[block * self.stride + self.start + i] as f64
+    }
+
+    /// The normalized time of block `block` from neighbor `u`
+    /// (`INFINITY` if unknown or not a neighbor).
     pub fn time_of(&self, block: usize, u: NodeId) -> f64 {
-        let stride = self.neighbors.len();
-        match self.neighbors.iter().position(|&x| x == u) {
-            Some(i) if block < self.blocks => self.times[block * stride + i],
+        match self.index_of(u) {
+            Some(i) if block < self.blocks => self.time_at(block, i),
             _ => f64::INFINITY,
         }
     }
 
-    /// Per-block rows, aligned with [`Self::neighbors`].
-    pub fn rows(&self) -> Vec<&[f64]> {
-        let stride = self.neighbors.len();
-        (0..self.blocks)
-            .map(|b| &self.times[b * stride..(b + 1) * stride])
-            .collect()
+    /// The multiset `T̃u,v` of normalized times for neighbor `u`, in
+    /// block order; empty if `u` was not a neighbor this round. Borrowed
+    /// iteration over the store — no allocation.
+    pub fn times_for(&self, u: NodeId) -> TimesIter<'a> {
+        match self.index_of(u) {
+            Some(i) => self.column(i),
+            None => TimesIter {
+                times: self.times,
+                pos: 0,
+                stride: self.stride,
+                remaining: 0,
+            },
+        }
+    }
+
+    /// The times of the neighbor at row position `i`, in block order.
+    pub fn column(&self, i: usize) -> TimesIter<'a> {
+        debug_assert!(i < self.neighbors.len());
+        TimesIter {
+            times: self.times,
+            pos: self.start + i,
+            stride: self.stride,
+            remaining: self.blocks,
+        }
     }
 }
 
-/// Accumulates [`NodeObservations`] for every node over the blocks of one
-/// round.
+/// Iterator over one neighbor's normalized times in block order (a
+/// strided walk down the round matrix), yielding `f64` for score math.
+#[derive(Debug, Clone)]
+pub struct TimesIter<'a> {
+    times: &'a [f32],
+    pos: usize,
+    stride: usize,
+    remaining: usize,
+}
+
+impl Iterator for TimesIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let t = self.times[self.pos] as f64;
+        self.pos += self.stride;
+        self.remaining -= 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TimesIter<'_> {}
+
+/// Accumulates an [`ObservationStore`] over the blocks of one round.
 ///
 /// The neighbor sets are snapshotted at construction (§2.1: connection
 /// updates run synchronously between rounds, so neighbor sets are constant
 /// within a round).
 #[derive(Debug, Clone)]
 pub struct ObservationCollector {
-    per_node: Vec<NodeObservations>,
+    store: ObservationStore,
+    /// Reusable per-node row for the two-pass normalization of the
+    /// latency-model and `GossipOutcome` recording paths.
+    row: Vec<f64>,
 }
 
 impl ObservationCollector {
     /// Snapshots the neighbor sets of `topology`.
+    ///
+    /// Prefer [`ObservationCollector::from_view`] when a [`TopologyView`]
+    /// for the round already exists: it copies the frozen CSR arrays
+    /// directly instead of re-walking the topology's `BTreeSet`s. This
+    /// constructor delegates to the same flat representation — the two
+    /// paths produce identical stores by construction.
     pub fn new(topology: &Topology) -> Self {
-        let per_node = (0..topology.len() as u32)
-            .map(|i| NodeObservations {
-                neighbors: topology.neighbors(NodeId::new(i)),
-                blocks: 0,
-                times: Vec::new(),
-            })
-            .collect();
-        ObservationCollector { per_node }
+        let n = topology.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::new();
+        offsets.push(0);
+        for i in 0..n as u32 {
+            for v in topology.neighbors(NodeId::new(i)) {
+                edges.push(v.as_u32());
+            }
+            offsets.push(edges.len());
+        }
+        ObservationCollector {
+            store: ObservationStore::from_csr(offsets, edges),
+            row: Vec::new(),
+        }
     }
 
     /// Snapshots the neighbor sets of a frozen [`TopologyView`] — same
     /// sets as [`ObservationCollector::new`] on the view's source
-    /// topology, read from the CSR arrays instead of the `BTreeSet`s.
+    /// topology, copied straight from the CSR arrays.
     pub fn from_view(view: &TopologyView) -> Self {
-        let per_node = (0..view.len() as u32)
-            .map(|i| NodeObservations {
-                neighbors: view.neighbors(NodeId::new(i)).collect(),
-                blocks: 0,
-                times: Vec::new(),
-            })
-            .collect();
-        ObservationCollector { per_node }
+        ObservationCollector {
+            store: ObservationStore::from_csr(
+                view.csr_offsets().to_vec(),
+                view.csr_edges().to_vec(),
+            ),
+            row: Vec::new(),
+        }
     }
 
-    /// Pre-allocates room for `blocks` further rows per node, so the
+    /// Pre-allocates room for `blocks` further block rows, so the
     /// per-block recording never reallocates mid-round.
     pub fn reserve_blocks(&mut self, blocks: usize) {
-        for obs in &mut self.per_node {
-            obs.times.reserve_exact(blocks * obs.neighbors.len());
+        self.store
+            .times
+            .reserve_exact(blocks * self.store.edges.len());
+    }
+
+    /// Normalizes the freshly computed `self.row` (one node's f64
+    /// delivery times for one block) against its minimum and appends it
+    /// to the matrix as `f32`. Subtraction happens in `f64` *before* the
+    /// cast, so every recording path produces bit-identical `f32`s for
+    /// bit-identical `f64` inputs.
+    fn push_normalized_row(&mut self) {
+        let min = self.row.iter().copied().fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            self.store
+                .times
+                .extend(self.row.iter().map(|&t| (t - min) as f32));
+        } else {
+            self.store.times.extend(self.row.iter().map(|&t| t as f32));
         }
     }
 
@@ -119,25 +297,17 @@ impl ObservationCollector {
     /// (eq. 2). If no neighbor ever delivers, the row carries no
     /// information and stays all-infinite.
     pub fn record<L: LatencyModel + ?Sized>(&mut self, propagation: &Propagation, latency: &L) {
-        for (i, obs) in self.per_node.iter_mut().enumerate() {
+        for i in 0..self.store.len() {
             let v = NodeId::new(i as u32);
-            // Split the borrow: read neighbors while extending times.
-            let (neighbors, times) = (&obs.neighbors, &mut obs.times);
-            let start = times.len();
-            times.extend(
-                neighbors
-                    .iter()
-                    .map(|&u| propagation.delivery(latency, u, v).as_ms()),
-            );
-            let segment = &mut times[start..];
-            let min = segment.iter().copied().fold(f64::INFINITY, f64::min);
-            if min.is_finite() {
-                for t in segment {
-                    *t -= min;
-                }
+            let (start, end) = (self.store.offsets[i], self.store.offsets[i + 1]);
+            self.row.clear();
+            for e in start..end {
+                let u = NodeId::new(self.store.edges[e]);
+                self.row.push(propagation.delivery(latency, u, v).as_ms());
             }
-            obs.blocks += 1;
+            self.push_normalized_row();
         }
+        self.store.blocks += 1;
     }
 
     /// Records one block's propagation as simulated by the message-level
@@ -145,24 +315,21 @@ impl ObservationCollector {
     /// the engine's delivery log (a neighbor that never announced reads
     /// `∞`, the paper's convention).
     pub fn record_gossip(&mut self, outcome: &perigee_netsim::GossipOutcome) {
-        for (i, obs) in self.per_node.iter_mut().enumerate() {
+        for i in 0..self.store.len() {
             let v = NodeId::new(i as u32);
-            let (neighbors, times) = (&obs.neighbors, &mut obs.times);
-            let start = times.len();
-            times.extend(neighbors.iter().map(|&u| {
-                outcome
-                    .neighbor_delivery(v, u)
-                    .map_or(f64::INFINITY, |t| t.as_ms())
-            }));
-            let segment = &mut times[start..];
-            let min = segment.iter().copied().fold(f64::INFINITY, f64::min);
-            if min.is_finite() {
-                for t in segment {
-                    *t -= min;
-                }
+            let (start, end) = (self.store.offsets[i], self.store.offsets[i + 1]);
+            self.row.clear();
+            for e in start..end {
+                let u = NodeId::new(self.store.edges[e]);
+                self.row.push(
+                    outcome
+                        .neighbor_delivery(v, u)
+                        .map_or(f64::INFINITY, |t| t.as_ms()),
+                );
             }
-            obs.blocks += 1;
+            self.push_normalized_row();
         }
+        self.store.blocks += 1;
     }
 
     /// Records one block simulated at the message level through a
@@ -186,31 +353,33 @@ impl ObservationCollector {
         view: &TopologyView,
         scratch: &perigee_netsim::GossipScratch,
     ) {
-        assert_eq!(
-            self.per_node.len(),
-            view.len(),
-            "view/collector size mismatch"
-        );
-        for (i, obs) in self.per_node.iter_mut().enumerate() {
+        assert_eq!(self.store.len(), view.len(), "view/collector size mismatch");
+        for i in 0..self.store.len() {
             let v = NodeId::new(i as u32);
             let deliveries = scratch.neighbor_deliveries(view, v);
             assert_eq!(
                 deliveries.len(),
-                obs.neighbors.len(),
+                self.store.offsets[i + 1] - self.store.offsets[i],
                 "neighbor snapshot disagrees with the view"
             );
-            let times = &mut obs.times;
-            let start = times.len();
-            times.extend(deliveries.iter().map(|t| t.as_ms()));
-            let segment = &mut times[start..];
-            let min = segment.iter().copied().fold(f64::INFINITY, f64::min);
+            // Two passes over the borrowed slice — min, then subtract —
+            // with the subtraction in f64 before the f32 cast, exactly
+            // like `record_gossip` on the same values.
+            let min = deliveries
+                .iter()
+                .map(|t| t.as_ms())
+                .fold(f64::INFINITY, f64::min);
             if min.is_finite() {
-                for t in segment {
-                    *t -= min;
-                }
+                self.store
+                    .times
+                    .extend(deliveries.iter().map(|t| (t.as_ms() - min) as f32));
+            } else {
+                self.store
+                    .times
+                    .extend(deliveries.iter().map(|t| t.as_ms() as f32));
             }
-            obs.blocks += 1;
         }
+        self.store.blocks += 1;
     }
 
     /// Records one block flooded through a [`TopologyView`] into a
@@ -227,20 +396,14 @@ impl ObservationCollector {
     /// Panics if the view covers a different number of nodes than this
     /// collector.
     pub fn record_scratch(&mut self, view: &TopologyView, scratch: &BroadcastScratch) {
-        assert_eq!(
-            self.per_node.len(),
-            view.len(),
-            "view/collector size mismatch"
-        );
+        assert_eq!(self.store.len(), view.len(), "view/collector size mismatch");
         let relay_at = scratch.relay_starts();
         let source = scratch.source();
-        for (i, obs) in self.per_node.iter_mut().enumerate() {
+        for i in 0..self.store.len() {
             let v = NodeId::new(i as u32);
             let neighbors = view.neighbors_raw(v);
             let delays = view.neighbor_delays(v);
             let arrival = scratch.arrival(v);
-            let times = &mut obs.times;
-            let start = times.len();
             // `relay + δ` is ∞ exactly when the relay never happened
             // (∞ + finite = ∞ in IEEE-754), so no branch per entry.
             if v != source && arrival.is_finite() {
@@ -249,62 +412,55 @@ impl ObservationCollector {
                 // are `min_u relay(u) + δ(u,v)`, computed from the same
                 // floats), so normalization fuses into the fill loop.
                 let min = arrival.as_ms();
-                times.extend(
+                self.store.times.extend(
                     neighbors
                         .iter()
                         .zip(delays)
-                        .map(|(&u, &delay)| (relay_at[u as usize] + delay).as_ms() - min),
+                        .map(|(&u, &delay)| ((relay_at[u as usize] + delay).as_ms() - min) as f32),
                 );
             } else {
                 // The miner normalizes against its earliest *echo* (its
                 // own arrival is 0 at mining time), and unreached nodes
                 // keep their all-infinite row: two-pass like `record`.
-                times.extend(
+                self.row.clear();
+                self.row.extend(
                     neighbors
                         .iter()
                         .zip(delays)
                         .map(|(&u, &delay)| (relay_at[u as usize] + delay).as_ms()),
                 );
-                let segment = &mut times[start..];
-                let min = segment.iter().copied().fold(f64::INFINITY, f64::min);
-                if min.is_finite() {
-                    for t in segment {
-                        *t -= min;
-                    }
-                }
+                self.push_normalized_row();
             }
-            obs.blocks += 1;
         }
+        self.store.blocks += 1;
     }
 
     /// Appends another collector's blocks after this one's, in order —
     /// the merge step of the engine's parallel fan-out (each worker
     /// collects a contiguous chunk of the round's blocks; appending the
     /// chunks in block order reproduces the sequential collector exactly).
+    /// With the block-major matrix this is a single contiguous extend —
+    /// effectively one `memcpy` per worker chunk.
     ///
     /// # Panics
     ///
-    /// Panics if the two collectors snapshotted different node counts or
-    /// neighbor sets.
+    /// Panics if the two collectors snapshotted different CSR skeletons.
     pub fn append(&mut self, other: ObservationCollector) {
         assert_eq!(
-            self.per_node.len(),
-            other.per_node.len(),
-            "node count mismatch"
+            self.store.offsets, other.store.offsets,
+            "CSR offset mismatch"
         );
-        for (mine, theirs) in self.per_node.iter_mut().zip(other.per_node) {
-            assert_eq!(
-                mine.neighbors, theirs.neighbors,
-                "neighbor snapshot mismatch"
-            );
-            mine.times.extend(theirs.times);
-            mine.blocks += theirs.blocks;
-        }
+        assert_eq!(
+            self.store.edges, other.store.edges,
+            "neighbor snapshot mismatch"
+        );
+        self.store.times.extend_from_slice(&other.store.times);
+        self.store.blocks += other.store.blocks;
     }
 
-    /// Finishes the round, yielding per-node observations indexed by node.
-    pub fn finish(self) -> Vec<NodeObservations> {
-        self.per_node
+    /// Finishes the round, yielding the flat per-round store.
+    pub fn finish(self) -> ObservationStore {
+        self.store
     }
 }
 
@@ -343,9 +499,9 @@ mod tests {
         let mut c = ObservationCollector::new(&topo);
         let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
         c.record(&prop, &lat);
-        let obs = c.finish();
+        let store = c.finish();
 
-        let o2 = &obs[2];
+        let o2 = store.node(NodeId::new(2));
         assert_eq!(o2.block_count(), 1);
         assert_eq!(o2.time_of(0, NodeId::new(0)), 0.0, "node 0 was first");
         assert_eq!(o2.time_of(0, NodeId::new(1)), 10.0, "node 1 was 10ms later");
@@ -359,10 +515,10 @@ mod tests {
         let mut c = ObservationCollector::new(&topo);
         let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
         c.record(&prop, &lat);
-        let obs = c.finish();
+        let store = c.finish();
         // The miner's neighbors echo the block back after validating:
         // node1 at 10+10+10=30, node2 at 30+10+30=70; normalized to 0, 40.
-        let o0 = &obs[0];
+        let o0 = store.node(NodeId::new(0));
         assert_eq!(o0.time_of(0, NodeId::new(1)), 0.0);
         assert_eq!(o0.time_of(0, NodeId::new(2)), 40.0);
     }
@@ -376,11 +532,17 @@ mod tests {
         let mut c = ObservationCollector::new(&topo);
         let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
         c.record(&prop, &lat);
-        let obs = c.finish();
+        let store = c.finish();
         // Node 2's only neighbor (1) is silent: row is all-infinite.
-        assert!(obs[2].time_of(0, NodeId::new(1)).is_infinite());
-        // times_for returns a column in block order.
-        assert_eq!(obs[2].times_for(NodeId::new(1)).len(), 1);
+        assert!(store
+            .node(NodeId::new(2))
+            .time_of(0, NodeId::new(1))
+            .is_infinite());
+        // times_for iterates a column in block order.
+        assert_eq!(
+            store.node(NodeId::new(2)).times_for(NodeId::new(1)).len(),
+            1
+        );
     }
 
     #[test]
@@ -390,9 +552,16 @@ mod tests {
         let mut c = ObservationCollector::new(&topo);
         let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
         c.record(&prop, &lat);
-        let obs = c.finish();
-        assert!(obs[0].times_for(NodeId::new(2)).is_empty());
-        assert!(obs[0].time_of(0, NodeId::new(2)).is_infinite());
+        let store = c.finish();
+        assert_eq!(
+            store.node(NodeId::new(0)).times_for(NodeId::new(2)).len(),
+            0
+        );
+        assert!(store
+            .node(NodeId::new(0))
+            .time_of(0, NodeId::new(2))
+            .is_infinite());
+        assert_eq!(store.node(NodeId::new(0)).index_of(NodeId::new(2)), None);
     }
 
     #[test]
@@ -405,9 +574,44 @@ mod tests {
             let prop = broadcast(&topo, &lat, &pop, NodeId::new(src));
             c.record(&prop, &lat);
         }
-        let obs = c.finish();
-        assert_eq!(obs[1].block_count(), 3);
-        assert_eq!(obs[1].times_for(NodeId::new(0)).len(), 3);
-        assert_eq!(obs[1].rows().len(), 3);
+        let store = c.finish();
+        let o1 = store.node(NodeId::new(1));
+        assert_eq!(o1.block_count(), 3);
+        assert_eq!(o1.times_for(NodeId::new(0)).len(), 3);
+        assert_eq!(o1.row(2).len(), o1.degree());
+        assert_eq!(store.block_count(), 3);
+        assert_eq!(store.matrix_bytes(), 3 * store.directed_edge_count() * 4);
+    }
+
+    #[test]
+    fn append_is_block_ordered_memcpy() {
+        let (pop, lat, mut topo) = world(&[0.0, 10.0, 30.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        let mut seq = ObservationCollector::new(&topo);
+        let mut a = ObservationCollector::new(&topo);
+        let mut b = ObservationCollector::new(&topo);
+        for (i, src) in [0u32, 2, 1, 1].into_iter().enumerate() {
+            let prop = broadcast(&topo, &lat, &pop, NodeId::new(src));
+            seq.record(&prop, &lat);
+            if i < 2 {
+                a.record(&prop, &lat)
+            } else {
+                b.record(&prop, &lat)
+            }
+        }
+        a.append(b);
+        assert_eq!(a.finish(), seq.finish());
+    }
+
+    #[test]
+    fn collector_paths_share_one_skeleton() {
+        let (pop, lat, mut topo) = world(&[0.0, 10.0, 30.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let from_topo = ObservationCollector::new(&topo).finish();
+        let from_view = ObservationCollector::from_view(&view).finish();
+        assert_eq!(from_topo, from_view, "the two constructors must agree");
     }
 }

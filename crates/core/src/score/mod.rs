@@ -11,14 +11,21 @@
 //! * [`SubsetScoring`] (§4.3) — greedy complementary group selection.
 //!
 //! All are [`SelectionStrategy`] implementations consumed by
-//! [`PerigeeEngine`](crate::PerigeeEngine).
+//! [`PerigeeEngine`](crate::PerigeeEngine). Scoring reads the round's
+//! flat [`ObservationStore`](crate::ObservationStore) through borrowed
+//! [`NodeObservations`] windows, and parallelizes along one of two paths:
+//! stateless strategies (Vanilla/Subset) fan out directly
+//! ([`SelectionStrategy::retain_stateless`]), while stateful ones expose
+//! their per-node cross-round state through the split-borrow
+//! [`SelectionStrategy::split_stateful`] API so the engine can hand every
+//! node a disjoint `&mut` [`NodeHistory`] on the rayon pool.
 
 mod subset;
 mod ucb;
 mod vanilla;
 
 pub use subset::SubsetScoring;
-pub use ucb::UcbScoring;
+pub use ucb::{ConfidenceBounds, UcbScoring};
 pub use vanilla::VanillaScoring;
 
 use rand::RngCore;
@@ -26,6 +33,94 @@ use rand::RngCore;
 use perigee_netsim::NodeId;
 
 use crate::observation::NodeObservations;
+
+/// One node's cross-round scoring state: per-neighbor sample buffers,
+/// kept for as long as the connection lives (the paper's `T̿u,v`).
+///
+/// Samples are the finite normalized observation times, stored as `f32`
+/// like the round matrix they came from. Buffers are looked up by linear
+/// scan — a node has at most a handful of outgoing neighbors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeHistory {
+    neighbors: Vec<NodeId>,
+    samples: Vec<Vec<f32>>,
+}
+
+impl NodeHistory {
+    /// The accumulated samples for neighbor `u` (empty if none).
+    pub fn samples_for(&self, u: NodeId) -> &[f32] {
+        match self.neighbors.iter().position(|&x| x == u) {
+            Some(i) => &self.samples[i],
+            None => &[],
+        }
+    }
+
+    /// Appends this round's finite observations of `u` to its buffer.
+    pub fn absorb(&mut self, u: NodeId, times: impl Iterator<Item = f64>) {
+        let i = match self.neighbors.iter().position(|&x| x == u) {
+            Some(i) => i,
+            None => {
+                self.neighbors.push(u);
+                self.samples.push(Vec::new());
+                self.neighbors.len() - 1
+            }
+        };
+        self.samples[i].extend(times.filter(|t| t.is_finite()).map(|t| t as f32));
+    }
+
+    /// Forgets everything about `u` — the connection is gone (the paper
+    /// keeps per-neighbor history only while connected).
+    pub fn forget(&mut self, u: NodeId) {
+        if let Some(i) = self.neighbors.iter().position(|&x| x == u) {
+            self.neighbors.remove(i);
+            self.samples.remove(i);
+        }
+    }
+
+    /// Total number of stored samples for `u`.
+    pub fn sample_count(&self, u: NodeId) -> usize {
+        self.samples_for(u).len()
+    }
+}
+
+/// The immutable scoring half of a stateful strategy, usable from any
+/// thread once the per-node state has been split off.
+pub trait StatefulScorer: Send + Sync {
+    /// Scores node `v` using only its own split-off `state` — callable
+    /// concurrently for different nodes, since each call touches exactly
+    /// one [`NodeHistory`]. Must match the strategy's sequential
+    /// [`SelectionStrategy::retain`] bit for bit.
+    fn retain_stateful(
+        &self,
+        v: NodeId,
+        outgoing: &[NodeId],
+        observations: NodeObservations<'_>,
+        state: &mut NodeHistory,
+    ) -> Vec<NodeId>;
+}
+
+/// The split-borrow view of a stateful strategy: scoring parameters
+/// (immutable, shared across threads) and the per-node state array
+/// (mutable, indexed by node id, handed out in disjoint chunks).
+///
+/// Produced by [`SelectionStrategy::split_stateful`]; the borrow split is
+/// what lets UCB's `retain` fan over the rayon pool — each worker mutates
+/// only the [`NodeHistory`] entries of its own chunk while all workers
+/// share the scorer.
+pub struct StatefulSplit<'a> {
+    /// The shared, immutable scoring logic.
+    pub scorer: &'a dyn StatefulScorer,
+    /// Per-node state, indexed by node id.
+    pub states: &'a mut [NodeHistory],
+}
+
+impl std::fmt::Debug for StatefulSplit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatefulSplit")
+            .field("states", &self.states.len())
+            .finish_non_exhaustive()
+    }
+}
 
 /// Decides which outgoing neighbors a node keeps at the end of a round.
 ///
@@ -39,7 +134,7 @@ pub trait SelectionStrategy: Send + Sync {
         &mut self,
         v: NodeId,
         outgoing: &[NodeId],
-        observations: &NodeObservations,
+        observations: NodeObservations<'_>,
         rng: &mut dyn RngCore,
     ) -> Vec<NodeId>;
 
@@ -48,9 +143,7 @@ pub trait SelectionStrategy: Send + Sync {
     /// randomness consumed (Vanilla and Subset). The engine then fans
     /// per-node scoring across the rayon pool via
     /// [`SelectionStrategy::retain_stateless`], with results bit-identical
-    /// to the sequential loop. UCB keeps per-connection history across
-    /// rounds (a split-borrow redesign is tracked in the ROADMAP) and
-    /// stays sequential.
+    /// to the sequential loop.
     fn is_stateless(&self) -> bool {
         false
     }
@@ -63,14 +156,25 @@ pub trait SelectionStrategy: Send + Sync {
     /// # Panics
     ///
     /// The default implementation panics: a stateful strategy has no
-    /// parallel-safe scoring path.
+    /// stateless retain path.
     fn retain_stateless(
         &self,
         _v: NodeId,
         _outgoing: &[NodeId],
-        _observations: &NodeObservations,
+        _observations: NodeObservations<'_>,
     ) -> Vec<NodeId> {
         panic!("{} has no stateless retain path", self.name());
+    }
+
+    /// Splits a *stateful* strategy into shared scoring parameters and
+    /// per-node state (`Some` for UCB, `None` for stateless strategies
+    /// and strategies whose state does not partition by node). The engine
+    /// uses the split to run `retain` for all nodes concurrently: every
+    /// node's call gets a disjoint `&mut` slice of its own history, so
+    /// the fan-out is bit-identical to the sequential loop by
+    /// construction.
+    fn split_stateful(&mut self) -> Option<StatefulSplit<'_>> {
+        None
     }
 
     /// Notifies the strategy that `v`'s connection to `u` is gone (history,
@@ -160,8 +264,24 @@ mod tests {
     #[test]
     fn factory_builds_each_strategy() {
         for m in ScoringMethod::ALL {
-            let s = m.strategy(10, 6, 90.0, 1.0);
+            let mut s = m.strategy(10, 6, 90.0, 1.0);
             assert!(!s.name().is_empty());
+            // Exactly one parallel path is advertised per strategy.
+            assert_ne!(s.is_stateless(), s.split_stateful().is_some());
         }
+    }
+
+    #[test]
+    fn node_history_tracks_per_neighbor_buffers() {
+        let mut h = NodeHistory::default();
+        let (a, b) = (NodeId::new(1), NodeId::new(2));
+        h.absorb(a, [1.0, f64::INFINITY, 3.0].into_iter());
+        h.absorb(b, [2.0].into_iter());
+        h.absorb(a, [5.0].into_iter());
+        assert_eq!(h.samples_for(a), &[1.0f32, 3.0, 5.0][..]);
+        assert_eq!(h.sample_count(b), 1);
+        h.forget(a);
+        assert_eq!(h.sample_count(a), 0);
+        assert_eq!(h.sample_count(b), 1, "forgetting a leaves b intact");
     }
 }

@@ -16,7 +16,7 @@
 
 use rand::RngCore;
 
-use perigee_metrics::percentile_or_inf;
+use perigee_metrics::percentile_or_inf_mut;
 use perigee_netsim::NodeId;
 
 use crate::observation::NodeObservations;
@@ -46,11 +46,11 @@ impl SubsetScoring {
     /// The group score of an explicit neighbor set: percentile of the
     /// per-block minimum over the set. Exposed for tests and for the
     /// ablation comparing greedy vs exhaustive selection.
-    pub fn group_score(&self, observations: &NodeObservations, group: &[NodeId]) -> f64 {
+    pub fn group_score(&self, observations: &NodeObservations<'_>, group: &[NodeId]) -> f64 {
         if group.is_empty() {
             return f64::INFINITY;
         }
-        let per_block: Vec<f64> = (0..observations.block_count())
+        let mut per_block: Vec<f64> = (0..observations.block_count())
             .map(|b| {
                 group
                     .iter()
@@ -58,47 +58,54 @@ impl SubsetScoring {
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
-        percentile_or_inf(&per_block, self.percentile)
+        percentile_or_inf_mut(&mut per_block, self.percentile)
     }
 
     /// The greedy selection itself: pure in its inputs, shared by the
     /// sequential and parallel retain paths.
-    fn select(&self, outgoing: &[NodeId], observations: &NodeObservations) -> Vec<NodeId> {
+    fn select(&self, outgoing: &[NodeId], observations: NodeObservations<'_>) -> Vec<NodeId> {
         let blocks = observations.block_count();
-        // Column extraction once per candidate, plus each candidate's
-        // individual score: when two candidates add nothing new to the
-        // group (equal marginal scores — common once the group already
-        // covers every block well), the individually-faster one wins the
-        // tie. This also guarantees that a neighbor which never delivers
-        // (all-∞ column, e.g. a free-rider) is picked last.
-        let columns: Vec<(NodeId, Vec<f64>, f64)> = outgoing
-            .iter()
-            .map(|&u| {
-                let col = observations.times_for(u);
-                let solo = percentile_or_inf(&col, self.percentile);
-                (u, col, solo)
-            })
-            .collect();
+        // One column-major copy of just the outgoing columns (cols[k·B..])
+        // — a single allocation feeding sequential reads in the greedy
+        // loop — plus each candidate's individual score: when two
+        // candidates add nothing new to the group (equal marginal scores —
+        // common once the group already covers every block well), the
+        // individually-faster one wins the tie. This also guarantees that
+        // a neighbor which never delivers (all-∞ column, e.g. a
+        // free-rider) is picked last. A listed neighbor absent from the
+        // observation row (never a communication peer this round) reads
+        // as all-∞ too.
+        let mut cols: Vec<f64> = Vec::with_capacity(outgoing.len() * blocks);
+        let mut solo: Vec<f64> = Vec::with_capacity(outgoing.len());
+        let mut scratch = vec![0.0f64; blocks];
+        for &u in outgoing {
+            let base = cols.len();
+            match observations.index_of(u) {
+                Some(i) => cols.extend(observations.column(i)),
+                None => cols.extend(std::iter::repeat_n(f64::INFINITY, blocks)),
+            }
+            scratch.copy_from_slice(&cols[base..]);
+            solo.push(percentile_or_inf_mut(&mut scratch, self.percentile));
+        }
 
         let mut current_best = vec![f64::INFINITY; blocks];
-        let mut remaining: Vec<usize> = (0..columns.len()).collect();
+        let mut remaining: Vec<usize> = (0..outgoing.len()).collect();
         let mut chosen: Vec<NodeId> = Vec::new();
-        let mut scratch = vec![0.0f64; blocks];
 
         while chosen.len() < self.retain_count && !remaining.is_empty() {
             let mut best: Option<(f64, usize)> = None;
             for &idx in &remaining {
-                let (_, col, solo) = &columns[idx];
+                let col = &cols[idx * blocks..(idx + 1) * blocks];
                 for b in 0..blocks {
                     scratch[b] = current_best[b].min(col[b]);
                 }
-                let score = percentile_or_inf(&scratch, self.percentile);
+                let score = percentile_or_inf_mut(&mut scratch, self.percentile);
                 let better = match best {
                     None => true,
                     Some((s, i)) => {
-                        let key = (score, *solo, columns[idx].0);
-                        let incumbent = (s, columns[i].2, columns[i].0);
-                        (key.0, key.1, key.2) < (incumbent.0, incumbent.1, incumbent.2)
+                        let key = (score, solo[idx], outgoing[idx]);
+                        let incumbent = (s, solo[i], outgoing[i]);
+                        key < incumbent
                     }
                 };
                 if better {
@@ -106,8 +113,8 @@ impl SubsetScoring {
                 }
             }
             let (_, pick) = best.expect("remaining non-empty");
-            let (u, col, _) = &columns[pick];
-            chosen.push(*u);
+            chosen.push(outgoing[pick]);
+            let col = &cols[pick * blocks..(pick + 1) * blocks];
             for b in 0..blocks {
                 current_best[b] = current_best[b].min(col[b]);
             }
@@ -122,7 +129,7 @@ impl SelectionStrategy for SubsetScoring {
         &mut self,
         _v: NodeId,
         outgoing: &[NodeId],
-        observations: &NodeObservations,
+        observations: NodeObservations<'_>,
         _rng: &mut dyn RngCore,
     ) -> Vec<NodeId> {
         self.select(outgoing, observations)
@@ -136,7 +143,7 @@ impl SelectionStrategy for SubsetScoring {
         &self,
         _v: NodeId,
         outgoing: &[NodeId],
-        observations: &NodeObservations,
+        observations: NodeObservations<'_>,
     ) -> Vec<NodeId> {
         self.select(outgoing, observations)
     }
@@ -149,7 +156,7 @@ impl SelectionStrategy for SubsetScoring {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::observation::ObservationCollector;
+    use crate::observation::{ObservationCollector, ObservationStore};
     use perigee_netsim::{
         broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime, Topology,
     };
@@ -201,22 +208,27 @@ mod tests {
         sources
     }
 
-    fn observe_rounds(sources: &[u32]) -> NodeObservations {
+    fn observe_rounds(sources: &[u32]) -> ObservationStore {
         let (pop, lat, topo) = cluster_world();
         let mut c = ObservationCollector::new(&topo);
         for &s in sources {
             c.record(&broadcast(&topo, &lat, &pop, NodeId::new(s)), &lat);
         }
-        c.finish().swap_remove(0)
+        c.finish()
     }
 
     #[test]
     fn picks_a_complementary_pair_not_redundant_gateways() {
-        let obs = observe_rounds(&mixed_sources());
+        let store = observe_rounds(&mixed_sources());
         let mut s = SubsetScoring::new(2, 90.0);
         let outgoing = vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)];
         let mut rng = StdRng::seed_from_u64(0);
-        let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        let kept = s.retain(
+            NodeId::new(0),
+            &outgoing,
+            store.node(NodeId::new(0)),
+            &mut rng,
+        );
         assert_eq!(kept.len(), 2);
         assert!(
             kept.contains(&NodeId::new(3)),
@@ -232,11 +244,12 @@ mod tests {
         // B-gateway individually (90% of blocks come from A), so vanilla
         // redundantly keeps {A1, A2} — the §4.3 motivation for joint
         // scoring.
-        let obs = observe_rounds(&mixed_sources());
+        let store = observe_rounds(&mixed_sources());
+        let obs = store.node(NodeId::new(0));
         let mut v = crate::score::VanillaScoring::new(2, 90.0);
         let outgoing = vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)];
         let mut rng = StdRng::seed_from_u64(0);
-        let kept = v.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        let kept = v.retain(NodeId::new(0), &outgoing, obs, &mut rng);
         assert!(kept.contains(&NodeId::new(1)) && kept.contains(&NodeId::new(2)));
         // And the subset group-score of vanilla's choice is strictly worse.
         let s = SubsetScoring::new(2, 90.0);
@@ -250,7 +263,8 @@ mod tests {
 
     #[test]
     fn group_score_of_pair_is_min_per_block() {
-        let obs = observe_rounds(&mixed_sources());
+        let store = observe_rounds(&mixed_sources());
+        let obs = store.node(NodeId::new(0));
         let s = SubsetScoring::new(2, 90.0);
         let pair = s.group_score(&obs, &[NodeId::new(1), NodeId::new(3)]);
         let solo1 = s.group_score(&obs, &[NodeId::new(1)]);
@@ -261,11 +275,12 @@ mod tests {
 
     #[test]
     fn greedy_matches_exhaustive_on_this_instance() {
-        let obs = observe_rounds(&mixed_sources());
+        let store = observe_rounds(&mixed_sources());
+        let obs = store.node(NodeId::new(0));
         let mut s = SubsetScoring::new(2, 90.0);
         let outgoing = vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)];
         let mut rng = StdRng::seed_from_u64(0);
-        let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        let kept = s.retain(NodeId::new(0), &outgoing, obs, &mut rng);
         // Exhaustive best pair:
         let mut best: Option<(f64, Vec<NodeId>)> = None;
         for i in 0..outgoing.len() {
@@ -287,11 +302,16 @@ mod tests {
 
     #[test]
     fn retains_everything_when_budget_exceeds_neighbors() {
-        let obs = observe_rounds(&[4]);
+        let store = observe_rounds(&[4]);
         let mut s = SubsetScoring::new(6, 90.0);
         let outgoing = vec![NodeId::new(1), NodeId::new(2)];
         let mut rng = StdRng::seed_from_u64(0);
-        let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        let kept = s.retain(
+            NodeId::new(0),
+            &outgoing,
+            store.node(NodeId::new(0)),
+            &mut rng,
+        );
         assert_eq!(kept.len(), 2);
     }
 

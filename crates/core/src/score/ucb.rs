@@ -14,25 +14,41 @@
 //! confident the arg-max neighbor is strictly worse than its best neighbor
 //! even accounting for sampling noise, and disconnects exactly that one;
 //! otherwise all neighbors are retained.
-
-use std::collections::HashMap;
+//!
+//! # Parallelism
+//!
+//! The per-connection history partitions exactly by choosing node: node
+//! `v`'s `retain` reads the round matrix (shared, immutable) and mutates
+//! only `history[v]`. The strategy therefore stores the history as a flat
+//! `Vec<NodeHistory>` indexed by node id and exposes it through the
+//! split-borrow [`SelectionStrategy::split_stateful`] API: the engine
+//! hands each rayon worker a disjoint `&mut` chunk while all workers
+//! share the immutable [`UcbParams`] scorer — bit-identical to the
+//! sequential loop by construction, and no `HashMap` in sight.
 
 use rand::RngCore;
 
-use perigee_metrics::percentile_or_inf;
+use perigee_metrics::percentile_or_inf_mut;
 use perigee_netsim::NodeId;
 
 use crate::observation::NodeObservations;
-use crate::score::SelectionStrategy;
+use crate::score::{NodeHistory, SelectionStrategy, StatefulScorer, StatefulSplit};
+
+/// The immutable scoring parameters of [`UcbScoring`] — the shared half
+/// of its split-borrow decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UcbParams {
+    percentile: f64,
+    c: f64,
+}
 
 /// Confidence-bound scoring with per-connection observation history.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UcbScoring {
-    percentile: f64,
-    c: f64,
-    /// history[v] maps each current neighbor of v to the finite normalized
-    /// observations accumulated since the connection was made.
-    history: Vec<HashMap<NodeId, Vec<f64>>>,
+    params: UcbParams,
+    /// `history[v]` holds, for each current neighbor of `v`, the finite
+    /// normalized observations accumulated since the connection was made.
+    history: Vec<NodeHistory>,
 }
 
 /// The per-neighbor estimate with its confidence interval.
@@ -48,27 +64,11 @@ pub struct ConfidenceBounds {
     pub samples: usize,
 }
 
-impl UcbScoring {
-    /// Creates the strategy for `n` nodes with confidence constant `c`
-    /// scoring at `percentile`.
-    pub fn new(n: usize, percentile: f64, c: f64) -> Self {
-        assert!(
-            (0.0..=100.0).contains(&percentile),
-            "percentile must be in [0, 100]"
-        );
-        assert!(c >= 0.0, "confidence constant must be non-negative");
-        UcbScoring {
-            percentile,
-            c,
-            history: vec![HashMap::new(); n],
-        }
-    }
-
-    /// Computes the bounds for neighbor `u` of `v` from the accumulated
-    /// history (call after [`Self::absorb`]). A neighbor with no finite
-    /// samples has all-infinite bounds — maximally distrusted.
-    pub fn bounds(&self, v: NodeId, u: NodeId) -> ConfidenceBounds {
-        let samples = self.history[v.index()].get(&u).map_or(&[][..], |h| h);
+impl UcbParams {
+    /// Computes the bounds from a neighbor's accumulated sample buffer. A
+    /// neighbor with no finite samples has all-infinite bounds —
+    /// maximally distrusted.
+    pub fn bounds_of(&self, samples: &[f32], scratch: &mut Vec<f64>) -> ConfidenceBounds {
         let m = samples.len();
         if m == 0 {
             return ConfidenceBounds {
@@ -78,7 +78,9 @@ impl UcbScoring {
                 samples: 0,
             };
         }
-        let estimate = percentile_or_inf(samples, self.percentile);
+        scratch.clear();
+        scratch.extend(samples.iter().map(|&t| t as f64));
+        let estimate = percentile_or_inf_mut(scratch, self.percentile);
         // log(1)/2 = 0 gives a zero-width interval at m = 1, matching the
         // formula; widths shrink as O(sqrt(log m / m)).
         let width = self.c * ((m as f64).ln() / (2.0 * m as f64)).sqrt();
@@ -89,43 +91,29 @@ impl UcbScoring {
             samples: m,
         }
     }
-
-    /// Folds one round of observations into the history of `v`'s current
-    /// outgoing neighbors. Only finite timestamps enter `T̿u,v` (the paper
-    /// filters `t̃ < ∞`).
-    pub fn absorb(&mut self, v: NodeId, outgoing: &[NodeId], observations: &NodeObservations) {
-        let h = &mut self.history[v.index()];
-        for &u in outgoing {
-            let entry = h.entry(u).or_default();
-            entry.extend(
-                observations
-                    .times_for(u)
-                    .into_iter()
-                    .filter(|t| t.is_finite()),
-            );
-        }
-    }
-
-    /// Number of stored samples for a (v, u) pair — for tests/inspection.
-    pub fn sample_count(&self, v: NodeId, u: NodeId) -> usize {
-        self.history[v.index()].get(&u).map_or(0, Vec::len)
-    }
 }
 
-impl SelectionStrategy for UcbScoring {
-    fn retain(
-        &mut self,
-        v: NodeId,
+impl StatefulScorer for UcbParams {
+    fn retain_stateful(
+        &self,
+        _v: NodeId,
         outgoing: &[NodeId],
-        observations: &NodeObservations,
-        _rng: &mut dyn RngCore,
+        observations: NodeObservations<'_>,
+        state: &mut NodeHistory,
     ) -> Vec<NodeId> {
-        self.absorb(v, outgoing, observations);
+        // Fold this round into the per-connection history first — only
+        // finite timestamps enter `T̿u,v` (the paper filters `t̃ < ∞`).
+        for &u in outgoing {
+            state.absorb(u, observations.times_for(u));
+        }
         if outgoing.len() <= 1 {
             return outgoing.to_vec();
         }
-        let bounds: Vec<(NodeId, ConfidenceBounds)> =
-            outgoing.iter().map(|&u| (u, self.bounds(v, u))).collect();
+        let mut scratch = Vec::new();
+        let bounds: Vec<(NodeId, ConfidenceBounds)> = outgoing
+            .iter()
+            .map(|&u| (u, self.bounds_of(state.samples_for(u), &mut scratch)))
+            .collect();
         // max lcb (worst plausible neighbor) vs min ucb (best pessimistic).
         let (worst, worst_b) = bounds
             .iter()
@@ -146,9 +134,68 @@ impl SelectionStrategy for UcbScoring {
             outgoing.to_vec()
         }
     }
+}
+
+impl UcbScoring {
+    /// Creates the strategy for `n` nodes with confidence constant `c`
+    /// scoring at `percentile`.
+    pub fn new(n: usize, percentile: f64, c: f64) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&percentile),
+            "percentile must be in [0, 100]"
+        );
+        assert!(c >= 0.0, "confidence constant must be non-negative");
+        UcbScoring {
+            params: UcbParams { percentile, c },
+            history: vec![NodeHistory::default(); n],
+        }
+    }
+
+    /// Computes the bounds for neighbor `u` of `v` from the accumulated
+    /// history (call after [`Self::absorb`]).
+    pub fn bounds(&self, v: NodeId, u: NodeId) -> ConfidenceBounds {
+        let mut scratch = Vec::new();
+        self.params
+            .bounds_of(self.history[v.index()].samples_for(u), &mut scratch)
+    }
+
+    /// Folds one round of observations into the history of `v`'s current
+    /// outgoing neighbors. Only finite timestamps enter `T̿u,v` (the paper
+    /// filters `t̃ < ∞`).
+    pub fn absorb(&mut self, v: NodeId, outgoing: &[NodeId], observations: NodeObservations<'_>) {
+        let h = &mut self.history[v.index()];
+        for &u in outgoing {
+            h.absorb(u, observations.times_for(u));
+        }
+    }
+
+    /// Number of stored samples for a (v, u) pair — for tests/inspection.
+    pub fn sample_count(&self, v: NodeId, u: NodeId) -> usize {
+        self.history[v.index()].sample_count(u)
+    }
+}
+
+impl SelectionStrategy for UcbScoring {
+    fn retain(
+        &mut self,
+        v: NodeId,
+        outgoing: &[NodeId],
+        observations: NodeObservations<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        self.params
+            .retain_stateful(v, outgoing, observations, &mut self.history[v.index()])
+    }
+
+    fn split_stateful(&mut self) -> Option<StatefulSplit<'_>> {
+        Some(StatefulSplit {
+            scorer: &self.params,
+            states: &mut self.history,
+        })
+    }
 
     fn on_disconnect(&mut self, v: NodeId, u: NodeId) {
-        self.history[v.index()].remove(&u);
+        self.history[v.index()].forget(u);
     }
 
     fn name(&self) -> &'static str {
@@ -159,7 +206,7 @@ impl SelectionStrategy for UcbScoring {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::observation::ObservationCollector;
+    use crate::observation::{ObservationCollector, ObservationStore};
     use perigee_netsim::{
         broadcast, ConnectionLimits, MetricLatencyModel, NodeProfile, Population, SimTime, Topology,
     };
@@ -193,10 +240,10 @@ mod tests {
         lat: &MetricLatencyModel,
         topo: &Topology,
         src: u32,
-    ) -> NodeObservations {
+    ) -> ObservationStore {
         let mut c = ObservationCollector::new(topo);
         c.record(&broadcast(topo, lat, pop, NodeId::new(src)), lat);
-        c.finish().swap_remove(0)
+        c.finish()
     }
 
     #[test]
@@ -206,8 +253,13 @@ mod tests {
         let outgoing = vec![NodeId::new(1), NodeId::new(2)];
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..4 {
-            let obs = one_round(&pop, &lat, &topo, 1);
-            let _ = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+            let store = one_round(&pop, &lat, &topo, 1);
+            let _ = s.retain(
+                NodeId::new(0),
+                &outgoing,
+                store.node(NodeId::new(0)),
+                &mut rng,
+            );
         }
         assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(1)), 4);
         assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(2)), 4);
@@ -222,8 +274,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut kept = outgoing.clone();
         for _ in 0..20 {
-            let obs = one_round(&pop, &lat, &topo, 1);
-            kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+            let store = one_round(&pop, &lat, &topo, 1);
+            kept = s.retain(
+                NodeId::new(0),
+                &outgoing,
+                store.node(NodeId::new(0)),
+                &mut rng,
+            );
             if kept.len() < outgoing.len() {
                 break;
             }
@@ -266,8 +323,13 @@ mod tests {
         for _ in 0..10 {
             let mut c = ObservationCollector::new(&topo);
             c.record(&broadcast(&topo, &lat, &pop, NodeId::new(3)), &lat);
-            let obs = c.finish().swap_remove(0);
-            let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+            let store = c.finish();
+            let kept = s.retain(
+                NodeId::new(0),
+                &outgoing,
+                store.node(NodeId::new(0)),
+                &mut rng,
+            );
             assert_eq!(kept.len(), 2, "equal neighbors are never separated");
         }
     }
@@ -278,14 +340,14 @@ mod tests {
         let mut s = UcbScoring::new(3, 90.0, 1.0);
         let outgoing = vec![NodeId::new(1), NodeId::new(2)];
         for _ in 0..2 {
-            let obs = one_round(&pop, &lat, &topo, 1);
-            s.absorb(NodeId::new(0), &outgoing, &obs);
+            let store = one_round(&pop, &lat, &topo, 1);
+            s.absorb(NodeId::new(0), &outgoing, store.node(NodeId::new(0)));
         }
         let b2 = s.bounds(NodeId::new(0), NodeId::new(1));
         let w2 = b2.ucb - b2.lcb;
         for _ in 0..30 {
-            let obs = one_round(&pop, &lat, &topo, 1);
-            s.absorb(NodeId::new(0), &outgoing, &obs);
+            let store = one_round(&pop, &lat, &topo, 1);
+            s.absorb(NodeId::new(0), &outgoing, store.node(NodeId::new(0)));
         }
         let b32 = s.bounds(NodeId::new(0), NodeId::new(1));
         let w32 = b32.ucb - b32.lcb;
@@ -310,8 +372,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut kept = outgoing.clone();
         for _ in 0..5 {
-            let obs = one_round(&pop, &lat, &topo, 1);
-            kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+            let store = one_round(&pop, &lat, &topo, 1);
+            kept = s.retain(
+                NodeId::new(0),
+                &outgoing,
+                store.node(NodeId::new(0)),
+                &mut rng,
+            );
             if kept.len() < 2 {
                 break;
             }
@@ -324,8 +391,8 @@ mod tests {
         let (pop, lat, topo) = star_world(&[5.0]);
         let mut s = UcbScoring::new(2, 90.0, 1.0);
         let outgoing = vec![NodeId::new(1)];
-        let obs = one_round(&pop, &lat, &topo, 1);
-        s.absorb(NodeId::new(0), &outgoing, &obs);
+        let store = one_round(&pop, &lat, &topo, 1);
+        s.absorb(NodeId::new(0), &outgoing, store.node(NodeId::new(0)));
         assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(1)), 1);
         s.on_disconnect(NodeId::new(0), NodeId::new(1));
         assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(1)), 0);
@@ -336,8 +403,43 @@ mod tests {
         let (pop, lat, topo) = star_world(&[5.0]);
         let mut s = UcbScoring::new(2, 90.0, 1.0);
         let mut rng = StdRng::seed_from_u64(0);
-        let obs = one_round(&pop, &lat, &topo, 1);
-        let kept = s.retain(NodeId::new(0), &[NodeId::new(1)], &obs, &mut rng);
+        let store = one_round(&pop, &lat, &topo, 1);
+        let kept = s.retain(
+            NodeId::new(0),
+            &[NodeId::new(1)],
+            store.node(NodeId::new(0)),
+            &mut rng,
+        );
         assert_eq!(kept, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn split_halves_agree_with_sequential_retain() {
+        let (pop, lat, topo) = star_world(&[5.0, 50.0, 500.0]);
+        let outgoing: Vec<NodeId> = (1..4).map(NodeId::new).collect();
+        let mut seq = UcbScoring::new(4, 90.0, 10.0);
+        let mut split = UcbScoring::new(4, 90.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let store = one_round(&pop, &lat, &topo, 1);
+            let a = seq.retain(
+                NodeId::new(0),
+                &outgoing,
+                store.node(NodeId::new(0)),
+                &mut rng,
+            );
+            let b = {
+                let StatefulSplit { scorer, states } =
+                    split.split_stateful().expect("ucb is split-stateful");
+                scorer.retain_stateful(
+                    NodeId::new(0),
+                    &outgoing,
+                    store.node(NodeId::new(0)),
+                    &mut states[0],
+                )
+            };
+            assert_eq!(a, b, "split-borrow path must match retain exactly");
+        }
+        assert_eq!(seq, split, "histories evolve identically");
     }
 }

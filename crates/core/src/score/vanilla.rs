@@ -2,7 +2,7 @@
 
 use rand::RngCore;
 
-use perigee_metrics::percentile_or_inf;
+use perigee_metrics::percentile_or_inf_mut;
 use perigee_netsim::NodeId;
 
 use crate::observation::NodeObservations;
@@ -35,17 +35,23 @@ impl VanillaScoring {
     }
 
     /// The per-neighbor score: `percentile`-th percentile of `T̃u,v`.
-    pub fn score(&self, observations: &NodeObservations, u: NodeId) -> f64 {
-        percentile_or_inf(&observations.times_for(u), self.percentile)
+    pub fn score(&self, observations: &NodeObservations<'_>, u: NodeId) -> f64 {
+        let mut col: Vec<f64> = observations.times_for(u).collect();
+        percentile_or_inf_mut(&mut col, self.percentile)
     }
 
     /// The selection itself: pure in its inputs, shared by the sequential
-    /// and parallel retain paths.
-    fn select(&self, outgoing: &[NodeId], observations: &NodeObservations) -> Vec<NodeId> {
-        let mut scored: Vec<(f64, NodeId)> = outgoing
-            .iter()
-            .map(|&u| (self.score(observations, u), u))
-            .collect();
+    /// and parallel retain paths. One reusable column buffer serves every
+    /// neighbor — the observation reads themselves are borrowed strided
+    /// walks over the round matrix.
+    fn select(&self, outgoing: &[NodeId], observations: NodeObservations<'_>) -> Vec<NodeId> {
+        let mut col: Vec<f64> = Vec::with_capacity(observations.block_count());
+        let mut scored: Vec<(f64, NodeId)> = Vec::with_capacity(outgoing.len());
+        for &u in outgoing {
+            col.clear();
+            col.extend(observations.times_for(u));
+            scored.push((percentile_or_inf_mut(&mut col, self.percentile), u));
+        }
         scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         scored
             .into_iter()
@@ -60,7 +66,7 @@ impl SelectionStrategy for VanillaScoring {
         &mut self,
         _v: NodeId,
         outgoing: &[NodeId],
-        observations: &NodeObservations,
+        observations: NodeObservations<'_>,
         _rng: &mut dyn RngCore,
     ) -> Vec<NodeId> {
         self.select(outgoing, observations)
@@ -74,7 +80,7 @@ impl SelectionStrategy for VanillaScoring {
         &self,
         _v: NodeId,
         outgoing: &[NodeId],
-        observations: &NodeObservations,
+        observations: NodeObservations<'_>,
     ) -> Vec<NodeId> {
         self.select(outgoing, observations)
     }
@@ -93,11 +99,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    use crate::observation::ObservationCollector;
+    use crate::observation::{ObservationCollector, ObservationStore};
 
     /// Star world: center node 0 connected to peripherals at distances
     /// given by `dists`; block always mined at node 1 (first peripheral).
-    fn star_observations(dists: &[f64], blocks: usize) -> NodeObservations {
+    /// Returns the round's store; the center's view is `store.node(0)`.
+    fn star_observations(dists: &[f64], blocks: usize) -> ObservationStore {
         let mut coords = vec![0.0];
         coords.extend_from_slice(dists);
         let profiles: Vec<NodeProfile> = coords
@@ -121,25 +128,31 @@ mod tests {
             let prop = broadcast(&topo, &lat, &pop, NodeId::new(1));
             c.record(&prop, &lat);
         }
-        c.finish().swap_remove(0)
+        c.finish()
     }
 
     #[test]
     fn keeps_the_fastest_neighbors() {
         // Distances from the center: neighbor 1 at 5 (and the miner),
         // neighbor 2 at 50, neighbor 3 at 20.
-        let obs = star_observations(&[5.0, 50.0, 20.0], 10);
+        let store = star_observations(&[5.0, 50.0, 20.0], 10);
         let mut s = VanillaScoring::new(2, 90.0);
         let outgoing = vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)];
         let mut rng = StdRng::seed_from_u64(0);
-        let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        let kept = s.retain(
+            NodeId::new(0),
+            &outgoing,
+            store.node(NodeId::new(0)),
+            &mut rng,
+        );
         assert_eq!(kept, vec![NodeId::new(1), NodeId::new(3)]);
     }
 
     #[test]
     fn score_is_relative_to_first_delivery() {
-        let obs = star_observations(&[5.0, 50.0, 20.0], 3);
+        let store = star_observations(&[5.0, 50.0, 20.0], 3);
         let s = VanillaScoring::new(2, 90.0);
+        let obs = store.node(NodeId::new(0));
         // Neighbor 1 mined every block; center hears from it at 5, from 3
         // at 5+0(validation)+... wait — all go through the center. From
         // the center's view: n1 delivers at 5 (normalized 0), n3 echoes
@@ -151,37 +164,62 @@ mod tests {
 
     #[test]
     fn missing_neighbor_scores_infinite() {
-        let obs = star_observations(&[5.0], 2);
+        let store = star_observations(&[5.0], 2);
         let s = VanillaScoring::new(1, 90.0);
-        assert!(s.score(&obs, NodeId::new(99)).is_infinite());
+        assert!(s
+            .score(&store.node(NodeId::new(0)), NodeId::new(99))
+            .is_infinite());
     }
 
     #[test]
     fn retains_at_most_retain_count() {
-        let obs = star_observations(&[5.0, 6.0, 7.0, 8.0], 5);
+        let store = star_observations(&[5.0, 6.0, 7.0, 8.0], 5);
         let mut s = VanillaScoring::new(2, 90.0);
         let outgoing: Vec<NodeId> = (1..5).map(NodeId::new).collect();
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(s.retain(NodeId::new(0), &outgoing, &obs, &mut rng).len(), 2);
+        assert_eq!(
+            s.retain(
+                NodeId::new(0),
+                &outgoing,
+                store.node(NodeId::new(0)),
+                &mut rng
+            )
+            .len(),
+            2
+        );
     }
 
     #[test]
     fn fewer_neighbors_than_retain_count_keeps_all() {
-        let obs = star_observations(&[5.0], 2);
+        let store = star_observations(&[5.0], 2);
         let mut s = VanillaScoring::new(6, 90.0);
         let outgoing = vec![NodeId::new(1)];
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(s.retain(NodeId::new(0), &outgoing, &obs, &mut rng).len(), 1);
+        assert_eq!(
+            s.retain(
+                NodeId::new(0),
+                &outgoing,
+                store.node(NodeId::new(0)),
+                &mut rng
+            )
+            .len(),
+            1
+        );
     }
 
     #[test]
     fn ties_break_deterministically_by_id() {
         // Two neighbors at identical distance score identically.
-        let obs = star_observations(&[5.0, 10.0, 10.0], 4);
+        let store = star_observations(&[5.0, 10.0, 10.0], 4);
         let mut s = VanillaScoring::new(2, 90.0);
         let outgoing = vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)];
         let mut rng = StdRng::seed_from_u64(0);
-        let kept = s.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        let kept = s.retain(
+            NodeId::new(0),
+            &outgoing,
+            store.node(NodeId::new(0)),
+            &mut rng,
+        );
         assert_eq!(kept, vec![NodeId::new(1), NodeId::new(2)]);
     }
 

@@ -16,13 +16,22 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn engine(n: usize, blocks: usize, seed: u64) -> (PerigeeEngine<GeoLatencyModel>, StdRng) {
+    engine_with(n, blocks, seed, ScoringMethod::Subset)
+}
+
+fn engine_with(
+    n: usize,
+    blocks: usize,
+    seed: u64,
+    method: ScoringMethod,
+) -> (PerigeeEngine<GeoLatencyModel>, StdRng) {
     let mut rng = StdRng::seed_from_u64(seed);
     let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
     let lat = GeoLatencyModel::new(&pop, seed);
     let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
-    let mut cfg = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    let mut cfg = PerigeeConfig::paper_default(method);
     cfg.blocks_per_round = blocks;
-    let engine = PerigeeEngine::new(pop, lat, topo, ScoringMethod::Subset, cfg).unwrap();
+    let engine = PerigeeEngine::new(pop, lat, topo, method, cfg).unwrap();
     (engine, rng)
 }
 
@@ -93,7 +102,7 @@ fn observe_round_matches_legacy_pipeline() {
 
     assert_eq!(round.lambda90_ms(), legacy90.as_slice());
     assert_eq!(round.lambda50_ms(), legacy50.as_slice());
-    assert_eq!(round.observations(), legacy_obs.as_slice());
+    assert_eq!(round.observations(), &legacy_obs);
 }
 
 /// Gossip-mode rounds go through the same chunked fan-out; they too must
@@ -152,7 +161,7 @@ fn gossip_observe_round_matches_legacy_gossip_pipeline() {
 
         assert_eq!(round.lambda90_ms(), legacy90.as_slice());
         assert_eq!(round.lambda50_ms(), legacy50.as_slice());
-        assert_eq!(round.observations(), legacy_obs.as_slice());
+        assert_eq!(round.observations(), &legacy_obs);
     }
 }
 
@@ -197,8 +206,46 @@ fn per_neighbor_rows_match_legacy_exactly() {
     let round = engine_a.observe_round(&miners);
     for i in 0..90u32 {
         let v = NodeId::new(i);
-        let obs = &round.observations()[v.index()];
-        assert_eq!(obs.neighbors(), engine_a.topology().neighbors(v));
+        let obs = round.observations().node(v);
+        let neighbors: Vec<NodeId> = obs.neighbors().collect();
+        assert_eq!(neighbors, engine_a.topology().neighbors(v));
         assert_eq!(obs.block_count(), 5);
     }
+}
+
+/// A full UCB run — the *stateful* strategy, parallelized through the
+/// split-borrow `split_stateful` path — is bit-identical to the forced
+/// sequential loop: same RoundStats floats, same per-connection history
+/// evolution (observable through the learned topology), round after
+/// round.
+#[test]
+fn ucb_parallel_rounds_are_bit_identical_to_sequential() {
+    let (mut par, mut rng_par) = engine_with(150, 2, 91, ScoringMethod::Ucb);
+    let (mut seq, mut rng_seq) = engine_with(150, 2, 91, ScoringMethod::Ucb);
+    par.set_parallel(true);
+    seq.set_parallel(false);
+    for _ in 0..8 {
+        let a = par.run_round(&mut rng_par);
+        let b = seq.run_round(&mut rng_seq);
+        assert_eq!(a, b, "UCB RoundStats must match bit for bit");
+    }
+    assert_eq!(par.topology(), seq.topology());
+    assert_eq!(par.evaluate(0.9), seq.evaluate(0.9));
+}
+
+/// The same UCB run is also independent of the rayon pool width.
+#[test]
+fn ucb_rounds_are_thread_count_independent() {
+    let (mut wide, mut rng_a) = engine_with(100, 1, 97, ScoringMethod::Ucb);
+    let (mut narrow, mut rng_b) = engine_with(100, 1, 97, ScoringMethod::Ucb);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    for _ in 0..6 {
+        let a = wide.run_round(&mut rng_a);
+        let b = pool.install(|| narrow.run_round(&mut rng_b));
+        assert_eq!(a, b);
+    }
+    assert_eq!(wide.topology(), narrow.topology());
 }

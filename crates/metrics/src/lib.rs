@@ -18,6 +18,6 @@ pub mod table;
 
 pub use curve::DelayCurve;
 pub use histogram::Histogram;
-pub use percentile::{percentile, percentile_or_inf};
+pub use percentile::{percentile, percentile_mut, percentile_or_inf, percentile_or_inf_mut};
 pub use stats::{mean, median, std_dev, Summary};
 pub use table::Table;

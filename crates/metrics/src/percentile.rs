@@ -31,6 +31,18 @@
 /// assert_eq!(percentile(&[], 90.0), None);
 /// ```
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    let mut sorted = values.to_vec();
+    percentile_mut(&mut sorted, p)
+}
+
+/// Like [`percentile`] but sorts `values` in place instead of copying —
+/// the allocation-free variant for hot scoring loops that own a reusable
+/// scratch buffer.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+pub fn percentile_mut(values: &mut [f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     if values.is_empty() {
         return None;
@@ -39,8 +51,8 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
         values.iter().all(|v| !v.is_nan()),
         "percentile input must not contain NaN"
     );
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
+    values.sort_by(|a, b| a.total_cmp(b));
+    let sorted = values;
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo_idx = rank.floor() as usize;
     let hi_idx = rank.ceil() as usize;
@@ -60,6 +72,11 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
 /// convention: a neighbor with no observations is the worst possible.
 pub fn percentile_or_inf(values: &[f64], p: f64) -> f64 {
     percentile(values, p).unwrap_or(f64::INFINITY)
+}
+
+/// Like [`percentile_or_inf`] but sorts `values` in place — no allocation.
+pub fn percentile_or_inf_mut(values: &mut [f64], p: f64) -> f64 {
+    percentile_mut(values, p).unwrap_or(f64::INFINITY)
 }
 
 #[cfg(test)]

@@ -21,7 +21,12 @@
 //!   per-neighbor delivery times `tᵇu,v` that Perigee observes.
 //! * [`TopologyView`] — the propagation substrate underneath both engines:
 //!   a frozen CSR snapshot of the overlay with per-edge latencies, reverse
-//!   edge indices, relay profiles and link rates precomputed once.
+//!   edge indices, relay profiles and link rates precomputed once. Between
+//!   rounds it is patched *incrementally*:
+//!   [`TopologyView::apply_rewiring`] merges a [`RoundDelta`] (the round's
+//!   net dropped/refilled edges) into the CSR arrays in one linear pass,
+//!   paying latency-model calls only for added edges — field-for-field
+//!   equal to a fresh rebuild, at ~2·n instead of ~14·n delay evaluations.
 //! * [`BroadcastScratch`] — reusable analytic flood state for
 //!   [`TopologyView::broadcast_into`]; [`broadcast()`] is a thin per-call
 //!   wrapper over it.
@@ -39,7 +44,8 @@
 //! synchronously *between* rounds, §2.1, so a round sees a constant
 //! overlay), push all of the round's blocks through it — from as many
 //! threads as you like, each with its own [`BroadcastScratch`] or
-//! [`GossipScratch`] — and drop it before the next rewiring. Both scratch
+//! [`GossipScratch`] — and either drop it before the next rewiring or
+//! carry it forward through [`TopologyView::apply_rewiring`]. Both scratch
 //! engines allocate nothing per block after warming up to the network
 //! size. Floods through a view are **bit-identical** to [`broadcast()`] on
 //! the source topology, and message-level runs are bit-identical to
@@ -109,4 +115,4 @@ pub use mining::MinerSampler;
 pub use node::{Behavior, NodeId, NodeProfile, Region};
 pub use population::{HashPowerDist, Population, PopulationBuilder, ValidationDist};
 pub use time::SimTime;
-pub use view::{BroadcastScratch, TopologyView};
+pub use view::{BroadcastScratch, RoundDelta, TopologyView};

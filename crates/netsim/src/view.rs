@@ -225,6 +225,23 @@ impl TopologyView {
         &self.edges[self.offsets[u.index()]..self.offsets[u.index() + 1]]
     }
 
+    /// The CSR row-start array: node `u`'s adjacency entries occupy
+    /// directed-edge indices `csr_offsets()[u]..csr_offsets()[u + 1]`.
+    /// Length is `len() + 1`. This index space addresses all per-edge
+    /// data — the view's cached delays, the gossip delivery matrix, and
+    /// the flat observation store built on top of the view.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat neighbor-id array underlying every CSR row, aligned with
+    /// [`TopologyView::csr_offsets`].
+    #[inline]
+    pub fn csr_edges(&self) -> &[u32] {
+        &self.edges
+    }
+
     /// The range of directed-edge indices forming `u`'s CSR row — the
     /// index space of per-edge data such as
     /// [`GossipScratch::delivery_matrix`](crate::GossipScratch::delivery_matrix).
@@ -303,6 +320,210 @@ impl TopologyView {
         let mut scratch = BroadcastScratch::new();
         self.broadcast_into(source, &mut scratch);
         scratch.into_propagation()
+    }
+
+    /// Patches the snapshot to reflect one round of rewiring instead of
+    /// rebuilding it from scratch.
+    ///
+    /// A Perigee round rewires only the dropped/refilled connections —
+    /// about `2·n` of the `~14·n` directed edges — yet a fresh
+    /// [`TopologyView::new`] pays one latency-model evaluation (a hash
+    /// plus a square root for the geographic model) *per directed edge*
+    /// and one `BTreeSet` walk plus a `Vec` allocation per node. This
+    /// method merges the delta into the CSR arrays in one linear pass:
+    /// cached delays of surviving edges are copied verbatim, the latency
+    /// model is consulted only for the added edges, and the reverse-edge
+    /// map is recomputed index-for-index. Per-node state (relay profiles,
+    /// hash power, link rates) is untouched — rewiring never changes it.
+    ///
+    /// The patched view is **field-for-field equal** to a freshly built
+    /// `TopologyView::new` on the rewired topology (asserted by the
+    /// `netsim` proptest suite and, in debug builds, by the engine after
+    /// every round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta is inconsistent with the snapshot: a removed
+    /// edge that the view does not hold, an added edge it already holds,
+    /// or an endpoint out of range.
+    pub fn apply_rewiring<L: LatencyModel + ?Sized>(&mut self, delta: &RoundDelta, latency: &L) {
+        if delta.is_empty() {
+            return;
+        }
+        let n = self.len();
+        // Expand the undirected delta into directed adjacency entries,
+        // sorted by (row, neighbor) so one cursor pass covers all rows.
+        let mut removed: Vec<(u32, u32)> = Vec::with_capacity(delta.removed.len() * 2);
+        for &(a, b) in &delta.removed {
+            removed.push((a, b));
+            removed.push((b, a));
+        }
+        removed.sort_unstable();
+        let mut added: Vec<(u32, u32)> = Vec::with_capacity(delta.added.len() * 2);
+        for &(a, b) in &delta.added {
+            added.push((a, b));
+            added.push((b, a));
+        }
+        added.sort_unstable();
+        if let Some(&(u, v)) = removed.last().into_iter().chain(added.last()).max() {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "delta endpoint out of range"
+            );
+        }
+
+        let m_new = self.edges.len() + added.len() - removed.len();
+        let mut edges = Vec::with_capacity(m_new);
+        let mut delay = Vec::with_capacity(m_new);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let (mut ri, mut ai) = (0usize, 0usize);
+        for u in 0..n as u32 {
+            let (start, end) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+            let mut e = start;
+            // Merge the surviving old entries with the (ascending) added
+            // neighbors; both sequences are sorted, so the output row is.
+            while e < end || (ai < added.len() && added[ai].0 == u) {
+                let old_v = if e < end { Some(self.edges[e]) } else { None };
+                let add_v = if ai < added.len() && added[ai].0 == u {
+                    Some(added[ai].1)
+                } else {
+                    None
+                };
+                match (old_v, add_v) {
+                    (Some(ov), av) if av.is_none_or(|a| ov < a) => {
+                        if ri < removed.len() && removed[ri] == (u, ov) {
+                            ri += 1; // dropped edge: skip it
+                        } else {
+                            edges.push(ov);
+                            delay.push(self.delay[e]);
+                        }
+                        e += 1;
+                    }
+                    (ov, Some(av)) => {
+                        assert!(
+                            ov != Some(av),
+                            "delta adds edge {u}-{av} the view already holds"
+                        );
+                        edges.push(av);
+                        delay.push(latency.delay(NodeId::new(u), NodeId::new(av)));
+                        ai += 1;
+                    }
+                    _ => unreachable!("loop condition guarantees one side"),
+                }
+            }
+            offsets.push(edges.len());
+        }
+        assert!(
+            ri == removed.len() && ai == added.len(),
+            "delta removes an edge the view does not hold"
+        );
+        self.edges = edges;
+        self.delay = delay;
+        self.offsets = offsets;
+        // All offsets after the first touched row shifted, so reverse
+        // indices are recomputed globally — integer work only, no float
+        // math, exactly as in `TopologyView::new`.
+        self.reverse.clear();
+        self.reverse.resize(self.edges.len(), 0);
+        for u in 0..n {
+            for e in self.offsets[u]..self.offsets[u + 1] {
+                let v = self.edges[e] as usize;
+                let row = &self.edges[self.offsets[v]..self.offsets[v + 1]];
+                let k = row
+                    .binary_search(&(u as u32))
+                    .expect("communication graph is symmetric");
+                self.reverse[e] = (self.offsets[v] + k) as u32;
+            }
+        }
+    }
+}
+
+/// The net change one round of rewiring makes to the undirected
+/// communication graph: which edges disappeared and which appeared.
+///
+/// Built by [`RoundDelta::new`] from the raw removal/addition logs of a
+/// rewiring phase; pairs are normalized (`u < v`), deduplicated, and an
+/// edge that was removed and then re-added within the same round cancels
+/// out entirely (its cached latency is still valid). Consumed by
+/// [`TopologyView::apply_rewiring`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundDelta {
+    removed: Vec<(u32, u32)>,
+    added: Vec<(u32, u32)>,
+}
+
+impl RoundDelta {
+    /// Normalizes raw removal/addition logs into a net delta.
+    ///
+    /// Each pair is an undirected communication edge in either endpoint
+    /// order. For any single pair, a well-formed log alternates removals
+    /// and additions (an edge must exist to be removed and be absent to
+    /// be added), so the *counts* decide the net effect: one more removal
+    /// than addition nets to "removed", one more addition nets to
+    /// "added", equal counts cancel out entirely — the view's cached
+    /// state for a dropped-and-re-established edge is still exact.
+    pub fn new(removed: Vec<(NodeId, NodeId)>, added: Vec<(NodeId, NodeId)>) -> Self {
+        let normalize = |pairs: Vec<(NodeId, NodeId)>| -> Vec<(u32, u32)> {
+            let mut out: Vec<(u32, u32)> = pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    let (a, b) = (a.as_u32(), b.as_u32());
+                    if a < b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let rem = normalize(removed);
+        let add = normalize(added);
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        // Merge-walk the two sorted multisets, netting counts per pair.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < rem.len() || j < add.len() {
+            let pair = match (rem.get(i), add.get(j)) {
+                (Some(&r), Some(&a)) => r.min(a),
+                (Some(&r), None) => r,
+                (None, Some(&a)) => a,
+                (None, None) => unreachable!(),
+            };
+            let mut r_count = 0usize;
+            while rem.get(i) == Some(&pair) {
+                r_count += 1;
+                i += 1;
+            }
+            let mut a_count = 0usize;
+            while add.get(j) == Some(&pair) {
+                a_count += 1;
+                j += 1;
+            }
+            match r_count.cmp(&a_count) {
+                std::cmp::Ordering::Greater => removed.push(pair),
+                std::cmp::Ordering::Less => added.push(pair),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        RoundDelta { removed, added }
+    }
+
+    /// `true` when the round changed nothing — patching is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+
+    /// Number of net removed undirected edges.
+    pub fn removed_count(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Number of net added undirected edges.
+    pub fn added_count(&self) -> usize {
+        self.added.len()
     }
 }
 
@@ -582,6 +803,103 @@ mod tests {
             assert_eq!(scratch.arrivals().len(), n);
             assert_eq!(scratch.reached(), n, "ring keeps the overlay connected");
         }
+    }
+
+    type EdgeLog = Vec<(NodeId, NodeId)>;
+
+    /// Applies `ops` (connect/disconnect pairs) to `topo`, returning the
+    /// net communication-graph delta the way the engine tracks it: edge
+    /// presence compared around each individual operation.
+    fn apply_ops(topo: &mut Topology, ops: &[(u32, u32, bool)]) -> (EdgeLog, EdgeLog) {
+        let (mut removed, mut added) = (Vec::new(), Vec::new());
+        for &(a, b, connect) in ops {
+            let (u, v) = (NodeId::new(a), NodeId::new(b));
+            if connect {
+                if topo.connect(u, v).is_ok() {
+                    added.push((u, v));
+                }
+            } else {
+                let was = topo.are_connected(u, v);
+                topo.disconnect(u, v);
+                if was && !topo.are_connected(u, v) {
+                    removed.push((u, v));
+                }
+            }
+        }
+        (removed, added)
+    }
+
+    #[test]
+    fn patched_view_equals_fresh_build() {
+        let (pop, lat, mut topo, mut rng) = random_world(60, 11);
+        let mut view = TopologyView::new(&topo, &lat, &pop);
+        for round in 0..5 {
+            let ops: Vec<(u32, u32, bool)> = (0..40)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..60u32),
+                        rng.gen_range(0..60u32),
+                        rng.gen_range(0..3u8) > 0,
+                    )
+                })
+                .filter(|&(a, b, _)| a != b)
+                .collect();
+            let (removed, added) = apply_ops(&mut topo, &ops);
+            view.apply_rewiring(&RoundDelta::new(removed, added), &lat);
+            assert_eq!(
+                view,
+                TopologyView::new(&topo, &lat, &pop),
+                "patched view diverged from a fresh build in round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let (pop, lat, topo, _) = random_world(30, 4);
+        let mut view = TopologyView::new(&topo, &lat, &pop);
+        let before = view.clone();
+        view.apply_rewiring(&RoundDelta::default(), &lat);
+        assert_eq!(view, before);
+    }
+
+    #[test]
+    fn removed_then_readded_edges_cancel() {
+        let e = (NodeId::new(3), NodeId::new(7));
+        let delta = RoundDelta::new(vec![e, (NodeId::new(1), NodeId::new(2))], vec![(e.1, e.0)]);
+        assert_eq!(delta.removed_count(), 1, "only the uncancelled removal");
+        assert_eq!(delta.added_count(), 0);
+    }
+
+    #[test]
+    fn delta_nets_by_count_parity() {
+        // remove → re-add → remove again: net effect is one removal.
+        let e = (NodeId::new(3), NodeId::new(7));
+        let delta = RoundDelta::new(vec![e, e], vec![(e.1, e.0)]);
+        assert_eq!((delta.removed_count(), delta.added_count()), (1, 0));
+        // add → remove → re-add: net effect is one addition.
+        let delta = RoundDelta::new(vec![e], vec![e, e]);
+        assert_eq!((delta.removed_count(), delta.added_count()), (0, 1));
+        assert!(RoundDelta::new(vec![e], vec![e]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn removing_a_missing_edge_panics() {
+        let (pop, lat, topo, _) = random_world(20, 5);
+        let mut view = TopologyView::new(&topo, &lat, &pop);
+        // Nodes 4 and 5 may or may not be linked; pick a pair that is not.
+        let mut pair = None;
+        'outer: for a in 0..20u32 {
+            for b in (a + 1)..20u32 {
+                if !topo.are_connected(NodeId::new(a), NodeId::new(b)) {
+                    pair = Some((NodeId::new(a), NodeId::new(b)));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = pair.expect("a sparse graph has a non-edge");
+        view.apply_rewiring(&RoundDelta::new(vec![(a, b)], Vec::new()), &lat);
     }
 
     #[test]

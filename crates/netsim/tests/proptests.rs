@@ -6,8 +6,8 @@ use rand::{Rng, SeedableRng};
 
 use perigee_netsim::{
     broadcast, gossip_block, BroadcastScratch, ConnectionLimits, EventQueue, GeoLatencyModel,
-    GossipConfig, GossipScratch, LatencyModel, NodeId, PopulationBuilder, SimTime, Topology,
-    TopologyView,
+    GossipConfig, GossipScratch, LatencyModel, NodeId, PopulationBuilder, RoundDelta, SimTime,
+    Topology, TopologyView,
 };
 
 fn random_connected_topology(n: usize, rng: &mut StdRng) -> Topology {
@@ -203,6 +203,44 @@ proptest! {
         let owned = gossip_block(&topo, &lat, &pop, src, &cfg);
         prop_assert_eq!(scratch.arrivals(), owned.arrivals());
         prop_assert_eq!(&scratch.to_outcome(&view), &owned);
+    }
+
+    /// An incrementally patched snapshot is **field-for-field equal** to a
+    /// freshly built `TopologyView::new` after arbitrary rewirings —
+    /// random drops and refills, including edges removed and re-added in
+    /// the same round, applied over several consecutive rounds so patch
+    /// errors would compound and surface.
+    #[test]
+    fn patched_view_matches_fresh_build_after_arbitrary_rewirings(
+        n in 4usize..50,
+        seed in 0u64..300,
+        rounds in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let mut topo = random_connected_topology(n, &mut rng);
+        let mut view = TopologyView::new(&topo, &lat, &pop);
+        for _ in 0..rounds {
+            let (mut removed, mut added) = (Vec::new(), Vec::new());
+            for _ in 0..3 * n {
+                let u = NodeId::new(rng.gen_range(0..n as u32));
+                let v = NodeId::new(rng.gen_range(0..n as u32));
+                if rng.gen_bool(0.6) {
+                    if topo.connect(u, v).is_ok() {
+                        added.push((u, v));
+                    }
+                } else {
+                    let was = topo.are_connected(u, v);
+                    topo.disconnect(u, v);
+                    if was && !topo.are_connected(u, v) {
+                        removed.push((u, v));
+                    }
+                }
+            }
+            view.apply_rewiring(&RoundDelta::new(removed, added), &lat);
+            prop_assert_eq!(&view, &TopologyView::new(&topo, &lat, &pop));
+        }
     }
 
     /// Per-neighbor delivery times always upper-bound the first arrival.

@@ -124,7 +124,8 @@ proptest! {
             let src = NodeId::new(rng.gen_range(0..n as u32));
             collector.record(&broadcast(&topo, &lat, &pop, src), &lat);
         }
-        let obs = collector.finish().swap_remove(0);
+        let store = collector.finish();
+        let obs = store.node(NodeId::new(0));
         let scorer = SubsetScoring::new(3, 90.0);
         let all: Vec<NodeId> = (1..6).map(NodeId::new).collect();
         let group = scorer.group_score(&obs, &all);
@@ -152,9 +153,10 @@ proptest! {
             let src = NodeId::new(rng.gen_range(0..n as u32));
             collector.record(&broadcast(&topo, &lat, &pop, src), &lat);
         }
-        let obs = collector.finish().swap_remove(0);
+        let store = collector.finish();
+        let obs = store.node(NodeId::new(0));
         let mut scorer = VanillaScoring::new(4, 90.0);
-        let kept = scorer.retain(NodeId::new(0), &outgoing, &obs, &mut rng);
+        let kept = scorer.retain(NodeId::new(0), &outgoing, obs, &mut rng);
         prop_assert_eq!(kept.len(), 4);
         // Every kept neighbor scores no worse than every dropped one.
         let dropped: Vec<NodeId> =
@@ -189,7 +191,7 @@ proptest! {
             for i in 0..n as u32 {
                 let v = NodeId::new(i);
                 let outgoing = topo.outgoing_vec(v);
-                let kept = strategy.retain(v, &outgoing, &all_obs[v.index()], &mut rng);
+                let kept = strategy.retain(v, &outgoing, all_obs.node(v), &mut rng);
                 for u in &kept {
                     prop_assert!(outgoing.contains(u), "{method}: invented neighbor");
                 }

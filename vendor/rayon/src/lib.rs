@@ -122,6 +122,70 @@ where
     flat.into_iter().map(|(_, u)| u).collect()
 }
 
+/// Order-preserving parallel map over disjoint mutable chunks: splits
+/// `items` into contiguous chunks of (at most) `chunk_size` elements and
+/// applies `f(chunk_index, chunk)` to each, returning the results in
+/// chunk order.
+///
+/// This is the safe split-borrow primitive behind stateful per-node
+/// parallelism (each chunk is a disjoint `&mut` slice, so workers mutate
+/// their own chunk without locks or unsafe code). Chunks are handed out
+/// dynamically from a shared queue, load-balancing uneven work.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero while `items` is non-empty.
+pub fn par_map_chunks_mut<T, U, F>(items: &mut [T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T]) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunk_count = items.len().div_ceil(chunk_size);
+    let threads = current_num_threads().min(chunk_count).max(1);
+    if threads <= 1 {
+        return items
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(i, chunk)| f(i, chunk))
+            .collect();
+    }
+    let queue: std::sync::Mutex<Vec<(usize, &mut [T])>> =
+        std::sync::Mutex::new(items.chunks_mut(chunk_size).enumerate().rev().collect());
+    let mut buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    mark_worker_thread();
+                    let mut local = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("chunk queue poisoned").pop();
+                        match next {
+                            Some((i, chunk)) => local.push((i, f(i, chunk))),
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    let mut flat: Vec<(usize, U)> = Vec::with_capacity(chunk_count);
+    for bucket in &mut buckets {
+        flat.append(bucket);
+    }
+    flat.sort_unstable_by_key(|&(i, _)| i);
+    flat.into_iter().map(|(_, u)| u).collect()
+}
+
 /// Parallel iterator over `&[T]` (created by
 /// [`prelude::IntoParallelRefIterator::par_iter`]).
 #[derive(Debug)]
@@ -374,6 +438,27 @@ mod tests {
                 (0u32..4).map(|j| i as u32 * 10 + j).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn chunked_mutable_map_mutates_and_preserves_order() {
+        let mut data: Vec<u64> = (0..1003).collect();
+        let sums: Vec<u64> = par_map_chunks_mut(&mut data, 17, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1;
+            }
+            i as u64 + chunk.iter().sum::<u64>()
+        });
+        assert_eq!(data, (1..=1003).collect::<Vec<_>>());
+        let mut expected = Vec::new();
+        for (i, chunk) in (0..1003u64).collect::<Vec<_>>().chunks(17).enumerate() {
+            expected.push(i as u64 + chunk.iter().map(|x| x + 1).sum::<u64>());
+        }
+        assert_eq!(sums, expected);
+        // Empty input needs no chunk size at all.
+        let mut empty: Vec<u64> = Vec::new();
+        let out: Vec<u64> = par_map_chunks_mut(&mut empty, 0, |_, _| 0);
+        assert!(out.is_empty());
     }
 
     #[test]
