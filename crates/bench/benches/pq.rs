@@ -1,0 +1,228 @@
+//! Calendar-queue vs binary-heap benchmarks — the workload the
+//! `netsim::pq` module was built for.
+//!
+//! Three criterion sections:
+//!
+//! * `pq/*` — 1000 nodes: the analytic Dijkstra flood and both gossip
+//!   modes, each on the reference `BinaryHeap` and on the calendar queue.
+//! * `pq_smoke/*` — the same shapes at 300 nodes plus an exact
+//!   cross-check (arrivals, relays and full delivery matrices must be
+//!   bit-equal between the two queue kinds), cheap enough for CI to run
+//!   on every push so the calendar path cannot rot.
+//! * `pq-report` — hand-timed single-thread 100-block rounds at 1000
+//!   nodes for every engine × queue-kind pair, written to `BENCH_pq.json`
+//!   at the workspace root. The message-level flood numbers are directly
+//!   comparable to the `BENCH_gossip.json` / `BENCH_scale.json`
+//!   trajectory quantity (1k nodes × 100 blocks, 1 thread).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use perigee_bench::{median, section_enabled};
+use perigee_netsim::{
+    BroadcastScratch, ConnectionLimits, GeoLatencyModel, GossipConfig, GossipScratch, MinerSampler,
+    NodeId, Population, PopulationBuilder, QueueKind, Topology, TopologyView,
+};
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+
+const NODES: usize = 1_000;
+const SMOKE_NODES: usize = 300;
+const BLOCKS: usize = 100;
+
+fn world(n: usize, seed: u64) -> (Population, GeoLatencyModel, Topology) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+    let lat = GeoLatencyModel::new(&pop, seed);
+    let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+    (pop, lat, topo)
+}
+
+/// Asserts the two queue kinds produce bit-equal results on `view`:
+/// flood arrivals/relays and, for both gossip modes, arrivals plus the
+/// full per-edge delivery matrix.
+fn assert_kinds_agree(view: &TopologyView, sources: &[NodeId]) {
+    let mut flood_heap = BroadcastScratch::with_queue(QueueKind::BinaryHeap);
+    let mut flood_cal = BroadcastScratch::with_queue(QueueKind::Calendar);
+    let mut gossip_heap = GossipScratch::with_queue(QueueKind::BinaryHeap);
+    let mut gossip_cal = GossipScratch::with_queue(QueueKind::Calendar);
+    for &src in sources {
+        view.broadcast_into(src, &mut flood_heap);
+        view.broadcast_into(src, &mut flood_cal);
+        assert_eq!(
+            flood_heap.arrivals(),
+            flood_cal.arrivals(),
+            "calendar flood diverged from the heap reference"
+        );
+        assert_eq!(flood_heap.relay_starts(), flood_cal.relay_starts());
+        for cfg in [GossipConfig::flood(), GossipConfig::inv_getdata(0.0)] {
+            view.gossip_into(src, &cfg, &mut gossip_heap);
+            view.gossip_into(src, &cfg, &mut gossip_cal);
+            assert_eq!(
+                gossip_heap.arrivals(),
+                gossip_cal.arrivals(),
+                "calendar gossip diverged from the heap reference"
+            );
+            for e in 0..view.directed_edge_count() {
+                assert_eq!(gossip_heap.delivery(e), gossip_cal.delivery(e));
+            }
+        }
+    }
+}
+
+fn bench_pq(c: &mut Criterion) {
+    if !section_enabled("pq/") && !section_enabled("pq-report") {
+        return;
+    }
+    let (pop, lat, topo) = world(NODES, 5);
+    let view = TopologyView::new(&topo, &lat, &pop);
+    let src = NodeId::new(0);
+    let flood_cfg = GossipConfig::flood();
+    let inv_cfg = GossipConfig::inv_getdata(0.0);
+
+    let mut group = c.benchmark_group("pq");
+    group.sample_size(10);
+    for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+        let tag = match kind {
+            QueueKind::BinaryHeap => "heap",
+            QueueKind::Calendar => "calendar",
+        };
+        group.bench_function(format!("dijkstra_{tag}_1000"), |b| {
+            let mut scratch = BroadcastScratch::with_capacity_and_queue(NODES, kind);
+            b.iter(|| view.broadcast_into(src, &mut scratch));
+        });
+        group.bench_function(format!("gossip_flood_{tag}_1000"), |b| {
+            let mut scratch =
+                GossipScratch::with_capacity_and_queue(NODES, view.directed_edge_count(), kind);
+            b.iter(|| view.gossip_into(src, &flood_cfg, &mut scratch));
+        });
+        group.bench_function(format!("gossip_inv_{tag}_1000"), |b| {
+            let mut scratch =
+                GossipScratch::with_capacity_and_queue(NODES, view.directed_edge_count(), kind);
+            b.iter(|| view.gossip_into(src, &inv_cfg, &mut scratch));
+        });
+    }
+    group.finish();
+
+    if !section_enabled("pq-report") {
+        return;
+    }
+
+    // The report only means something if the two kinds are exact twins.
+    let mut rng = StdRng::seed_from_u64(6);
+    let miners = MinerSampler::new(&pop).sample_round(BLOCKS, &mut rng);
+    assert_kinds_agree(&view, &miners[..4]);
+
+    // Single-thread 100-block rounds, median of 3 — the BENCH_gossip.json
+    // trajectory quantity, now per queue kind.
+    let time_flood = |kind: QueueKind| {
+        let mut scratch = BroadcastScratch::with_capacity_and_queue(NODES, kind);
+        let mut samples = [0.0f64; 3];
+        for slot in &mut samples {
+            let start = Instant::now();
+            for &miner in &miners {
+                view.broadcast_into(miner, &mut scratch);
+                criterion::black_box(scratch.arrivals());
+            }
+            *slot = start.elapsed().as_secs_f64();
+        }
+        median(&mut samples)
+    };
+    let time_gossip = |cfg: &GossipConfig, kind: QueueKind| {
+        let mut scratch =
+            GossipScratch::with_capacity_and_queue(NODES, view.directed_edge_count(), kind);
+        let mut samples = [0.0f64; 3];
+        for slot in &mut samples {
+            let start = Instant::now();
+            for &miner in &miners {
+                view.gossip_into(miner, cfg, &mut scratch);
+                criterion::black_box(scratch.arrivals());
+            }
+            *slot = start.elapsed().as_secs_f64();
+        }
+        median(&mut samples)
+    };
+    let dijkstra_heap = time_flood(QueueKind::BinaryHeap);
+    let dijkstra_cal = time_flood(QueueKind::Calendar);
+    let gflood_heap = time_gossip(&flood_cfg, QueueKind::BinaryHeap);
+    let gflood_cal = time_gossip(&flood_cfg, QueueKind::Calendar);
+    let ginv_heap = time_gossip(&inv_cfg, QueueKind::BinaryHeap);
+    let ginv_cal = time_gossip(&inv_cfg, QueueKind::Calendar);
+    println!(
+        "pq: analytic flood heap {dijkstra_heap:.4} s vs calendar {dijkstra_cal:.4} s -> {:.2}x; \
+         gossip flood heap {gflood_heap:.4} s vs calendar {gflood_cal:.4} s -> {:.2}x \
+         (BENCH_gossip.json baseline 0.0444 s); \
+         inv heap {ginv_heap:.4} s vs calendar {ginv_cal:.4} s -> {:.2}x \
+         (baseline 0.0405 s) ({NODES} nodes, {BLOCKS} blocks, 1 thread)",
+        dijkstra_heap / dijkstra_cal,
+        gflood_heap / gflood_cal,
+        ginv_heap / ginv_cal,
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"pq\",\n  \"nodes\": {NODES},\n  \"blocks_per_round\": {BLOCKS},\n  \
+         \"threads\": 1,\n  \
+         \"analytic_flood\": {{ \"heap_s\": {dijkstra_heap:.4}, \"calendar_s\": {dijkstra_cal:.4}, \
+         \"speedup\": {:.2}, \"calendar_blocks_per_s\": {:.0} }},\n  \
+         \"gossip_flood\": {{ \"heap_s\": {gflood_heap:.4}, \"calendar_s\": {gflood_cal:.4}, \
+         \"speedup\": {:.2}, \"calendar_blocks_per_s\": {:.0}, \"bench_gossip_baseline_s\": 0.0444, \
+         \"speedup_vs_baseline\": {:.2} }},\n  \
+         \"gossip_inv_getdata\": {{ \"heap_s\": {ginv_heap:.4}, \"calendar_s\": {ginv_cal:.4}, \
+         \"speedup\": {:.2}, \"calendar_blocks_per_s\": {:.0}, \"bench_gossip_baseline_s\": 0.0405, \
+         \"speedup_vs_baseline\": {:.2} }}\n}}\n",
+        dijkstra_heap / dijkstra_cal,
+        BLOCKS as f64 / dijkstra_cal,
+        gflood_heap / gflood_cal,
+        BLOCKS as f64 / gflood_cal,
+        0.0444 / gflood_cal,
+        ginv_heap / ginv_cal,
+        BLOCKS as f64 / ginv_cal,
+        0.0405 / ginv_cal,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pq.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+fn bench_pq_smoke(c: &mut Criterion) {
+    if !section_enabled("pq_smoke") {
+        return;
+    }
+    let (pop, lat, topo) = world(SMOKE_NODES, 9);
+    let view = TopologyView::new(&topo, &lat, &pop);
+    let src = NodeId::new(0);
+
+    let mut group = c.benchmark_group("pq_smoke");
+    group.sample_size(10);
+    for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+        let tag = match kind {
+            QueueKind::BinaryHeap => "heap",
+            QueueKind::Calendar => "calendar",
+        };
+        group.bench_function(format!("dijkstra_{tag}_300"), |b| {
+            let mut scratch = BroadcastScratch::with_capacity_and_queue(SMOKE_NODES, kind);
+            b.iter(|| view.broadcast_into(src, &mut scratch));
+        });
+        group.bench_function(format!("gossip_inv_{tag}_300"), |b| {
+            let cfg = GossipConfig::inv_getdata(0.0);
+            let mut scratch = GossipScratch::with_capacity_and_queue(
+                SMOKE_NODES,
+                view.directed_edge_count(),
+                kind,
+            );
+            b.iter(|| view.gossip_into(src, &cfg, &mut scratch));
+        });
+    }
+    group.finish();
+
+    // The smoke pass cross-checks the two queue kinds bit for bit, so CI
+    // exercises the equivalence, not just the speed.
+    let mut rng = StdRng::seed_from_u64(10);
+    let sources = MinerSampler::new(&pop).sample_round(3, &mut rng);
+    assert_kinds_agree(&view, &sources);
+}
+
+criterion_group!(benches, bench_pq, bench_pq_smoke);
+criterion_main!(benches);

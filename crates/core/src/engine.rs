@@ -12,7 +12,7 @@ use rayon::prelude::*;
 
 use perigee_netsim::{
     BroadcastScratch, GossipConfig, GossipScratch, LatencyModel, MinerSampler, NodeId, Population,
-    RoundDelta, SimTime, Topology, TopologyView,
+    QueueKind, RoundDelta, SimTime, Topology, TopologyView,
 };
 
 use crate::config::PerigeeConfig;
@@ -88,6 +88,9 @@ pub struct PerigeeEngine<L> {
     mode: PropagationMode,
     address_book: Option<AddressBook>,
     parallel: bool,
+    /// Which priority-queue implementation the per-worker scratches run
+    /// on (calendar by default; the reference heap for equivalence runs).
+    queue: QueueKind,
     round: usize,
     /// The CSR snapshot carried across rounds: after each rewiring the
     /// engine patches it in place ([`TopologyView::apply_rewiring`])
@@ -181,6 +184,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             mode: PropagationMode::Analytic,
             address_book: None,
             parallel: true,
+            queue: QueueKind::default(),
             round: 0,
             view: None,
         })
@@ -197,6 +201,20 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// Whether rounds fan blocks out across the rayon pool.
     pub fn parallel(&self) -> bool {
         self.parallel
+    }
+
+    /// Selects the priority-queue implementation every propagation
+    /// scratch runs on ([`QueueKind::Calendar`] by default). Results are
+    /// bit-identical either way — the calendar queue pops in exactly the
+    /// `BinaryHeap` order — so, like [`PerigeeEngine::set_parallel`],
+    /// this only exists for the equivalence suite and benchmarking.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        self.queue = kind;
+    }
+
+    /// The priority-queue implementation rounds simulate on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue
     }
 
     /// Restricts peer discovery to per-node partial views (§2.1's
@@ -314,7 +332,8 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             PropagationMode::Analytic => chunks
                 .par_iter()
                 .map(|chunk| {
-                    let mut scratch = BroadcastScratch::with_capacity(view.len());
+                    let mut scratch =
+                        BroadcastScratch::with_capacity_and_queue(view.len(), self.queue);
                     let mut collector = ObservationCollector::from_view(view);
                     collector.reserve_blocks(chunk.len());
                     let mut l90 = Vec::with_capacity(chunk.len());
@@ -333,8 +352,11 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             PropagationMode::Gossip(cfg) => chunks
                 .par_iter()
                 .map(|chunk| {
-                    let mut scratch =
-                        GossipScratch::with_capacity(view.len(), view.directed_edge_count());
+                    let mut scratch = GossipScratch::with_capacity_and_queue(
+                        view.len(),
+                        view.directed_edge_count(),
+                        self.queue,
+                    );
                     let mut collector = ObservationCollector::from_view(view);
                     collector.reserve_blocks(chunk.len());
                     let mut l90 = Vec::with_capacity(chunk.len());
@@ -541,10 +563,19 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// Evaluates the current topology: for every node `v`, the time λv for
     /// a block mined by `v` to reach `fraction` of the hash power.
     /// Returns per-node values in id order (ms). Always uses the analytic
-    /// engine; see [`PerigeeEngine::evaluate_in_mode`] to measure under the
-    /// active propagation mode instead.
+    /// engine (on the configured [`PerigeeEngine::queue_kind`]); see
+    /// [`PerigeeEngine::evaluate_in_mode`] to measure under the active
+    /// propagation mode instead.
     pub fn evaluate(&self, fraction: f64) -> Vec<f64> {
-        evaluate_topology(&self.topology, &self.latency, &self.population, fraction)
+        evaluate_topology_multi_with_queue(
+            &self.topology,
+            &self.latency,
+            &self.population,
+            &[fraction],
+            self.queue,
+        )
+        .pop()
+        .expect("one fraction requested")
     }
 
     /// Like [`PerigeeEngine::evaluate`] but measures under the active
@@ -568,8 +599,11 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 let parts: Vec<Vec<f64>> = chunks
                     .par_iter()
                     .map(|chunk| {
-                        let mut scratch =
-                            GossipScratch::with_capacity(view.len(), view.directed_edge_count());
+                        let mut scratch = GossipScratch::with_capacity_and_queue(
+                            view.len(),
+                            view.directed_edge_count(),
+                            self.queue,
+                        );
                         let mut coverage = [SimTime::ZERO];
                         let mut out = Vec::with_capacity(chunk.len());
                         for &src in *chunk {
@@ -687,6 +721,26 @@ pub fn evaluate_topology_multi<L: LatencyModel + ?Sized>(
     population: &Population,
     fractions: &[f64],
 ) -> Vec<Vec<f64>> {
+    evaluate_topology_multi_with_queue(
+        topology,
+        latency,
+        population,
+        fractions,
+        QueueKind::default(),
+    )
+}
+
+/// Like [`evaluate_topology_multi`], flooding on an explicit
+/// [`QueueKind`] — what [`PerigeeEngine::evaluate`] threads its
+/// configured kind through, so heap-reference runs stay comparable end
+/// to end.
+pub fn evaluate_topology_multi_with_queue<L: LatencyModel + ?Sized>(
+    topology: &Topology,
+    latency: &L,
+    population: &Population,
+    fractions: &[f64],
+    queue: QueueKind,
+) -> Vec<Vec<f64>> {
     let n = population.len();
     let view = TopologyView::new(topology, latency, population);
     let view = &view;
@@ -697,7 +751,7 @@ pub fn evaluate_topology_multi<L: LatencyModel + ?Sized>(
     let parts: Vec<Vec<Vec<f64>>> = chunks
         .par_iter()
         .map(|chunk| {
-            let mut scratch = BroadcastScratch::with_capacity(n);
+            let mut scratch = BroadcastScratch::with_capacity_and_queue(n, queue);
             let mut coverage = vec![SimTime::ZERO; fractions.len()];
             let mut out = vec![Vec::with_capacity(chunk.len()); fractions.len()];
             for &src in *chunk {

@@ -70,8 +70,8 @@ pub use adversary::EclipseAttacker;
 pub use config::PerigeeConfig;
 pub use discovery::AddressBook;
 pub use engine::{
-    evaluate_topology, evaluate_topology_multi, PerigeeEngine, PropagationMode, RoundObservations,
-    RoundStats,
+    evaluate_topology, evaluate_topology_multi, evaluate_topology_multi_with_queue, PerigeeEngine,
+    PropagationMode, RoundObservations, RoundStats,
 };
 pub use observation::{NodeObservations, ObservationCollector, ObservationStore, TimesIter};
 pub use score::{

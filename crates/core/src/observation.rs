@@ -335,8 +335,8 @@ impl ObservationCollector {
     /// Records one block simulated at the message level through a
     /// [`TopologyView`] into a [`GossipScratch`](perigee_netsim::GossipScratch):
     /// per-neighbor announcement times are read straight off the scratch's
-    /// flat per-edge delivery matrix — no `BTreeMap` walk, no allocation
-    /// per node per block.
+    /// flat, epoch-stamped per-edge delivery matrix — no `BTreeMap` walk,
+    /// no allocation per node per block.
     ///
     /// Produces bit-identical rows to [`ObservationCollector::record_gossip`]
     /// on the equivalent [`GossipOutcome`](perigee_netsim::GossipOutcome),
@@ -362,21 +362,21 @@ impl ObservationCollector {
                 self.store.offsets[i + 1] - self.store.offsets[i],
                 "neighbor snapshot disagrees with the view"
             );
-            // Two passes over the borrowed slice — min, then subtract —
-            // with the subtraction in f64 before the f32 cast, exactly
+            // Two passes over the borrowed iterator — min, then subtract
+            // — with the subtraction in f64 before the f32 cast, exactly
             // like `record_gossip` on the same values.
             let min = deliveries
-                .iter()
+                .clone()
                 .map(|t| t.as_ms())
                 .fold(f64::INFINITY, f64::min);
             if min.is_finite() {
                 self.store
                     .times
-                    .extend(deliveries.iter().map(|t| (t.as_ms() - min) as f32));
+                    .extend(deliveries.map(|t| (t.as_ms() - min) as f32));
             } else {
                 self.store
                     .times
-                    .extend(deliveries.iter().map(|t| t.as_ms() as f32));
+                    .extend(deliveries.map(|t| t.as_ms() as f32));
             }
         }
         self.store.blocks += 1;

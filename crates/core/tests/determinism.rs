@@ -213,6 +213,44 @@ fn per_neighbor_rows_match_legacy_exactly() {
     }
 }
 
+/// Whole learning trajectories are queue-kind independent: an engine on
+/// the calendar queue matches the `BinaryHeap` reference RoundStats for
+/// RoundStats and edge for edge — in analytic and gossip modes, at any
+/// thread count (wide pool × calendar vs 1-thread pool × heap crosses
+/// both axes at once).
+#[test]
+fn calendar_queue_rounds_match_heap_rounds_across_thread_counts() {
+    use perigee_netsim::QueueKind;
+    for mode in [
+        PropagationMode::Analytic,
+        PropagationMode::Gossip(GossipConfig::inv_getdata(0.0)),
+    ] {
+        let (mut cal, mut rng_cal) = engine(90, 12, 53);
+        let (mut heap, mut rng_heap) = engine(90, 12, 53);
+        cal.set_queue_kind(QueueKind::Calendar);
+        heap.set_queue_kind(QueueKind::BinaryHeap);
+        assert_eq!(cal.queue_kind(), QueueKind::Calendar);
+        assert_eq!(heap.queue_kind(), QueueKind::BinaryHeap);
+        cal.set_propagation_mode(mode);
+        heap.set_propagation_mode(mode);
+        let narrow = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            let a = cal.run_round(&mut rng_cal);
+            let b = narrow.install(|| heap.run_round(&mut rng_heap));
+            assert_eq!(a, b, "queue kinds diverged under {mode:?}");
+        }
+        assert_eq!(cal.topology(), heap.topology());
+        assert_eq!(
+            cal.evaluate_in_mode(0.9),
+            narrow.install(|| heap.evaluate_in_mode(0.9)),
+            "static evaluation must not depend on queue kind or threads"
+        );
+    }
+}
+
 /// A full UCB run — the *stateful* strategy, parallelized through the
 /// split-borrow `split_stateful` path — is bit-identical to the forced
 /// sequential loop: same RoundStats floats, same per-connection history

@@ -16,16 +16,22 @@
 //! [`TopologyView::gossip_into`] + [`GossipScratch`]: events are single
 //! packed `u128` words (time bits · insertion sequence · kind · CSR edge
 //! index — no boxed events, no per-event allocation) in one reusable
-//! `BinaryHeap`, deliveries land in a flat per-edge matrix indexed by the
-//! view's CSR edge offsets (replacing one `BTreeMap` per node per block),
-//! and `has_block`/`requested` are bit-packed words. Two structural wins
+//! [`PackedQueue`] — the calendar queue of [`crate::pq`] by default, the
+//! reference `BinaryHeap` on request, bit-identical pop order either way —
+//! deliveries land in a flat per-edge matrix indexed by the view's CSR
+//! edge offsets (replacing one `BTreeMap` per node per block), and
+//! `has_block`/`requested` are bit-packed words. Two structural wins
 //! over the generic queue: a node announces at most once, so each directed
 //! edge carries exactly one announcement whose delivery time is final at
 //! *schedule* time (written straight to the matrix), and events that can
 //! no longer have any effect — an INV to a node that already requested, a
-//! flood BLOCK to a node that already holds it — never enter the heap at
+//! flood BLOCK to a node that already holds it — never enter the queue at
 //! all, only consuming their insertion-sequence number so every later
-//! tie-break stays exact. After the first block of a given network size,
+//! tie-break stays exact. The delivery matrix is *epoch-stamped*: each
+//! entry carries the number of the block that last wrote it, so the O(m)
+//! per-block `INFINITY` refill the seed engine paid is amortized into one
+//! integer bump per block — entries stamped by an older block simply read
+//! as `INFINITY`. After the first block of a given network size,
 //! simulating further blocks performs no heap allocation.
 //!
 //! [`gossip_block`] remains as a thin per-call wrapper: it snapshots a
@@ -39,14 +45,14 @@
 //! faithful replica of the legacy engine in `tests/gossip_legacy.rs` and
 //! the propagation bench).
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 use crate::bandwidth::TransferModel;
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
 use crate::node::NodeId;
 use crate::population::Population;
+use crate::pq::{PackedQueue, QueueKind};
 use crate::time::SimTime;
 use crate::view::{coverage_scan, coverage_times_from_arrivals, TopologyView};
 
@@ -211,26 +217,29 @@ fn event_payload(word: u128) -> usize {
     (word as u32 & 0x3FFF_FFFF) as usize
 }
 
-/// Reusable message-level simulation state: the packed event heap,
+/// Reusable message-level simulation state: the packed event queue,
 /// bit-packed per-node flags, the first-arrival vector and the flat
 /// per-edge delivery matrix.
 ///
 /// Create once per worker thread and reuse across blocks; after the first
 /// block of a given network size, subsequent blocks perform no heap
 /// allocation. The delivery matrix is indexed by the view's CSR edge
-/// offsets: entry `e` of [`GossipScratch::delivery_matrix`] is the first
-/// time `edges[e]` announced (INV mode) or delivered (flood mode) the
-/// block to the row owner of `e` (`INFINITY` if it never did) — the flat
+/// offsets: entry `e` ([`GossipScratch::delivery`]) is the first time
+/// `edges[e]` announced (INV mode) or delivered (flood mode) the block to
+/// the row owner of `e` (`INFINITY` if it never did) — the flat
 /// replacement for the per-node `BTreeMap` logs of [`GossipOutcome`].
+/// Entries are epoch-stamped per block, so resetting the matrix between
+/// blocks costs one integer bump instead of an O(m) refill.
 #[derive(Debug, Clone, Default)]
 pub struct GossipScratch {
     source: NodeId,
-    /// Min-heap of packed event words (see [`pack_event`]). Only events
+    /// Min-queue of packed event words (see [`pack_event`]); calendar or
+    /// reference heap per [`GossipScratch::with_queue`]. Only events
     /// with a possible side effect are ever pushed; provably-inert ones
     /// (an INV to a node that has already requested, a flood BLOCK to a
     /// node that already holds it) only consume a sequence number, so the
     /// pop order of the rest replays the legacy queue exactly.
-    heap: BinaryHeap<Reverse<u128>>,
+    queue: PackedQueue<u128>,
     /// Next insertion sequence (reset per block). Counts every event the
     /// legacy engine would have scheduled, pushed or not.
     seq: u32,
@@ -239,7 +248,13 @@ pub struct GossipScratch {
     /// Bit-packed "node already sent a GETDATA" flags (INV mode).
     requested: Vec<u64>,
     first_arrival: Vec<SimTime>,
+    /// Per-edge first announcement/delivery times; valid only where
+    /// `delivery_stamp` carries the current `epoch`.
     delivery: Vec<SimTime>,
+    /// The block epoch that last wrote each `delivery` entry.
+    delivery_stamp: Vec<u32>,
+    /// Current block epoch (bumped per [`GossipScratch::reset`]).
+    epoch: u32,
     coverage: Vec<(SimTime, f64)>,
     select: Vec<SimTime>,
 }
@@ -255,29 +270,50 @@ fn bit_set(words: &mut [u64], i: usize) {
 }
 
 impl GossipScratch {
-    /// Creates an empty scratch (buffers grow on first use).
+    /// Creates an empty scratch (buffers grow on first use) on the
+    /// default queue kind.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty scratch running on the given queue kind.
+    pub fn with_queue(kind: QueueKind) -> Self {
+        GossipScratch {
+            queue: PackedQueue::with_kind(kind),
+            ..Self::default()
+        }
+    }
+
     /// Creates a scratch pre-sized for `nodes` nodes and `directed_edges`
     /// directed adjacency entries (see
-    /// [`TopologyView::directed_edge_count`]).
+    /// [`TopologyView::directed_edge_count`]) on the default queue kind.
     pub fn with_capacity(nodes: usize, directed_edges: usize) -> Self {
+        Self::with_capacity_and_queue(nodes, directed_edges, QueueKind::default())
+    }
+
+    /// Like [`GossipScratch::with_capacity`], on the given queue kind.
+    pub fn with_capacity_and_queue(nodes: usize, directed_edges: usize, kind: QueueKind) -> Self {
         GossipScratch {
             source: NodeId::new(0),
             // INV mode fires ~1 event per directed edge plus ~3 per node,
-            // but inert events never reach the heap and only a fraction
+            // but inert events never reach the queue and only a fraction
             // of the rest is pending at once.
-            heap: BinaryHeap::with_capacity(directed_edges / 2 + nodes),
+            queue: PackedQueue::with_kind_and_capacity(kind, directed_edges / 2 + nodes),
             seq: 0,
             has_block: Vec::with_capacity(nodes.div_ceil(64)),
             requested: Vec::with_capacity(nodes.div_ceil(64)),
             first_arrival: Vec::with_capacity(nodes),
             delivery: Vec::with_capacity(directed_edges),
+            delivery_stamp: Vec::with_capacity(directed_edges),
+            epoch: 0,
             coverage: Vec::with_capacity(nodes),
             select: Vec::with_capacity(nodes),
         }
+    }
+
+    /// Which priority-queue implementation this scratch simulates on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// The source of the last simulated block.
@@ -303,22 +339,35 @@ impl GossipScratch {
         self.first_arrival.iter().filter(|t| t.is_finite()).count()
     }
 
-    /// The flat per-edge delivery matrix of the last block, indexed by the
-    /// view's CSR edge offsets ([`TopologyView::edge_range`]): entry `e`
-    /// is the first announcement (INV) or delivery (flood) time across the
+    /// Entry `e` of the last block's per-edge delivery matrix, indexed by
+    /// the view's CSR edge offsets ([`TopologyView::edge_range`]): the
+    /// first announcement (INV) or delivery (flood) time across the
     /// directed edge `e`'s *reverse* direction — i.e. from the neighbor
     /// `edges[e]` to `e`'s row owner — with `INFINITY` meaning never.
+    ///
+    /// The matrix is epoch-stamped: an entry not written by the last
+    /// block reads as `INFINITY` without ever having been refilled.
     #[inline]
-    pub fn delivery_matrix(&self) -> &[SimTime] {
-        &self.delivery
+    pub fn delivery(&self, e: usize) -> SimTime {
+        if self.delivery_stamp[e] == self.epoch {
+            self.delivery[e]
+        } else {
+            SimTime::INFINITY
+        }
     }
 
     /// Per-neighbor announcement/delivery times of node `v`, aligned with
     /// [`TopologyView::neighbors_raw`] — the zero-copy equivalent of
-    /// [`GossipOutcome::neighbor_deliveries`].
+    /// [`GossipOutcome::neighbor_deliveries`]. The iterator is `Clone`,
+    /// so min-then-normalize consumers can take two passes without
+    /// allocating.
     #[inline]
-    pub fn neighbor_deliveries<'a>(&'a self, view: &TopologyView, v: NodeId) -> &'a [SimTime] {
-        &self.delivery[view.edge_range(v)]
+    pub fn neighbor_deliveries<'a>(
+        &'a self,
+        view: &TopologyView,
+        v: NodeId,
+    ) -> impl ExactSizeIterator<Item = SimTime> + Clone + 'a {
+        view.edge_range(v).map(move |e| self.delivery(e))
     }
 
     /// Computes λ(fraction) of the last block for every entry of
@@ -357,7 +406,7 @@ impl GossipScratch {
                     .iter()
                     .zip(self.neighbor_deliveries(view, v))
                     .filter(|(_, t)| t.is_finite())
-                    .map(|(&u, &t)| (NodeId::new(u), t))
+                    .map(|(&u, t)| (NodeId::new(u), t))
                     .collect()
             })
             .collect();
@@ -370,8 +419,13 @@ impl GossipScratch {
 
     /// Resets per-block state for a network of `nodes` nodes and
     /// `directed_edges` CSR entries.
+    ///
+    /// The delivery matrix resets by bumping the block epoch — entries
+    /// stamped by older blocks read as `INFINITY` — so the O(m) refill is
+    /// paid only when the network size changes (or once per 2^32 blocks,
+    /// when the epoch counter wraps).
     fn reset(&mut self, nodes: usize, directed_edges: usize) {
-        self.heap.clear();
+        self.queue.clear();
         self.seq = 0;
         let words = nodes.div_ceil(64);
         self.has_block.clear();
@@ -380,8 +434,24 @@ impl GossipScratch {
         self.requested.resize(words, 0);
         self.first_arrival.clear();
         self.first_arrival.resize(nodes, SimTime::INFINITY);
-        self.delivery.clear();
-        self.delivery.resize(directed_edges, SimTime::INFINITY);
+        if self.delivery.len() != directed_edges || self.epoch == u32::MAX {
+            self.delivery.clear();
+            self.delivery.resize(directed_edges, SimTime::INFINITY);
+            self.delivery_stamp.clear();
+            self.delivery_stamp.resize(directed_edges, 0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Records the (final at schedule time) delivery across directed edge
+    /// `e`'s reverse direction, stamping the current block epoch.
+    #[inline]
+    fn record_delivery(&mut self, e: usize, t: SimTime) {
+        debug_assert!(self.delivery_stamp[e] != self.epoch, "edge delivered twice");
+        self.delivery[e] = t;
+        self.delivery_stamp[e] = self.epoch;
     }
 
     /// Schedules an event at `time`, stamping the next insertion sequence
@@ -390,7 +460,7 @@ impl GossipScratch {
     fn schedule(&mut self, time: SimTime, kind: EventKind, payload: u32) {
         let word = pack_event(time, self.seq, kind, payload);
         self.seq += 1;
-        self.heap.push(Reverse(word));
+        self.queue.push(word);
     }
 
     /// Consumes a sequence number for an event the legacy engine would
@@ -434,7 +504,7 @@ impl TopologyView {
             scratch.schedule(relay0, EventKind::Announce, source.as_u32());
         }
 
-        while let Some(Reverse(word)) = scratch.heap.pop() {
+        while let Some(word) = scratch.queue.pop() {
             let t = event_time(word);
             match event_kind(word) {
                 k if k == EventKind::Announce as u32 => {
@@ -461,8 +531,7 @@ impl TopologyView {
                                 } else {
                                     t + leg + self.edge_transfer(config, u, vi)
                                 };
-                                debug_assert!(scratch.delivery[rev as usize].is_infinite());
-                                scratch.delivery[rev as usize] = tv;
+                                scratch.record_delivery(rev as usize, tv);
                                 if bit_get(&scratch.has_block, vi) {
                                     scratch.skip_inert();
                                 } else {
@@ -474,8 +543,7 @@ impl TopologyView {
                             for ((&v, &leg), &rev) in edges.iter().zip(delays).zip(revs) {
                                 let vi = v as usize;
                                 let tv = t + leg;
-                                debug_assert!(scratch.delivery[rev as usize].is_infinite());
-                                scratch.delivery[rev as usize] = tv;
+                                scratch.record_delivery(rev as usize, tv);
                                 if bit_get(&scratch.has_block, vi)
                                     || bit_get(&scratch.requested, vi)
                                 {
@@ -731,18 +799,21 @@ mod tests {
             &GossipConfig::inv_getdata(0.0),
             &mut scratch,
         );
-        assert_eq!(scratch.delivery_matrix().len(), view.directed_edge_count());
         let out = scratch.to_outcome(&view);
+        let mut total = 0;
         for i in 0..view.len() as u32 {
             let v = NodeId::new(i);
-            let row = scratch.neighbor_deliveries(&view, v);
+            let row: Vec<SimTime> = scratch.neighbor_deliveries(&view, v).collect();
+            total += row.len();
             for (k, u) in view.neighbors(v).enumerate() {
                 assert_eq!(
                     out.neighbor_delivery(v, u),
                     row[k].is_finite().then(|| row[k])
                 );
+                assert_eq!(scratch.delivery(view.edge_range(v).start + k), row[k]);
             }
         }
+        assert_eq!(total, view.directed_edge_count());
     }
 
     #[test]

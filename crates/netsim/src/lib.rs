@@ -35,6 +35,11 @@
 //!   [`TopologyView::gossip_into`]: direct flood or Bitcoin's
 //!   `INV`/`GETDATA` exchange with bandwidth, cross-validated against the
 //!   analytic engine. [`gossip_block`] is the thin per-call wrapper.
+//! * [`pq`] — the deterministic calendar/bucket priority queue both
+//!   scratch engines run on by default ([`QueueKind::Calendar`]): exact
+//!   packed keys inside sub-millisecond buckets, pop order bit-identical
+//!   to the reference `BinaryHeap` ([`QueueKind::BinaryHeap`], kept
+//!   runtime-selectable for the cross-engine equivalence suite).
 //! * [`MinerSampler`] — hash-power-proportional block sources.
 //!
 //! ## Snapshot lifecycle and determinism
@@ -97,6 +102,7 @@ pub mod latency;
 pub mod mining;
 pub mod node;
 pub mod population;
+pub mod pq;
 pub mod reference;
 pub mod time;
 pub mod view;
@@ -114,5 +120,6 @@ pub use latency::{
 pub use mining::MinerSampler;
 pub use node::{Behavior, NodeId, NodeProfile, Region};
 pub use population::{HashPowerDist, Population, PopulationBuilder, ValidationDist};
+pub use pq::{CalendarQueue, PackedQueue, QueueKind, TimeKey};
 pub use time::SimTime;
 pub use view::{BroadcastScratch, RoundDelta, TopologyView};

@@ -23,18 +23,31 @@
 //! `broadcast_into` reproduces [`broadcast`](crate::broadcast()) **bit for
 //! bit**: adjacency is stored in the same ascending-id order
 //! [`Topology::neighbors`] yields, cached latencies are the exact `f64`s
-//! the latency model returns, and the Dijkstra heap orders ties identically
+//! the latency model returns, and the Dijkstra queue orders ties identically
 //! — so arrival, relay and delivery times are the same IEEE-754 values
 //! whichever engine computed them, on any thread.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! # Bucket quantization and determinism
+//!
+//! The Dijkstra frontier is a [`PackedQueue`]: either the reference
+//! `BinaryHeap` or (by default) the calendar queue of [`crate::pq`],
+//! selected per scratch via [`QueueKind`]. The calendar *places* a key by
+//! quantizing its time into a sub-millisecond bucket but *orders* by the
+//! exact packed key — `(time.to_bits(), node id)`, whose high bits are
+//! the untouched IEEE-754 time — sorting each bucket before draining it.
+//! Quantized placement is a coarsening of the exact order, so ascending
+//! buckets refined by ascending in-bucket keys reproduce the heap's pop
+//! sequence key for key: no float is rounded anywhere, ties at the exact
+//! same time still break by ascending node id, and every downstream
+//! arrival/relay float is bit-identical whichever queue ran (proven by
+//! `tests/pq_equivalence.rs` and the pq proptests).
 
 use crate::broadcast::Propagation;
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
 use crate::node::{Behavior, NodeId};
 use crate::population::Population;
+use crate::pq::{PackedQueue, QueueKind};
 use crate::time::SimTime;
 
 /// How a node relays once it first holds a block (resolved from
@@ -243,8 +256,8 @@ impl TopologyView {
     }
 
     /// The range of directed-edge indices forming `u`'s CSR row — the
-    /// index space of per-edge data such as
-    /// [`GossipScratch::delivery_matrix`](crate::GossipScratch::delivery_matrix).
+    /// index space of per-edge data such as the gossip engine's delivery
+    /// matrix ([`GossipScratch::delivery`](crate::GossipScratch::delivery)).
     #[inline]
     pub fn edge_range(&self, u: NodeId) -> std::ops::Range<usize> {
         self.offsets[u.index()]..self.offsets[u.index() + 1]
@@ -280,14 +293,14 @@ impl TopologyView {
         scratch.arrival.resize(n, SimTime::INFINITY);
         scratch.relay_at.clear();
         scratch.relay_at.resize(n, SimTime::INFINITY);
-        scratch.heap.clear();
+        scratch.queue.clear();
 
         scratch.arrival[source.index()] = SimTime::ZERO;
         scratch
-            .heap
-            .push(Reverse((SimTime::ZERO.as_ms().to_bits(), source.as_u32())));
+            .queue
+            .push((SimTime::ZERO.as_ms().to_bits(), source.as_u32()));
 
-        while let Some(Reverse((t_bits, u))) = scratch.heap.pop() {
+        while let Some((t_bits, u)) = scratch.queue.pop() {
             let ui = u as usize;
             let t = SimTime::from_ms(f64::from_bits(t_bits));
             // Raw f64 compare: times are never NaN and never -0.0, so
@@ -306,7 +319,7 @@ impl TopologyView {
                 let tv = relay + delay;
                 if tv.as_ms() < scratch.arrival[vi].as_ms() {
                     scratch.arrival[vi] = tv;
-                    scratch.heap.push(Reverse((tv.as_ms().to_bits(), v)));
+                    scratch.queue.push((tv.as_ms().to_bits(), v));
                 }
             }
         }
@@ -527,41 +540,65 @@ impl RoundDelta {
     }
 }
 
-/// Reusable flood state: arrival/relay buffers, the Dijkstra heap and the
-/// coverage sort buffer.
+/// Reusable flood state: arrival/relay buffers, the Dijkstra frontier
+/// queue and the coverage sort buffer.
 ///
 /// Create once per worker thread and reuse across blocks; after the first
 /// flood of a given network size, subsequent floods perform no heap
-/// allocation.
+/// allocation. The frontier is a [`PackedQueue`] — the calendar queue by
+/// default, the reference `BinaryHeap` on request
+/// ([`BroadcastScratch::with_queue`]); pop order, and therefore every
+/// output float, is bit-identical either way (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct BroadcastScratch {
     source: NodeId,
     arrival: Vec<SimTime>,
     relay_at: Vec<SimTime>,
-    /// Keys are `t.to_bits()`: simulated times are non-negative, where the
-    /// IEEE-754 bit pattern is monotone in the value, so integer ordering
-    /// reproduces `SimTime`'s total order exactly at lower compare cost.
-    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Keys are `(t.to_bits(), node)`: simulated times are non-negative,
+    /// where the IEEE-754 bit pattern is monotone in the value, so integer
+    /// ordering reproduces `SimTime`'s total order exactly at lower
+    /// compare cost, with exact-time ties broken by ascending node id.
+    queue: PackedQueue<(u64, u32)>,
     coverage: Vec<(SimTime, f64)>,
     select: Vec<SimTime>,
 }
 
 impl BroadcastScratch {
-    /// Creates an empty scratch (buffers grow on first use).
+    /// Creates an empty scratch (buffers grow on first use) on the
+    /// default queue kind.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates a scratch pre-sized for `n` nodes.
+    /// Creates an empty scratch running on the given queue kind.
+    pub fn with_queue(kind: QueueKind) -> Self {
+        BroadcastScratch {
+            queue: PackedQueue::with_kind(kind),
+            ..Self::default()
+        }
+    }
+
+    /// Creates a scratch pre-sized for `n` nodes on the default queue
+    /// kind.
     pub fn with_capacity(n: usize) -> Self {
+        Self::with_capacity_and_queue(n, QueueKind::default())
+    }
+
+    /// Creates a scratch pre-sized for `n` nodes on the given queue kind.
+    pub fn with_capacity_and_queue(n: usize, kind: QueueKind) -> Self {
         BroadcastScratch {
             source: NodeId::new(0),
             arrival: Vec::with_capacity(n),
             relay_at: Vec::with_capacity(n),
-            heap: BinaryHeap::with_capacity(n),
+            queue: PackedQueue::with_kind_and_capacity(kind, n),
             coverage: Vec::with_capacity(n),
             select: Vec::with_capacity(n),
         }
+    }
+
+    /// Which priority-queue implementation this scratch floods on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// The source of the last flood.

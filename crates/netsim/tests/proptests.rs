@@ -4,11 +4,37 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use perigee_netsim::pq::{CalendarQueue, PackedQueue, QueueKind, TimeKey, BUCKET_WIDTH_MS};
 use perigee_netsim::{
     broadcast, gossip_block, BroadcastScratch, ConnectionLimits, EventQueue, GeoLatencyModel,
     GossipConfig, GossipScratch, LatencyModel, NodeId, PopulationBuilder, RoundDelta, SimTime,
     Topology, TopologyView,
 };
+
+/// Maps a `(class, unit float, integer)` triple onto the f64 edge cases
+/// the calendar queue must order exactly: zero, subnormals, exact bucket
+/// boundaries and their neighbouring ulps, small tie grids, the 2–300 ms
+/// latency band, 300+ ms outliers and keys past the ~32.8 s wheel horizon.
+fn edge_case_time(class: u8, x: f64, k: u32) -> f64 {
+    match class % 8 {
+        0 => 0.0,
+        1 => f64::from_bits(u64::from(k) + 1), // true subnormals
+        2 => f64::from(k) * BUCKET_WIDTH_MS,   // exact bucket boundaries
+        3 => {
+            // One ulp either side of a bucket boundary (rollover edges).
+            let bits = (f64::from(k.max(1)) * BUCKET_WIDTH_MS).to_bits();
+            f64::from_bits(if k.is_multiple_of(2) {
+                bits + 1
+            } else {
+                bits - 1
+            })
+        }
+        4 => f64::from(k % 16) * 0.125, // coarse grid: exact duplicate ties
+        5 => 2.0 + x * 298.0,           // the paper's latency band
+        6 => 300.0 + x * 4_700.0,       // 300+ ms outliers
+        _ => 32_000.0 + x * 2_000.0,    // straddles the wheel horizon
+    }
+}
 
 fn random_connected_topology(n: usize, rng: &mut StdRng) -> Topology {
     let mut topo = Topology::new(n, ConnectionLimits::paper_default());
@@ -241,6 +267,99 @@ proptest! {
             view.apply_rewiring(&RoundDelta::new(removed, added), &lat);
             prop_assert_eq!(&view, &TopologyView::new(&topo, &lat, &pop));
         }
+    }
+
+    /// Calendar-queue pop order equals the sorted reference for arbitrary
+    /// key streams: exact duplicate-time ties, zero, subnormals, exact
+    /// bucket-boundary multiples and their neighbouring ulps (rollover
+    /// edges), the 2–300 ms latency band, 300+ ms outliers and keys past
+    /// the wheel horizon.
+    #[test]
+    fn calendar_pop_order_equals_sorted_reference(
+        entries in proptest::collection::vec((0u8..8, 0.0f64..1.0, 0u32..70_000), 1..400)
+    ) {
+        let mut q = CalendarQueue::new();
+        let mut expect: Vec<(u64, u32)> = Vec::with_capacity(entries.len());
+        for (i, &(class, x, k)) in entries.iter().enumerate() {
+            let key = (edge_case_time(class, x, k).to_bits(), i as u32);
+            q.push(key);
+            expect.push(key);
+        }
+        prop_assert_eq!(q.len(), expect.len());
+        expect.sort_unstable();
+        let mut popped = Vec::with_capacity(expect.len());
+        while let Some(k) = q.pop() {
+            popped.push(k);
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// Under monotone interleaving (every push ≥ the last pop — the
+    /// Dijkstra/gossip discipline), the calendar agrees with a
+    /// `BinaryHeap` oracle pop for pop, through the same [`PackedQueue`]
+    /// front end the scratch engines use.
+    #[test]
+    fn packed_queue_kinds_agree_under_monotone_interleaving(
+        seeds in proptest::collection::vec((0u8..8, 0.0f64..1.0, 0u32..70_000), 1..60),
+        fanout in 1usize..4,
+    ) {
+        let mut cal = PackedQueue::with_kind(QueueKind::Calendar);
+        let mut heap = PackedQueue::with_kind(QueueKind::BinaryHeap);
+        let mut seq = 0u32;
+        for &(class, x, k) in &seeds {
+            let key = (edge_case_time(class, x, k).to_bits(), seq);
+            seq += 1;
+            cal.push(key);
+            heap.push(key);
+        }
+        let mut deltas = seeds.iter().cycle();
+        while let Some(k) = cal.pop() {
+            prop_assert_eq!(heap.pop(), Some(k));
+            // Schedule follow-ups relative to the popped time, like a
+            // relaxation step: delays are non-negative, so the monotone
+            // contract holds by construction.
+            if seq < 300 {
+                let t = k.time_ms();
+                for _ in 0..fanout {
+                    let &(class, x, kk) = deltas.next().unwrap();
+                    let key = ((t + edge_case_time(class, x, kk)).to_bits(), seq);
+                    seq += 1;
+                    cal.push(key);
+                    heap.push(key);
+                }
+            }
+        }
+        prop_assert_eq!(heap.pop(), None);
+    }
+
+    /// The gossip engine's packed `u128` words pop in exact insertion-
+    /// sequence order within duplicate-time ties — the legacy
+    /// `EventQueue` tie-break the whole determinism story rests on.
+    #[test]
+    fn calendar_u128_ties_break_by_insertion_sequence(
+        entries in proptest::collection::vec((0u8..8, 0.0f64..1.0, 0u32..70_000), 1..300)
+    ) {
+        let mut q: CalendarQueue<u128> = CalendarQueue::new();
+        let mut expect: Vec<u128> = Vec::with_capacity(entries.len());
+        for (i, &(class, x, k)) in entries.iter().enumerate() {
+            // Coarse grid on the time classes so exact duplicate times are
+            // common and the tie-break actually decides.
+            let t = match class % 3 {
+                0 => edge_case_time(class, x, k),
+                1 => f64::from(k % 40) * BUCKET_WIDTH_MS,
+                _ => f64::from(k % 8) * 0.125,
+            };
+            let word = ((t.to_bits() as u128) << 64) | ((i as u128) << 32);
+            q.push(word);
+            expect.push(word);
+        }
+        expect.sort_unstable();
+        let mut popped = Vec::with_capacity(expect.len());
+        while let Some(w) = q.pop() {
+            popped.push(w);
+        }
+        prop_assert_eq!(popped, expect);
     }
 
     /// Per-neighbor delivery times always upper-bound the first arrival.

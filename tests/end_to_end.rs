@@ -1,8 +1,13 @@
 //! End-to-end integration tests: the paper's headline claims, exercised
 //! through the public API at reduced (CI-friendly) scale.
 
+use perigee::core::{PerigeeConfig, PerigeeEngine, PropagationMode, ScoringMethod};
 use perigee::experiments::{fig3, fig5, Algorithm, Scenario};
-use perigee::netsim::{broadcast, gossip_block, GossipConfig, LatencyModel, NodeId};
+use perigee::netsim::{
+    broadcast, gossip_block, ConnectionLimits, GossipConfig, LatencyModel, NodeId, QueueKind,
+};
+use perigee::topology::{RandomBuilder, TopologyBuilder};
+use rand::SeedableRng;
 
 fn ci_scenario() -> Scenario {
     Scenario {
@@ -177,6 +182,78 @@ fn end_to_end_determinism() {
     let b = perigee::experiments::run_algorithm(Algorithm::PerigeeSubset, &scenario, 9);
     assert_eq!(a.curve90, b.curve90);
     assert_eq!(a.topology, b.topology);
+}
+
+/// A message-level (INV/GETDATA) engine round end to end — closing the
+/// seed-era gap where this suite only ever exercised analytic rounds:
+/// per-round λ50/λ90 must be coherent, per-node coverage times must be
+/// monotone in the coverage fraction, and the round must be bit-identical
+/// on the calendar queue and the `BinaryHeap` reference.
+#[test]
+fn gossip_mode_round_has_monotone_coverage() {
+    let world = perigee::experiments::build_world(&ci_scenario(), 21);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let topo = RandomBuilder::new().build(
+        &world.population,
+        &world.latency,
+        ConnectionLimits::paper_default(),
+        &mut rng,
+    );
+    let mut cfg = PerigeeConfig::paper_default(ScoringMethod::Subset);
+    cfg.blocks_per_round = 20;
+    let build = |kind: QueueKind| {
+        let mut engine = PerigeeEngine::new(
+            world.population.clone(),
+            world.latency.clone(),
+            topo.clone(),
+            ScoringMethod::Subset,
+            cfg,
+        )
+        .expect("valid engine");
+        engine.set_propagation_mode(PropagationMode::Gossip(GossipConfig::inv_getdata(0.0)));
+        engine.set_queue_kind(kind);
+        engine
+    };
+    let mut engine = build(QueueKind::Calendar);
+    let mut reference = build(QueueKind::BinaryHeap);
+
+    let mut rng_ref = rand::rngs::StdRng::seed_from_u64(77);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let stats = engine.run_round(&mut rng);
+    assert_eq!(
+        stats,
+        reference.run_round(&mut rng_ref),
+        "calendar-queue round diverged from the heap reference"
+    );
+    assert_eq!(engine.topology(), reference.topology());
+    assert!(stats.mean_lambda90_ms.is_finite() && stats.mean_lambda90_ms > 0.0);
+    assert!(
+        stats.mean_lambda50_ms <= stats.mean_lambda90_ms,
+        "mean λ50 {} cannot exceed mean λ90 {}",
+        stats.mean_lambda50_ms,
+        stats.mean_lambda90_ms
+    );
+    engine.topology().assert_invariants();
+
+    // Coverage monotonicity under the message-level engine: reaching a
+    // larger hash-power fraction can never be faster, for any source.
+    let fractions = [0.25, 0.5, 0.75, 0.9, 1.0];
+    let per_fraction: Vec<Vec<f64>> = fractions
+        .iter()
+        .map(|&f| engine.evaluate_in_mode(f))
+        .collect();
+    for node in 0..ci_scenario().nodes {
+        for w in per_fraction.windows(2) {
+            assert!(
+                w[0][node] <= w[1][node],
+                "node {node}: coverage time decreased with the fraction"
+            );
+        }
+        assert!(
+            per_fraction.last().unwrap()[node].is_finite(),
+            "node {node}: the block never covered the network"
+        );
+    }
 }
 
 /// Latency symmetry on the world model (paper footnote 1).
