@@ -20,6 +20,15 @@ pub struct PerigeeConfig {
     pub percentile: f64,
     /// Confidence-width constant `c` of eqs. (3–4).
     pub ucb_c: f64,
+    /// Staleness decay for cross-round score state under churn, in
+    /// `(0, 1]`: each round a [`ChurnProcess`](perigee_netsim::ChurnProcess)
+    /// is installed, every per-neighbor sample buffer keeps only its
+    /// newest `⌈len · score_staleness⌉` samples, so scores learned
+    /// against a world that no longer exists age out instead of
+    /// poisoning reconnection decisions. `1.0` (the default) keeps the
+    /// paper's keep-everything behaviour; stateless strategies
+    /// (Vanilla/Subset) are unaffected either way.
+    pub score_staleness: f64,
 }
 
 impl PerigeeConfig {
@@ -34,6 +43,7 @@ impl PerigeeConfig {
             blocks_per_round: method.paper_blocks_per_round(),
             percentile: 90.0,
             ucb_c: 50.0,
+            score_staleness: 1.0,
         }
     }
 
@@ -63,6 +73,9 @@ impl PerigeeConfig {
         }
         if self.ucb_c.is_nan() || self.ucb_c < 0.0 {
             return Err("ucb_c must be non-negative");
+        }
+        if !(self.score_staleness > 0.0 && self.score_staleness <= 1.0) {
+            return Err("score_staleness must be in (0, 1]");
         }
         Ok(())
     }
@@ -113,6 +126,16 @@ mod tests {
         assert!(c.validate().is_err());
         let c = PerigeeConfig {
             ucb_c: f64::NAN,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PerigeeConfig {
+            score_staleness: 0.0,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PerigeeConfig {
+            score_staleness: 1.5,
             ..PerigeeConfig::default()
         };
         assert!(c.validate().is_err());

@@ -23,10 +23,21 @@ use rand::Rng;
 use perigee_netsim::{NodeId, Topology};
 
 /// Bounded per-node address databases with gossip refresh.
+///
+/// Under a dynamic world ([`perigee_netsim::dynamics`]) the book follows
+/// the stable-id contract: [`AddressBook::grow_to`] appends empty books
+/// for joiners (the engine seeds them with bootstrap addresses, the
+/// bootstrap-server path a real joining node takes) and
+/// [`AddressBook::retire`] clears a departed node's own book. Addresses
+/// *of* a departed node may linger in other books — exactly like real
+/// addrman databases full of stale addresses — and are rejected lazily
+/// when a connection attempt finds the peer dead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressBook {
     known: Vec<BTreeSet<NodeId>>,
     capacity: usize,
+    /// The bootstrap-list size new nodes are seeded with.
+    bootstrap: usize,
 }
 
 impl AddressBook {
@@ -62,12 +73,42 @@ impl AddressBook {
             }
             known.push(set);
         }
-        AddressBook { known, capacity }
+        AddressBook {
+            known,
+            capacity,
+            bootstrap: bootstrap_size,
+        }
     }
 
     /// Number of nodes covered.
     pub fn len(&self) -> usize {
         self.known.len()
+    }
+
+    /// The bootstrap-list size this book was created with — what the
+    /// engine seeds a joiner's fresh book with.
+    pub fn bootstrap_size(&self) -> usize {
+        self.bootstrap
+    }
+
+    /// Grows the book to cover `n` nodes; new books start empty (seed
+    /// them via [`AddressBook::insert`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the current coverage.
+    pub fn grow_to(&mut self, n: usize) {
+        assert!(
+            n >= self.known.len(),
+            "address books never shrink (stable ids)"
+        );
+        self.known.resize_with(n, BTreeSet::new);
+    }
+
+    /// Clears the book of a departed (or resetting) node. Stale entries
+    /// pointing *at* the node elsewhere are left to lazy rejection.
+    pub fn retire(&mut self, v: NodeId) {
+        self.known[v.index()].clear();
     }
 
     /// Returns `true` when the book covers no nodes.
@@ -229,6 +270,20 @@ mod tests {
         assert_eq!(got, Some(NodeId::new(2)));
         let none = book.sample_peer(v, &[NodeId::new(1), NodeId::new(2)], &mut rng);
         assert_eq!(none, None);
+    }
+
+    #[test]
+    fn grow_and_retire_follow_stable_ids() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut book = AddressBook::bootstrap(4, 2, 8, &mut rng);
+        assert_eq!(book.bootstrap_size(), 2);
+        book.grow_to(6);
+        assert_eq!(book.len(), 6);
+        assert_eq!(book.known_count(NodeId::new(5)), 0, "joiners start empty");
+        book.insert(NodeId::new(5), NodeId::new(1), &mut rng);
+        assert_eq!(book.known_count(NodeId::new(5)), 1);
+        book.retire(NodeId::new(5));
+        assert_eq!(book.known_count(NodeId::new(5)), 0);
     }
 
     #[test]

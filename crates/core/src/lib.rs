@@ -21,10 +21,33 @@
 //!   disjoint `&mut` slice of its own connection history;
 //! * [`engine`] — [`PerigeeEngine`], Algorithm 1's round loop
 //!   (observe → score → retain best → explore), including incremental
-//!   deployment and churn; the round's CSR snapshot is carried across
-//!   rounds and patched in place with the net rewiring delta instead of
-//!   rebuilt;
+//!   deployment; the round's CSR snapshot is carried across rounds and
+//!   patched in place with the net rewiring delta instead of rebuilt;
 //! * [`adversary`] — free-rider / eclipse / throttling attacker models.
+//!
+//! ## Dynamic worlds
+//!
+//! Install a [`ChurnProcess`](perigee_netsim::ChurnProcess) with
+//! [`PerigeeEngine::set_churn`](engine::PerigeeEngine::set_churn) and the
+//! engine consumes it between scoring and rewiring every round: departures
+//! are torn out of every peer list (survivors backfill through the normal
+//! exploration/[`AddressBook`] path), arrivals spawn under the stable-id
+//! contract (ids are never reused — see `perigee_netsim::population`) and
+//! bootstrap random neighbors, and the carried snapshot is *patched*
+//! through `TopologyView::apply_world_delta`, never rebuilt
+//! ([`PerigeeEngine::view_rebuilds`](engine::PerigeeEngine::view_rebuilds)
+//! stays at 1 for an entire churny run). Cross-round score state follows
+//! the node set through [`SelectionStrategy::on_world_delta`]: UCB resizes
+//! its per-node [`NodeHistory`] array by the delta, drops departed nodes'
+//! state wholesale, and ages surviving sample buffers by the
+//! `score_staleness` knob of [`PerigeeConfig`] — each round only the
+//! newest `⌈len · staleness⌉` samples per neighbor survive, so confidence
+//! earned against a world that no longer exists decays instead of
+//! pinning stale neighbors (Vanilla/Subset hold no cross-round state and
+//! are churn-immune by construction). The legacy
+//! [`PerigeeEngine::churn_reset`](engine::PerigeeEngine::churn_reset) is
+//! now a thin wrapper over a one-node
+//! [`WorldDelta::reset`](perigee_netsim::WorldDelta::reset).
 //!
 //! ## Quickstart
 //!

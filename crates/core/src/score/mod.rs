@@ -30,7 +30,7 @@ pub use vanilla::VanillaScoring;
 
 use rand::RngCore;
 
-use perigee_netsim::NodeId;
+use perigee_netsim::{NodeId, WorldDelta};
 
 use crate::observation::NodeObservations;
 
@@ -75,6 +75,31 @@ impl NodeHistory {
             self.neighbors.remove(i);
             self.samples.remove(i);
         }
+    }
+
+    /// Ages the history under churn: every neighbor buffer keeps only its
+    /// newest `⌈len · staleness⌉` samples (buffers grow in round order,
+    /// so the tail is the newest). `staleness = 1.0` keeps everything;
+    /// smaller values make scores learned against a departed world fade
+    /// geometrically round over round.
+    pub fn decay(&mut self, staleness: f64) {
+        debug_assert!((0.0..=1.0).contains(&staleness));
+        if staleness >= 1.0 {
+            return;
+        }
+        for buf in &mut self.samples {
+            let keep = (buf.len() as f64 * staleness).ceil() as usize;
+            if keep < buf.len() {
+                buf.drain(..buf.len() - keep);
+            }
+        }
+    }
+
+    /// Forgets every neighbor at once — the node itself left the network
+    /// (or reset in place).
+    pub fn clear(&mut self) {
+        self.neighbors.clear();
+        self.samples.clear();
     }
 
     /// Total number of stored samples for `u`.
@@ -182,6 +207,15 @@ pub trait SelectionStrategy: Send + Sync {
     /// while connected).
     fn on_disconnect(&mut self, _v: NodeId, _u: NodeId) {}
 
+    /// Notifies the strategy that the node set moved: per-node state must
+    /// now cover `n` slots (new slots start blank), the state of every
+    /// departed/reset node in `delta` must be dropped wholesale, and
+    /// surviving buffers age by `staleness` (see
+    /// [`NodeHistory::decay`]). Stateless strategies (Vanilla/Subset hold
+    /// no cross-round state) keep the default no-op — churn cannot
+    /// poison what is re-learned from scratch every round.
+    fn on_world_delta(&mut self, _delta: &WorldDelta, _n: usize, _staleness: f64) {}
+
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -283,5 +317,24 @@ mod tests {
         h.forget(a);
         assert_eq!(h.sample_count(a), 0);
         assert_eq!(h.sample_count(b), 1, "forgetting a leaves b intact");
+    }
+
+    #[test]
+    fn node_history_decay_keeps_the_newest_tail() {
+        let mut h = NodeHistory::default();
+        let a = NodeId::new(1);
+        h.absorb(a, (0..10).map(f64::from));
+        h.decay(1.0);
+        assert_eq!(h.sample_count(a), 10, "staleness 1.0 keeps everything");
+        h.decay(0.5);
+        assert_eq!(h.samples_for(a), &[5.0f32, 6.0, 7.0, 8.0, 9.0][..]);
+        h.decay(0.2);
+        assert_eq!(
+            h.samples_for(a),
+            &[9.0f32][..],
+            "the newest sample survives"
+        );
+        h.clear();
+        assert_eq!(h.sample_count(a), 0);
     }
 }

@@ -23,6 +23,13 @@ use crate::observation::NodeObservations;
 use crate::score::SelectionStrategy;
 
 /// Greedy complementary subset selection at a percentile target.
+///
+/// Like Vanilla, Subset keeps no cross-round state — group scores are
+/// recomputed from the current round's observation matrix every time — so
+/// a dynamic world ([`perigee_netsim::dynamics`]) needs no state surgery
+/// here: the default no-op [`SelectionStrategy::on_world_delta`] applies,
+/// and joiners/departures are picked up automatically through the
+/// per-round store resize.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SubsetScoring {
     retain_count: usize,

@@ -31,6 +31,8 @@ use rand::RngCore;
 use perigee_metrics::percentile_or_inf_mut;
 use perigee_netsim::NodeId;
 
+use perigee_netsim::WorldDelta;
+
 use crate::observation::NodeObservations;
 use crate::score::{NodeHistory, SelectionStrategy, StatefulScorer, StatefulSplit};
 
@@ -196,6 +198,29 @@ impl SelectionStrategy for UcbScoring {
 
     fn on_disconnect(&mut self, v: NodeId, u: NodeId) {
         self.history[v.index()].forget(u);
+    }
+
+    /// The stateful churn hook: the history array is resized to cover
+    /// new slots (blank — a joiner starts with no beliefs), every
+    /// departed/reset node's own history is dropped wholesale (its
+    /// connections are gone with it; survivors' beliefs *about* it are
+    /// forgotten edge-by-edge through
+    /// [`SelectionStrategy::on_disconnect`]), and surviving buffers age
+    /// by `staleness` so confidence built against a departed world decays
+    /// instead of keeping stale neighbors pinned (eqs. 3–4 tighten with
+    /// sample count — under churn that certainty must be re-earned).
+    fn on_world_delta(&mut self, delta: &WorldDelta, n: usize, staleness: f64) {
+        if self.history.len() < n {
+            self.history.resize(n, NodeHistory::default());
+        }
+        for &v in &delta.departed {
+            self.history[v.index()].clear();
+        }
+        if staleness < 1.0 {
+            for h in &mut self.history {
+                h.decay(staleness);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -384,6 +409,43 @@ mod tests {
             }
         }
         assert_eq!(kept, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn world_delta_resizes_clears_and_decays() {
+        let (pop, lat, topo) = star_world(&[5.0, 50.0]);
+        let mut s = UcbScoring::new(3, 90.0, 1.0);
+        let outgoing = vec![NodeId::new(1), NodeId::new(2)];
+        for _ in 0..10 {
+            let store = one_round(&pop, &lat, &topo, 1);
+            s.absorb(NodeId::new(0), &outgoing, store.node(NodeId::new(0)));
+        }
+        assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(1)), 10);
+
+        // A grown world with node 2 departed and 50% staleness.
+        let delta = WorldDelta {
+            joined: vec![NodeId::new(3), NodeId::new(4)],
+            departed: vec![NodeId::new(2)],
+        };
+        s.on_world_delta(&delta, 5, 0.5);
+        assert_eq!(
+            s.sample_count(NodeId::new(0), NodeId::new(1)),
+            5,
+            "survivor history halves"
+        );
+        assert_eq!(
+            s.sample_count(NodeId::new(2), NodeId::new(0)),
+            0,
+            "departed node's own beliefs are gone"
+        );
+        // The new slots are usable immediately.
+        assert!(s
+            .bounds(NodeId::new(4), NodeId::new(0))
+            .estimate
+            .is_infinite());
+        // staleness 1.0 is a pure resize.
+        s.on_world_delta(&WorldDelta::default(), 5, 1.0);
+        assert_eq!(s.sample_count(NodeId::new(0), NodeId::new(1)), 5);
     }
 
     #[test]

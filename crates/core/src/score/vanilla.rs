@@ -14,6 +14,13 @@ use crate::score::SelectionStrategy;
 /// Lower scores are better: they mean the neighbor consistently delivered
 /// blocks close to the earliest delivery `v` saw. Ties break toward the
 /// smaller node id, keeping rounds deterministic.
+///
+/// Vanilla holds no cross-round state, so churn cannot poison it: under a
+/// dynamic world ([`perigee_netsim::dynamics`]) every round's scores are
+/// re-learned from that round's observations alone and the default no-op
+/// [`SelectionStrategy::on_world_delta`] is exactly right — only the
+/// observation store (rebuilt per round on the grown snapshot) needs to
+/// track the node set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VanillaScoring {
     retain_count: usize,

@@ -251,6 +251,64 @@ fn calendar_queue_rounds_match_heap_rounds_across_thread_counts() {
     }
 }
 
+/// A *churny* 50-round run — arrivals, departures and growth driven by a
+/// seeded `ChurnProcess` — is bit-identical across thread counts (1, 2
+/// and 8 pinned rayon pools) and across both priority-queue kinds: same
+/// RoundStats floats (including the streaming p90 estimate and the
+/// join/depart counts), same learned topology, same grown population,
+/// and every run patches its snapshot incrementally (exactly one view
+/// build for the whole 50 rounds — the dynamics acceptance gate).
+#[test]
+fn churny_rounds_are_thread_and_queue_independent() {
+    use perigee_core::RoundStats;
+    use perigee_netsim::{ChurnProcess, QueueKind};
+
+    let run = |threads: Option<usize>, kind: QueueKind| {
+        let (mut e, mut rng) = engine(80, 8, 61);
+        e.set_queue_kind(kind);
+        e.set_churn(ChurnProcess::steady_state(80, 0.04, 99));
+        let rounds = |e: &mut PerigeeEngine<GeoLatencyModel>,
+                      rng: &mut StdRng|
+         -> Vec<RoundStats> { (0..50).map(|_| e.run_round(rng)).collect() };
+        let stats = match threads {
+            None => rounds(&mut e, &mut rng),
+            Some(t) => rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap()
+                .install(|| rounds(&mut e, &mut rng)),
+        };
+        assert_eq!(
+            e.view_rebuilds(),
+            1,
+            "a churny run must never rebuild its view"
+        );
+        e.assert_view_consistency();
+        (stats, e.topology().clone(), e.population().clone())
+    };
+
+    let (ref_stats, ref_topo, ref_pop) = run(None, QueueKind::Calendar);
+    assert!(
+        ref_stats.iter().any(|s| s.joined > 0) && ref_stats.iter().any(|s| s.departed > 0),
+        "the process must actually churn for this test to mean anything"
+    );
+    for (threads, kind) in [
+        (Some(1), QueueKind::Calendar),
+        (Some(2), QueueKind::BinaryHeap),
+        (Some(8), QueueKind::Calendar),
+        (Some(1), QueueKind::BinaryHeap),
+        (Some(8), QueueKind::BinaryHeap),
+    ] {
+        let (stats, topo, pop) = run(threads, kind);
+        assert_eq!(
+            stats, ref_stats,
+            "RoundStats diverged at {threads:?} threads on {kind:?}"
+        );
+        assert_eq!(topo, ref_topo, "topology diverged at {threads:?}/{kind:?}");
+        assert_eq!(pop, ref_pop, "population diverged at {threads:?}/{kind:?}");
+    }
+}
+
 /// A full UCB run — the *stateful* strategy, parallelized through the
 /// split-borrow `split_stateful` path — is bit-identical to the forced
 /// sequential loop: same RoundStats floats, same per-connection history

@@ -298,40 +298,70 @@ pub fn run_spoofing(scenario: &Scenario, seed: u64, spoofers: usize) -> Spoofing
     }
 }
 
-/// Churn experiment: a fraction of nodes resets every round; Perigee keeps
-/// improving regardless (§6's robustness-under-churn question).
+/// Churn experiment: nodes arrive and depart as a seeded lifetime process
+/// while Perigee keeps adapting (§6's robustness-under-churn question).
 #[derive(Debug, Clone)]
 pub struct ChurnResult {
-    /// Median λ90 with churn.
+    /// Median λ90 over live sources with churn.
     pub churn_median90_ms: f64,
     /// Median λ90 without churn (same seed).
     pub stable_median90_ms: f64,
-    /// Nodes reset per round.
-    pub resets_per_round: usize,
+    /// Fraction of the population turning over per round.
+    pub churn_fraction: f64,
+    /// Nodes that joined over the run.
+    pub joined: usize,
+    /// Nodes that departed over the run.
+    pub departed: usize,
+    /// Snapshot rebuilds the churny engine paid (must be the single
+    /// initial build — churn patches, never rebuilds).
+    pub view_rebuilds: usize,
 }
 
-/// Runs Perigee-Subset with `resets_per_round` random node resets per
-/// round and compares against the churn-free run.
-pub fn run_churn(scenario: &Scenario, seed: u64, resets_per_round: usize) -> ChurnResult {
-    use rand::Rng;
+impl ChurnResult {
+    /// How much churn cost, as a ratio (`1.0` = free).
+    pub fn degradation(&self) -> f64 {
+        if self.stable_median90_ms == 0.0 {
+            return 1.0;
+        }
+        self.churn_median90_ms / self.stable_median90_ms
+    }
+}
+
+/// Runs Perigee-Subset under a steady-state lifetime process — Poisson
+/// arrivals of `churn_fraction · nodes` per round against exponential
+/// sessions of mean `1 / churn_fraction` rounds, whose constant hazard
+/// makes the departure rate equal `churn_fraction` from round zero (the
+/// [`ChurnProcess::steady_state`](perigee_netsim::ChurnProcess::steady_state)
+/// preset) — and compares against the churn-free run on the same seed.
+/// Arrivals are sampled from the scenario's own population mix
+/// ([`crate::dynamics::arrival_profile`]).
+pub fn run_churn(scenario: &Scenario, seed: u64, churn_fraction: f64) -> ChurnResult {
+    use perigee_netsim::ChurnProcess;
     let (mut stable, mut rng1) = fresh_engine(scenario, seed, ScoringMethod::Subset);
     stable.run_rounds(scenario.rounds, &mut rng1);
-    let stable_median90_ms = perigee_metrics::percentile_or_inf(&stable.evaluate(0.9), 50.0);
+    let stable_median90_ms = perigee_metrics::percentile_or_inf(&stable.evaluate_alive(0.9), 50.0);
 
     let (mut churny, mut rng2) = fresh_engine(scenario, seed, ScoringMethod::Subset);
+    churny.set_churn(
+        ChurnProcess::steady_state(scenario.nodes, churn_fraction, seed ^ 0xC0D1)
+            .with_arrival_profile(crate::dynamics::arrival_profile(scenario)),
+    );
+    let (mut joined, mut departed) = (0, 0);
     for _ in 0..scenario.rounds {
-        churny.run_round(&mut rng2);
-        for _ in 0..resets_per_round {
-            let v = NodeId::new(rng2.gen_range(0..scenario.nodes as u32));
-            churny.churn_reset(v, &mut rng2);
-        }
+        let stats = churny.run_round(&mut rng2);
+        joined += stats.joined;
+        departed += stats.departed;
     }
-    let churn_median90_ms = perigee_metrics::percentile_or_inf(&churny.evaluate(0.9), 50.0);
+    churny.topology().assert_invariants();
+    let churn_median90_ms = perigee_metrics::percentile_or_inf(&churny.evaluate_alive(0.9), 50.0);
 
     ChurnResult {
         churn_median90_ms,
         stable_median90_ms,
-        resets_per_round,
+        churn_fraction,
+        joined,
+        departed,
+        view_rebuilds: churny.view_rebuilds(),
     }
 }
 
@@ -419,14 +449,24 @@ mod tests {
 
     #[test]
     fn churn_degrades_gracefully() {
-        let r = run_churn(&tiny(), 4, 2);
-        assert!(r.churn_median90_ms.is_finite());
-        // Churn costs something but not catastrophically (< 40% worse).
+        // Median over three seeds, not a single lucky draw: 2% per-round
+        // churn may cost something but not catastrophically (< 40% worse
+        // at the median), and every run must stay on the incremental
+        // patch path (exactly one snapshot build each).
+        let mut ratios: Vec<f64> = [4u64, 5, 6]
+            .iter()
+            .map(|&seed| {
+                let r = run_churn(&tiny(), seed, 0.02);
+                assert!(r.churn_median90_ms.is_finite(), "seed {seed} diverged");
+                assert!(r.joined > 0 && r.departed > 0, "seed {seed} saw no churn");
+                assert_eq!(r.view_rebuilds, 1, "seed {seed} rebuilt its view");
+                r.degradation()
+            })
+            .collect();
+        let median = perigee_metrics::percentile_or_inf_mut(&mut ratios, 50.0);
         assert!(
-            r.churn_median90_ms < r.stable_median90_ms * 1.4,
-            "churn {:.1} vs stable {:.1}",
-            r.churn_median90_ms,
-            r.stable_median90_ms
+            median < 1.4,
+            "median churn degradation {median:.2} across seeds {ratios:?}"
         );
     }
 }

@@ -24,7 +24,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use perigee_experiments::{
-    ablation, adversary, bandwidth, convergence, deployment, discovery, fig3, fig4, fig5, theory,
+    ablation, adversary, bandwidth, convergence, deployment, discovery, dynamics, fig3, fig4, fig5,
+    theory,
 };
 use perigee_experiments::{Algorithm, MinerCliqueSpec, RelaySpec, Scenario};
 use perigee_metrics::Table;
@@ -78,7 +79,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|all> \
+    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|all> \
      [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR]"
         .to_string()
 }
@@ -239,14 +240,19 @@ fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<
             let r = adversary::run_eclipse(scenario, scenario.seeds[0]);
             emit(&r.table(), out, "adversary_eclipse.csv");
             banner("Churn");
-            let r = adversary::run_churn(scenario, scenario.seeds[0], scenario.nodes / 50);
+            let r = adversary::run_churn(scenario, scenario.seeds[0], 0.02);
             let mut t = Table::new(vec!["setting".into(), "median λ90 (ms)".into()]);
             t.row(vec![
                 "stable".into(),
                 format!("{:.1}", r.stable_median90_ms),
             ]);
             t.row(vec![
-                format!("churn ({} resets/round)", r.resets_per_round),
+                format!(
+                    "churn ({:.0}%/round, {} joined / {} departed)",
+                    r.churn_fraction * 100.0,
+                    r.joined,
+                    r.departed
+                ),
                 format!("{:.1}", r.churn_median90_ms),
             ]);
             emit(&t, out, "adversary_churn.csv");
@@ -286,6 +292,32 @@ fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<
             emit(&r.table(), out, "bandwidth.csv");
             println!("expect: perigee improves in every block-size regime");
         }
+        "dynamics" => {
+            banner("Steady-state churn (2%/round)");
+            let r = dynamics::run_steady_churn(scenario, scenario.seeds[0], 0.02);
+            emit(&r.table(), out, "dynamics_churn.csv");
+            println!(
+                "alive {} of {} slots, {} joined / {} departed, {} view build(s), final median λ90 {:.1} ms",
+                r.final_alive,
+                r.final_slots,
+                r.joined,
+                r.departed,
+                r.view_rebuilds,
+                r.final_median90_ms
+            );
+            banner("Mid-run growth (×10)");
+            let r = dynamics::run_growth(scenario, scenario.seeds[0], scenario.nodes * 10);
+            emit(&r.table(), out, "dynamics_growth.csv");
+            println!(
+                "{} -> {} nodes ({} joined), λ90 finite throughout: {}, {} view build(s), run-median p90 λ90 {:.1} ms",
+                r.start_nodes,
+                r.final_nodes,
+                r.joined,
+                r.lambda_always_finite(),
+                r.view_rebuilds,
+                r.run_median_p90_ms
+            );
+        }
         "all" => {
             for c in [
                 "fig1",
@@ -302,6 +334,7 @@ fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<
                 "deployment",
                 "discovery",
                 "bandwidth",
+                "dynamics",
             ] {
                 run_command(c, scenario, out)?;
             }

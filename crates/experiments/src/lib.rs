@@ -17,6 +17,7 @@
 //! | [`deployment`] | incremental deployment (§1.2) |
 //! | [`discovery`] | partial peer knowledge via gossiped address books (§6) |
 //! | [`bandwidth`] | bandwidth-heterogeneous INV/GETDATA regime (§2.1/§3.3) |
+//! | [`dynamics`] | dynamic worlds: steady-state churn, mid-run 1k→10k growth (§6) |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -28,6 +29,7 @@ pub mod bandwidth;
 pub mod convergence;
 pub mod deployment;
 pub mod discovery;
+pub mod dynamics;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

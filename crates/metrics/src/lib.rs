@@ -1,7 +1,9 @@
 //! # perigee-metrics
 //!
 //! Measurement utilities shared by the Perigee reproduction: the single
-//! percentile definition used everywhere ([`percentile()`]), the paper's
+//! percentile definition used everywhere ([`percentile()`]), its
+//! constant-space streaming counterpart ([`P2Quantile`], the P² algorithm
+//! used for per-round λ-curve tracking in dynamic-world runs), the paper's
 //! sorted per-node delay curves ([`DelayCurve`], Figs. 3–4), fixed-bin
 //! histograms ([`Histogram`], Fig. 5), summary statistics ([`Summary`]) and
 //! text/CSV tables ([`Table`]) for the harness output.
@@ -12,12 +14,14 @@
 
 pub mod curve;
 pub mod histogram;
+pub mod p2;
 pub mod percentile;
 pub mod stats;
 pub mod table;
 
 pub use curve::DelayCurve;
 pub use histogram::Histogram;
+pub use p2::P2Quantile;
 pub use percentile::{percentile, percentile_mut, percentile_or_inf, percentile_or_inf_mut};
 pub use stats::{mean, median, std_dev, Summary};
 pub use table::Table;

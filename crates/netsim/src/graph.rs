@@ -171,6 +171,61 @@ impl Topology {
         old
     }
 
+    /// Grows the topology to cover `n` nodes; the new slots start with no
+    /// connections. Node departures never shrink the topology — dead slots
+    /// simply keep empty adjacency (the stable-id contract of
+    /// [`Population`](crate::Population)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the current node count.
+    pub fn grow_to(&mut self, n: usize) {
+        assert!(n >= self.len(), "topologies never shrink (stable ids)");
+        self.out.resize_with(n, BTreeSet::new);
+        self.incoming.resize_with(n, BTreeSet::new);
+        self.pinned.resize_with(n, BTreeSet::new);
+    }
+
+    /// Tears down **every** connection of `v` — outgoing, incoming and
+    /// pinned — returning its former communication neighbors (ascending,
+    /// deduplicated). The *departure* path of the
+    /// [`dynamics`](crate::dynamics) subsystem: the returned pairs
+    /// `(v, u)` are exactly the undirected edges a
+    /// [`RoundDelta`](crate::RoundDelta) must log as removed.
+    pub fn clear_node(&mut self, v: NodeId) -> Vec<NodeId> {
+        let neighbors = self.neighbors(v);
+        self.clear_protocol_edges(v);
+        for &u in &self.pinned[v.index()].clone() {
+            self.pinned[u.index()].remove(&v);
+        }
+        self.pinned[v.index()].clear();
+        neighbors
+    }
+
+    /// Tears down `v`'s *protocol* connections (outgoing and incoming)
+    /// but keeps pinned edges — the in-place **reset** path: the node
+    /// stays in the network, and §5.4 relay-overlay links are permanent
+    /// infrastructure no protocol decision (churn included) may remove.
+    /// Returns the severed neighbors (ascending, deduplicated, pinned
+    /// excluded) for the removal log.
+    pub fn clear_connections(&mut self, v: NodeId) -> Vec<NodeId> {
+        let mut severed: BTreeSet<NodeId> = self.out[v.index()].clone();
+        severed.extend(self.incoming[v.index()].iter().copied());
+        self.clear_protocol_edges(v);
+        severed.into_iter().collect()
+    }
+
+    fn clear_protocol_edges(&mut self, v: NodeId) {
+        for &u in &self.out[v.index()].clone() {
+            self.incoming[u.index()].remove(&v);
+        }
+        self.out[v.index()].clear();
+        for &u in &self.incoming[v.index()].clone() {
+            self.out[u.index()].remove(&v);
+        }
+        self.incoming[v.index()].clear();
+    }
+
     /// Adds a permanent undirected edge that does not count against either
     /// node's limits and cannot be removed by protocol decisions (relay
     /// overlay links, §5.4).
@@ -455,6 +510,58 @@ mod tests {
                 (NodeId::new(1), NodeId::new(2)),
             ]
         );
+    }
+
+    #[test]
+    fn grow_to_adds_isolated_slots() {
+        let mut t = Topology::new(3, ConnectionLimits::paper_default());
+        t.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        t.grow_to(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.degree(NodeId::new(4)), 0);
+        t.connect(NodeId::new(4), NodeId::new(0)).unwrap();
+        assert!(t.are_connected(NodeId::new(4), NodeId::new(0)));
+        t.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "never shrink")]
+    fn grow_to_smaller_panics() {
+        Topology::new(3, ConnectionLimits::unlimited()).grow_to(2);
+    }
+
+    #[test]
+    fn clear_node_tears_down_all_edge_kinds() {
+        let mut t = Topology::new(5, ConnectionLimits::unlimited());
+        let v = NodeId::new(2);
+        t.connect(v, NodeId::new(0)).unwrap(); // outgoing
+        t.connect(NodeId::new(1), v).unwrap(); // incoming
+        t.pin(v, NodeId::new(3)).unwrap(); // pinned
+        let gone = t.clear_node(v);
+        assert_eq!(gone, ids(&[0, 1, 3]));
+        assert_eq!(t.degree(v), 0);
+        for u in [0u32, 1, 3] {
+            assert!(!t.are_connected(v, NodeId::new(u)));
+            assert_eq!(t.degree(NodeId::new(u)), 0);
+        }
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn clear_connections_preserves_pinned_edges() {
+        let mut t = Topology::new(5, ConnectionLimits::unlimited());
+        let v = NodeId::new(2);
+        t.connect(v, NodeId::new(0)).unwrap();
+        t.connect(NodeId::new(1), v).unwrap();
+        t.pin(v, NodeId::new(3)).unwrap();
+        let gone = t.clear_connections(v);
+        assert_eq!(gone, ids(&[0, 1]), "pinned neighbor not in the severed set");
+        assert!(
+            t.are_connected(v, NodeId::new(3)),
+            "relay link survives a reset"
+        );
+        assert_eq!(t.degree(v), 1);
+        t.assert_invariants();
     }
 
     #[test]

@@ -40,6 +40,26 @@ pub trait LatencyModel: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Extends the model to cover every node of a grown `population` —
+    /// the arrival path of the [`dynamics`](crate::dynamics) subsystem.
+    /// Implementations must leave existing pairs' delays bit-identical and
+    /// must be *construction-consistent*: growing an existing model node
+    /// by node yields the exact model a fresh build over the grown
+    /// population would (both [`GeoLatencyModel`] and
+    /// [`MetricLatencyModel`] derive per-node attributes from
+    /// `(seed, id)` alone, so this holds by construction).
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: models that cannot grow reject
+    /// dynamic worlds loudly rather than indexing out of bounds. (The
+    /// blanket `&T` impl inherits this default — a shared reference
+    /// cannot grow its target.)
+    fn extend_for(&mut self, population: &Population) {
+        let _ = population;
+        panic!("this latency model does not support population growth");
+    }
 }
 
 impl<T: LatencyModel + ?Sized> LatencyModel for &T {
@@ -57,6 +77,9 @@ impl<T: LatencyModel + ?Sized> LatencyModel for Box<T> {
     }
     fn len(&self) -> usize {
         (**self).len()
+    }
+    fn extend_for(&mut self, population: &Population) {
+        (**self).extend_for(population);
     }
 }
 
@@ -134,17 +157,9 @@ impl GeoLatencyModel {
         let mut access_ms = Vec::with_capacity(n);
         let regions: Vec<Region> = population.iter().map(|p| p.region).collect();
         for (i, &region) in regions.iter().enumerate() {
-            let (cx, cy) = REGION_CENTERS_MS[region.index()];
-            let radius = REGION_RADIUS_MS[region.index()];
-            // Uniform position in the disc around the region center.
-            let h1 = unit_hash(seed, i as u64, 0x5EED_0001);
-            let h2 = unit_hash(seed, i as u64, 0x5EED_0002);
-            let r = radius * h1.sqrt();
-            let theta = 2.0 * std::f64::consts::PI * h2;
-            pos.push((cx + r * theta.cos(), cy + r * theta.sin()));
-            let h3 = unit_hash(seed, i as u64, 0x5EED_0003);
-            let (lo, hi) = ACCESS_DELAY_RANGE_MS;
-            access_ms.push(lo + (hi - lo) * h3);
+            let (p, a) = place_node(seed, i, region);
+            pos.push(p);
+            access_ms.push(a);
         }
         GeoLatencyModel {
             regions,
@@ -194,6 +209,43 @@ impl LatencyModel for GeoLatencyModel {
     fn len(&self) -> usize {
         self.regions.len()
     }
+
+    /// Places the new nodes in latency space. Positions, access delays
+    /// and per-pair jitter are pure functions of `(seed, id)`, so the
+    /// grown model is bit-identical to `GeoLatencyModel::new` over the
+    /// grown population and every pre-existing pair keeps its exact delay.
+    fn extend_for(&mut self, population: &Population) {
+        assert!(
+            population.len() >= self.regions.len(),
+            "populations never shrink (stable ids)"
+        );
+        for i in self.regions.len()..population.len() {
+            let region = population.profile(NodeId::new(i as u32)).region;
+            let (p, a) = place_node(self.seed, i, region);
+            self.regions.push(region);
+            self.pos.push(p);
+            self.access_ms.push(a);
+        }
+    }
+}
+
+/// The per-node placement shared by [`GeoLatencyModel::with_jitter`] and
+/// [`GeoLatencyModel::extend_for`]: a uniform position in the disc around
+/// the region center plus a last-mile access delay, both deterministic
+/// functions of `(seed, id)`.
+fn place_node(seed: u64, i: usize, region: Region) -> ((f64, f64), f64) {
+    let (cx, cy) = REGION_CENTERS_MS[region.index()];
+    let radius = REGION_RADIUS_MS[region.index()];
+    let h1 = unit_hash(seed, i as u64, 0x5EED_0001);
+    let h2 = unit_hash(seed, i as u64, 0x5EED_0002);
+    let r = radius * h1.sqrt();
+    let theta = 2.0 * std::f64::consts::PI * h2;
+    let h3 = unit_hash(seed, i as u64, 0x5EED_0003);
+    let (lo, hi) = ACCESS_DELAY_RANGE_MS;
+    (
+        (cx + r * theta.cos(), cy + r * theta.sin()),
+        lo + (hi - lo) * h3,
+    )
 }
 
 /// Metric-embedding latency model (§3.1): nodes at points of `[0,1]^d`,
@@ -246,6 +298,26 @@ impl LatencyModel for MetricLatencyModel {
 
     fn len(&self) -> usize {
         self.coords.len()
+    }
+
+    /// Adopts the coordinates of every new node in the grown population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a new node lacks coordinates.
+    fn extend_for(&mut self, population: &Population) {
+        assert!(
+            population.len() >= self.coords.len(),
+            "populations never shrink (stable ids)"
+        );
+        for i in self.coords.len()..population.len() {
+            let coords = population.profile(NodeId::new(i as u32)).coords.clone();
+            assert!(
+                !coords.is_empty(),
+                "metric latency model requires node coordinates"
+            );
+            self.coords.push(coords);
+        }
     }
 }
 
@@ -308,6 +380,10 @@ impl<M: LatencyModel> LatencyModel for OverrideLatencyModel<M> {
 
     fn len(&self) -> usize {
         self.base.len()
+    }
+
+    fn extend_for(&mut self, population: &Population) {
+        self.base.extend_for(population);
     }
 }
 
@@ -499,6 +575,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn grown_geo_model_equals_fresh_build() {
+        // Build a 60-node world, but hand the model only the first 40
+        // nodes; growing it to 60 must reproduce the fresh 60-node model
+        // bit for bit (per-node placement depends only on (seed, id)).
+        let full = pop(60);
+        let head = Population::from_profiles(full.iter().take(40).cloned().collect()).unwrap();
+        let mut grown = GeoLatencyModel::new(&head, 7);
+        grown.extend_for(&full);
+        let fresh = GeoLatencyModel::new(&full, 7);
+        assert_eq!(grown.len(), 60);
+        for i in 0..60u32 {
+            for j in (i + 1)..60u32 {
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
+                assert_eq!(grown.delay(u, v), fresh.delay(u, v), "{u}-{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn grown_override_model_delegates_to_base() {
+        let full = pop(20);
+        let head = Population::from_profiles(full.iter().take(10).cloned().collect()).unwrap();
+        let mut lat = OverrideLatencyModel::new(GeoLatencyModel::new(&head, 3));
+        lat.set(NodeId::new(0), NodeId::new(5), SimTime::from_ms(2.0));
+        lat.extend_for(&full);
+        assert_eq!(lat.len(), 20);
+        assert_eq!(
+            lat.delay(NodeId::new(0), NodeId::new(5)),
+            SimTime::from_ms(2.0)
+        );
+        let fresh = GeoLatencyModel::new(&full, 3);
+        assert_eq!(
+            lat.delay(NodeId::new(4), NodeId::new(17)),
+            fresh.delay(NodeId::new(4), NodeId::new(17))
+        );
     }
 
     #[test]

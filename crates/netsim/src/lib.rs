@@ -41,6 +41,16 @@
 //!   to the reference `BinaryHeap` ([`QueueKind::BinaryHeap`], kept
 //!   runtime-selectable for the cross-engine equivalence suite).
 //! * [`MinerSampler`] — hash-power-proportional block sources.
+//! * [`dynamics`] — node lifetime as a simulated process:
+//!   [`ChurnProcess`] (Poisson arrivals, lognormal/Weibull/exponential
+//!   session lengths, deterministic [`LifetimeEvent`] trace replay — all
+//!   seeded and bit-reproducible) plans each round's [`WorldDelta`];
+//!   [`Population`] grows/shrinks through stable-id `spawn`/`retire` with
+//!   a free-list (ids are never reused within a run, dead slots are
+//!   skipped — see the `population` module docs for the contract), and
+//!   [`TopologyView::apply_world_delta`] folds arrivals, departures and
+//!   the round's rewiring into the carried CSR snapshot in one linear
+//!   pass — latency-model calls only for new edges, zero full rebuilds.
 //!
 //! ## Snapshot lifecycle and determinism
 //!
@@ -94,6 +104,7 @@
 pub mod bandwidth;
 pub mod broadcast;
 pub mod dataset;
+pub mod dynamics;
 pub mod error;
 pub mod event;
 pub mod gossip;
@@ -109,6 +120,9 @@ pub mod view;
 
 pub use bandwidth::TransferModel;
 pub use broadcast::{broadcast, Propagation};
+pub use dynamics::{
+    ChurnPlan, ChurnProcess, LifetimeEvent, LifetimeEventKind, SessionDist, WorldDelta,
+};
 pub use error::{ConnectError, NetsimError};
 pub use event::EventQueue;
 pub use gossip::{gossip_block, GossipConfig, GossipMode, GossipOutcome, GossipScratch};

@@ -34,13 +34,22 @@ impl MinerSampler {
     pub fn new(population: &Population) -> Self {
         let mut cumulative = Vec::with_capacity(population.len());
         let mut acc = 0.0;
-        for p in population.iter() {
+        let mut last_positive = None;
+        for (i, p) in population.iter().enumerate() {
+            if p.hash_power > 0.0 {
+                last_positive = Some(i);
+            }
             acc += p.hash_power;
             cumulative.push(acc);
         }
-        // Guard against floating point drift so the last bucket always wins.
-        if let Some(last) = cumulative.last_mut() {
-            *last = 1.0;
+        // Guard against floating point drift so the last bucket always
+        // wins — pinning from the last *positive-power* slot onward, so
+        // a zero-power tail (retired nodes under churn, powerless pool
+        // outsiders) can never capture the residual probability mass.
+        if let Some(i) = last_positive {
+            for c in &mut cumulative[i..] {
+                *c = 1.0;
+            }
         }
         MinerSampler { cumulative }
     }
@@ -101,6 +110,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
             assert_eq!(sampler.sample(&mut rng), NodeId::new(1));
+        }
+    }
+
+    #[test]
+    fn zero_power_tail_never_mines() {
+        // The drift guard must pin the residual mass to the last live
+        // miner, not to a retired trailing slot.
+        let pop = pop_with_powers(&[0.4, 0.6, 0.0, 0.0]);
+        let sampler = MinerSampler::new(&pop);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            assert!(sampler.sample(&mut rng).index() <= 1);
         }
     }
 

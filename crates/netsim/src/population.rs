@@ -3,6 +3,28 @@
 //! A [`Population`] is the set of simulated nodes with all their static
 //! attributes (region, hash power, validation delay, coordinates, bandwidth,
 //! behaviour). Build one with [`PopulationBuilder`].
+//!
+//! # Dynamic worlds: the stable-id / free-list contract
+//!
+//! Populations are no longer frozen at construction: the
+//! [`dynamics`](crate::dynamics) subsystem grows and shrinks them through
+//! [`Population::spawn`] and [`Population::retire`] under one invariant —
+//! **a [`NodeId`] is never reused within a run**. `spawn` always appends a
+//! fresh slot (ids grow monotonically), and `retire` marks a slot dead and
+//! pushes it onto a free-list ([`Population::retired`]) instead of
+//! deleting it, so every flat per-node array in the workspace (topology
+//! adjacency, CSR views, score histories, address books) stays indexed by
+//! the same ids for the whole run and learned state can never silently
+//! alias a newcomer. Dead slots are *skipped*, not reclaimed: they hold
+//! zero hash power (so miners, coverage fractions and samplers ignore
+//! them), keep no edges, and [`Population::ids_alive`] /
+//! [`Population::alive_count`] expose the live subset. Compacting the
+//! free-list back into dense storage would be a different trade
+//! (invalidating every learned id) and is deliberately not offered.
+//!
+//! After a batch of spawns/retires, call
+//! [`Population::renormalize_hash_power`] to restore the "alive hash
+//! powers sum to 1" invariant that every coverage computation relies on.
 
 use rand::distributions::Distribution;
 use rand::Rng;
@@ -73,6 +95,12 @@ impl Default for ValidationDist {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Population {
     profiles: Vec<NodeProfile>,
+    /// `alive[i]` — whether slot `i` currently hosts a live node. All-true
+    /// until [`Population::retire`] is first used.
+    alive: Vec<bool>,
+    /// The free-list: retired slots in retirement order. Never popped —
+    /// ids are not reused within a run (see the module docs).
+    retired: Vec<u32>,
 }
 
 impl Population {
@@ -94,13 +122,135 @@ impl Population {
         for p in &mut profiles {
             p.hash_power /= total;
         }
-        Ok(Population { profiles })
+        let alive = vec![true; profiles.len()];
+        Ok(Population {
+            profiles,
+            alive,
+            retired: Vec::new(),
+        })
     }
 
-    /// Number of nodes.
+    /// Number of node *slots* — live and retired. Every per-node array in
+    /// the workspace is sized by this; use [`Population::alive_count`] for
+    /// the live subset.
     #[inline]
     pub fn len(&self) -> usize {
         self.profiles.len()
+    }
+
+    /// Number of live nodes (slots minus the free-list).
+    #[inline]
+    pub fn alive_count(&self) -> usize {
+        self.profiles.len() - self.retired.len()
+    }
+
+    /// Whether slot `id` hosts a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// The free-list: retired slots in retirement order. Ids on it are
+    /// never reassigned within a run.
+    #[inline]
+    pub fn retired(&self) -> &[u32] {
+        &self.retired
+    }
+
+    /// Iterates over the ids of live nodes, ascending.
+    pub fn ids_alive(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// Appends a brand-new live node and returns its (fresh, never before
+    /// used) id. The caller is responsible for growing every sibling
+    /// structure (topology, latency model, score state) to cover the new
+    /// slot and for calling [`Population::renormalize_hash_power`] once
+    /// the batch of world edits is complete.
+    pub fn spawn(&mut self, profile: NodeProfile) -> NodeId {
+        let id = NodeId::new(self.profiles.len() as u32);
+        self.profiles.push(profile);
+        self.alive.push(true);
+        id
+    }
+
+    /// Retires a live node: its slot is marked dead, pushed onto the
+    /// free-list, and its hash power is zeroed so miners/coverage skip it.
+    /// Returns `false` (and does nothing) if the node was already retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn retire(&mut self, id: NodeId) -> bool {
+        if !self.alive[id.index()] {
+            return false;
+        }
+        self.alive[id.index()] = false;
+        self.profiles[id.index()].hash_power = 0.0;
+        self.retired.push(id.as_u32());
+        true
+    }
+
+    /// The mean hash power over live nodes — the natural power to assign
+    /// a joiner before renormalizing. When the live powers are already
+    /// exactly uniform, that exact value is returned (not the float-summed
+    /// mean, whose last ulp can wobble): equal inputs then stay bit-equal
+    /// through the shared renormalization rescale, which is what keeps
+    /// the snapshot's uniform-weight coverage fast path alive through
+    /// pure growth.
+    pub fn mean_alive_hash_power(&self) -> f64 {
+        let mut live = self
+            .profiles
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, &a)| a)
+            .map(|(p, _)| p.hash_power);
+        let Some(first) = live.next() else {
+            return 0.0;
+        };
+        let mut uniform = true;
+        let mut total = first;
+        let mut count = 1usize;
+        for w in live {
+            uniform &= w == first;
+            total += w;
+            count += 1;
+        }
+        if uniform {
+            first
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Rescales live hash powers to sum to 1 (dead slots stay at zero) —
+    /// call once after a batch of [`Population::spawn`] /
+    /// [`Population::retire`] edits. A no-op when the live total is zero
+    /// or not finite.
+    pub fn renormalize_hash_power(&mut self) {
+        let total: f64 = self
+            .profiles
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, &a)| a)
+            .map(|(p, _)| p.hash_power)
+            .sum();
+        if total <= 0.0 || !total.is_finite() {
+            return;
+        }
+        for (p, &a) in self.profiles.iter_mut().zip(&self.alive) {
+            if a {
+                p.hash_power /= total;
+            }
+        }
     }
 
     /// Returns `true` if the population has no nodes.
@@ -258,6 +408,67 @@ impl PopulationBuilder {
         self
     }
 
+    /// Samples the static attributes of a *single* node from this
+    /// builder's region / validation / bandwidth configuration — the
+    /// arrival path of the [`dynamics`](crate::dynamics) subsystem, where
+    /// nodes join one at a time mid-run instead of in a batch.
+    ///
+    /// Hash power is left at `0.0`: a joiner's power depends on the world
+    /// it joins (the engine assigns the mean live power and renormalizes),
+    /// not on this builder's whole-population distribution. The RNG
+    /// consumption order intentionally differs from [`PopulationBuilder::build`]
+    /// (which samples attribute-by-attribute across the batch), so seeded
+    /// batch worlds stay bit-identical to previous releases.
+    pub fn sample_profile<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeProfile {
+        let region = sample_regions(1, &self.region_weights, rng)[0];
+        self.sample_attrs(region, 0.0, rng)
+    }
+
+    /// Samples one node's validation delay, coordinates and bandwidth —
+    /// the per-node draws shared (in the same attribute order, so
+    /// [`PopulationBuilder::build`]'s RNG stream is unchanged) by the
+    /// batch build loop and the one-at-a-time arrival path.
+    fn sample_attrs<R: Rng + ?Sized>(
+        &self,
+        region: Region,
+        hash_power: f64,
+        rng: &mut R,
+    ) -> NodeProfile {
+        let validation_delay = match self.validation {
+            ValidationDist::Constant(d) => d,
+            ValidationDist::Uniform(lo, hi) => {
+                SimTime::from_ms(rng.gen_range(lo.as_ms()..=hi.as_ms()))
+            }
+            ValidationDist::Exponential(mean) => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                SimTime::from_ms(-mean.as_ms() * u.ln())
+            }
+        };
+        let coords = match self.metric_dim {
+            Some(d) => (0..d).map(|_| rng.gen::<f64>()).collect(),
+            None => Vec::new(),
+        };
+        let (uplink_mbps, downlink_mbps) = if self.bandwidth_skew {
+            // Log-uniform over [3, 186] Mbps, matching the measured skew.
+            let lo: f64 = 3.0;
+            let hi: f64 = 186.0;
+            let up = lo * (hi / lo).powf(rng.gen::<f64>());
+            let down = lo * (hi / lo).powf(rng.gen::<f64>());
+            (up, down)
+        } else {
+            (33.0, 33.0)
+        };
+        NodeProfile {
+            region,
+            hash_power,
+            validation_delay,
+            coords,
+            uplink_mbps,
+            downlink_mbps,
+            behavior: Behavior::Honest,
+        }
+    }
+
     /// Builds the population.
     ///
     /// # Errors
@@ -273,39 +484,7 @@ impl PopulationBuilder {
         let powers = sample_hash_power(self.n, &self.hash_power, rng);
         let mut profiles = Vec::with_capacity(self.n);
         for i in 0..self.n {
-            let validation_delay = match self.validation {
-                ValidationDist::Constant(d) => d,
-                ValidationDist::Uniform(lo, hi) => {
-                    SimTime::from_ms(rng.gen_range(lo.as_ms()..=hi.as_ms()))
-                }
-                ValidationDist::Exponential(mean) => {
-                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    SimTime::from_ms(-mean.as_ms() * u.ln())
-                }
-            };
-            let coords = match self.metric_dim {
-                Some(d) => (0..d).map(|_| rng.gen::<f64>()).collect(),
-                None => Vec::new(),
-            };
-            let (uplink_mbps, downlink_mbps) = if self.bandwidth_skew {
-                // Log-uniform over [3, 186] Mbps, matching the measured skew.
-                let lo: f64 = 3.0;
-                let hi: f64 = 186.0;
-                let up = lo * (hi / lo).powf(rng.gen::<f64>());
-                let down = lo * (hi / lo).powf(rng.gen::<f64>());
-                (up, down)
-            } else {
-                (33.0, 33.0)
-            };
-            profiles.push(NodeProfile {
-                region: regions[i],
-                hash_power: powers[i],
-                validation_delay,
-                coords,
-                uplink_mbps,
-                downlink_mbps,
-                behavior: Behavior::Honest,
-            });
+            profiles.push(self.sample_attrs(regions[i], powers[i], rng));
         }
         Population::from_profiles(profiles)
     }
@@ -464,6 +643,78 @@ mod tests {
             assert!((3.0..=186.0).contains(&p.uplink_mbps));
             assert!((3.0..=186.0).contains(&p.downlink_mbps));
         }
+    }
+
+    #[test]
+    fn spawn_appends_fresh_ids_and_retire_feeds_the_free_list() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut pop = PopulationBuilder::new(4).build(&mut rng).unwrap();
+        assert_eq!(pop.alive_count(), 4);
+        let v = NodeId::new(1);
+        assert!(pop.retire(v));
+        assert!(!pop.retire(v), "double retire is a no-op");
+        assert!(!pop.is_alive(v));
+        assert_eq!(pop.hash_power(v), 0.0, "dead slots hold no power");
+        assert_eq!(pop.retired(), &[1]);
+        assert_eq!(pop.alive_count(), 3);
+        // Spawn never reuses the retired slot: the id is brand new.
+        let profile = NodeProfile {
+            hash_power: pop.mean_alive_hash_power(),
+            ..NodeProfile::default()
+        };
+        let id = pop.spawn(profile);
+        assert_eq!(id, NodeId::new(4), "ids grow monotonically");
+        assert_eq!(pop.len(), 5);
+        assert_eq!(pop.alive_count(), 4);
+        assert_eq!(
+            pop.ids_alive().collect::<Vec<_>>(),
+            vec![
+                NodeId::new(0),
+                NodeId::new(2),
+                NodeId::new(3),
+                NodeId::new(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn renormalize_restores_unit_power_and_keeps_uniformity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut pop = PopulationBuilder::new(5).build(&mut rng).unwrap();
+        pop.retire(NodeId::new(2));
+        let profile = NodeProfile {
+            hash_power: pop.mean_alive_hash_power(),
+            ..NodeProfile::default()
+        };
+        pop.spawn(profile);
+        pop.renormalize_hash_power();
+        let total: f64 = pop.iter().map(|p| p.hash_power).sum();
+        assert!((total - 1.0).abs() < 1e-12, "alive power sums to 1");
+        // Uniform stays *exactly* uniform through spawn + renormalize.
+        let first = pop.hash_power(NodeId::new(0));
+        for id in pop.ids_alive() {
+            assert_eq!(pop.hash_power(id).to_bits(), first.to_bits());
+        }
+        assert_eq!(pop.hash_power(NodeId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn sample_profile_follows_builder_knobs() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut builder = PopulationBuilder::new(1);
+        builder
+            .validation(ValidationDist::Constant(SimTime::from_ms(75.0)))
+            .metric_dim(2)
+            .bandwidth_skew(true);
+        let p = builder.sample_profile(&mut rng);
+        assert_eq!(p.validation_delay, SimTime::from_ms(75.0));
+        assert_eq!(p.coords.len(), 2);
+        assert!((3.0..=186.0).contains(&p.uplink_mbps));
+        assert_eq!(
+            p.hash_power, 0.0,
+            "power assigned by the world, not the builder"
+        );
+        assert!(p.behavior.is_honest());
     }
 
     #[test]

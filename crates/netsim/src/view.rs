@@ -43,6 +43,7 @@
 //! `tests/pq_equivalence.rs` and the pq proptests).
 
 use crate::broadcast::Propagation;
+use crate::dynamics::WorldDelta;
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
 use crate::node::{Behavior, NodeId};
@@ -179,26 +180,8 @@ impl TopologyView {
                 reverse[e] = (offsets[v] + k) as u32;
             }
         }
-        let relay = population
-            .iter()
-            .map(|p| match p.behavior {
-                Behavior::Honest => RelayProfile::Honest {
-                    validation: p.validation_delay,
-                },
-                Behavior::Silent => RelayProfile::Silent,
-                Behavior::Delay(extra) => RelayProfile::Delayed {
-                    validation: p.validation_delay,
-                    extra,
-                },
-            })
-            .collect();
-        let hash_power: Vec<f64> = population.iter().map(|p| p.hash_power).collect();
-        let uniform_weight = match hash_power.split_first() {
-            Some((&w, rest)) if rest.iter().all(|&x| x == w) => Some(w),
-            _ => None,
-        };
-        let uplink_mbps = population.iter().map(|p| p.uplink_mbps).collect();
-        let downlink_mbps = population.iter().map(|p| p.downlink_mbps).collect();
+        let (relay, hash_power, uplink_mbps, downlink_mbps, uniform_weight) =
+            node_attributes(population);
         TopologyView {
             offsets,
             edges,
@@ -364,6 +347,83 @@ impl TopologyView {
             return;
         }
         let n = self.len();
+        self.merge_rewiring(delta, latency, n);
+    }
+
+    /// Patches the snapshot across one round of a *dynamic* world —
+    /// node arrivals, departures and the round's edge rewiring in one
+    /// incremental pass, extending [`TopologyView::apply_rewiring`] to
+    /// worlds whose node set moves.
+    ///
+    /// `rewiring` must contain every communication edge the round tore
+    /// down or created, *including* the torn-down edges of departing
+    /// nodes and the bootstrap edges of joiners — exactly what a driver
+    /// that logs all disconnect/connect operations already produces.
+    /// `population` is the **post-delta** population: new slots grow the
+    /// CSR by empty rows before the merge (CSR row insert/delete happens
+    /// in the same one linear pass as the edge merge), departed slots
+    /// keep an empty row (the stable-id contract — ids are never reused,
+    /// so a dead row costs one `offsets` entry and nothing else), and all
+    /// per-node attributes (relay profiles, hash power, link rates) are
+    /// refreshed from the population because retirements zero hash power
+    /// and the renormalization rescales every live node.
+    ///
+    /// Cost: one linear merge over the CSR arrays plus an `O(n)`
+    /// attribute copy — latency-model calls **only** for the added edges
+    /// (which include every new node's bootstrap links). The patched view
+    /// is field-for-field equal to `TopologyView::new` on the post-delta
+    /// world (asserted by the netsim proptests and, in debug builds, by
+    /// the engine after every churny round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population shrank (ids are stable, worlds only grow
+    /// in slot count), if the latency model does not cover the grown
+    /// population, or if `rewiring` is inconsistent with the snapshot
+    /// (see [`TopologyView::apply_rewiring`]).
+    pub fn apply_world_delta<L: LatencyModel + ?Sized>(
+        &mut self,
+        delta: &WorldDelta,
+        rewiring: &RoundDelta,
+        latency: &L,
+        population: &Population,
+    ) {
+        let n_new = population.len();
+        assert!(n_new >= self.len(), "populations never shrink (stable ids)");
+        assert_eq!(
+            latency.len(),
+            n_new,
+            "latency model must cover the grown population"
+        );
+        self.merge_rewiring(rewiring, latency, n_new);
+        let (relay, hash_power, uplink, downlink, uniform) = node_attributes(population);
+        self.relay = relay;
+        self.hash_power = hash_power;
+        self.uplink_mbps = uplink;
+        self.downlink_mbps = downlink;
+        self.uniform_weight = uniform;
+        #[cfg(debug_assertions)]
+        for v in delta.retired() {
+            debug_assert!(
+                self.edge_range(v).is_empty(),
+                "departed node {v} still holds edges — the rewiring log missed its teardown"
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = delta;
+    }
+
+    /// The shared one-pass CSR merge behind [`TopologyView::apply_rewiring`]
+    /// and [`TopologyView::apply_world_delta`]: rows `>= self.len()` are
+    /// treated as (new, empty) rows, so growing the world and patching its
+    /// edges is a single linear sweep.
+    fn merge_rewiring<L: LatencyModel + ?Sized>(
+        &mut self,
+        delta: &RoundDelta,
+        latency: &L,
+        n_new: usize,
+    ) {
+        let n_old = self.len();
         // Expand the undirected delta into directed adjacency entries,
         // sorted by (row, neighbor) so one cursor pass covers all rows.
         let mut removed: Vec<(u32, u32)> = Vec::with_capacity(delta.removed.len() * 2);
@@ -380,7 +440,7 @@ impl TopologyView {
         added.sort_unstable();
         if let Some(&(u, v)) = removed.last().into_iter().chain(added.last()).max() {
             assert!(
-                (u as usize) < n && (v as usize) < n,
+                (u as usize) < n_new && (v as usize) < n_new,
                 "delta endpoint out of range"
             );
         }
@@ -388,11 +448,17 @@ impl TopologyView {
         let m_new = self.edges.len() + added.len() - removed.len();
         let mut edges = Vec::with_capacity(m_new);
         let mut delay = Vec::with_capacity(m_new);
-        let mut offsets = Vec::with_capacity(n + 1);
+        let mut offsets = Vec::with_capacity(n_new + 1);
         offsets.push(0);
         let (mut ri, mut ai) = (0usize, 0usize);
-        for u in 0..n as u32 {
-            let (start, end) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+        for u in 0..n_new as u32 {
+            // Rows past the old node count are brand new: no surviving
+            // entries, only additions.
+            let (start, end) = if (u as usize) < n_old {
+                (self.offsets[u as usize], self.offsets[u as usize + 1])
+            } else {
+                (0, 0)
+            };
             let mut e = start;
             // Merge the surviving old entries with the (ascending) added
             // neighbors; both sequences are sorted, so the output row is.
@@ -439,7 +505,7 @@ impl TopologyView {
         // math, exactly as in `TopologyView::new`.
         self.reverse.clear();
         self.reverse.resize(self.edges.len(), 0);
-        for u in 0..n {
+        for u in 0..n_new {
             for e in self.offsets[u]..self.offsets[u + 1] {
                 let v = self.edges[e] as usize;
                 let row = &self.edges[self.offsets[v]..self.offsets[v + 1]];
@@ -450,6 +516,42 @@ impl TopologyView {
             }
         }
     }
+}
+
+/// Per-node attribute extraction shared — verbatim — by
+/// [`TopologyView::new`] and [`TopologyView::apply_world_delta`], so the
+/// patched and freshly built views can only agree or both be wrong.
+#[allow(clippy::type_complexity)]
+fn node_attributes(
+    population: &Population,
+) -> (Vec<RelayProfile>, Vec<f64>, Vec<f64>, Vec<f64>, Option<f64>) {
+    let relay = population
+        .iter()
+        .map(|p| match p.behavior {
+            Behavior::Honest => RelayProfile::Honest {
+                validation: p.validation_delay,
+            },
+            Behavior::Silent => RelayProfile::Silent,
+            Behavior::Delay(extra) => RelayProfile::Delayed {
+                validation: p.validation_delay,
+                extra,
+            },
+        })
+        .collect();
+    let hash_power: Vec<f64> = population.iter().map(|p| p.hash_power).collect();
+    let uniform_weight = match hash_power.split_first() {
+        Some((&w, rest)) if rest.iter().all(|&x| x == w) => Some(w),
+        _ => None,
+    };
+    let uplink_mbps = population.iter().map(|p| p.uplink_mbps).collect();
+    let downlink_mbps = population.iter().map(|p| p.downlink_mbps).collect();
+    (
+        relay,
+        hash_power,
+        uplink_mbps,
+        downlink_mbps,
+        uniform_weight,
+    )
 }
 
 /// The net change one round of rewiring makes to the undirected
@@ -887,6 +989,72 @@ mod tests {
                 view,
                 TopologyView::new(&topo, &lat, &pop),
                 "patched view diverged from a fresh build in round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn world_delta_patch_equals_fresh_build_with_join_and_departure() {
+        let (mut pop, mut lat, mut topo, mut rng) = random_world(40, 21);
+        let mut view = TopologyView::new(&topo, &lat, &pop);
+        for round in 0..4 {
+            let (mut removed, mut added) = (Vec::new(), Vec::new());
+            // A departure: tear down one live node's edges.
+            let depart = pop
+                .ids_alive()
+                .nth(rng.gen_range(0..pop.alive_count()))
+                .unwrap();
+            for u in topo.clear_node(depart) {
+                removed.push((depart, u));
+            }
+            pop.retire(depart);
+            // A join: spawn, grow the world, bootstrap random edges.
+            let mut profile = crate::node::NodeProfile {
+                hash_power: pop.mean_alive_hash_power(),
+                ..crate::node::NodeProfile::default()
+            };
+            profile.region = crate::node::Region::Europe;
+            let id = pop.spawn(profile);
+            topo.grow_to(pop.len());
+            lat.extend_for(&pop);
+            for _ in 0..4 {
+                let u = pop
+                    .ids_alive()
+                    .nth(rng.gen_range(0..pop.alive_count()))
+                    .unwrap();
+                if u != id && topo.connect(id, u).is_ok() {
+                    added.push((id, u));
+                }
+            }
+            // Plus ordinary rewiring among survivors.
+            for _ in 0..20 {
+                let a = NodeId::new(rng.gen_range(0..pop.len() as u32));
+                let b = NodeId::new(rng.gen_range(0..pop.len() as u32));
+                if a == b || !pop.is_alive(a) || !pop.is_alive(b) {
+                    continue;
+                }
+                if rng.gen_range(0..3u8) > 0 {
+                    if topo.connect(a, b).is_ok() {
+                        added.push((a, b));
+                    }
+                } else {
+                    let was = topo.are_connected(a, b);
+                    topo.disconnect(a, b);
+                    if was && !topo.are_connected(a, b) {
+                        removed.push((a, b));
+                    }
+                }
+            }
+            pop.renormalize_hash_power();
+            let delta = crate::dynamics::WorldDelta {
+                joined: vec![id],
+                departed: vec![depart],
+            };
+            view.apply_world_delta(&delta, &RoundDelta::new(removed, added), &lat, &pop);
+            assert_eq!(
+                view,
+                TopologyView::new(&topo, &lat, &pop),
+                "world-delta patch diverged from a fresh build in round {round}"
             );
         }
     }

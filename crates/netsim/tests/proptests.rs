@@ -8,7 +8,7 @@ use perigee_netsim::pq::{CalendarQueue, PackedQueue, QueueKind, TimeKey, BUCKET_
 use perigee_netsim::{
     broadcast, gossip_block, BroadcastScratch, ConnectionLimits, EventQueue, GeoLatencyModel,
     GossipConfig, GossipScratch, LatencyModel, NodeId, PopulationBuilder, RoundDelta, SimTime,
-    Topology, TopologyView,
+    Topology, TopologyView, WorldDelta,
 };
 
 /// Maps a `(class, unit float, integer)` triple onto the f64 edge cases
@@ -266,6 +266,88 @@ proptest! {
             }
             view.apply_rewiring(&RoundDelta::new(removed, added), &lat);
             prop_assert_eq!(&view, &TopologyView::new(&topo, &lat, &pop));
+        }
+    }
+
+    /// A world-delta-patched snapshot — joins, departures *and* ordinary
+    /// rewiring folded into one round — is **field-for-field equal** to a
+    /// freshly built `TopologyView::new` over the post-delta world, across
+    /// several consecutive dynamic rounds so patch errors would compound
+    /// and surface. Joins spawn fresh stable ids (growing population,
+    /// topology and latency model), departures tear a node's edges out
+    /// and retire it, and hash power renormalizes each round exactly as
+    /// the engine does.
+    #[test]
+    fn world_delta_patched_view_matches_fresh_build(
+        n in 5usize..40,
+        seed in 0u64..250,
+        rounds in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let mut lat = GeoLatencyModel::new(&pop, seed);
+        let mut topo = random_connected_topology(n, &mut rng);
+        let mut view = TopologyView::new(&topo, &lat, &pop);
+        let mut builder = PopulationBuilder::new(0);
+        builder.bandwidth_skew(true);
+        for round in 0..rounds {
+            let (mut removed, mut added) = (Vec::new(), Vec::new());
+            let (mut joined, mut departed) = (Vec::new(), Vec::new());
+            // Departures: up to 2 live nodes leave entirely.
+            for _ in 0..rng.gen_range(0..3u8) {
+                let alive: Vec<NodeId> = pop.ids_alive().collect();
+                if alive.len() <= 3 { break; }
+                let v = alive[rng.gen_range(0..alive.len())];
+                for u in topo.clear_node(v) {
+                    removed.push((v, u));
+                }
+                pop.retire(v);
+                departed.push(v);
+            }
+            // Joins: up to 2 fresh nodes spawn and bootstrap random edges.
+            for _ in 0..rng.gen_range(0..3u8) {
+                let mut profile = builder.sample_profile(&mut rng);
+                profile.hash_power = pop.mean_alive_hash_power();
+                let id = pop.spawn(profile);
+                topo.grow_to(pop.len());
+                lat.extend_for(&pop);
+                let alive: Vec<NodeId> = pop.ids_alive().collect();
+                for _ in 0..4 {
+                    let u = alive[rng.gen_range(0..alive.len())];
+                    if u != id && topo.connect(id, u).is_ok() {
+                        added.push((id, u));
+                    }
+                }
+                joined.push(id);
+            }
+            // Plus ordinary rewiring among survivors — including edges
+            // removed and re-added within the same round.
+            for _ in 0..2 * n {
+                let a = NodeId::new(rng.gen_range(0..pop.len() as u32));
+                let b = NodeId::new(rng.gen_range(0..pop.len() as u32));
+                if a == b || !pop.is_alive(a) || !pop.is_alive(b) { continue; }
+                if rng.gen_bool(0.6) {
+                    if topo.connect(a, b).is_ok() {
+                        added.push((a, b));
+                    }
+                } else {
+                    let was = topo.are_connected(a, b);
+                    topo.disconnect(a, b);
+                    if was && !topo.are_connected(a, b) {
+                        removed.push((a, b));
+                    }
+                }
+            }
+            if !joined.is_empty() || !departed.is_empty() {
+                pop.renormalize_hash_power();
+            }
+            let delta = WorldDelta { joined, departed };
+            view.apply_world_delta(&delta, &RoundDelta::new(removed, added), &lat, &pop);
+            prop_assert_eq!(
+                &view,
+                &TopologyView::new(&topo, &lat, &pop),
+                "world-delta patch diverged from a fresh build in round {}", round
+            );
         }
     }
 
