@@ -3,6 +3,7 @@
 use perigee_netsim::ConnectionLimits;
 use serde::{Deserialize, Serialize};
 
+use crate::liveness::LivenessConfig;
 use crate::score::ScoringMethod;
 
 /// Configuration of a [`PerigeeEngine`](crate::PerigeeEngine) run.
@@ -29,6 +30,23 @@ pub struct PerigeeConfig {
     /// paper's keep-everything behaviour; stateless strategies
     /// (Vanilla/Subset) are unaffected either way.
     pub score_staleness: f64,
+    /// Stability-gating tolerance (rusty-kaspa's `PerigeeManager`
+    /// behaviour): a node whose blocks-seen count this round deviates
+    /// from the round's block count by more than this fraction skips
+    /// scoring and score-driven rewiring — the round's observations are
+    /// network weather, not neighbor quality — but keeps exploring
+    /// (it drops [`PerigeeConfig::explore`] random outgoing links so the
+    /// refill still draws fresh candidates). The deployed default is
+    /// `0.175`; set to [`f64::INFINITY`] to disable gating entirely.
+    ///
+    /// On a healthy network every node sees every block, so gating never
+    /// fires and consumes no randomness — clean runs are bit-identical
+    /// with gating on or off.
+    pub stability_tolerance: f64,
+    /// Peer-liveness layer: per-peer unresponsiveness timeouts feeding a
+    /// suspect→evict state machine with capped exponential reconnect
+    /// backoff. Disabled by default ([`LivenessConfig::disabled`]).
+    pub liveness: LivenessConfig,
 }
 
 impl PerigeeConfig {
@@ -44,6 +62,8 @@ impl PerigeeConfig {
             percentile: 90.0,
             ucb_c: 50.0,
             score_staleness: 1.0,
+            stability_tolerance: 0.175,
+            liveness: LivenessConfig::disabled(),
         }
     }
 
@@ -77,6 +97,10 @@ impl PerigeeConfig {
         if !(self.score_staleness > 0.0 && self.score_staleness <= 1.0) {
             return Err("score_staleness must be in (0, 1]");
         }
+        if self.stability_tolerance.is_nan() || self.stability_tolerance < 0.0 {
+            return Err("stability_tolerance must be non-negative");
+        }
+        self.liveness.validate()?;
         Ok(())
     }
 }
@@ -105,6 +129,10 @@ mod tests {
         assert_eq!(u.blocks_per_round, 1);
         assert_eq!(u.explore, 0);
         assert_eq!(u.retain_count(), 8);
+
+        // Kaspa's deployed gating tolerance; liveness is opt-in.
+        assert_eq!(c.stability_tolerance, 0.175);
+        assert!(!c.liveness.enabled);
     }
 
     #[test]
@@ -139,5 +167,30 @@ mod tests {
             ..PerigeeConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = PerigeeConfig {
+            stability_tolerance: f64::NAN,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PerigeeConfig {
+            stability_tolerance: -0.1,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PerigeeConfig {
+            liveness: LivenessConfig {
+                enabled: true,
+                suspect_after: 0,
+                ..LivenessConfig::disabled()
+            },
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // Gating disabled via an infinite tolerance is valid.
+        let c = PerigeeConfig {
+            stability_tolerance: f64::INFINITY,
+            ..PerigeeConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 }

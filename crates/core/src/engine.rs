@@ -12,12 +12,14 @@ use rayon::prelude::*;
 
 use perigee_metrics::P2Quantile;
 use perigee_netsim::{
-    BroadcastScratch, ChurnProcess, GossipConfig, GossipScratch, LatencyModel, MinerSampler,
-    NodeId, Population, QueueKind, RoundDelta, SimTime, Topology, TopologyView, WorldDelta,
+    BroadcastScratch, ChurnProcess, FaultPlan, GossipConfig, GossipScratch, LatencyModel,
+    MinerSampler, NodeId, Population, QueueKind, Region, RoundDelta, RoundFaults, SimTime,
+    Topology, TopologyView, WorldDelta,
 };
 
 use crate::config::PerigeeConfig;
 use crate::discovery::AddressBook;
+use crate::liveness::{LivenessTracker, PeerHealth};
 use crate::observation::{ObservationCollector, ObservationStore};
 use crate::score::{ScoringMethod, SelectionStrategy, StatefulSplit};
 
@@ -56,6 +58,14 @@ pub struct RoundStats {
     pub joined: usize,
     /// Nodes that departed this round (including in-place resets).
     pub departed: usize,
+    /// Nodes that skipped scoring this round because their blocks-seen
+    /// count deviated from the round's block count beyond the
+    /// [`PerigeeConfig::stability_tolerance`] — they still explored.
+    pub gated: usize,
+    /// Outgoing connections force-dropped by the peer-liveness layer
+    /// (consecutive silent rounds beyond
+    /// [`LivenessConfig::evict_after`](crate::LivenessConfig)).
+    pub evicted: usize,
 }
 
 /// Drives Perigee rounds over a simulated network.
@@ -118,6 +128,17 @@ pub struct PerigeeEngine<L> {
     /// The node-set change of the most recent round (empty for static
     /// worlds) — observable for tests and experiment harnesses.
     last_delta: WorldDelta,
+    /// The installed link-fault schedule, if any: compiled to a
+    /// [`RoundFaults`] at the top of every round and threaded through
+    /// the propagation phase. `None` (the default) takes the exact
+    /// pre-fault code path.
+    fault_plan: Option<FaultPlan>,
+    /// Run-global count of blocks simulated so far — the global block
+    /// index fault draws are keyed on, so a block's fault pattern does
+    /// not depend on how rounds chunk across threads.
+    blocks_simulated: usize,
+    /// Peer-liveness state; present iff the config enables the layer.
+    liveness: Option<LivenessTracker>,
 }
 
 /// The propagation phase of one round: the flat network-wide observation
@@ -131,6 +152,7 @@ pub struct RoundObservations {
     observations: ObservationStore,
     lambda90_ms: Vec<f64>,
     lambda50_ms: Vec<f64>,
+    seen: Vec<u32>,
 }
 
 impl RoundObservations {
@@ -150,9 +172,21 @@ impl RoundObservations {
         &self.lambda50_ms
     }
 
-    /// Decomposes into `(observations, lambda90_ms, lambda50_ms)`.
-    pub fn into_parts(self) -> (ObservationStore, Vec<f64>, Vec<f64>) {
-        (self.observations, self.lambda90_ms, self.lambda50_ms)
+    /// How many of the round's blocks each node received (finite arrival
+    /// time), in id order — the signal stability gating compares against
+    /// the round's block count.
+    pub fn seen(&self) -> &[u32] {
+        &self.seen
+    }
+
+    /// Decomposes into `(observations, lambda90_ms, lambda50_ms, seen)`.
+    pub fn into_parts(self) -> (ObservationStore, Vec<f64>, Vec<f64>, Vec<u32>) {
+        (
+            self.observations,
+            self.lambda90_ms,
+            self.lambda50_ms,
+            self.seen,
+        )
     }
 }
 
@@ -193,6 +227,10 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         );
         let sampler = MinerSampler::new(&population);
         let adopters = vec![true; population.len()];
+        let liveness = config
+            .liveness
+            .enabled
+            .then(|| LivenessTracker::new(population.len()));
         Ok(PerigeeEngine {
             population,
             latency,
@@ -210,7 +248,52 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             view_rebuilds: 0,
             churn: None,
             last_delta: WorldDelta::default(),
+            fault_plan: None,
+            blocks_simulated: 0,
+            liveness,
         })
+    }
+
+    /// Installs a link-fault schedule: from the next round on, every
+    /// block's propagation runs under the plan's per-link drops, delay
+    /// jitter, duplication, flaps, partitions and regional degradation
+    /// windows (compiled once per round against the current CSR
+    /// snapshot). Fault decisions are pure hashes of
+    /// `(plan seed, round, global block index, edge)` — they consume no
+    /// protocol RNG, so faulted runs stay bit-identical across thread
+    /// counts and queue kinds, and an [`FaultPlan::inert`] plan
+    /// reproduces the no-plan run exactly.
+    ///
+    /// Only [`PerigeeEngine::run_round`] is affected:
+    /// [`PerigeeEngine::evaluate`] and friends keep measuring the
+    /// overlay's intrinsic quality on healthy links.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan's [`FaultPlan::validate`] error, leaving any
+    /// previously installed plan in place.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), &'static str> {
+        plan.validate()?;
+        self.fault_plan = Some(plan);
+        Ok(())
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Removes and returns the installed fault schedule; links heal
+    /// from the next round on.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// The peer-liveness state, if [`LivenessConfig::enabled`]
+    /// ([`crate::LivenessConfig`]) — observability for experiments
+    /// (e.g. counting active reconnect backoffs).
+    pub fn liveness_tracker(&self) -> Option<&LivenessTracker> {
+        self.liveness.as_ref()
     }
 
     /// Installs a node-lifetime process: from the next round on,
@@ -400,18 +483,43 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// snapshot of the engine's current topology, latency model and
     /// population.
     pub fn observe_round_with(&self, view: &TopologyView, miners: &[NodeId]) -> RoundObservations {
+        self.observe_round_faulted(view, miners, None, 0)
+    }
+
+    /// Like [`PerigeeEngine::observe_round_with`] but under a compiled
+    /// round of link faults: every announcement leg runs through
+    /// [`RoundFaults::block`]'s per-edge drop/delay/duplication draws
+    /// (`faults: None` takes the exact fault-free code path). Because a
+    /// block's fault pattern is keyed on its *global* index
+    /// `base_block + position`, not on which worker simulates it, the
+    /// result stays bit-identical across thread counts and queue kinds.
+    pub fn observe_round_faulted(
+        &self,
+        view: &TopologyView,
+        miners: &[NodeId],
+        faults: Option<&RoundFaults>,
+        base_block: usize,
+    ) -> RoundObservations {
         let chunk_count = if self.parallel {
             rayon::current_num_threads().clamp(1, miners.len().max(1))
         } else {
             1
         };
         let chunk_size = miners.len().max(1).div_ceil(chunk_count);
-        let chunks: Vec<&[NodeId]> = miners.chunks(chunk_size).collect();
+        // Each chunk carries its block offset so per-block fault keys
+        // stay global: chunking is a scheduling detail, never a semantic
+        // one.
+        let chunks: Vec<(usize, &[NodeId])> = miners
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| (base_block + ci * chunk_size, chunk))
+            .collect();
 
-        let parts: Vec<(ObservationCollector, Vec<f64>, Vec<f64>)> = match self.mode {
+        type Part = (ObservationCollector, Vec<f64>, Vec<f64>, Vec<u32>);
+        let parts: Vec<Part> = match self.mode {
             PropagationMode::Analytic => chunks
                 .par_iter()
-                .map(|chunk| {
+                .map(|&(start, chunk)| {
                     let mut scratch =
                         BroadcastScratch::with_capacity_and_queue(view.len(), self.queue);
                     let mut collector = ObservationCollector::from_view(view);
@@ -419,19 +527,27 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                     let mut l90 = Vec::with_capacity(chunk.len());
                     let mut l50 = Vec::with_capacity(chunk.len());
                     let mut coverage = [SimTime::ZERO; 2];
-                    for &miner in *chunk {
-                        view.broadcast_into(miner, &mut scratch);
+                    let mut seen = vec![0u32; view.len()];
+                    for (j, &miner) in chunk.iter().enumerate() {
+                        let bf = faults.map(|rf| rf.block(start + j));
+                        view.broadcast_into_faulted(miner, &mut scratch, bf.as_ref());
                         scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
                         l90.push(coverage[0].as_ms());
                         l50.push(coverage[1].as_ms());
-                        collector.record_scratch(view, &scratch);
+                        for (s, t) in seen.iter_mut().zip(scratch.arrivals()) {
+                            *s += u32::from(t.as_ms().is_finite());
+                        }
+                        match &bf {
+                            Some(b) => collector.record_scratch_faulted(view, &scratch, b),
+                            None => collector.record_scratch(view, &scratch),
+                        }
                     }
-                    (collector, l90, l50)
+                    (collector, l90, l50, seen)
                 })
                 .collect(),
             PropagationMode::Gossip(cfg) => chunks
                 .par_iter()
-                .map(|chunk| {
+                .map(|&(start, chunk)| {
                     let mut scratch = GossipScratch::with_capacity_and_queue(
                         view.len(),
                         view.directed_edge_count(),
@@ -442,36 +558,51 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                     let mut l90 = Vec::with_capacity(chunk.len());
                     let mut l50 = Vec::with_capacity(chunk.len());
                     let mut coverage = [SimTime::ZERO; 2];
-                    for &miner in *chunk {
-                        view.gossip_into(miner, &cfg, &mut scratch);
+                    let mut seen = vec![0u32; view.len()];
+                    for (j, &miner) in chunk.iter().enumerate() {
+                        let bf = faults.map(|rf| rf.block(start + j));
+                        view.gossip_into_faulted(miner, &cfg, &mut scratch, bf.as_ref());
                         scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
                         l90.push(coverage[0].as_ms());
                         l50.push(coverage[1].as_ms());
+                        for (s, t) in seen.iter_mut().zip(scratch.arrivals()) {
+                            *s += u32::from(t.as_ms().is_finite());
+                        }
+                        // The gossip scratch's delivery matrix already
+                        // holds the faulted announcement times, so the
+                        // fault-free collector reads it unchanged.
                         collector.record_gossip_scratch(view, &scratch);
                     }
-                    (collector, l90, l50)
+                    (collector, l90, l50, seen)
                 })
                 .collect(),
         };
 
-        // Merge chunks back in block order.
+        // Merge chunks back in block order; per-node seen counts are
+        // integer sums, so elementwise accumulation is order-exact.
         let mut parts = parts.into_iter();
-        let (mut collector, mut lambda90_ms, mut lambda50_ms) = parts.next().unwrap_or_else(|| {
-            (
-                ObservationCollector::from_view(view),
-                Vec::new(),
-                Vec::new(),
-            )
-        });
-        for (c, l90, l50) in parts {
+        let (mut collector, mut lambda90_ms, mut lambda50_ms, mut seen) =
+            parts.next().unwrap_or_else(|| {
+                (
+                    ObservationCollector::from_view(view),
+                    Vec::new(),
+                    Vec::new(),
+                    vec![0u32; view.len()],
+                )
+            });
+        for (c, l90, l50, s) in parts {
             collector.append(c);
             lambda90_ms.extend(l90);
             lambda50_ms.extend(l50);
+            for (acc, x) in seen.iter_mut().zip(s) {
+                *acc += x;
+            }
         }
         RoundObservations {
             observations: collector.finish(),
             lambda90_ms,
             lambda50_ms,
+            seen,
         }
     }
 
@@ -489,12 +620,59 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 TopologyView::new(&self.topology, &self.latency, &self.population)
             }
         };
-        let round_obs = self.observe_round_with(&view, &miners);
-        let (observations, lambda90, lambda50) = round_obs.into_parts();
+        // Compile this round's link faults against the carried snapshot
+        // (`None` — the common case — costs nothing); key every block on
+        // its run-global index so fault patterns are chunking-invariant.
+        let faults = self.fault_plan.as_ref().and_then(|plan| {
+            let regions: Vec<Region> = self.population.iter().map(|p| p.region).collect();
+            let compiled = plan.compile(self.round, &view, &regions);
+            // A round that compiles to no faults (inert plan, or a
+            // windowed plan outside its windows) takes the untouched
+            // zero-fault hot path.
+            (!compiled.is_inert()).then_some(compiled)
+        });
+        let base_block = self.blocks_simulated;
+        let round_obs = self.observe_round_faulted(&view, &miners, faults.as_ref(), base_block);
+        self.blocks_simulated += miners.len();
+        let (observations, lambda90, lambda50, seen) = round_obs.into_parts();
         // Left-fold in block order: the exact accumulation order of the
         // legacy sequential loop, so the means are bit-identical.
         let sum90: f64 = lambda90.iter().sum();
         let sum50: f64 = lambda50.iter().sum();
+
+        // Stability gating (rusty-kaspa's `PerigeeManager` behaviour): a
+        // node whose view of the round was visibly degraded — its
+        // blocks-seen count deviates from the round's block count beyond
+        // the tolerance — must not read the round's timings as a
+        // neighbor-quality signal: that is network weather, not neighbor
+        // slowness. Gated nodes skip scoring (and UCB history
+        // absorption) below, but keep exploring. On a healthy network
+        // every node sees every block, so this mask is all-false and the
+        // round is bit-identical to an ungated one.
+        let tol = self.config.stability_tolerance;
+        let mut gated = Vec::new();
+        if tol.is_finite() {
+            gated = (0..self.population.len())
+                .map(|i| {
+                    self.adopters[i]
+                        && self.population.is_alive(NodeId::new(i as u32))
+                        && k.saturating_sub(seen[i] as usize) as f64 > tol * k as f64
+                })
+                .collect();
+        }
+        let gated_any = gated.iter().any(|&g| g);
+        let effective: Vec<bool>;
+        let score_adopters: &[bool] = if gated_any {
+            effective = self
+                .adopters
+                .iter()
+                .zip(&gated)
+                .map(|(&a, &g)| a && !g)
+                .collect();
+            &effective
+        } else {
+            &self.adopters
+        };
 
         // Phase 1: every adopter decides which outgoing neighbors to keep,
         // based on the same synchronous snapshot. Nodes score
@@ -507,13 +685,14 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         // ([`SelectionStrategy::split_stateful`]), so each worker mutates
         // only its own chunk's state. Neither path consumes RNG, so the
         // stream matches the sequential loop either way.
-        let drops: Vec<(NodeId, Vec<NodeId>)> = if self.parallel && self.strategy.is_stateless() {
+        let mut drops: Vec<(NodeId, Vec<NodeId>)> = if self.parallel && self.strategy.is_stateless()
+        {
             let n = self.population.len();
             let ids: Vec<u32> = (0..n as u32).collect();
             let chunk_count = rayon::current_num_threads().clamp(1, n.max(1));
             let chunk_size = n.max(1).div_ceil(chunk_count);
             let chunks: Vec<&[u32]> = ids.chunks(chunk_size).collect();
-            let (strategy, topology, adopters) = (&self.strategy, &self.topology, &self.adopters);
+            let (strategy, topology, adopters) = (&self.strategy, &self.topology, score_adopters);
             let observations = &observations;
             let parts: Vec<Vec<(NodeId, Vec<NodeId>)>> = chunks
                 .par_iter()
@@ -530,7 +709,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 .max(1)
                 .div_ceil(rayon::current_num_threads().clamp(1, n.max(1)));
             let (strategy, topology, adopters) =
-                (&mut self.strategy, &self.topology, &self.adopters);
+                (&mut self.strategy, &self.topology, score_adopters);
             let observations = &observations;
             let StatefulSplit { scorer, states } =
                 strategy.split_stateful().expect("checked above");
@@ -560,12 +739,88 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             parts.into_iter().flatten().collect()
         } else {
             let (strategy, topology, adopters) =
-                (&mut self.strategy, &self.topology, &self.adopters);
+                (&mut self.strategy, &self.topology, score_adopters);
             let observations = &observations;
             compute_drops(0..self.population.len() as u32, adopters, topology, {
                 |v, outgoing| strategy.retain(v, outgoing, observations.node(v), &mut *rng)
             })
         };
+
+        // Gated nodes still explore, but conservatively: each drops one
+        // random outgoing link (bounded by the explore budget) so the
+        // refill below draws a fresh candidate — the escape hatch that
+        // keeps a weather-wedged topology moving without scrambling the
+        // learned neighborhood while its quality signal is unreadable.
+        // A node gated through a long outage thus keeps most of its
+        // pre-outage links, which is the point of gating: transient
+        // weather must not evict durable good peers. Sequential and
+        // id-ordered, and RNG is consumed only when gating actually
+        // fired, so clean runs stay bit-identical.
+        let mut gated_count = 0usize;
+        if gated_any {
+            let explore = self.config.explore.min(1);
+            for (i, &is_gated) in gated.iter().enumerate() {
+                if !is_gated {
+                    continue;
+                }
+                gated_count += 1;
+                if explore == 0 {
+                    continue;
+                }
+                let v = NodeId::new(i as u32);
+                let mut outgoing = self.topology.outgoing_vec(v);
+                if outgoing.is_empty() {
+                    continue;
+                }
+                outgoing.shuffle(rng);
+                outgoing.truncate(explore);
+                drops.push((v, outgoing));
+            }
+        }
+
+        // Peer liveness: feed the round's deliveries to the tracker and
+        // force-drop connections whose far side has been silent past the
+        // eviction threshold; evicted peers go under reconnect backoff
+        // so the refill below stops redrawing them until it expires.
+        let mut evicted_count = 0usize;
+        if let Some(tracker) = &mut self.liveness {
+            let lcfg = self.config.liveness;
+            let round = self.round as u64;
+            let mut verdicts = Vec::new();
+            for (i, &seen_i) in seen.iter().enumerate().take(self.population.len()) {
+                let v = NodeId::new(i as u32);
+                if !self.population.is_alive(v) {
+                    continue;
+                }
+                let outgoing = self.topology.outgoing_vec(v);
+                if outgoing.is_empty() {
+                    continue;
+                }
+                let obs = observations.node(v);
+                let mut delivered = |u: NodeId| obs.times_for(u).any(|t| t.is_finite());
+                tracker.observe(
+                    &lcfg,
+                    v,
+                    &outgoing,
+                    seen_i > 0,
+                    &mut delivered,
+                    &mut verdicts,
+                );
+                let mut dead = Vec::new();
+                for (&u, &verdict) in outgoing.iter().zip(verdicts.iter()) {
+                    if verdict == PeerHealth::Evict {
+                        dead.push(u);
+                        tracker.note_failure(&lcfg, v, u, round);
+                    } else if delivered(u) {
+                        tracker.note_success(v, u);
+                    }
+                }
+                if !dead.is_empty() {
+                    evicted_count += dead.len();
+                    drops.push((v, dead));
+                }
+            }
+        }
 
         // Phase 2: apply all disconnections first (freeing incoming slots
         // network-wide), then let the world itself move, then refill in
@@ -577,6 +832,12 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         let mut dropped_total = 0;
         for (v, dropped) in &drops {
             for &u in dropped {
+                if !self.topology.are_connected(*v, u) {
+                    // Already severed by an earlier drop entry this
+                    // round (a gated exploration drop and a liveness
+                    // eviction may pick the same link).
+                    continue;
+                }
                 self.topology.disconnect(*v, u);
                 self.strategy.on_disconnect(*v, u);
                 if !self.topology.are_connected(*v, u) {
@@ -645,6 +906,8 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             dropped: dropped_total,
             joined,
             departed,
+            gated: gated_count,
+            evicted: evicted_count,
         }
     }
 
@@ -678,6 +941,9 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             if let Some(book) = &mut self.address_book {
                 book.retire(v);
             }
+            if let Some(tracker) = &mut self.liveness {
+                tracker.retire(v);
+            }
             departed.push(v);
         }
         let mut resets = Vec::new();
@@ -692,6 +958,9 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             self.teardown_node(v, removed, true);
             if let Some(book) = &mut self.address_book {
                 book.retire(v);
+            }
+            if let Some(tracker) = &mut self.liveness {
+                tracker.retire(v);
             }
             resets.push(v);
             departed.push(v);
@@ -717,6 +986,9 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             self.latency.extend_for(&self.population);
             if let Some(book) = &mut self.address_book {
                 book.grow_to(self.population.len());
+            }
+            if let Some(tracker) = &mut self.liveness {
+                tracker.grow_to(self.population.len());
             }
             self.seed_books(&spawned, rng);
         }
@@ -801,6 +1073,9 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     pub fn churn_reset<R: Rng>(&mut self, v: NodeId, rng: &mut R) {
         let mut removed = Vec::new();
         self.teardown_node(v, &mut removed, true);
+        if let Some(tracker) = &mut self.liveness {
+            tracker.retire(v);
+        }
         let mut added = Vec::new();
         self.fill_random_connections(v, rng, Some(&mut added));
         if let Some(view) = self.view.as_mut() {
@@ -903,6 +1178,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             .limits
             .dout
             .min(self.population.alive_count().saturating_sub(1));
+        let round = self.round as u64;
         let mut attempts = 0;
         while self.topology.out_degree(v) < dout && attempts < 100 * dout.max(1) {
             attempts += 1;
@@ -915,8 +1191,20 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             };
             if u == v || !self.population.is_alive(u) {
                 // Dead slots (and stale address-book entries pointing at
-                // departed nodes) are rejected at connect time.
+                // departed nodes) are rejected at connect time; with the
+                // liveness layer on, the failed address goes under
+                // backoff so later rounds stop redrawing it.
+                if u != v {
+                    if let Some(tracker) = &mut self.liveness {
+                        tracker.note_failure(&self.config.liveness, v, u, round);
+                    }
+                }
                 continue;
+            }
+            if let Some(tracker) = &self.liveness {
+                if tracker.backed_off(v, u, round) {
+                    continue;
+                }
             }
             if self.topology.connect(v, u).is_ok() {
                 if let Some(log) = added.as_deref_mut() {

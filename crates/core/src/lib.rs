@@ -86,6 +86,7 @@ pub mod adversary;
 pub mod config;
 pub mod discovery;
 pub mod engine;
+pub mod liveness;
 pub mod observation;
 pub mod score;
 
@@ -96,6 +97,7 @@ pub use engine::{
     evaluate_topology, evaluate_topology_multi, evaluate_topology_multi_with_queue, PerigeeEngine,
     PropagationMode, RoundObservations, RoundStats,
 };
+pub use liveness::{LivenessConfig, LivenessTracker, PeerHealth};
 pub use observation::{NodeObservations, ObservationCollector, ObservationStore, TimesIter};
 pub use score::{
     NodeHistory, ScoringMethod, SelectionStrategy, StatefulScorer, StatefulSplit, SubsetScoring,

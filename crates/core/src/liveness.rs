@@ -1,0 +1,474 @@
+//! Peer liveness: unresponsiveness timeouts, a suspect→evict state
+//! machine, and capped exponential reconnect backoff.
+//!
+//! Perigee's scoring already punishes *slow* peers; what it lacks is a
+//! story for peers that stop responding entirely — a crashed node behind
+//! a flapping link, the far side of a partition, a stale address-book
+//! entry. The [`LivenessTracker`] watches each node's outgoing neighbors
+//! round over round: a neighbor that delivered nothing in a round where
+//! the node itself saw blocks is *silent*; after
+//! [`LivenessConfig::suspect_after`] consecutive silent rounds it becomes
+//! a suspect, and after [`LivenessConfig::evict_after`] the connection is
+//! force-dropped in the engine's disconnect phase (counted in
+//! [`RoundStats::evicted`](crate::RoundStats)). Evicted and
+//! connect-failed addresses go under capped exponential backoff so the
+//! refill phase — and joiners bootstrapping through the
+//! [`AddressBook`](crate::AddressBook) — don't hammer dead addresses;
+//! once the backoff expires the peer becomes a normal candidate again,
+//! which is what lets a healed partition re-knit.
+//!
+//! Everything here is deterministic: state advances only from the
+//! engine's per-round observations (no clocks, no RNG), so runs with the
+//! tracker enabled stay bit-identical across thread counts.
+
+use serde::{Deserialize, Serialize};
+
+use perigee_netsim::NodeId;
+
+/// Configuration of the peer-liveness layer. Disabled by default —
+/// enable it per run via [`PerigeeConfig::liveness`](crate::PerigeeConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LivenessConfig {
+    /// Master switch; when `false` the tracker is never consulted and
+    /// the engine behaves exactly as without the layer.
+    pub enabled: bool,
+    /// Consecutive silent rounds before a neighbor becomes a suspect.
+    pub suspect_after: u32,
+    /// Consecutive silent rounds before the connection is force-dropped
+    /// (must be `>= suspect_after`).
+    pub evict_after: u32,
+    /// Backoff after the first eviction/failed connect, in rounds.
+    pub backoff_base: u32,
+    /// Backoff cap, in rounds (the exponential doubling stops here).
+    pub backoff_max: u32,
+}
+
+impl LivenessConfig {
+    /// The layer switched off.
+    pub const fn disabled() -> Self {
+        LivenessConfig {
+            enabled: false,
+            suspect_after: 2,
+            evict_after: 4,
+            backoff_base: 2,
+            backoff_max: 32,
+        }
+    }
+
+    /// A reasonable enabled default: suspect after 2 silent rounds,
+    /// evict after 4, retry under backoff 2 → 4 → 8 → … capped at 32
+    /// rounds.
+    pub const fn aggressive() -> Self {
+        LivenessConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.suspect_after == 0 {
+            return Err("liveness suspect_after must be positive");
+        }
+        if self.evict_after < self.suspect_after {
+            return Err("liveness evict_after must be >= suspect_after");
+        }
+        if self.backoff_base == 0 {
+            return Err("liveness backoff_base must be positive");
+        }
+        if self.backoff_max < self.backoff_base {
+            return Err("liveness backoff_max must be >= backoff_base");
+        }
+        Ok(())
+    }
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Liveness verdict for one outgoing connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Delivering normally (or not yet silent long enough to suspect).
+    Healthy,
+    /// Silent for `suspect_after..evict_after` consecutive rounds.
+    Suspect,
+    /// Silent for `evict_after`+ rounds: the engine must drop it.
+    Evict,
+}
+
+/// Per-(node, peer) reconnect backoff record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Backoff {
+    peer: u32,
+    /// First round the peer may be retried.
+    until_round: u64,
+    /// How many times this peer has been backed off (drives doubling).
+    attempts: u32,
+}
+
+/// Tracks per-outgoing-neighbor silence and reconnect backoff for every
+/// node. All state is keyed by stable [`NodeId`]s and updated in id
+/// order, so the tracker is deterministic by construction.
+#[derive(Debug, Clone, Default)]
+pub struct LivenessTracker {
+    /// `silent[v]`: (peer, consecutive silent rounds) per outgoing
+    /// neighbor of `v`, sorted by peer id. Rebuilt incrementally: entries
+    /// for dropped neighbors are pruned on observation.
+    silent: Vec<Vec<(u32, u32)>>,
+    /// `backoff[v]`: active reconnect backoffs, sorted by peer id.
+    backoff: Vec<Vec<Backoff>>,
+}
+
+impl LivenessTracker {
+    /// A tracker for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        LivenessTracker {
+            silent: vec![Vec::new(); n],
+            backoff: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of tracked node slots.
+    pub fn len(&self) -> usize {
+        self.silent.len()
+    }
+
+    /// Returns `true` if the tracker covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.silent.is_empty()
+    }
+
+    /// Grows the tracker to cover `n` node slots (churn arrivals).
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.silent.len() {
+            self.silent.resize(n, Vec::new());
+            self.backoff.resize(n, Vec::new());
+        }
+    }
+
+    /// Forgets all state held *by* node `v` (churn departure or reset),
+    /// and its silence counters held by others against `v` — a departed
+    /// id never returns, and a reset node starts over.
+    pub fn retire(&mut self, v: NodeId) {
+        let vi = v.index();
+        if vi < self.silent.len() {
+            self.silent[vi].clear();
+            self.backoff[vi].clear();
+        }
+        let id = v.as_u32();
+        for s in &mut self.silent {
+            s.retain(|&(peer, _)| peer != id);
+        }
+    }
+
+    /// Feeds one round of observations for node `v`: `outgoing` is its
+    /// current outgoing-neighbor list and `delivered(u)` reports whether
+    /// peer `u` delivered anything to `v` this round. Counters only
+    /// advance when `saw_blocks` is true — a node that saw nothing at all
+    /// cannot distinguish a dead peer from its own disconnection, so the
+    /// round is uninformative (this is also what keeps the layer from
+    /// evicting everyone during a global outage). Returns the verdict per
+    /// outgoing peer, aligned with `outgoing`.
+    pub fn observe(
+        &mut self,
+        config: &LivenessConfig,
+        v: NodeId,
+        outgoing: &[NodeId],
+        saw_blocks: bool,
+        mut delivered: impl FnMut(NodeId) -> bool,
+        verdicts: &mut Vec<PeerHealth>,
+    ) {
+        verdicts.clear();
+        let slot = &mut self.silent[v.index()];
+        if !saw_blocks {
+            // Uninformative round: keep counters, report current state.
+            for &u in outgoing {
+                let c = slot
+                    .iter()
+                    .find(|&&(peer, _)| peer == u.as_u32())
+                    .map_or(0, |&(_, c)| c);
+                verdicts.push(Self::verdict(config, c));
+            }
+            return;
+        }
+        let mut next: Vec<(u32, u32)> = Vec::with_capacity(outgoing.len());
+        for &u in outgoing {
+            let prev = slot
+                .iter()
+                .find(|&&(peer, _)| peer == u.as_u32())
+                .map_or(0, |&(_, c)| c);
+            let c = if delivered(u) { 0 } else { prev + 1 };
+            next.push((u.as_u32(), c));
+            verdicts.push(Self::verdict(config, c));
+        }
+        *slot = next;
+    }
+
+    #[inline]
+    fn verdict(config: &LivenessConfig, consecutive_silent: u32) -> PeerHealth {
+        if consecutive_silent >= config.evict_after {
+            PeerHealth::Evict
+        } else if consecutive_silent >= config.suspect_after {
+            PeerHealth::Suspect
+        } else {
+            PeerHealth::Healthy
+        }
+    }
+
+    /// Puts `peer` under (or deeper into) backoff for node `v` starting
+    /// from `round`: the retry delay doubles per recorded failure, capped
+    /// at [`LivenessConfig::backoff_max`].
+    pub fn note_failure(&mut self, config: &LivenessConfig, v: NodeId, peer: NodeId, round: u64) {
+        let slot = &mut self.backoff[v.index()];
+        let id = peer.as_u32();
+        match slot.iter_mut().find(|b| b.peer == id) {
+            Some(b) => {
+                b.attempts = b.attempts.saturating_add(1);
+                let delay = config
+                    .backoff_base
+                    .saturating_mul(1u32.checked_shl(b.attempts.min(16)).unwrap_or(u32::MAX))
+                    .min(config.backoff_max);
+                b.until_round = round + u64::from(delay);
+            }
+            None => {
+                let insert_at = slot.partition_point(|b| b.peer < id);
+                slot.insert(
+                    insert_at,
+                    Backoff {
+                        peer: id,
+                        until_round: round + u64::from(config.backoff_base.min(config.backoff_max)),
+                        attempts: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Clears any backoff `v` holds against `peer` (successful connect
+    /// with deliveries, or the peer departed).
+    pub fn note_success(&mut self, v: NodeId, peer: NodeId) {
+        let id = peer.as_u32();
+        self.backoff[v.index()].retain(|b| b.peer != id);
+    }
+
+    /// Is `peer` currently under backoff for node `v` at `round`?
+    #[inline]
+    pub fn backed_off(&self, v: NodeId, peer: NodeId, round: u64) -> bool {
+        let id = peer.as_u32();
+        self.backoff[v.index()]
+            .iter()
+            .any(|b| b.peer == id && round < b.until_round)
+    }
+
+    /// Number of active backoff records across all nodes at `round`.
+    pub fn active_backoffs(&self, round: u64) -> usize {
+        self.backoff
+            .iter()
+            .map(|s| s.iter().filter(|b| round < b.until_round).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LivenessConfig {
+        LivenessConfig::aggressive()
+    }
+
+    fn ids(xs: &[u32]) -> Vec<NodeId> {
+        xs.iter().map(|&x| NodeId::new(x)).collect()
+    }
+
+    #[test]
+    fn silence_escalates_healthy_suspect_evict_and_resets_on_delivery() {
+        let c = cfg();
+        let mut t = LivenessTracker::new(4);
+        let v = NodeId::new(0);
+        let out = ids(&[1, 2]);
+        let mut verdicts = Vec::new();
+        // Peer 1 delivers every round, peer 2 never does.
+        for round in 0..4 {
+            t.observe(&c, v, &out, true, |u| u.as_u32() == 1, &mut verdicts);
+            let expected = match round {
+                0 => PeerHealth::Healthy, // 1 silent round
+                1 => PeerHealth::Suspect, // 2
+                2 => PeerHealth::Suspect, // 3
+                _ => PeerHealth::Evict,   // 4 = evict_after
+            };
+            assert_eq!(
+                verdicts,
+                vec![PeerHealth::Healthy, expected],
+                "round {round}"
+            );
+        }
+        // One delivery wipes the record.
+        t.observe(&c, v, &out, true, |_| true, &mut verdicts);
+        assert_eq!(verdicts, vec![PeerHealth::Healthy; 2]);
+        t.observe(&c, v, &out, true, |u| u.as_u32() == 1, &mut verdicts);
+        assert_eq!(
+            verdicts,
+            vec![PeerHealth::Healthy; 2],
+            "counter must restart"
+        );
+    }
+
+    #[test]
+    fn uninformative_rounds_freeze_counters() {
+        let c = cfg();
+        let mut t = LivenessTracker::new(3);
+        let v = NodeId::new(0);
+        let out = ids(&[1]);
+        let mut verdicts = Vec::new();
+        t.observe(&c, v, &out, true, |_| false, &mut verdicts);
+        // Many rounds where v itself saw nothing: no escalation.
+        for _ in 0..10 {
+            t.observe(&c, v, &out, false, |_| false, &mut verdicts);
+            assert_eq!(verdicts, vec![PeerHealth::Healthy]);
+        }
+        t.observe(&c, v, &out, true, |_| false, &mut verdicts);
+        assert_eq!(verdicts, vec![PeerHealth::Suspect], "2nd informative round");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_and_clears() {
+        let c = cfg();
+        let mut t = LivenessTracker::new(2);
+        let (v, p) = (NodeId::new(0), NodeId::new(1));
+        t.note_failure(&c, v, p, 10);
+        assert!(t.backed_off(v, p, 10));
+        assert!(t.backed_off(v, p, 11));
+        assert!(!t.backed_off(v, p, 12), "base backoff is 2 rounds");
+        t.note_failure(&c, v, p, 12); // attempt 1 → 4 rounds
+        assert!(t.backed_off(v, p, 15));
+        assert!(!t.backed_off(v, p, 16));
+        for round in [16u64, 17, 18, 19, 20] {
+            t.note_failure(&c, v, p, round);
+        }
+        // Deep failure history: delay is capped at backoff_max.
+        assert!(t.backed_off(v, p, 20 + u64::from(c.backoff_max) - 1));
+        assert!(!t.backed_off(v, p, 20 + u64::from(c.backoff_max)));
+        t.note_success(v, p);
+        assert!(!t.backed_off(v, p, 21));
+        assert_eq!(t.active_backoffs(21), 0);
+    }
+
+    #[test]
+    fn retire_forgets_both_directions() {
+        let c = cfg();
+        let mut t = LivenessTracker::new(3);
+        let mut verdicts = Vec::new();
+        // 0 suspects 1; 1 suspects 2; 0 backs off 2.
+        for _ in 0..2 {
+            t.observe(
+                &c,
+                NodeId::new(0),
+                &ids(&[1]),
+                true,
+                |_| false,
+                &mut verdicts,
+            );
+            t.observe(
+                &c,
+                NodeId::new(1),
+                &ids(&[2]),
+                true,
+                |_| false,
+                &mut verdicts,
+            );
+        }
+        t.note_failure(&c, NodeId::new(0), NodeId::new(2), 0);
+        t.retire(NodeId::new(1));
+        // 1's own state is gone and 0's counters against 1 are gone.
+        t.observe(
+            &c,
+            NodeId::new(0),
+            &ids(&[1]),
+            true,
+            |_| false,
+            &mut verdicts,
+        );
+        assert_eq!(verdicts, vec![PeerHealth::Healthy]);
+        t.observe(
+            &c,
+            NodeId::new(1),
+            &ids(&[2]),
+            true,
+            |_| false,
+            &mut verdicts,
+        );
+        assert_eq!(verdicts, vec![PeerHealth::Healthy]);
+        // Unrelated backoff survives.
+        assert!(t.backed_off(NodeId::new(0), NodeId::new(2), 1));
+    }
+
+    #[test]
+    fn grow_to_extends_without_touching_existing_state() {
+        let c = cfg();
+        let mut t = LivenessTracker::new(2);
+        let mut verdicts = Vec::new();
+        for _ in 0..2 {
+            t.observe(
+                &c,
+                NodeId::new(0),
+                &ids(&[1]),
+                true,
+                |_| false,
+                &mut verdicts,
+            );
+        }
+        t.grow_to(5);
+        assert_eq!(t.len(), 5);
+        t.observe(
+            &c,
+            NodeId::new(0),
+            &ids(&[1]),
+            true,
+            |_| false,
+            &mut verdicts,
+        );
+        assert_eq!(verdicts, vec![PeerHealth::Suspect]);
+        t.observe(
+            &c,
+            NodeId::new(4),
+            &ids(&[0]),
+            true,
+            |_| false,
+            &mut verdicts,
+        );
+        assert_eq!(verdicts, vec![PeerHealth::Healthy]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LivenessConfig::disabled().validate().is_ok());
+        assert!(LivenessConfig::aggressive().validate().is_ok());
+        let bad = LivenessConfig {
+            evict_after: 1,
+            suspect_after: 2,
+            enabled: true,
+            ..LivenessConfig::disabled()
+        };
+        assert!(bad.validate().is_err());
+        let bad = LivenessConfig {
+            backoff_base: 0,
+            enabled: true,
+            ..LivenessConfig::disabled()
+        };
+        assert!(bad.validate().is_err());
+        // A disabled config is never validated further.
+        let off = LivenessConfig {
+            suspect_after: 0,
+            ..LivenessConfig::disabled()
+        };
+        assert!(off.validate().is_ok());
+    }
+}

@@ -435,6 +435,66 @@ impl ObservationCollector {
         self.store.blocks += 1;
     }
 
+    /// [`ObservationCollector::record_scratch`] for a flood run through
+    /// [`TopologyView::broadcast_into_faulted`]: per-neighbor delivery
+    /// times replay the *faulted* announcement leg. The announcement that
+    /// reaches node `v` over its row entry `e` (neighbor `u`) crossed the
+    /// opposite directed edge `reverse[e]` — the entry the flood itself
+    /// consulted — so the same [`BlockFaults`](perigee_netsim::BlockFaults)
+    /// lens reproduces the exact crossing:
+    /// `relay(u) + announce_leg(reverse[e], δ)`, or `∞` when
+    /// that announcement was dropped or its link was down.
+    ///
+    /// The non-miner fast path still holds under faults: the first
+    /// arrival *is* the minimum faulted delivery over the row (both are
+    /// computed from the same floats by the same lens), so normalization
+    /// fuses into the fill loop exactly as in the fault-free path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view covers a different number of nodes than this
+    /// collector.
+    pub fn record_scratch_faulted(
+        &mut self,
+        view: &TopologyView,
+        scratch: &BroadcastScratch,
+        faults: &perigee_netsim::BlockFaults<'_>,
+    ) {
+        assert_eq!(self.store.len(), view.len(), "view/collector size mismatch");
+        let relay_at = scratch.relay_starts();
+        let source = scratch.source();
+        let edges = view.csr_edges();
+        let delays = view.csr_delays();
+        let reverse = view.csr_reverse();
+        let offsets = view.csr_offsets();
+        // The faulted delivery of `v`'s row entry `e`: ∞ when the
+        // announcement never crossed, else the announcer's relay start
+        // plus the faulted leg (∞ + finite = ∞ covers silent relays).
+        let leg = |e: usize| -> f64 {
+            let rev = reverse[e] as usize;
+            match faults.announce_leg(rev, delays[rev]) {
+                Some(l) => (relay_at[edges[e] as usize] + l).as_ms(),
+                None => f64::INFINITY,
+            }
+        };
+        for i in 0..self.store.len() {
+            let v = NodeId::new(i as u32);
+            let (start, end) = (offsets[i], offsets[i + 1]);
+            let arrival = scratch.arrival(v);
+            if v != source && arrival.is_finite() {
+                let min = arrival.as_ms();
+                self.store
+                    .times
+                    .extend((start..end).map(|e| (leg(e) - min) as f32));
+            } else {
+                self.row.clear();
+                self.row.extend((start..end).map(leg));
+                self.push_normalized_row();
+            }
+        }
+        self.store.blocks += 1;
+    }
+
     /// Appends another collector's blocks after this one's, in order —
     /// the merge step of the engine's parallel fan-out (each worker
     /// collects a contiguous chunk of the round's blocks; appending the

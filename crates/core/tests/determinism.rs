@@ -309,6 +309,155 @@ fn churny_rounds_are_thread_and_queue_independent() {
     }
 }
 
+/// The fault layer keeps every determinism guarantee: a 50-round run
+/// under an *active* `FaultPlan` — burst loss, flapping links, a timed
+/// partition — with churn, stability gating and liveness eviction all
+/// firing, is bit-identical across thread counts (1, 2 and 8 pinned
+/// rayon pools) and across both priority-queue kinds. Fault decisions
+/// are pure hashes of `(seed, round, global block, edge)` and the
+/// degradation machinery consumes RNG in a fixed sequential order, so
+/// nothing about the schedule can depend on the execution interleaving.
+#[test]
+fn fault_injected_rounds_are_thread_and_queue_independent() {
+    use perigee_core::RoundStats;
+    use perigee_netsim::{
+        ChurnProcess, FaultPlan, FaultWindow, LinkFaultRates, LinkFlaps, PartitionWindow, QueueKind,
+    };
+
+    let plan = FaultPlan {
+        seed: 0xFA17,
+        base: LinkFaultRates {
+            drop_prob: 0.03,
+            extra_delay: SimTime::from_ms(2.0),
+            jitter: SimTime::from_ms(10.0),
+            duplicate_prob: 0.05,
+        },
+        windows: vec![FaultWindow {
+            start: 8,
+            end: 16,
+            rates: LinkFaultRates {
+                drop_prob: 0.6,
+                extra_delay: SimTime::from_ms(20.0),
+                jitter: SimTime::from_ms(40.0),
+                duplicate_prob: 0.0,
+            },
+        }],
+        flaps: Some(LinkFlaps {
+            fraction: 0.1,
+            period: 6,
+            down: 2,
+        }),
+        partitions: vec![PartitionWindow {
+            start: 22,
+            heal: 34,
+            fraction: 0.3,
+        }],
+        regional: Vec::new(),
+    };
+
+    let run = |threads: Option<usize>, kind: QueueKind| {
+        // Hand-built engine: liveness on, so suspect→evict and backoff
+        // state also prove themselves execution-order independent.
+        let mut rng = StdRng::seed_from_u64(67);
+        let pop = PopulationBuilder::new(80).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, 67);
+        let topo =
+            RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+        let mut cfg = PerigeeConfig::paper_default(ScoringMethod::Subset);
+        cfg.blocks_per_round = 8;
+        cfg.liveness = perigee_core::LivenessConfig::aggressive();
+        let mut e = PerigeeEngine::new(pop, lat, topo, ScoringMethod::Subset, cfg).unwrap();
+        e.set_queue_kind(kind);
+        e.set_churn(ChurnProcess::steady_state(80, 0.03, 107));
+        e.set_fault_plan(plan.clone()).unwrap();
+        let stats = {
+            let rounds =
+                |e: &mut PerigeeEngine<GeoLatencyModel>, rng: &mut StdRng| -> Vec<RoundStats> {
+                    (0..50).map(|_| e.run_round(rng)).collect()
+                };
+            match threads {
+                None => rounds(&mut e, &mut rng),
+                Some(t) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .unwrap()
+                    .install(|| rounds(&mut e, &mut rng)),
+            }
+        };
+        assert_eq!(e.view_rebuilds(), 1, "faulted rounds must still patch");
+        e.assert_view_consistency();
+        (stats, e.topology().clone(), e.population().clone())
+    };
+
+    let (ref_stats, ref_topo, ref_pop) = run(None, QueueKind::Calendar);
+    assert!(
+        ref_stats.iter().any(|s| s.gated > 0),
+        "the burst window must trip stability gating for this test to bite"
+    );
+    assert!(
+        ref_stats.iter().any(|s| s.joined > 0) && ref_stats.iter().any(|s| s.departed > 0),
+        "churn must fire under faults too"
+    );
+    for (threads, kind) in [
+        (Some(1), QueueKind::Calendar),
+        (Some(2), QueueKind::BinaryHeap),
+        (Some(8), QueueKind::Calendar),
+        (Some(1), QueueKind::BinaryHeap),
+        (Some(8), QueueKind::BinaryHeap),
+    ] {
+        let (stats, topo, pop) = run(threads, kind);
+        assert_eq!(
+            stats, ref_stats,
+            "faulted RoundStats diverged at {threads:?} threads on {kind:?}"
+        );
+        assert_eq!(topo, ref_topo, "topology diverged at {threads:?}/{kind:?}");
+        assert_eq!(pop, ref_pop, "population diverged at {threads:?}/{kind:?}");
+    }
+}
+
+/// Fault-injected *gossip* rounds (message-level INV/GETDATA) are
+/// likewise queue-kind and thread-count independent.
+#[test]
+fn fault_injected_gossip_rounds_are_queue_kind_independent() {
+    use perigee_core::RoundStats;
+    use perigee_netsim::{FaultPlan, LinkFaultRates, QueueKind};
+
+    let plan = FaultPlan {
+        base: LinkFaultRates {
+            drop_prob: 0.15,
+            extra_delay: SimTime::from_ms(5.0),
+            jitter: SimTime::from_ms(25.0),
+            duplicate_prob: 0.2,
+        },
+        ..FaultPlan::inert(0xBEEF)
+    };
+    let run = |threads: Option<usize>, kind: QueueKind| {
+        let (mut e, mut rng) = engine(70, 10, 71);
+        e.set_propagation_mode(PropagationMode::Gossip(GossipConfig::inv_getdata(0.0)));
+        e.set_queue_kind(kind);
+        e.set_fault_plan(plan.clone()).unwrap();
+        let rounds: Vec<RoundStats> = match threads {
+            None => (0..12).map(|_| e.run_round(&mut rng)).collect(),
+            Some(t) => rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap()
+                .install(|| (0..12).map(|_| e.run_round(&mut rng)).collect()),
+        };
+        (rounds, e.topology().clone())
+    };
+    let (ref_stats, ref_topo) = run(None, QueueKind::Calendar);
+    for (threads, kind) in [
+        (Some(1), QueueKind::BinaryHeap),
+        (Some(8), QueueKind::BinaryHeap),
+        (Some(1), QueueKind::Calendar),
+    ] {
+        let (stats, topo) = run(threads, kind);
+        assert_eq!(stats, ref_stats, "diverged at {threads:?}/{kind:?}");
+        assert_eq!(topo, ref_topo);
+    }
+}
+
 /// A full UCB run — the *stateful* strategy, parallelized through the
 /// split-borrow `split_stateful` path — is bit-identical to the forced
 /// sequential loop: same RoundStats floats, same per-connection history

@@ -381,53 +381,71 @@ mod tests {
 
     #[test]
     fn free_rider_is_starved_of_incoming_links() {
-        let r = run_free_rider(&tiny(), 2);
-        assert!(
-            r.degree_after < r.degree_before,
-            "free-rider kept {} of {} links",
-            r.degree_after,
-            r.degree_before
-        );
-        // Scoring cuts every learned link; what remains is only this
+        // Median over three seeds, not a single lucky draw (the
+        // churn_degrades_gracefully playbook): scoring cuts every learned
+        // link, so what survives at the median is only the current
         // round's random exploration picks (expected ≈ 2 of 100 nodes).
+        let mut degrees: Vec<f64> = [2u64, 3, 4]
+            .iter()
+            .map(|&seed| {
+                let r = run_free_rider(&tiny(), seed);
+                assert!(
+                    r.degree_after < r.degree_before,
+                    "seed {seed}: free-rider kept {} of {} links",
+                    r.degree_after,
+                    r.degree_before
+                );
+                assert_eq!(r.table().len(), 2);
+                r.degree_after as f64
+            })
+            .collect();
+        let median = perigee_metrics::percentile_or_inf_mut(&mut degrees, 50.0);
         assert!(
-            r.degree_after <= 6,
-            "incoming should collapse to exploration noise, got {}",
-            r.degree_after
+            median <= 4.0,
+            "median incoming should collapse to exploration noise, \
+             got {median} across {degrees:?}"
         );
-        assert_eq!(r.table().len(), 2);
     }
 
     #[test]
     fn eclipse_attacker_is_abandoned_and_network_recovers() {
-        let r = run_eclipse(&tiny(), 3);
-        // The super-node lure works: it fills (most of) its incoming slots.
+        // Same discipline as the free-rider test: the exploration-noise
+        // bound on the evicted attacker's in-degree holds at the median
+        // over three seeds, with only the structural claims (lure works,
+        // eviction halves it, recovery) asserted per seed.
+        let mut post_degrees: Vec<f64> = [3u64, 4, 5]
+            .iter()
+            .map(|&seed| {
+                let r = run_eclipse(&tiny(), seed);
+                // The super-node lure works: it fills (most of) its
+                // incoming slots.
+                assert!(
+                    r.lure_in_degree >= 10,
+                    "seed {seed}: lure failed: in-degree {}",
+                    r.lure_in_degree
+                );
+                assert!(
+                    r.post_attack_in_degree <= r.lure_in_degree / 2,
+                    "seed {seed}: eviction must at least halve the lure \
+                     in-degree: {} -> {}",
+                    r.lure_in_degree,
+                    r.post_attack_in_degree
+                );
+                // Withholding hurts; recovery restores performance to
+                // near (not necessarily below — the honest super-node
+                // genuinely helped) the attack-time level.
+                assert!(r.attack_median90_ms >= r.lure_median90_ms);
+                assert!(r.recovered_median90_ms <= r.attack_median90_ms * 1.05);
+                assert_eq!(r.table().len(), 3);
+                r.post_attack_in_degree as f64
+            })
+            .collect();
+        let median = perigee_metrics::percentile_or_inf_mut(&mut post_degrees, 50.0);
         assert!(
-            r.lure_in_degree >= 10,
-            "lure failed: in-degree {}",
-            r.lure_in_degree
+            median <= 4.0,
+            "median post-attack in-degree should collapse to exploration \
+             noise, got {median} across {post_degrees:?}"
         );
-        // After withholding, scoring evicts it almost completely; what
-        // survives is this round's random exploration picks, the same
-        // noise floor the free-rider test tolerates (≈ 2·n/100 links).
-        assert!(
-            r.post_attack_in_degree <= 6,
-            "attacker in-degree {} -> {}",
-            r.lure_in_degree,
-            r.post_attack_in_degree
-        );
-        assert!(
-            r.post_attack_in_degree <= r.lure_in_degree / 2,
-            "eviction must at least halve the lure in-degree: {} -> {}",
-            r.lure_in_degree,
-            r.post_attack_in_degree
-        );
-        // Withholding hurts; recovery restores performance to near (not
-        // necessarily below — the honest super-node genuinely helped) the
-        // attack-time level.
-        assert!(r.attack_median90_ms >= r.lure_median90_ms);
-        assert!(r.recovered_median90_ms <= r.attack_median90_ms * 1.05);
-        assert_eq!(r.table().len(), 3);
     }
 
     #[test]

@@ -24,8 +24,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use perigee_experiments::{
-    ablation, adversary, bandwidth, convergence, deployment, discovery, dynamics, fig3, fig4, fig5,
-    theory,
+    ablation, adversary, bandwidth, convergence, deployment, discovery, dynamics, faults, fig3,
+    fig4, fig5, theory,
 };
 use perigee_experiments::{Algorithm, MinerCliqueSpec, RelaySpec, Scenario};
 use perigee_metrics::Table;
@@ -79,7 +79,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|all> \
+    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|faults|all> \
      [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR]"
         .to_string()
 }
@@ -318,6 +318,76 @@ fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<
                 r.run_median_p90_ms
             );
         }
+        "faults" => {
+            // The ablation runs in the paper's short-round UCB regime
+            // (§4.2.2 motivates UCB with ~1 block per round): with few
+            // blocks a connection's history takes many rounds to
+            // accumulate, so the state the gate protects is genuinely
+            // expensive to re-learn after a corruption-driven rewire.
+            let burst_scenario = Scenario {
+                rounds: scenario.rounds * 2,
+                blocks_per_round: 5,
+                ..scenario.clone()
+            };
+            banner("Burst loss (UCB, 5 blocks/round): stability gating on (0.175) vs off (∞)");
+            let mut summary = Table::new(vec![
+                "seed".into(),
+                "ungated post-burst λ90 (ms)".into(),
+                "gated post-burst λ90 (ms)".into(),
+                "post-burst advantage".into(),
+                "ungated final λ90 (ms)".into(),
+                "gated final λ90 (ms)".into(),
+                "gated rounds".into(),
+                "rewires while gated".into(),
+            ]);
+            for (i, &seed) in burst_scenario.seeds.iter().enumerate() {
+                let r = faults::run_burst_loss(&burst_scenario, seed);
+                if i == 0 {
+                    emit(&r.table(), out, "faults_burst_curves.csv");
+                }
+                summary.row(vec![
+                    seed.to_string(),
+                    format!("{:.1}", r.ungated.checkpoint_median90_ms),
+                    format!("{:.1}", r.gated.checkpoint_median90_ms),
+                    format!("{:+.1}%", r.gated_advantage() * 100.0),
+                    format!("{:.1}", r.ungated.final_median90_ms),
+                    format!("{:.1}", r.gated.final_median90_ms),
+                    r.gated.gated_rounds.to_string(),
+                    r.gated.rewires_during_gated_rounds.to_string(),
+                ]);
+            }
+            emit(&summary, out, "faults_burst_summary.csv");
+            println!(
+                "expect: gated comes out of the burst better (UCB history stays clean) and \
+                 ends no worse; rewires-while-gated > 0 (exploration continues)"
+            );
+
+            banner("Partition + heal (30% minority)");
+            let r = faults::run_partition_heal(scenario, scenario.seeds[0], 0.3);
+            emit(&r.table(), out, "faults_partition.csv");
+            println!(
+                "pre-partition median λ90 {:.1} ms -> recovered {:.1} ms ({:+.1}%), {} gated, {} evicted, {} view build(s)",
+                r.pre_partition_median90_ms,
+                r.recovered_median90_ms,
+                r.recovery_gap() * 100.0,
+                r.total_gated,
+                r.total_evicted,
+                r.view_rebuilds
+            );
+
+            banner("Regional brownout (Europe x4 for the middle third)");
+            let r = faults::run_regional_brownout(scenario, scenario.seeds[0], 4.0);
+            emit(&r.table(), out, "faults_brownout.csv");
+            println!(
+                "mean p90 λ90 inside window {:.1} ms vs outside {:.1} ms; final median {:.1} ms",
+                r.mean_inside_ms, r.mean_outside_ms, r.final_median90_ms
+            );
+
+            banner("Flapping links grid");
+            let r =
+                faults::run_flap_grid(scenario, scenario.seeds[0], &[0.1, 0.3], &[(6, 1), (6, 3)]);
+            emit(&r.table(), out, "faults_flaps.csv");
+        }
         "all" => {
             for c in [
                 "fig1",
@@ -335,6 +405,7 @@ fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<
                 "discovery",
                 "bandwidth",
                 "dynamics",
+                "faults",
             ] {
                 run_command(c, scenario, out)?;
             }

@@ -18,6 +18,7 @@
 //! | [`discovery`] | partial peer knowledge via gossiped address books (§6) |
 //! | [`bandwidth`] | bandwidth-heterogeneous INV/GETDATA regime (§2.1/§3.3) |
 //! | [`dynamics`] | dynamic worlds: steady-state churn, mid-run 1k→10k growth (§6) |
+//! | [`faults`] | link faults: burst loss, partitions, brownouts, flaps + gating ablation (§6) |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,6 +31,7 @@ pub mod convergence;
 pub mod deployment;
 pub mod discovery;
 pub mod dynamics;
+pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -48,6 +48,7 @@
 use std::collections::BTreeMap;
 
 use crate::bandwidth::TransferModel;
+use crate::faults::BlockFaults;
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
 use crate::node::NodeId;
@@ -588,6 +589,134 @@ impl TopologyView {
                 }
                 _ => {
                     // Block. Payload: the receiving node v.
+                    let v = event_payload(word);
+                    if bit_get(&scratch.has_block, v) {
+                        continue;
+                    }
+                    bit_set(&mut scratch.has_block, v);
+                    scratch.first_arrival[v] = t;
+                    let relay = self.relay[v].relay_time(t, false);
+                    if relay.is_finite() {
+                        scratch.schedule(relay, EventKind::Announce, v as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`TopologyView::gossip_into`] with a link-fault lens applied to
+    /// every announcement leg (the flood-mode block push / the INV), per
+    /// the [`faults`](crate::faults) module contract: a dropped or
+    /// down-link announcement records no delivery and consumes exactly
+    /// one sequence number (like an inert event), so the tie-break
+    /// numbering of every later event — and therefore the pop order on
+    /// both queue kinds — is unchanged. GETDATA and the block transfer it
+    /// pulls are reliable-but-slowed ([`BlockFaults::scaled`]): a
+    /// delivered INV can always complete.
+    ///
+    /// With `faults: None` this *is* [`TopologyView::gossip_into`] (same
+    /// code path), and with an inert plan the lens returns every base
+    /// delay bitwise, so both are bit-identical to the fault-free run.
+    pub fn gossip_into_faulted(
+        &self,
+        source: NodeId,
+        config: &GossipConfig,
+        scratch: &mut GossipScratch,
+        faults: Option<&BlockFaults<'_>>,
+    ) {
+        let Some(faults) = faults else {
+            return self.gossip_into(source, config, scratch);
+        };
+        let n = self.len();
+        let m = self.edges.len();
+        debug_assert!(m < (1 << 30), "snapshot exceeds the 2^30-edge cap");
+        scratch.source = source;
+        scratch.reset(n, m);
+        let no_transfer = config.transfer.block_size_mb() == 0.0;
+
+        bit_set(&mut scratch.has_block, source.index());
+        scratch.first_arrival[source.index()] = SimTime::ZERO;
+        let relay0 = self.relay[source.index()].relay_time(SimTime::ZERO, true);
+        if relay0.is_finite() {
+            scratch.schedule(relay0, EventKind::Announce, source.as_u32());
+        }
+
+        while let Some(word) = scratch.queue.pop() {
+            let t = event_time(word);
+            match event_kind(word) {
+                k if k == EventKind::Announce as u32 => {
+                    let u = event_payload(word);
+                    let (start, end) = (self.offsets[u], self.offsets[u + 1]);
+                    match config.mode {
+                        GossipMode::Flood => {
+                            for e in start..end {
+                                let Some(leg) = faults.announce_leg(e, self.delay[e]) else {
+                                    scratch.skip_inert();
+                                    continue;
+                                };
+                                let v = self.edges[e];
+                                let vi = v as usize;
+                                let tv = if no_transfer {
+                                    t + leg
+                                } else {
+                                    t + leg + self.edge_transfer(config, u, vi)
+                                };
+                                scratch.record_delivery(self.reverse[e] as usize, tv);
+                                if bit_get(&scratch.has_block, vi) {
+                                    scratch.skip_inert();
+                                } else {
+                                    scratch.schedule(tv, EventKind::Block, v);
+                                }
+                            }
+                        }
+                        GossipMode::InvGetData => {
+                            for e in start..end {
+                                let Some(leg) = faults.announce_leg(e, self.delay[e]) else {
+                                    scratch.skip_inert();
+                                    continue;
+                                };
+                                let vi = self.edges[e] as usize;
+                                let rev = self.reverse[e];
+                                let tv = t + leg;
+                                scratch.record_delivery(rev as usize, tv);
+                                if bit_get(&scratch.has_block, vi)
+                                    || bit_get(&scratch.requested, vi)
+                                {
+                                    scratch.skip_inert();
+                                } else {
+                                    scratch.schedule(tv, EventKind::Inv, rev);
+                                }
+                            }
+                        }
+                    }
+                }
+                k if k == EventKind::Inv as u32 => {
+                    let rev = event_payload(word);
+                    let fwd = self.reverse[rev] as usize;
+                    let v = self.edges[fwd] as usize;
+                    if !bit_get(&scratch.has_block, v) && !bit_get(&scratch.requested, v) {
+                        bit_set(&mut scratch.requested, v);
+                        let leg = faults.scaled(rev, self.delay[rev]);
+                        scratch.schedule(t + leg, EventKind::GetData, fwd as u32);
+                    }
+                }
+                k if k == EventKind::GetData as u32 => {
+                    let e = event_payload(word);
+                    debug_assert!(bit_get(
+                        &scratch.has_block,
+                        self.edges[self.reverse[e] as usize] as usize
+                    ));
+                    let v = self.edges[e];
+                    let leg = faults.scaled(e, self.delay[e]);
+                    let transfer = if no_transfer {
+                        SimTime::ZERO
+                    } else {
+                        let u = self.edges[self.reverse[e] as usize] as usize;
+                        self.edge_transfer(config, u, v as usize)
+                    };
+                    scratch.schedule(t + leg + transfer, EventKind::Block, v);
+                }
+                _ => {
                     let v = event_payload(word);
                     if bit_get(&scratch.has_block, v) {
                         continue;

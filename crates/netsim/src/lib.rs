@@ -51,6 +51,12 @@
 //!   [`TopologyView::apply_world_delta`] folds arrivals, departures and
 //!   the round's rewiring into the carried CSR snapshot in one linear
 //!   pass — latency-model calls only for new edges, zero full rebuilds.
+//! * [`faults`] — link-level fault injection: a seeded [`FaultPlan`]
+//!   (drop/jitter/duplication rates, timed windows, link flaps,
+//!   partitions with heal, regional brownouts) compiled per round into a
+//!   [`RoundFaults`] over the view's CSR edge index and threaded through
+//!   both engines via [`TopologyView::broadcast_into_faulted`] and
+//!   [`TopologyView::gossip_into_faulted`].
 //!
 //! ## Snapshot lifecycle and determinism
 //!
@@ -68,6 +74,15 @@
 //! values, identical heap tie-breaking. Blocks within a round are mutually
 //! independent (no RNG is consumed inside a block simulation), which is
 //! what makes the round engine's parallel fan-out exactly reproducible.
+//!
+//! Fault injection keeps every one of those guarantees: a [`FaultPlan`]'s
+//! decisions are pure hashes of `(seed, round, block, edge)` — never RNG
+//! draws — applied to the announcement leg of each directed edge at the
+//! moment it is relaxed/scheduled (drops consume an event sequence number
+//! without scheduling, exactly like an inert event), so faulted floods
+//! are bit-identical across thread counts and queue kinds, and an inert
+//! plan is bit-identical to no plan at all. See the [`faults`] module
+//! docs for where each fault lands in the event pipeline.
 //!
 //! ## Example: measure a block broadcast
 //!
@@ -107,6 +122,7 @@ pub mod dataset;
 pub mod dynamics;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod gossip;
 pub mod graph;
 pub mod latency;
@@ -125,6 +141,10 @@ pub use dynamics::{
 };
 pub use error::{ConnectError, NetsimError};
 pub use event::EventQueue;
+pub use faults::{
+    BlockFaults, FaultPlan, FaultWindow, LinkFaultRates, LinkFlaps, PartitionWindow,
+    RegionalWindow, RoundFaults,
+};
 pub use gossip::{gossip_block, GossipConfig, GossipMode, GossipOutcome, GossipScratch};
 pub use graph::{ConnectionLimits, Topology};
 pub use latency::{

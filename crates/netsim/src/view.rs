@@ -44,6 +44,7 @@
 
 use crate::broadcast::Propagation;
 use crate::dynamics::WorldDelta;
+use crate::faults::BlockFaults;
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
 use crate::node::{Behavior, NodeId};
@@ -238,6 +239,24 @@ impl TopologyView {
         &self.edges
     }
 
+    /// The cached per-directed-edge latencies, aligned with
+    /// [`TopologyView::csr_edges`].
+    #[inline]
+    pub fn csr_delays(&self) -> &[SimTime] {
+        &self.delay
+    }
+
+    /// The reverse-edge map, aligned with [`TopologyView::csr_edges`]:
+    /// `csr_reverse()[e]` is the directed-edge index of the opposite
+    /// direction of edge `e` (an entry in the target node's row). This is
+    /// the index a link-fault lens must be consulted with to replay the
+    /// announcement that *arrived over* edge `e`'s link: the announcer
+    /// crossed `reverse[e]`, not `e`.
+    #[inline]
+    pub fn csr_reverse(&self) -> &[u32] {
+        &self.reverse
+    }
+
     /// The range of directed-edge indices forming `u`'s CSR row — the
     /// index space of per-edge data such as the gossip engine's delivery
     /// matrix ([`GossipScratch::delivery`](crate::GossipScratch::delivery)).
@@ -300,6 +319,64 @@ impl TopologyView {
             for (&v, &delay) in self.edges[start..end].iter().zip(&self.delay[start..end]) {
                 let vi = v as usize;
                 let tv = relay + delay;
+                if tv.as_ms() < scratch.arrival[vi].as_ms() {
+                    scratch.arrival[vi] = tv;
+                    scratch.queue.push((tv.as_ms().to_bits(), v));
+                }
+            }
+        }
+    }
+
+    /// [`TopologyView::broadcast_into`] with a link-fault lens applied to
+    /// every announcement leg: each relaxation edge `e` crosses at
+    /// [`BlockFaults::announce_leg`]`(e, delay[e])` instead of `delay[e]`
+    /// — or not at all (`None`: the link is down or the block was
+    /// dropped).
+    ///
+    /// With `faults: None` this *is* [`TopologyView::broadcast_into`]
+    /// (same code path), and with an inert plan the lens returns the base
+    /// delay bitwise, so both are bit-identical to the fault-free flood.
+    pub fn broadcast_into_faulted(
+        &self,
+        source: NodeId,
+        scratch: &mut BroadcastScratch,
+        faults: Option<&BlockFaults<'_>>,
+    ) {
+        let Some(faults) = faults else {
+            return self.broadcast_into(source, scratch);
+        };
+        let n = self.len();
+        scratch.source = source;
+        scratch.arrival.clear();
+        scratch.arrival.resize(n, SimTime::INFINITY);
+        scratch.relay_at.clear();
+        scratch.relay_at.resize(n, SimTime::INFINITY);
+        scratch.queue.clear();
+
+        scratch.arrival[source.index()] = SimTime::ZERO;
+        scratch
+            .queue
+            .push((SimTime::ZERO.as_ms().to_bits(), source.as_u32()));
+
+        while let Some((t_bits, u)) = scratch.queue.pop() {
+            let ui = u as usize;
+            let t = SimTime::from_ms(f64::from_bits(t_bits));
+            if t.as_ms() > scratch.arrival[ui].as_ms() {
+                continue; // stale entry
+            }
+            let relay = self.relay[ui].relay_time(t, u == source.as_u32());
+            scratch.relay_at[ui] = relay;
+            if relay.is_infinite() {
+                continue; // silent node: absorbs the block
+            }
+            let (start, end) = (self.offsets[ui], self.offsets[ui + 1]);
+            for e in start..end {
+                let Some(leg) = faults.announce_leg(e, self.delay[e]) else {
+                    continue; // dropped or the link is down
+                };
+                let v = self.edges[e];
+                let vi = v as usize;
+                let tv = relay + leg;
                 if tv.as_ms() < scratch.arrival[vi].as_ms() {
                     scratch.arrival[vi] = tv;
                     scratch.queue.push((tv.as_ms().to_bits(), v));

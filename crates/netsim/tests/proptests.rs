@@ -6,9 +6,10 @@ use rand::{Rng, SeedableRng};
 
 use perigee_netsim::pq::{CalendarQueue, PackedQueue, QueueKind, TimeKey, BUCKET_WIDTH_MS};
 use perigee_netsim::{
-    broadcast, gossip_block, BroadcastScratch, ConnectionLimits, EventQueue, GeoLatencyModel,
-    GossipConfig, GossipScratch, LatencyModel, NodeId, PopulationBuilder, RoundDelta, SimTime,
-    Topology, TopologyView, WorldDelta,
+    broadcast, gossip_block, BroadcastScratch, ConnectionLimits, EventQueue, FaultPlan,
+    GeoLatencyModel, GossipConfig, GossipScratch, LatencyModel, LinkFaultRates, LinkFlaps, NodeId,
+    PopulationBuilder, Region, RegionalWindow, RoundDelta, SimTime, Topology, TopologyView,
+    WorldDelta,
 };
 
 /// Maps a `(class, unit float, integer)` triple onto the f64 edge cases
@@ -229,6 +230,92 @@ proptest! {
         let owned = gossip_block(&topo, &lat, &pop, src, &cfg);
         prop_assert_eq!(scratch.arrivals(), owned.arrivals());
         prop_assert_eq!(&scratch.to_outcome(&view), &owned);
+    }
+
+    /// An *inert* `FaultPlan` — zero rates, no windows, no flaps, no
+    /// partitions, no regional brownouts — is bit-identical to running
+    /// with no plan at all, through both faulted entry points, in every
+    /// gossip mode, including the full per-edge delivery matrix.
+    #[test]
+    fn inert_fault_plan_is_bit_identical_to_no_plan(n in 3usize..60, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = random_connected_topology(n, &mut rng);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let regions: Vec<Region> = pop.iter().map(|p| p.region).collect();
+        let plan = FaultPlan::inert(seed ^ 0xFA17);
+        prop_assert!(plan.is_inert());
+        let rf = plan.compile((seed % 7) as usize, &view, &regions);
+
+        let mut plain = BroadcastScratch::new();
+        let mut faulted = BroadcastScratch::new();
+        let mut g_plain = GossipScratch::new();
+        let mut g_faulted = GossipScratch::new();
+        for block in 0..3 {
+            let bf = rf.block(block);
+            let src = NodeId::new(rng.gen_range(0..n as u32));
+            view.broadcast_into(src, &mut plain);
+            view.broadcast_into_faulted(src, &mut faulted, Some(&bf));
+            prop_assert_eq!(plain.arrivals(), faulted.arrivals());
+            for i in 0..n as u32 {
+                let v = NodeId::new(i);
+                prop_assert_eq!(plain.relay_start(v), faulted.relay_start(v));
+            }
+            for cfg in [GossipConfig::flood(), GossipConfig::inv_getdata(0.0)] {
+                view.gossip_into(src, &cfg, &mut g_plain);
+                view.gossip_into_faulted(src, &cfg, &mut g_faulted, Some(&bf));
+                prop_assert_eq!(g_plain.arrivals(), g_faulted.arrivals());
+                prop_assert_eq!(&g_plain.to_outcome(&view), &g_faulted.to_outcome(&view));
+            }
+        }
+    }
+
+    /// Under *active* faults the analytic flood and the message-level
+    /// flood still agree bit for bit: the edge-fate collapse preserves the
+    /// one-announcement-per-edge invariant, so the two engines see the
+    /// same faulted link crossings.
+    #[test]
+    fn faulted_analytic_flood_matches_faulted_gossip_flood(n in 3usize..60, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = PopulationBuilder::new(n).build(&mut rng).unwrap();
+        let lat = GeoLatencyModel::new(&pop, seed);
+        let topo = random_connected_topology(n, &mut rng);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let regions: Vec<Region> = pop.iter().map(|p| p.region).collect();
+        let plan = FaultPlan {
+            seed: seed ^ 0xBAD,
+            base: LinkFaultRates {
+                drop_prob: 0.2,
+                extra_delay: SimTime::from_ms(4.0),
+                jitter: SimTime::from_ms(15.0),
+                duplicate_prob: 0.3,
+            },
+            flaps: Some(LinkFlaps { fraction: 0.2, period: 4, down: 1 }),
+            regional: vec![RegionalWindow {
+                region: Region::Europe,
+                start: 0,
+                end: 100,
+                slow_factor: 2.5,
+            }],
+            ..FaultPlan::default()
+        };
+        let rf = plan.compile((seed % 5) as usize, &view, &regions);
+        let cfg = GossipConfig::flood();
+        let mut flood = BroadcastScratch::new();
+        let mut gossip = GossipScratch::new();
+        for block in 0..3 {
+            let bf = rf.block(block);
+            let src = NodeId::new(rng.gen_range(0..n as u32));
+            view.broadcast_into_faulted(src, &mut flood, Some(&bf));
+            view.gossip_into_faulted(src, &cfg, &mut gossip, Some(&bf));
+            prop_assert_eq!(flood.arrivals(), gossip.arrivals());
+            let mut a = [SimTime::ZERO; 2];
+            let mut b = [SimTime::ZERO; 2];
+            flood.coverage_times_into(&view, &[0.9, 0.5], &mut a);
+            gossip.coverage_times_into(&view, &[0.9, 0.5], &mut b);
+            prop_assert_eq!(a, b);
+        }
     }
 
     /// An incrementally patched snapshot is **field-for-field equal** to a
