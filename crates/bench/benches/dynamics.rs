@@ -21,7 +21,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use perigee_bench::{median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled};
 use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
 use perigee_experiments::{dynamics as dynx, Scenario};
 use perigee_netsim::{
@@ -210,8 +210,8 @@ fn bench_dynamics_report(c: &mut Criterion) {
         growth.final_nodes,
         growth.run_median_p90_ms,
     );
-    let json = format!(
-        "{{\n  \"bench\": \"dynamics\",\n  \"blocks_per_round\": {BLOCKS},\n  \
+    let fields = format!(
+        "  \"blocks_per_round\": {BLOCKS},\n  \
          \"churn_fraction_per_round\": 0.02,\n  \
          \"per_round_1k\": {{ \"static_s\": {static_1k:.4}, \"churn_s\": {churn_1k:.4}, \
          \"churn_overhead\": {:.3} }},\n  \
@@ -221,7 +221,7 @@ fn bench_dynamics_report(c: &mut Criterion) {
          \"departed\": {accept_departed}, \"view_rebuilds\": 1 }},\n  \
          \"growth_1k_to_10k\": {{ \"total_s\": {growth_s:.2}, \"rounds\": 30, \
          \"final_nodes\": {}, \"joined\": {}, \"view_rebuilds\": {}, \
-         \"run_median_p90_lambda90_ms\": {:.1}, \"lambda_always_finite\": {} }}\n}}\n",
+         \"run_median_p90_lambda90_ms\": {:.1}, \"lambda_always_finite\": {} }}\n",
         churn_1k / static_1k,
         churn_10k / static_10k,
         growth.final_nodes,
@@ -230,6 +230,7 @@ fn bench_dynamics_report(c: &mut Criterion) {
         growth.run_median_p90_ms,
         growth.lambda_always_finite(),
     );
+    let json = bench_json("dynamics", &format!("blocks={BLOCKS},churn=0.02"), &fields);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not write {path}: {e}");

@@ -23,7 +23,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use perigee_bench::{median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled};
 use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
 use perigee_experiments::{faults as faultx, Scenario};
 use perigee_netsim::{
@@ -230,8 +230,8 @@ fn bench_faults_report(c: &mut Criterion) {
         burst.gated.gated_rounds,
         burst.gated.rewires_during_gated_rounds,
     );
-    let json = format!(
-        "{{\n  \"bench\": \"faults\",\n  \"blocks_per_round\": {BLOCKS},\n  \
+    let fields = format!(
+        "  \"blocks_per_round\": {BLOCKS},\n  \
          \"per_round_1k\": {{ \"no_plan_s\": {none_s:.4}, \"inert_plan_s\": {inert_s:.4}, \
          \"active_plan_s\": {active_s:.4}, \"inert_overhead\": {inert_overhead:.4}, \
          \"active_overhead\": {active_overhead:.4} }},\n  \
@@ -239,7 +239,7 @@ fn bench_faults_report(c: &mut Criterion) {
          \"burst_ablation_300\": {{ \"ungated_post_burst_median90_ms\": {:.1}, \
          \"gated_post_burst_median90_ms\": {:.1}, \"post_burst_advantage\": {:.4}, \
          \"ungated_final_median90_ms\": {:.1}, \"gated_final_median90_ms\": {:.1}, \
-         \"gated_rounds\": {}, \"rewires_while_gated\": {}, \"view_rebuilds\": {} }}\n}}\n",
+         \"gated_rounds\": {}, \"rewires_while_gated\": {}, \"view_rebuilds\": {} }}\n",
         burst.ungated.checkpoint_median90_ms,
         burst.gated.checkpoint_median90_ms,
         burst.gated_advantage(),
@@ -249,6 +249,7 @@ fn bench_faults_report(c: &mut Criterion) {
         burst.gated.rewires_during_gated_rounds,
         burst.gated.view_rebuilds,
     );
+    let json = bench_json("faults", &format!("blocks={BLOCKS}"), &fields);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not write {path}: {e}");

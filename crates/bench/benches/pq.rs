@@ -21,7 +21,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use perigee_bench::{median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled};
 use perigee_netsim::{
     BroadcastScratch, ConnectionLimits, GeoLatencyModel, GossipConfig, GossipScratch, MinerSampler,
     NodeId, Population, PopulationBuilder, QueueKind, Topology, TopologyView,
@@ -160,8 +160,8 @@ fn bench_pq(c: &mut Criterion) {
         gflood_heap / gflood_cal,
         ginv_heap / ginv_cal,
     );
-    let json = format!(
-        "{{\n  \"bench\": \"pq\",\n  \"nodes\": {NODES},\n  \"blocks_per_round\": {BLOCKS},\n  \
+    let fields = format!(
+        "  \"nodes\": {NODES},\n  \"blocks_per_round\": {BLOCKS},\n  \
          \"threads\": 1,\n  \
          \"analytic_flood\": {{ \"heap_s\": {dijkstra_heap:.4}, \"calendar_s\": {dijkstra_cal:.4}, \
          \"speedup\": {:.2}, \"calendar_blocks_per_s\": {:.0} }},\n  \
@@ -170,7 +170,7 @@ fn bench_pq(c: &mut Criterion) {
          \"speedup_vs_baseline\": {:.2} }},\n  \
          \"gossip_inv_getdata\": {{ \"heap_s\": {ginv_heap:.4}, \"calendar_s\": {ginv_cal:.4}, \
          \"speedup\": {:.2}, \"calendar_blocks_per_s\": {:.0}, \"bench_gossip_baseline_s\": 0.0405, \
-         \"speedup_vs_baseline\": {:.2} }}\n}}\n",
+         \"speedup_vs_baseline\": {:.2} }}\n",
         dijkstra_heap / dijkstra_cal,
         BLOCKS as f64 / dijkstra_cal,
         gflood_heap / gflood_cal,
@@ -179,6 +179,11 @@ fn bench_pq(c: &mut Criterion) {
         ginv_heap / ginv_cal,
         BLOCKS as f64 / ginv_cal,
         0.0405 / ginv_cal,
+    );
+    let json = bench_json(
+        "pq",
+        &format!("nodes={NODES},blocks={BLOCKS},threads=1"),
+        &fields,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pq.json");
     if let Err(e) = std::fs::write(path, json) {

@@ -173,7 +173,7 @@ fn legacy_round(
     sum90
 }
 
-use perigee_bench::{median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled};
 
 fn bench_broadcast(c: &mut Criterion) {
     // Each bench fn gates its (1000-node) world construction on its own
@@ -367,15 +367,20 @@ fn bench_gossip(c: &mut Criterion) {
         flood_legacy / flood_scratch,
         inv_legacy / inv_scratch,
     );
-    let json = format!(
-        "{{\n  \"bench\": \"gossip-engine\",\n  \"nodes\": {NODES},\n  \
+    let fields = format!(
+        "  \"nodes\": {NODES},\n  \
          \"blocks_per_round\": {BLOCKS_PER_ROUND},\n  \"threads\": 1,\n  \
          \"flood\": {{ \"legacy_s\": {flood_legacy:.4}, \"scratch_s\": {flood_scratch:.4}, \
          \"speedup\": {:.2} }},\n  \
          \"inv_getdata\": {{ \"legacy_s\": {inv_legacy:.4}, \"scratch_s\": {inv_scratch:.4}, \
-         \"speedup\": {:.2} }}\n}}\n",
+         \"speedup\": {:.2} }}\n",
         flood_legacy / flood_scratch,
         inv_legacy / inv_scratch,
+    );
+    let json = bench_json(
+        "gossip-engine",
+        &format!("nodes={NODES},blocks={BLOCKS_PER_ROUND},threads=1"),
+        &fields,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gossip.json");
     if let Err(e) = std::fs::write(path, json) {

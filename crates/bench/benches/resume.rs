@@ -1,0 +1,186 @@
+//! Checkpoint/resume and invariant-auditor benchmarks.
+//!
+//! Two sections:
+//!
+//! * `resume_smoke/*` — CI's correctness gate for the checkpoint
+//!   subsystem: a 30-round churny, fault-injected UCB run is killed at
+//!   round 15, resumed through the serialized envelope, and must be
+//!   bit-identical to the uninterrupted control run with the auditor
+//!   green throughout; the criterion group times the envelope encode and
+//!   decode themselves.
+//! * `audit-report` — hand-timed per-round medians on a 1k-node churny
+//!   faulted world with the auditor off vs auditing every round, plus
+//!   snapshot encode/decode cost and envelope size, written to
+//!   `BENCH_audit.json` at the workspace root. The auditor's contract is
+//!   ≤ 2% per-round overhead at audit-every-round.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use perigee_bench::{bench_json, median, section_enabled};
+use perigee_core::{PerigeeEngine, RunSnapshot};
+use perigee_experiments::resume::{chaos_engine, run_kill_resume, AuditOptions};
+use perigee_experiments::Scenario;
+use perigee_netsim::GeoLatencyModel;
+
+const SMOKE_ROUNDS: usize = 30;
+
+fn smoke_scenario() -> Scenario {
+    Scenario {
+        nodes: 120,
+        rounds: SMOKE_ROUNDS,
+        blocks_per_round: 6,
+        ..Scenario::quick()
+    }
+}
+
+fn bench_resume_smoke(c: &mut Criterion) {
+    if !section_enabled("resume_smoke") {
+        return;
+    }
+    // The correctness gate: kill at round 15 of 30, resume from the
+    // newest snapshot, demand bit-equality and a clean auditor.
+    let scenario = smoke_scenario();
+    let audit = AuditOptions {
+        every: 1,
+        strict: false,
+    };
+    let r = run_kill_resume(&scenario, 23, 5, audit, None).expect("smoke run");
+    assert_eq!(r.kill_at, SMOKE_ROUNDS / 2, "must kill at the midpoint");
+    assert!(
+        r.bit_identical,
+        "resumed run must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(r.audit_violations, 0, "auditor must stay green");
+    assert!(r.audits_run >= SMOKE_ROUNDS, "auditor must actually run");
+    assert!(
+        r.joined > 0 && r.departed > 0,
+        "churn must fire for the smoke to bite"
+    );
+
+    // Criterion timings for the envelope itself on the same world.
+    let (mut engine, mut rng) = chaos_engine(&scenario, 23);
+    for _ in 0..SMOKE_ROUNDS / 2 {
+        engine.run_round(&mut rng);
+    }
+    let bytes = engine.checkpoint(&rng).to_bytes();
+    let mut group = c.benchmark_group("resume_smoke");
+    group.sample_size(20);
+    group.bench_function("checkpoint_encode_120", |b| {
+        b.iter(|| engine.checkpoint(&rng).to_bytes());
+    });
+    group.bench_function("envelope_decode_120", |b| {
+        b.iter(|| RunSnapshot::from_bytes(&bytes).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_audit_report(c: &mut Criterion) {
+    if !section_enabled("audit-report") {
+        return;
+    }
+    let mut group = c.benchmark_group("audit-report");
+    group.sample_size(10);
+    group.finish();
+
+    // 1k-node churny, fault-injected world; median per-round cost with
+    // the auditor off vs auditing every round.
+    let scenario = Scenario {
+        nodes: 1000,
+        rounds: 40,
+        blocks_per_round: 20,
+        ..Scenario::quick()
+    };
+    // One engine auditing every round; each round we time the full
+    // round (audit pass included) and then an explicit extra pass over
+    // the same state. The hook's only added work *is* one pass, so
+    // overhead = pass / (round − pass). Timing the pass directly is
+    // drift-immune where an A/B of two whole 25-round runs is not: on a
+    // noisy machine the round-to-round jitter (several %) swamps a ≲2%
+    // signal, while the pass itself is measured exactly.
+    const ROUNDS: usize = 25;
+    let (mut engine, mut rng) = chaos_engine(&scenario, 31);
+    engine.set_audit_every(1);
+    let mut round_samples = Vec::with_capacity(ROUNDS);
+    let mut pass_samples = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        criterion::black_box(engine.run_round(&mut rng));
+        round_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        criterion::black_box(engine.audit());
+        pass_samples.push(start.elapsed().as_secs_f64());
+    }
+    assert!(
+        engine.audit_failures().is_empty(),
+        "healthy 1k run must audit clean"
+    );
+    assert_eq!(engine.audits_run(), ROUNDS);
+    let pass_s = median(&mut pass_samples);
+    let round_with_audit_s = median(&mut round_samples);
+    let off_s = round_with_audit_s - pass_s;
+    let every_round_s = round_with_audit_s;
+    let overhead = pass_s / off_s;
+
+    // Envelope cost at 1k nodes: encode, decode, resume, size.
+    let (mut engine, mut rng) = chaos_engine(&scenario, 31);
+    for _ in 0..5 {
+        engine.run_round(&mut rng);
+    }
+    let mut enc = [0.0f64; 5];
+    let mut bytes = Vec::new();
+    for slot in &mut enc {
+        let start = Instant::now();
+        bytes = engine.checkpoint(&rng).to_bytes();
+        *slot = start.elapsed().as_secs_f64();
+    }
+    let encode_s = median(&mut enc);
+    let mut dec = [0.0f64; 5];
+    for slot in &mut dec {
+        let start = Instant::now();
+        let snapshot = RunSnapshot::from_bytes(&bytes).unwrap();
+        criterion::black_box(
+            PerigeeEngine::<GeoLatencyModel>::resume(snapshot).expect("resume 1k"),
+        );
+        *slot = start.elapsed().as_secs_f64();
+    }
+    let decode_resume_s = median(&mut dec);
+
+    println!(
+        "audit: 1k-node churny faulted round {off_s:.4} s audit-free vs {every_round_s:.4} s \
+         audit-every-round ({pass_s:.5} s per pass) -> {:+.2}% overhead (contract: <= 2%); \
+         checkpoint encode {encode_s:.4} s, decode+resume {decode_resume_s:.4} s, \
+         envelope {} bytes",
+        overhead * 100.0,
+        bytes.len(),
+    );
+    assert!(
+        overhead <= 0.02,
+        "auditor overhead {:.2}% exceeds the 2% contract",
+        overhead * 100.0
+    );
+
+    let fields = format!(
+        "  \"nodes\": 1000,\n  \"blocks_per_round\": 20,\n  \"churn_fraction_per_round\": 0.02,\n  \
+         \"fault_plan_active\": true,\n  \
+         \"per_round_1k\": {{ \"audit_free_s\": {off_s:.4}, \"audit_every_round_s\": {every_round_s:.4}, \
+         \"audit_pass_s\": {pass_s:.5}, \"audit_overhead\": {overhead:.4}, \
+         \"contract_max_overhead\": 0.02 }},\n  \
+         \"checkpoint_1k\": {{ \"encode_s\": {encode_s:.4}, \"decode_resume_s\": {decode_resume_s:.4}, \
+         \"envelope_bytes\": {} }}\n",
+        bytes.len(),
+    );
+    let json = bench_json(
+        "audit",
+        "nodes=1000,blocks=20,churn=0.02,faults=active",
+        &fields,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_resume_smoke, bench_audit_report);
+criterion_main!(benches);

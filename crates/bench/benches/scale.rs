@@ -25,7 +25,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use perigee_bench::{median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled};
 use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
 use perigee_netsim::{
     BroadcastScratch, ConnectionLimits, GeoLatencyModel, GossipConfig, GossipScratch, MinerSampler,
@@ -141,17 +141,22 @@ fn bench_scale(c: &mut Criterion) {
          inv {inv_1k:.4} s (BENCH_gossip.json baseline: 0.0444 / 0.0405)"
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"scale\",\n  \"nodes\": {SCALE_NODES},\n  \
+    let fields = format!(
+        "  \"nodes\": {SCALE_NODES},\n  \
          \"blocks_per_round\": {SCALE_BLOCKS},\n  \
          \"analytic_round\": {{ \"seconds\": {round_s:.4}, \"blocks_per_s\": {:.1}, \
          \"threads\": {} }},\n  \
          \"observation_store\": {{ \"directed_edges\": {edges}, \"matrix_mib_f32\": {matrix_mb:.1}, \
          \"former_f64_mib\": {:.1} }},\n  \
-         \"gossip_1k_100blocks_1thread\": {{ \"flood_s\": {flood_1k:.4}, \"inv_s\": {inv_1k:.4} }}\n}}\n",
+         \"gossip_1k_100blocks_1thread\": {{ \"flood_s\": {flood_1k:.4}, \"inv_s\": {inv_1k:.4} }}\n",
         SCALE_BLOCKS as f64 / round_s,
         rayon::current_num_threads(),
         matrix_mb * 2.0,
+    );
+    let json = bench_json(
+        "scale",
+        &format!("nodes={SCALE_NODES},blocks={SCALE_BLOCKS}"),
+        &fields,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
     if let Err(e) = std::fs::write(path, json) {

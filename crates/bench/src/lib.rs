@@ -31,3 +31,54 @@ pub fn median(samples: &mut [f64]) -> f64 {
     samples.sort_unstable_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
+
+/// Version of the header every `BENCH_*.json` artifact at the workspace
+/// root carries. Bump when the header fields themselves change shape;
+/// bench-specific fields may evolve freely underneath it.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Digest of a bench's configuration knobs (the `config` string passed
+/// to [`bench_json`]): FNV-1a 64 over the exact string, rendered as
+/// `fnv64:<16 hex digits>`. Two artifacts with the same digest were
+/// produced under the same configuration and are directly comparable;
+/// a digest change flags a knob change masquerading as a perf change.
+pub fn config_digest(config: &str) -> String {
+    format!("fnv64:{:016x}", serde::bin::fnv1a64(config.as_bytes()))
+}
+
+/// Renders a complete `BENCH_*.json` artifact: the shared header
+/// (`schema_version`, `bench`, `config`, `config_digest`) followed by
+/// the bench-specific `fields` — pre-formatted JSON lines, two-space
+/// indented, ending in `\n`, without the surrounding braces.
+pub fn bench_json(bench: &str, config: &str, fields: &str) -> String {
+    format!(
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"{bench}\",\n  \
+         \"config\": \"{config}\",\n  \"config_digest\": \"{}\",\n{fields}}}\n",
+        config_digest(config)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_config_sensitive() {
+        assert_eq!(config_digest("nodes=1000"), config_digest("nodes=1000"));
+        assert_ne!(config_digest("nodes=1000"), config_digest("nodes=1001"));
+        let d = config_digest("x");
+        assert!(d.starts_with("fnv64:") && d.len() == 6 + 16, "got {d}");
+    }
+
+    #[test]
+    fn bench_json_carries_the_shared_header() {
+        let json = bench_json("demo", "nodes=10", "  \"answer\": 42\n");
+        assert!(json.starts_with("{\n  \"schema_version\": 1,\n  \"bench\": \"demo\",\n"));
+        assert!(json.contains("\"config\": \"nodes=10\""));
+        assert!(json.contains(&format!(
+            "\"config_digest\": \"{}\"",
+            config_digest("nodes=10")
+        )));
+        assert!(json.ends_with("  \"answer\": 42\n}\n"));
+    }
+}

@@ -111,6 +111,46 @@ impl Default for PerigeeConfig {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::PerigeeConfig;
+
+    impl Encode for PerigeeConfig {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.limits.encode(out);
+            self.explore.encode(out);
+            self.blocks_per_round.encode(out);
+            self.percentile.encode(out);
+            self.ucb_c.encode(out);
+            self.score_staleness.encode(out);
+            self.stability_tolerance.encode(out);
+            self.liveness.encode(out);
+        }
+    }
+
+    impl Decode for PerigeeConfig {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let config = PerigeeConfig {
+                limits: Decode::decode(r)?,
+                explore: usize::decode(r)?,
+                blocks_per_round: usize::decode(r)?,
+                percentile: f64::decode(r)?,
+                ucb_c: f64::decode(r)?,
+                score_staleness: f64::decode(r)?,
+                stability_tolerance: f64::decode(r)?,
+                liveness: Decode::decode(r)?,
+            };
+            config
+                .validate()
+                .map_err(|_| DecodeError::new("perigee config fails validation"))?;
+            Ok(config)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -199,6 +199,39 @@ impl AddressBook {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::AddressBook;
+
+    impl Encode for AddressBook {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.known.encode(out);
+            self.capacity.encode(out);
+            self.bootstrap.encode(out);
+        }
+    }
+
+    impl Decode for AddressBook {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let book = AddressBook {
+                known: Vec::decode(r)?,
+                capacity: usize::decode(r)?,
+                bootstrap: usize::decode(r)?,
+            };
+            if book.capacity == 0 || book.bootstrap > book.capacity {
+                return Err(DecodeError::new("address book bounds inconsistent"));
+            }
+            if book.known.iter().any(|set| set.len() > book.capacity) {
+                return Err(DecodeError::new("address book exceeds its capacity"));
+            }
+            Ok(book)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,11 +17,13 @@ use perigee_netsim::{
     Topology, TopologyView, WorldDelta,
 };
 
+use crate::audit::{audit_world, AuditReport};
 use crate::config::PerigeeConfig;
 use crate::discovery::AddressBook;
 use crate::liveness::{LivenessTracker, PeerHealth};
 use crate::observation::{ObservationCollector, ObservationStore};
 use crate::score::{ScoringMethod, SelectionStrategy, StatefulSplit};
+use crate::snapshot::{RunSnapshot, SnapshotError};
 
 /// How the engine simulates block propagation inside a round.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -35,6 +37,36 @@ pub enum PropagationMode {
     /// Perigee then observes *announcement* times, as §4.1 describes
     /// ("blocks, or advertisements for blocks").
     Gossip(GossipConfig),
+}
+
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::PropagationMode;
+
+    impl Encode for PropagationMode {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                PropagationMode::Analytic => 0u8.encode(out),
+                PropagationMode::Gossip(cfg) => {
+                    1u8.encode(out);
+                    cfg.encode(out);
+                }
+            }
+        }
+    }
+
+    impl Decode for PropagationMode {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(PropagationMode::Analytic),
+                1 => Ok(PropagationMode::Gossip(Decode::decode(r)?)),
+                _ => Err(DecodeError::new("unknown propagation mode tag")),
+            }
+        }
+    }
 }
 
 /// Per-round summary statistics (used for convergence plots and the
@@ -139,6 +171,17 @@ pub struct PerigeeEngine<L> {
     blocks_simulated: usize,
     /// Peer-liveness state; present iff the config enables the layer.
     liveness: Option<LivenessTracker>,
+    /// The scoring method the strategy was built from — recorded so a
+    /// checkpoint can rebuild the same strategy on resume.
+    method: ScoringMethod,
+    /// Invariant-auditor cadence: `0` (the default) never audits;
+    /// `k > 0` runs [`PerigeeEngine::audit`] after every `k`-th round.
+    audit_every: usize,
+    /// How many auditor passes have run.
+    audits_run: usize,
+    /// Every non-clean report the per-round auditor produced, in round
+    /// order (clean passes are counted, not stored).
+    audit_failures: Vec<AuditReport>,
 }
 
 /// The propagation phase of one round: the flat network-wide observation
@@ -251,6 +294,10 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             fault_plan: None,
             blocks_simulated: 0,
             liveness,
+            method,
+            audit_every: 0,
+            audits_run: 0,
+            audit_failures: Vec::new(),
         })
     }
 
@@ -351,6 +398,175 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 "incrementally patched view diverged from a fresh build"
             );
         }
+    }
+
+    /// Sets the invariant-auditor cadence: `0` (the default) never
+    /// audits; `k > 0` runs the release-mode [`PerigeeEngine::audit`]
+    /// pass after every `k`-th completed round, counting passes in
+    /// [`PerigeeEngine::audits_run`] and keeping every non-clean
+    /// [`AuditReport`] ([`PerigeeEngine::audit_failures`]). The pass is
+    /// O(nodes + edges) — ≲2% of a churny faulted round even at
+    /// audit-every-round (see `BENCH_audit.json`).
+    pub fn set_audit_every(&mut self, every: usize) {
+        self.audit_every = every;
+    }
+
+    /// How many auditor passes have run so far.
+    pub fn audits_run(&self) -> usize {
+        self.audits_run
+    }
+
+    /// Every non-clean report the per-round auditor produced, in round
+    /// order (empty = every pass was clean).
+    pub fn audit_failures(&self) -> &[AuditReport] {
+        &self.audit_failures
+    }
+
+    /// Runs one invariant-auditor pass over the engine's current state
+    /// and returns the structured report (violations as data, never
+    /// panics): CSR well-formedness of the carried snapshot, hash-power
+    /// normalization, the stable-id/no-resurrection contract, score-state
+    /// legality, and the liveness state machine — see [`crate::audit`].
+    ///
+    /// When no snapshot is being carried (before the first round, or
+    /// right after an out-of-band invalidation) the world checks run
+    /// against a fresh build.
+    pub fn audit(&self) -> AuditReport {
+        let mut violations = Vec::new();
+        match &self.view {
+            Some(view) => audit_world(view, &self.population, &mut violations),
+            None => {
+                let view = TopologyView::new(&self.topology, &self.latency, &self.population);
+                audit_world(&view, &self.population, &mut violations);
+            }
+        }
+        self.strategy.audit(&mut violations);
+        if let Some(tracker) = &self.liveness {
+            tracker.audit(&self.config.liveness, &mut violations);
+        }
+        AuditReport {
+            round: self.round as u64,
+            violations,
+        }
+    }
+
+    /// Captures the complete cross-round run state as a [`RunSnapshot`]
+    /// (see [`crate::snapshot`] for the exact inventory and the on-disk
+    /// envelope). `rng` is the run RNG driving
+    /// [`PerigeeEngine::run_round`] — its raw state is captured so the
+    /// resumed run draws the identical stream. The carried CSR snapshot
+    /// and the miner sampler are *not* serialized: both are pure
+    /// functions of the captured state and are rebuilt bit-identically
+    /// on resume.
+    ///
+    /// Checkpoint at a round boundary (between `run_round` calls);
+    /// resuming mid-round is not a meaningful state.
+    pub fn checkpoint(&self, rng: &rand::rngs::StdRng) -> RunSnapshot
+    where
+        L: serde::bin::Encode,
+    {
+        RunSnapshot {
+            round: self.round as u64,
+            blocks_simulated: self.blocks_simulated as u64,
+            config: self.config,
+            method: self.method,
+            queue: self.queue,
+            parallel: self.parallel,
+            mode: self.mode,
+            adopters: self.adopters.clone(),
+            strategy_state: self.strategy.snapshot_state(),
+            population: self.population.clone(),
+            topology: self.topology.clone(),
+            address_book: self.address_book.clone(),
+            liveness: self.liveness.clone(),
+            churn: self.churn.clone(),
+            fault_plan: self.fault_plan.clone(),
+            last_delta: self.last_delta.clone(),
+            latency_bytes: self.latency.to_bytes(),
+            rng_state: rng.state(),
+        }
+    }
+
+    /// Rebuilds an engine (and its run RNG) from a [`RunSnapshot`]:
+    /// the inverse of [`PerigeeEngine::checkpoint`]. Running the resumed
+    /// engine to round *N* is bit-identical to the uninterrupted run —
+    /// across thread counts, queue kinds, churn and active fault plans
+    /// (the `resume` integration suite enforces this).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the captured latency model does not decode
+    /// to `L`, does not cover the population, or the strategy state does
+    /// not fit the captured method/world.
+    pub fn resume(snapshot: RunSnapshot) -> Result<(Self, rand::rngs::StdRng), SnapshotError>
+    where
+        L: serde::bin::Decode,
+    {
+        let RunSnapshot {
+            round,
+            blocks_simulated,
+            config,
+            method,
+            queue,
+            parallel,
+            mode,
+            adopters,
+            strategy_state,
+            population,
+            topology,
+            address_book,
+            liveness,
+            churn,
+            fault_plan,
+            last_delta,
+            latency_bytes,
+            rng_state,
+        } = snapshot;
+        let latency = <L as serde::bin::Decode>::from_bytes(&latency_bytes)?;
+        if latency.len() != population.len() {
+            return Err(SnapshotError::Inconsistent(
+                "latency model does not cover the population",
+            ));
+        }
+        let mut strategy = method.strategy(
+            population.len(),
+            config.retain_count(),
+            config.percentile,
+            config.ucb_c,
+        );
+        strategy.restore_state(&strategy_state)?;
+        let sampler = MinerSampler::new(&population);
+        // check_consistency rejected the all-zero state at decode time,
+        // and a live RNG can never reach it, so this cannot panic.
+        let rng = rand::rngs::StdRng::from_state(rng_state);
+        Ok((
+            PerigeeEngine {
+                population,
+                latency,
+                topology,
+                strategy,
+                sampler,
+                config,
+                adopters,
+                mode,
+                address_book,
+                parallel,
+                queue,
+                round: round as usize,
+                view: None,
+                view_rebuilds: 0,
+                churn,
+                last_delta,
+                fault_plan,
+                blocks_simulated: blocks_simulated as usize,
+                liveness,
+                method,
+                audit_every: 0,
+                audits_run: 0,
+                audit_failures: Vec::new(),
+            },
+            rng,
+        ))
     }
 
     /// Enables or disables the parallel block fan-out inside rounds
@@ -897,6 +1113,19 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         let (joined, departed) = (delta.joined.len(), delta.departed.len());
         self.last_delta = delta;
         self.round += 1;
+
+        // Release-mode invariant audit at the configured cadence: the
+        // completed round's state is checked in place, and violations are
+        // kept as structured reports for the caller (strict harnesses
+        // snapshot-and-abort; see `repro … --audit-strict`).
+        if self.audit_every > 0 && self.round.is_multiple_of(self.audit_every) {
+            let report = self.audit();
+            self.audits_run += 1;
+            if !report.is_clean() {
+                self.audit_failures.push(report);
+            }
+        }
+
         RoundStats {
             round: self.round - 1,
             mean_lambda90_ms: sum90 / k as f64,

@@ -83,14 +83,17 @@
 #![forbid(unsafe_code)]
 
 pub mod adversary;
+pub mod audit;
 pub mod config;
 pub mod discovery;
 pub mod engine;
 pub mod liveness;
 pub mod observation;
 pub mod score;
+pub mod snapshot;
 
 pub use adversary::EclipseAttacker;
+pub use audit::{AuditCheck, AuditReport, AuditViolation};
 pub use config::PerigeeConfig;
 pub use discovery::AddressBook;
 pub use engine::{
@@ -103,3 +106,4 @@ pub use score::{
     NodeHistory, ScoringMethod, SelectionStrategy, StatefulScorer, StatefulSplit, SubsetScoring,
     UcbScoring, VanillaScoring,
 };
+pub use snapshot::{RunSnapshot, SnapshotError};

@@ -116,7 +116,7 @@ struct Backoff {
 /// Tracks per-outgoing-neighbor silence and reconnect backoff for every
 /// node. All state is keyed by stable [`NodeId`]s and updated in id
 /// order, so the tracker is deterministic by construction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LivenessTracker {
     /// `silent[v]`: (peer, consecutive silent rounds) per outgoing
     /// neighbor of `v`, sorted by peer id. Rebuilt incrementally: entries
@@ -273,6 +273,150 @@ impl LivenessTracker {
             .iter()
             .map(|s| s.iter().filter(|b| round < b.until_round).count())
             .sum()
+    }
+
+    /// How many silence-counter slots across the whole tracker currently
+    /// reference `peer` — zero after the peer departs, or the
+    /// [`LivenessTracker::retire`] path leaked a slot.
+    pub fn counters_tracking(&self, peer: NodeId) -> usize {
+        let id = peer.as_u32();
+        self.silent
+            .iter()
+            .map(|s| s.iter().filter(|&&(p, _)| p == id).count())
+            .sum()
+    }
+
+    /// Release-mode legality check of the tracker's state machine,
+    /// reporting violations into `out` (see [`crate::audit`]):
+    /// counter/backoff lists must be sorted and duplicate-free, reference
+    /// only in-range non-self peers, and no silence counter may exceed
+    /// [`LivenessConfig::evict_after`] — a larger value means a peer the
+    /// engine should have evicted is still being counted.
+    pub(crate) fn audit(
+        &self,
+        config: &LivenessConfig,
+        out: &mut Vec<crate::audit::AuditViolation>,
+    ) {
+        use crate::audit::{AuditCheck, AuditViolation};
+        let n = self.silent.len() as u32;
+        let mut push = |detail: String| {
+            out.push(AuditViolation::new(
+                AuditCheck::LivenessStateMachine,
+                detail,
+            ));
+        };
+        for (vi, slot) in self.silent.iter().enumerate() {
+            for win in slot.windows(2) {
+                if win[0].0 >= win[1].0 {
+                    push(format!("n{vi}: silence counters unsorted or duplicated"));
+                    break;
+                }
+            }
+            for &(peer, count) in slot {
+                if peer >= n || peer == vi as u32 {
+                    push(format!(
+                        "n{vi}: silence counter references invalid peer n{peer}"
+                    ));
+                }
+                if config.enabled && count > config.evict_after {
+                    push(format!(
+                        "n{vi}: peer n{peer} silent {count} rounds, past evict_after {}",
+                        config.evict_after
+                    ));
+                }
+            }
+        }
+        for (vi, slot) in self.backoff.iter().enumerate() {
+            for win in slot.windows(2) {
+                if win[0].peer >= win[1].peer {
+                    push(format!("n{vi}: backoff records unsorted or duplicated"));
+                    break;
+                }
+            }
+            for b in slot {
+                if b.peer >= n || b.peer == vi as u32 {
+                    push(format!(
+                        "n{vi}: backoff record references invalid peer n{}",
+                        b.peer
+                    ));
+                }
+            }
+        }
+    }
+}
+
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`): the tracker's silence
+    //! counters and backoff timers are exactly what must survive a
+    //! restart — a resumed node that forgot a suspect would re-trust a
+    //! dead peer for `suspect_after` extra rounds.
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::{Backoff, LivenessConfig, LivenessTracker};
+
+    impl Encode for LivenessConfig {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.enabled.encode(out);
+            self.suspect_after.encode(out);
+            self.evict_after.encode(out);
+            self.backoff_base.encode(out);
+            self.backoff_max.encode(out);
+        }
+    }
+
+    impl Decode for LivenessConfig {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let config = LivenessConfig {
+                enabled: bool::decode(r)?,
+                suspect_after: u32::decode(r)?,
+                evict_after: u32::decode(r)?,
+                backoff_base: u32::decode(r)?,
+                backoff_max: u32::decode(r)?,
+            };
+            config
+                .validate()
+                .map_err(|_| DecodeError::new("liveness config fails validation"))?;
+            Ok(config)
+        }
+    }
+
+    impl Encode for Backoff {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.peer.encode(out);
+            self.until_round.encode(out);
+            self.attempts.encode(out);
+        }
+    }
+
+    impl Decode for Backoff {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(Backoff {
+                peer: u32::decode(r)?,
+                until_round: u64::decode(r)?,
+                attempts: u32::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for LivenessTracker {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.silent.encode(out);
+            self.backoff.encode(out);
+        }
+    }
+
+    impl Decode for LivenessTracker {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let tracker = LivenessTracker {
+                silent: Vec::decode(r)?,
+                backoff: Vec::decode(r)?,
+            };
+            if tracker.backoff.len() != tracker.silent.len() {
+                return Err(DecodeError::new("liveness tracker slot counts disagree"));
+            }
+            Ok(tracker)
+        }
     }
 }
 
@@ -470,5 +614,137 @@ mod tests {
             ..LivenessConfig::disabled()
         };
         assert!(off.validate().is_ok());
+    }
+
+    #[test]
+    fn churn_departure_of_suspect_leaks_no_counter_slot() {
+        let c = cfg();
+        let mut t = LivenessTracker::new(4);
+        let v = NodeId::new(0);
+        let suspect = NodeId::new(2);
+        let mut verdicts = Vec::new();
+        // Drive peer 2 into Suspect from two different watchers.
+        for _ in 0..2 {
+            t.observe(
+                &c,
+                v,
+                &ids(&[1, 2]),
+                true,
+                |u| u.as_u32() == 1,
+                &mut verdicts,
+            );
+            t.observe(
+                &c,
+                NodeId::new(3),
+                &ids(&[2]),
+                true,
+                |_| false,
+                &mut verdicts,
+            );
+        }
+        assert_eq!(verdicts, vec![PeerHealth::Suspect]);
+        assert_eq!(t.counters_tracking(suspect), 2);
+        // Peer 2 departs via churn while suspected.
+        t.retire(suspect);
+        assert_eq!(
+            t.counters_tracking(suspect),
+            0,
+            "departed suspect must not leak counter slots"
+        );
+        // If the id is later reused by a joiner, it starts Healthy with a
+        // fresh counter — no inherited suspicion.
+        t.observe(
+            &c,
+            v,
+            &ids(&[1, 2]),
+            true,
+            |u| u.as_u32() == 1,
+            &mut verdicts,
+        );
+        assert_eq!(verdicts, vec![PeerHealth::Healthy, PeerHealth::Healthy]);
+        let mut violations = Vec::new();
+        t.audit(&c, &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn backoff_at_cap_stays_capped_and_rearms_at_base_after_heal() {
+        let c = cfg();
+        let mut t = LivenessTracker::new(2);
+        let (v, p) = (NodeId::new(0), NodeId::new(1));
+        // Fail far past the doubling range: delay must pin at backoff_max.
+        let mut round = 0u64;
+        for _ in 0..40 {
+            t.note_failure(&c, v, p, round);
+            round += 1;
+        }
+        let last = round - 1;
+        assert!(t.backed_off(v, p, last + u64::from(c.backoff_max) - 1));
+        assert!(
+            !t.backed_off(v, p, last + u64::from(c.backoff_max)),
+            "delay must stay exactly at the cap, not overflow past it"
+        );
+        // A successful reconnect heals the record entirely...
+        t.note_success(v, p);
+        assert!(!t.backed_off(v, p, last));
+        // ...so the next failure re-arms at the base delay, not the cap.
+        t.note_failure(&c, v, p, 1_000);
+        assert!(t.backed_off(v, p, 1_000 + u64::from(c.backoff_base) - 1));
+        assert!(
+            !t.backed_off(v, p, 1_000 + u64::from(c.backoff_base)),
+            "healed peer must restart the exponential at backoff_base"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_counters_and_backoffs() {
+        use serde::bin::{Decode, Encode};
+        let c = cfg();
+        let mut t = LivenessTracker::new(3);
+        let mut verdicts = Vec::new();
+        for _ in 0..2 {
+            t.observe(
+                &c,
+                NodeId::new(0),
+                &ids(&[1, 2]),
+                true,
+                |u| u.as_u32() == 1,
+                &mut verdicts,
+            );
+        }
+        t.note_failure(&c, NodeId::new(1), NodeId::new(2), 7);
+        let bytes = t.to_bytes();
+        let back = LivenessTracker::from_bytes(&bytes).expect("round-trip");
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.counters_tracking(NodeId::new(2)), 1);
+        assert!(back.backed_off(NodeId::new(1), NodeId::new(2), 7));
+        // Restored tracker continues identically.
+        let mut v1 = Vec::new();
+        let mut v2 = Vec::new();
+        let mut t2 = back;
+        t.observe(&c, NodeId::new(0), &ids(&[1, 2]), true, |_| false, &mut v1);
+        t2.observe(&c, NodeId::new(0), &ids(&[1, 2]), true, |_| false, &mut v2);
+        assert_eq!(v1, v2);
+        // Corruption (slot-count mismatch) is a structured error.
+        let mut tampered = Vec::new();
+        t.silent.encode(&mut tampered);
+        Vec::<Vec<Backoff>>::new().encode(&mut tampered);
+        assert!(LivenessTracker::from_bytes(&tampered).is_err());
+    }
+
+    #[test]
+    fn audit_flags_illegal_states() {
+        let c = cfg();
+        let mut t = LivenessTracker::new(2);
+        // A counter past evict_after means a peer the engine failed to
+        // evict; an out-of-range peer id means corrupted state.
+        t.silent[0].push((1, c.evict_after + 3));
+        t.silent[1].push((9, 1));
+        let mut violations = Vec::new();
+        t.audit(&c, &mut violations);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations
+            .iter()
+            .all(|v| { v.check == crate::audit::AuditCheck::LivenessStateMachine }));
     }
 }

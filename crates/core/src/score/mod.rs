@@ -106,6 +106,100 @@ impl NodeHistory {
     pub fn sample_count(&self, u: NodeId) -> usize {
         self.samples_for(u).len()
     }
+
+    /// How many trailing samples per buffer one auditor pass inspects.
+    /// Buffers only grow at the tail ([`NodeHistory::absorb`] appends;
+    /// decay/forget drop whole prefixes or buffers), so at
+    /// audit-every-round cadence every sample is inspected while it *is*
+    /// the tail — full coverage paid incrementally. A full sweep would
+    /// make the pass O(total samples), which grows with run length and
+    /// blows the auditor's ≤ 2% per-round budget on long UCB runs.
+    const AUDIT_TAIL: usize = 32;
+
+    /// Release-mode legality check of one node's score state (see
+    /// [`crate::audit`]): buffers must pair up with neighbors, neighbor
+    /// entries must be unique, and stored samples must be finite — `∞`
+    /// never enters `T̿u,v` ([`NodeHistory::absorb`] filters it) and a
+    /// `NaN` means the state was corrupted. Sample finiteness is checked
+    /// on the newest [`NodeHistory::AUDIT_TAIL`] entries per buffer.
+    pub(crate) fn audit(&self, v: usize, out: &mut Vec<crate::audit::AuditViolation>) {
+        use crate::audit::{AuditCheck, AuditViolation};
+        if self.neighbors.len() != self.samples.len() {
+            out.push(AuditViolation::new(
+                AuditCheck::ScoreState,
+                format!("n{v}: neighbor/buffer arrays diverge"),
+            ));
+            return;
+        }
+        for (i, u) in self.neighbors.iter().enumerate() {
+            if self.neighbors[..i].contains(u) {
+                out.push(AuditViolation::new(
+                    AuditCheck::ScoreState,
+                    format!("n{v}: duplicate history entry for {u}"),
+                ));
+            }
+            let buf = &self.samples[i];
+            let tail = &buf[buf.len().saturating_sub(Self::AUDIT_TAIL)..];
+            if let Some(bad) = tail.iter().find(|t| !t.is_finite()) {
+                out.push(AuditViolation::new(
+                    AuditCheck::ScoreState,
+                    format!("n{v}: non-finite sample {bad} for {u}"),
+                ));
+            }
+        }
+    }
+}
+
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`): UCB's cross-round
+    //! per-connection history is the score state a resumed run must
+    //! carry to stay bit-identical with an uninterrupted one.
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::{NodeHistory, ScoringMethod};
+
+    impl Encode for NodeHistory {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.neighbors.encode(out);
+            self.samples.encode(out);
+        }
+    }
+
+    impl Decode for NodeHistory {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let h = NodeHistory {
+                neighbors: Vec::decode(r)?,
+                samples: Vec::decode(r)?,
+            };
+            if h.neighbors.len() != h.samples.len() {
+                return Err(DecodeError::new("node history arrays diverge"));
+            }
+            Ok(h)
+        }
+    }
+
+    impl Encode for ScoringMethod {
+        fn encode(&self, out: &mut Vec<u8>) {
+            let tag: u8 = match self {
+                ScoringMethod::Vanilla => 0,
+                ScoringMethod::Ucb => 1,
+                ScoringMethod::Subset => 2,
+            };
+            tag.encode(out);
+        }
+    }
+
+    impl Decode for ScoringMethod {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(ScoringMethod::Vanilla),
+                1 => Ok(ScoringMethod::Ucb),
+                2 => Ok(ScoringMethod::Subset),
+                _ => Err(DecodeError::new("unknown scoring method tag")),
+            }
+        }
+    }
 }
 
 /// The immutable scoring half of a stateful strategy, usable from any
@@ -206,6 +300,34 @@ pub trait SelectionStrategy: Send + Sync {
     /// if any, must be forgotten — the paper keeps per-neighbor history only
     /// while connected).
     fn on_disconnect(&mut self, _v: NodeId, _u: NodeId) {}
+
+    /// Serializes the strategy's cross-round state for a checkpoint
+    /// (see [`crate::snapshot`]). Stateless strategies (Vanilla/Subset)
+    /// keep the default — an empty buffer, since everything they need is
+    /// re-derived from the round's observations.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores cross-round state captured by
+    /// [`SelectionStrategy::snapshot_state`] on a freshly built strategy
+    /// of the same method and world size. The default accepts only an
+    /// empty buffer: bytes arriving at a stateless strategy mean the
+    /// snapshot was written by a different method.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), serde::bin::DecodeError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(serde::bin::DecodeError::new(
+                "stateless strategy given non-empty score state",
+            ))
+        }
+    }
+
+    /// Release-mode legality check of the cross-round state, reporting
+    /// violations into `out` (see [`crate::audit`]). Stateless
+    /// strategies have nothing to check (the default no-op).
+    fn audit(&self, _out: &mut Vec<crate::audit::AuditViolation>) {}
 
     /// Notifies the strategy that the node set moved: per-node state must
     /// now cover `n` slots (new slots start blank), the state of every

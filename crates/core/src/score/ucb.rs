@@ -200,6 +200,33 @@ impl SelectionStrategy for UcbScoring {
         self.history[v.index()].forget(u);
     }
 
+    /// The checkpointed state is exactly the per-connection history
+    /// (`T̿u,v` for every live connection) — the parameters travel in the
+    /// run's [`PerigeeConfig`](crate::PerigeeConfig) and the strategy is
+    /// rebuilt from them on resume.
+    fn snapshot_state(&self) -> Vec<u8> {
+        use serde::bin::Encode;
+        self.history.to_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), serde::bin::DecodeError> {
+        use serde::bin::{Decode, DecodeError};
+        let history: Vec<NodeHistory> = Decode::from_bytes(bytes)?;
+        if history.len() != self.history.len() {
+            return Err(DecodeError::new(
+                "score-state snapshot covers a different world size",
+            ));
+        }
+        self.history = history;
+        Ok(())
+    }
+
+    fn audit(&self, out: &mut Vec<crate::audit::AuditViolation>) {
+        for (v, h) in self.history.iter().enumerate() {
+            h.audit(v, out);
+        }
+    }
+
     /// The stateful churn hook: the history array is resized to cover
     /// new slots (blank — a joiner starts with no beliefs), every
     /// departed/reset node's own history is dropped wholesale (its

@@ -1,0 +1,282 @@
+//! Kill-and-resume determinism: checkpoint at round *k*, serialize to
+//! the on-disk envelope, decode, resume, and run to round *N* — the
+//! result must be **bit-identical** to the uninterrupted *N*-round run.
+//! The suite exercises the hardest configuration the engine supports:
+//! UCB scoring (per-arm history buffers), aggressive liveness (silence
+//! counters + backoff timers), Poisson churn (its own RNG stream), an
+//! *active* fault plan (burst loss, flaps, a timed partition) and an
+//! address book — across pinned 1/2/8-thread rayon pools and both
+//! priority-queue kinds. The invariant auditor runs every round on both
+//! legs and must stay green throughout.
+
+use perigee_core::{
+    PerigeeConfig, PerigeeEngine, RoundStats, RunSnapshot, ScoringMethod, SnapshotError,
+};
+use perigee_netsim::{
+    ChurnProcess, ConnectionLimits, FaultPlan, FaultWindow, GeoLatencyModel, LinkFaultRates,
+    LinkFlaps, PartitionWindow, PopulationBuilder, QueueKind,
+};
+use perigee_topology::{RandomBuilder, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An active plan: background loss, a mid-run burst window, flapping
+/// links and a timed partition — every fault family at once.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        base: LinkFaultRates {
+            drop_prob: 0.03,
+            extra_delay: perigee_netsim::SimTime::from_ms(2.0),
+            jitter: perigee_netsim::SimTime::from_ms(10.0),
+            duplicate_prob: 0.05,
+        },
+        windows: vec![FaultWindow {
+            start: 6,
+            end: 12,
+            rates: LinkFaultRates {
+                drop_prob: 0.5,
+                extra_delay: perigee_netsim::SimTime::from_ms(15.0),
+                jitter: perigee_netsim::SimTime::from_ms(30.0),
+                duplicate_prob: 0.0,
+            },
+        }],
+        flaps: Some(LinkFlaps {
+            fraction: 0.1,
+            period: 5,
+            down: 2,
+        }),
+        partitions: vec![PartitionWindow {
+            start: 14,
+            heal: 20,
+            fraction: 0.25,
+        }],
+        regional: Vec::new(),
+    }
+}
+
+/// The hardest engine we can build: UCB scores, aggressive liveness,
+/// Poisson churn, the chaos plan, an address book, auditing every round.
+fn chaos_engine(seed: u64, kind: QueueKind) -> (PerigeeEngine<GeoLatencyModel>, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = PopulationBuilder::new(70).build(&mut rng).unwrap();
+    let lat = GeoLatencyModel::new(&pop, seed);
+    let topo = RandomBuilder::new().build(&pop, &lat, ConnectionLimits::paper_default(), &mut rng);
+    let mut cfg = PerigeeConfig::paper_default(ScoringMethod::Ucb);
+    cfg.blocks_per_round = 6;
+    cfg.liveness = perigee_core::LivenessConfig::aggressive();
+    let mut engine = PerigeeEngine::new(pop, lat, topo, ScoringMethod::Ucb, cfg).unwrap();
+    engine.set_queue_kind(kind);
+    engine.set_churn(ChurnProcess::steady_state(70, 0.04, seed ^ 0x5EED));
+    engine.set_fault_plan(chaos_plan(seed ^ 0xFA17)).unwrap();
+    let book = perigee_core::AddressBook::bootstrap(engine.population().len(), 4, 24, &mut rng);
+    engine.set_address_book(book);
+    engine.set_audit_every(1);
+    (engine, rng)
+}
+
+/// One uninterrupted run: `total` rounds, optionally inside a pinned
+/// rayon pool.
+fn run_straight(
+    seed: u64,
+    kind: QueueKind,
+    total: usize,
+    threads: Option<usize>,
+) -> (Vec<RoundStats>, PerigeeEngine<GeoLatencyModel>) {
+    let (mut engine, mut rng) = chaos_engine(seed, kind);
+    let stats = match threads {
+        None => (0..total).map(|_| engine.run_round(&mut rng)).collect(),
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .unwrap()
+            .install(|| (0..total).map(|_| engine.run_round(&mut rng)).collect()),
+    };
+    (stats, engine)
+}
+
+/// The interrupted run: `k` rounds, checkpoint through the full on-disk
+/// envelope (encode → bytes → decode), drop the original engine, resume,
+/// and run the remaining `total - k` rounds in a pinned pool.
+fn run_killed(
+    seed: u64,
+    kind: QueueKind,
+    total: usize,
+    k: usize,
+    threads: Option<usize>,
+) -> (Vec<RoundStats>, PerigeeEngine<GeoLatencyModel>) {
+    let (mut engine, mut rng) = chaos_engine(seed, kind);
+    let mut stats: Vec<RoundStats> = (0..k).map(|_| engine.run_round(&mut rng)).collect();
+    assert!(engine.audit_failures().is_empty(), "pre-kill audit failed");
+
+    let bytes = engine.checkpoint(&rng).to_bytes();
+    drop(engine);
+
+    let snapshot = RunSnapshot::from_bytes(&bytes).expect("envelope round-trip");
+    assert_eq!(snapshot.round(), k as u64);
+    let (mut resumed, mut rng) =
+        PerigeeEngine::<GeoLatencyModel>::resume(snapshot).expect("resume");
+    resumed.set_audit_every(1);
+    let tail: Vec<RoundStats> = match threads {
+        None => (k..total).map(|_| resumed.run_round(&mut rng)).collect(),
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .unwrap()
+            .install(|| (k..total).map(|_| resumed.run_round(&mut rng)).collect()),
+    };
+    stats.extend(tail);
+    (stats, resumed)
+}
+
+/// The headline guarantee: kill at round 9 of 18, resume from the
+/// serialized envelope, and every per-round statistic, the learned
+/// topology, the population (ids, hash power, free-list) and the final
+/// evaluation are the same IEEE-754 values as the uninterrupted run —
+/// for each queue kind, and regardless of which thread count either leg
+/// ran under.
+#[test]
+fn kill_and_resume_is_bit_identical_to_uninterrupted() {
+    const SEED: u64 = 2020;
+    const TOTAL: usize = 18;
+    const K: usize = 9;
+
+    for kind in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+        let (ref_stats, ref_engine) = run_straight(SEED, kind, TOTAL, None);
+        assert!(
+            ref_stats.iter().any(|s| s.joined > 0) && ref_stats.iter().any(|s| s.departed > 0),
+            "churn must fire on {kind:?} for this test to bite"
+        );
+        assert!(
+            ref_engine.audit_failures().is_empty(),
+            "reference run must audit clean on {kind:?}"
+        );
+        assert_eq!(ref_engine.audits_run(), TOTAL);
+
+        for threads in [Some(1), Some(2), Some(8)] {
+            let (stats, engine) = run_killed(SEED, kind, TOTAL, K, threads);
+            assert_eq!(
+                stats, ref_stats,
+                "resumed RoundStats diverged at {threads:?} threads on {kind:?}"
+            );
+            assert_eq!(
+                engine.topology(),
+                ref_engine.topology(),
+                "topology diverged at {threads:?}/{kind:?}"
+            );
+            assert_eq!(
+                engine.population(),
+                ref_engine.population(),
+                "population diverged at {threads:?}/{kind:?}"
+            );
+            assert_eq!(
+                engine.evaluate(0.9),
+                ref_engine.evaluate(0.9),
+                "evaluation diverged at {threads:?}/{kind:?}"
+            );
+            assert!(
+                engine.audit_failures().is_empty(),
+                "resumed run must audit clean at {threads:?}/{kind:?}"
+            );
+            assert_eq!(engine.rounds_run(), TOTAL);
+        }
+    }
+}
+
+/// Checkpointing is transparent: a second checkpoint taken from the
+/// *resumed* engine at the same round encodes to the same bytes as one
+/// taken from an engine that was never killed.
+#[test]
+fn checkpoint_of_resumed_engine_matches_original() {
+    let kind = QueueKind::Calendar;
+    let (mut a, mut rng_a) = chaos_engine(99, kind);
+    for _ in 0..8 {
+        a.run_round(&mut rng_a);
+    }
+    let straight = a.checkpoint(&rng_a).to_bytes();
+
+    let (mut b, mut rng_b) = chaos_engine(99, kind);
+    for _ in 0..5 {
+        b.run_round(&mut rng_b);
+    }
+    let bytes = b.checkpoint(&rng_b).to_bytes();
+    let (mut resumed, mut rng) =
+        PerigeeEngine::<GeoLatencyModel>::resume(RunSnapshot::from_bytes(&bytes).unwrap()).unwrap();
+    for _ in 5..8 {
+        resumed.run_round(&mut rng);
+    }
+    let via_kill = resumed.checkpoint(&rng).to_bytes();
+    assert_eq!(via_kill, straight, "checkpoint-of-resume must be invisible");
+}
+
+/// Corrupted envelopes are rejected with *structured* errors, never a
+/// panic or a silently-wrong world: bad magic, an unknown format
+/// version, truncation, bit flips, and a hash-valid body that fails the
+/// semantic consistency check each map to their own `SnapshotError`.
+#[test]
+fn corrupted_snapshots_are_rejected_with_structured_errors() {
+    let (mut engine, mut rng) = chaos_engine(7, QueueKind::BinaryHeap);
+    for _ in 0..4 {
+        engine.run_round(&mut rng);
+    }
+    let bytes = engine.checkpoint(&rng).to_bytes();
+    RunSnapshot::from_bytes(&bytes).expect("pristine bytes must decode");
+
+    // Wrong magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert_eq!(
+        RunSnapshot::from_bytes(&bad).unwrap_err(),
+        SnapshotError::BadMagic
+    );
+
+    // Unknown format version (bytes 4..8, little-endian u32).
+    let mut bad = bytes.clone();
+    bad[4] = 0xFE;
+    assert!(matches!(
+        RunSnapshot::from_bytes(&bad).unwrap_err(),
+        SnapshotError::UnsupportedVersion(_)
+    ));
+
+    // A flipped bit anywhere in the body trips the content hash.
+    let mut bad = bytes.clone();
+    let mid = 16 + (bad.len() - 24) / 2;
+    bad[mid] ^= 0x01;
+    assert_eq!(
+        RunSnapshot::from_bytes(&bad).unwrap_err(),
+        SnapshotError::HashMismatch
+    );
+
+    // Truncation can never pass the envelope length check.
+    let bad = &bytes[..bytes.len() - 9];
+    assert_eq!(
+        RunSnapshot::from_bytes(bad).unwrap_err(),
+        SnapshotError::HashMismatch
+    );
+
+    // An empty buffer cannot even produce the magic; a header-only
+    // buffer is structurally corrupt.
+    assert_eq!(
+        RunSnapshot::from_bytes(&[]).unwrap_err(),
+        SnapshotError::BadMagic
+    );
+    assert!(matches!(
+        RunSnapshot::from_bytes(&bytes[..10]).unwrap_err(),
+        SnapshotError::Corrupt(_)
+    ));
+
+    // Hash-valid but semantically impossible: zero out the RNG state
+    // (the last 32 body bytes) and re-stamp the content hash. The
+    // envelope passes; the consistency check must still refuse it.
+    let mut bad = bytes.clone();
+    let body_end = bad.len() - 8;
+    for b in &mut bad[body_end - 32..body_end] {
+        *b = 0;
+    }
+    let digest = serde::bin::fnv1a64(&bad[16..body_end]);
+    bad[body_end..].copy_from_slice(&digest.to_le_bytes());
+    assert!(matches!(
+        RunSnapshot::from_bytes(&bad).unwrap_err(),
+        SnapshotError::Inconsistent(_)
+    ));
+}

@@ -16,8 +16,14 @@
 //!   ablation      parameter sweeps (exploration, percentile, |B|, UCB c)
 //!   adversary     free-rider, eclipse and churn robustness
 //!   deployment    incremental-deployment advantage
+//!   resume        checkpoint/kill/resume workflow + invariant auditor
 //!   all           everything above
 //! ```
+//!
+//! `resume` also accepts `--checkpoint-every K`, `--from FILE` (continue
+//! a run from an on-disk snapshot), `--audit-every K` and
+//! `--audit-strict` (snapshot the offending round and abort on the
+//! first invariant violation).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,7 +31,7 @@ use std::time::Instant;
 
 use perigee_experiments::{
     ablation, adversary, bandwidth, convergence, deployment, discovery, dynamics, faults, fig3,
-    fig4, fig5, theory,
+    fig4, fig5, resume, theory,
 };
 use perigee_experiments::{Algorithm, MinerCliqueSpec, RelaySpec, Scenario};
 use perigee_metrics::Table;
@@ -34,6 +40,12 @@ struct Args {
     command: String,
     scenario: Scenario,
     out: Option<PathBuf>,
+    /// `resume`: write a checkpoint every this many rounds.
+    checkpoint_every: usize,
+    /// `resume --from FILE`: continue from an on-disk snapshot.
+    from: Option<PathBuf>,
+    /// Invariant auditor cadence (0 = off) and strictness.
+    audit: resume::AuditOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
     let command = argv.next().ok_or_else(usage)?;
     let mut scenario = Scenario::paper();
     let mut out = None;
+    let mut checkpoint_every = 5;
+    let mut from = None;
+    let mut audit = resume::AuditOptions::default();
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
             argv.next().ok_or(format!("{name} needs a value"))
@@ -68,6 +83,24 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<Vec<u64>, _>>()?
             }
             "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--checkpoint-every" => {
+                checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be positive".to_string());
+                }
+            }
+            "--from" => from = Some(PathBuf::from(value("--from")?)),
+            "--audit-every" => {
+                audit.every = value("--audit-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--audit-strict" => {
+                audit.strict = true;
+                audit.every = audit.every.max(1);
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -75,12 +108,16 @@ fn parse_args() -> Result<Args, String> {
         command,
         scenario,
         out,
+        checkpoint_every,
+        from,
+        audit,
     })
 }
 
 fn usage() -> String {
-    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|faults|all> \
-     [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR]"
+    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|faults|resume|all> \
+     [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR] \
+     [--checkpoint-every K] [--from FILE] [--audit-every K] [--audit-strict]"
         .to_string()
 }
 
@@ -99,7 +136,9 @@ fn emit(table: &Table, out: &Option<PathBuf>, file: &str) {
     }
 }
 
-fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<(), String> {
+fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
+    let scenario = &args.scenario;
+    let out = &args.out;
     let started = Instant::now();
     match cmd {
         "fig1" => {
@@ -388,6 +427,46 @@ fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<
                 faults::run_flap_grid(scenario, scenario.seeds[0], &[0.1, 0.3], &[(6, 1), (6, 3)]);
             emit(&r.table(), out, "faults_flaps.csv");
         }
+        "resume" => {
+            if let Some(path) = &args.from {
+                banner("Resume from on-disk snapshot");
+                let r =
+                    resume::resume_from_file(path, scenario.rounds, args.audit, out.as_deref())?;
+                println!(
+                    "resumed from round {} ({} bytes), ran {} more round(s); auditor: {} pass(es), {} violation(s)",
+                    r.resumed_from,
+                    r.snapshot_bytes,
+                    r.stats.len(),
+                    r.audits_run,
+                    r.audit_violations
+                );
+            } else {
+                banner("Checkpoint / kill / resume determinism workflow");
+                let r = resume::run_kill_resume(
+                    scenario,
+                    scenario.seeds[0],
+                    args.checkpoint_every,
+                    args.audit,
+                    out.as_deref(),
+                )?;
+                emit(&r.table(), out, "resume.csv");
+                for path in &r.checkpoints {
+                    println!("[wrote {}]", path.display());
+                }
+                if !r.bit_identical {
+                    return Err(
+                        "resumed run diverged from the uninterrupted control run".to_string()
+                    );
+                }
+                if r.audit_violations > 0 {
+                    return Err(format!(
+                        "invariant auditor reported {} violation(s)",
+                        r.audit_violations
+                    ));
+                }
+                println!("resumed run is bit-identical to the uninterrupted run; auditor green");
+            }
+        }
         "all" => {
             for c in [
                 "fig1",
@@ -406,8 +485,9 @@ fn run_command(cmd: &str, scenario: &Scenario, out: &Option<PathBuf>) -> Result<
                 "bandwidth",
                 "dynamics",
                 "faults",
+                "resume",
             ] {
-                run_command(c, scenario, out)?;
+                run_command(c, args)?;
             }
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
@@ -431,7 +511,7 @@ fn main() -> ExitCode {
         args.scenario.blocks_per_round,
         args.scenario.seeds
     );
-    match run_command(&args.command, &args.scenario, &args.out) {
+    match run_command(&args.command, &args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");

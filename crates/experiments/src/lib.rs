@@ -19,6 +19,7 @@
 //! | [`bandwidth`] | bandwidth-heterogeneous INV/GETDATA regime (§2.1/§3.3) |
 //! | [`dynamics`] | dynamic worlds: steady-state churn, mid-run 1k→10k growth (§6) |
 //! | [`faults`] | link faults: burst loss, partitions, brownouts, flaps + gating ablation (§6) |
+//! | [`resume`] | checkpoint/resume workflow + strict invariant auditing for long runs |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -35,6 +36,7 @@ pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod resume;
 pub mod runner;
 pub mod scenario;
 pub mod theory;

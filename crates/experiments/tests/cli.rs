@@ -1,0 +1,110 @@
+//! Exit-code contract of the `repro` binary: bad invocations fail fast
+//! with the usage string on stderr and a non-zero status; good ones
+//! exit zero. Driven through the real binary (`CARGO_BIN_EXE_repro`),
+//! not a parser unit test, so the `main` wiring is covered too.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = repro(&[]);
+    assert!(!out.status.success(), "bare invocation must fail");
+    assert!(
+        stderr(&out).contains("usage: repro"),
+        "stderr must carry the usage string, got: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_fails() {
+    let out = repro(&["fig99"]);
+    assert!(!out.status.success(), "unknown subcommand must fail");
+    let err = stderr(&out);
+    assert!(err.contains("unknown command fig99"), "got: {err}");
+    assert!(err.contains("usage: repro"), "got: {err}");
+}
+
+#[test]
+fn unknown_flag_prints_usage_and_fails() {
+    let out = repro(&["fig1", "--frobnicate"]);
+    assert!(!out.status.success(), "unknown flag must fail");
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --frobnicate"), "got: {err}");
+    assert!(err.contains("usage: repro"), "got: {err}");
+}
+
+#[test]
+fn flag_missing_its_value_fails() {
+    let out = repro(&["fig1", "--nodes"]);
+    assert!(!out.status.success(), "dangling --nodes must fail");
+    assert!(stderr(&out).contains("--nodes needs a value"));
+}
+
+#[test]
+fn unparsable_flag_value_fails() {
+    let out = repro(&["fig1", "--rounds", "many"]);
+    assert!(!out.status.success(), "non-numeric --rounds must fail");
+}
+
+#[test]
+fn zero_checkpoint_interval_is_rejected() {
+    let out = repro(&["resume", "--checkpoint-every", "0"]);
+    assert!(!out.status.success(), "--checkpoint-every 0 must fail");
+    assert!(stderr(&out).contains("--checkpoint-every must be positive"));
+}
+
+#[test]
+fn corrupt_snapshot_is_a_structured_error_not_a_panic() {
+    let dir = std::env::temp_dir().join("repro-cli-corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.prgs");
+    std::fs::write(&path, b"not a snapshot at all").unwrap();
+    let out = repro(&["resume", "--quick", "--from", path.to_str().unwrap()]);
+    assert!(!out.status.success(), "corrupt snapshot must fail");
+    let err = stderr(&out);
+    assert!(
+        err.contains("bad magic"),
+        "must name the structured snapshot error, got: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "must not panic on corrupt input, got: {err}"
+    );
+}
+
+#[test]
+fn valid_quick_command_exits_zero() {
+    let out = repro(&["fig1", "--quick", "--nodes", "40"]);
+    assert!(
+        out.status.success(),
+        "fig1 --quick must succeed, stderr: {}",
+        stderr(&out)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Figure 1"));
+}
+
+#[test]
+fn quick_resume_roundtrip_exits_zero() {
+    let out = repro(&[
+        "resume", "--quick", "--nodes", "50", "--rounds", "8", "--blocks", "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "resume --quick must succeed, stderr: {}",
+        stderr(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bit-identical"), "got: {stdout}");
+}

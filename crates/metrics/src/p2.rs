@@ -220,6 +220,51 @@ impl P2Quantile {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`): every marker float
+    //! travels as its IEEE-754 bit pattern, so a restored tracker that
+    //! keeps streaming is bit-identical to one that never stopped.
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::P2Quantile;
+
+    impl Encode for P2Quantile {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.p.encode(out);
+            self.heights.encode(out);
+            self.positions.encode(out);
+            self.desired.encode(out);
+            self.increments.encode(out);
+            self.seed.encode(out);
+            self.finite.encode(out);
+            self.infinite.encode(out);
+        }
+    }
+
+    impl Decode for P2Quantile {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let q = P2Quantile {
+                p: f64::decode(r)?,
+                heights: <[f64; 5]>::decode(r)?,
+                positions: <[f64; 5]>::decode(r)?,
+                desired: <[f64; 5]>::decode(r)?,
+                increments: <[f64; 5]>::decode(r)?,
+                seed: Vec::decode(r)?,
+                finite: usize::decode(r)?,
+                infinite: usize::decode(r)?,
+            };
+            if !(0.0..=100.0).contains(&q.p) {
+                return Err(DecodeError::new("p2 percentile out of range"));
+            }
+            if q.seed.len() > 5 || (q.finite <= 5 && q.seed.len() != q.finite) {
+                return Err(DecodeError::new("p2 seed buffer inconsistent with count"));
+            }
+            Ok(q)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +410,57 @@ mod tests {
             a.estimate().unwrap().to_bits(),
             b.estimate().unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        use serde::bin::{Decode, Encode};
+        // Serialize → restore → continue streaming must match an unbroken
+        // tracker exactly, at every cut point: mid-seed (< 5 finite),
+        // exactly at initialization, and deep into the marker regime —
+        // with infinities mixed in (the out-of-band counter must travel).
+        for cut in [0usize, 3, 5, 6, 250] {
+            let mut unbroken = P2Quantile::new(90.0);
+            let mut prefix = P2Quantile::new(90.0);
+            let stream = |i: u64| {
+                if i.is_multiple_of(13) {
+                    f64::INFINITY
+                } else {
+                    noise(i)
+                }
+            };
+            for i in 0..cut as u64 {
+                unbroken.observe(stream(i));
+                prefix.observe(stream(i));
+            }
+            let mut resumed = P2Quantile::from_bytes(&prefix.to_bytes()).unwrap();
+            assert_eq!(resumed, prefix, "cut {cut}: restored state differs");
+            for i in cut as u64..600 {
+                unbroken.observe(stream(i));
+                resumed.observe(stream(i));
+            }
+            assert_eq!(resumed, unbroken, "cut {cut}: streams diverged");
+            assert_eq!(
+                resumed.estimate_or_inf().to_bits(),
+                unbroken.estimate_or_inf().to_bits(),
+                "cut {cut}: estimates differ"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupted_bytes() {
+        use serde::bin::{Decode, Encode};
+        let mut q = P2Quantile::new(75.0);
+        for i in 0..10 {
+            q.observe(noise(i));
+        }
+        let bytes = q.to_bytes();
+        assert!(P2Quantile::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_p = bytes.clone();
+        // First field is `p`; overwrite with the bits of 400.0.
+        bad_p[..8].copy_from_slice(&400.0f64.to_bits().to_le_bytes());
+        assert!(P2Quantile::from_bytes(&bad_p).is_err());
     }
 
     #[test]

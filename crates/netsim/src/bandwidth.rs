@@ -80,6 +80,30 @@ impl Default for TransferModel {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::TransferModel;
+
+    impl Encode for TransferModel {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.block_size_mb.encode(out);
+        }
+    }
+
+    impl Decode for TransferModel {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let block_size_mb = f64::decode(r)?;
+            if !block_size_mb.is_finite() || block_size_mb < 0.0 {
+                return Err(DecodeError::new("illegal block size"));
+            }
+            Ok(TransferModel { block_size_mb })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

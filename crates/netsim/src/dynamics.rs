@@ -456,6 +456,198 @@ impl ChurnProcess {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+    //!
+    //! A [`ChurnProcess`] is the one netsim subsystem with genuinely
+    //! *mutable* cross-round state: its private RNG position, the replay
+    //! cursor, the round counter and the scheduled-expiry heap. All four
+    //! are captured exactly — the RNG travels as its raw xoshiro state and
+    //! the heap as its element multiset (pop order over distinct
+    //! `(round, id)` keys is independent of internal heap layout), so a
+    //! restored process continues the lifetime stream bit for bit.
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::*;
+
+    impl Encode for WorldDelta {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.joined.encode(out);
+            self.departed.encode(out);
+        }
+    }
+
+    impl Decode for WorldDelta {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(WorldDelta {
+                joined: Vec::decode(r)?,
+                departed: Vec::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for SessionDist {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match *self {
+                SessionDist::Constant(rounds) => {
+                    0u8.encode(out);
+                    rounds.encode(out);
+                }
+                SessionDist::Exponential { mean } => {
+                    1u8.encode(out);
+                    mean.encode(out);
+                }
+                SessionDist::LogNormal { mu, sigma } => {
+                    2u8.encode(out);
+                    mu.encode(out);
+                    sigma.encode(out);
+                }
+                SessionDist::Weibull { shape, scale } => {
+                    3u8.encode(out);
+                    shape.encode(out);
+                    scale.encode(out);
+                }
+            }
+        }
+    }
+
+    impl Decode for SessionDist {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(SessionDist::Constant(f64::decode(r)?)),
+                1 => Ok(SessionDist::Exponential {
+                    mean: f64::decode(r)?,
+                }),
+                2 => Ok(SessionDist::LogNormal {
+                    mu: f64::decode(r)?,
+                    sigma: f64::decode(r)?,
+                }),
+                3 => Ok(SessionDist::Weibull {
+                    shape: f64::decode(r)?,
+                    scale: f64::decode(r)?,
+                }),
+                _ => Err(DecodeError::new("invalid session-dist tag")),
+            }
+        }
+    }
+
+    impl Encode for LifetimeEventKind {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match *self {
+                LifetimeEventKind::Join => 0u8.encode(out),
+                LifetimeEventKind::Leave(v) => {
+                    1u8.encode(out);
+                    v.encode(out);
+                }
+                LifetimeEventKind::Reset(v) => {
+                    2u8.encode(out);
+                    v.encode(out);
+                }
+            }
+        }
+    }
+
+    impl Decode for LifetimeEventKind {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(LifetimeEventKind::Join),
+                1 => Ok(LifetimeEventKind::Leave(NodeId::decode(r)?)),
+                2 => Ok(LifetimeEventKind::Reset(NodeId::decode(r)?)),
+                _ => Err(DecodeError::new("invalid lifetime-event tag")),
+            }
+        }
+    }
+
+    impl Encode for LifetimeEvent {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.round.encode(out);
+            self.kind.encode(out);
+        }
+    }
+
+    impl Decode for LifetimeEvent {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(LifetimeEvent {
+                round: usize::decode(r)?,
+                kind: LifetimeEventKind::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for Mode {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                Mode::Poisson {
+                    arrival_rate,
+                    session,
+                } => {
+                    0u8.encode(out);
+                    arrival_rate.encode(out);
+                    session.encode(out);
+                }
+                Mode::Replay { events, cursor } => {
+                    1u8.encode(out);
+                    events.encode(out);
+                    cursor.encode(out);
+                }
+            }
+        }
+    }
+
+    impl Decode for Mode {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(Mode::Poisson {
+                    arrival_rate: f64::decode(r)?,
+                    session: SessionDist::decode(r)?,
+                }),
+                1 => {
+                    let events: Vec<LifetimeEvent> = Vec::decode(r)?;
+                    let cursor = usize::decode(r)?;
+                    if cursor > events.len() {
+                        return Err(DecodeError::new("replay cursor past end of trace"));
+                    }
+                    Ok(Mode::Replay { events, cursor })
+                }
+                _ => Err(DecodeError::new("invalid churn-mode tag")),
+            }
+        }
+    }
+
+    impl Encode for ChurnProcess {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.mode.encode(out);
+            self.rng.state().encode(out);
+            self.profile.encode(out);
+            self.round.encode(out);
+            let mut expiries: Vec<(u64, u32)> = self.expiries.iter().map(|Reverse(e)| *e).collect();
+            expiries.sort_unstable();
+            expiries.encode(out);
+        }
+    }
+
+    impl Decode for ChurnProcess {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let mode = Mode::decode(r)?;
+            let rng_state = <[u64; 4]>::decode(r)?;
+            if rng_state == [0; 4] {
+                return Err(DecodeError::new("all-zero churn rng state"));
+            }
+            let profile = PopulationBuilder::decode(r)?;
+            let round = usize::decode(r)?;
+            let expiries: Vec<(u64, u32)> = Vec::decode(r)?;
+            Ok(ChurnProcess {
+                mode,
+                rng: StdRng::from_state(rng_state),
+                profile,
+                round,
+                expiries: expiries.into_iter().map(Reverse).collect(),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

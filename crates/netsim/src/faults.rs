@@ -479,6 +479,138 @@ impl BlockFaults<'_> {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`). A [`FaultPlan`] is pure
+    //! configuration — every per-round decision is a stateless hash of the
+    //! seed — so serializing the plan struct captures the fault schedule
+    //! completely; no cursor or RNG position exists to save.
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::*;
+
+    impl Encode for LinkFaultRates {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.drop_prob.encode(out);
+            self.extra_delay.encode(out);
+            self.jitter.encode(out);
+            self.duplicate_prob.encode(out);
+        }
+    }
+
+    impl Decode for LinkFaultRates {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(LinkFaultRates {
+                drop_prob: f64::decode(r)?,
+                extra_delay: SimTime::decode(r)?,
+                jitter: SimTime::decode(r)?,
+                duplicate_prob: f64::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for FaultWindow {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.start.encode(out);
+            self.end.encode(out);
+            self.rates.encode(out);
+        }
+    }
+
+    impl Decode for FaultWindow {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(FaultWindow {
+                start: usize::decode(r)?,
+                end: usize::decode(r)?,
+                rates: LinkFaultRates::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for LinkFlaps {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.fraction.encode(out);
+            self.period.encode(out);
+            self.down.encode(out);
+        }
+    }
+
+    impl Decode for LinkFlaps {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(LinkFlaps {
+                fraction: f64::decode(r)?,
+                period: usize::decode(r)?,
+                down: usize::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for PartitionWindow {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.start.encode(out);
+            self.heal.encode(out);
+            self.fraction.encode(out);
+        }
+    }
+
+    impl Decode for PartitionWindow {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(PartitionWindow {
+                start: usize::decode(r)?,
+                heal: usize::decode(r)?,
+                fraction: f64::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for RegionalWindow {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.region.encode(out);
+            self.start.encode(out);
+            self.end.encode(out);
+            self.slow_factor.encode(out);
+        }
+    }
+
+    impl Decode for RegionalWindow {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(RegionalWindow {
+                region: Region::decode(r)?,
+                start: usize::decode(r)?,
+                end: usize::decode(r)?,
+                slow_factor: f64::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for FaultPlan {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.seed.encode(out);
+            self.base.encode(out);
+            self.windows.encode(out);
+            self.flaps.encode(out);
+            self.partitions.encode(out);
+            self.regional.encode(out);
+        }
+    }
+
+    impl Decode for FaultPlan {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let plan = FaultPlan {
+                seed: u64::decode(r)?,
+                base: LinkFaultRates::decode(r)?,
+                windows: Vec::decode(r)?,
+                flaps: Option::decode(r)?,
+                partitions: Vec::decode(r)?,
+                regional: Vec::decode(r)?,
+            };
+            plan.validate()
+                .map_err(|_| DecodeError::new("fault plan fails validation"))?;
+            Ok(plan)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,6 +98,50 @@ impl GossipConfig {
     }
 }
 
+mod config_codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::{GossipConfig, GossipMode};
+
+    impl Encode for GossipMode {
+        fn encode(&self, out: &mut Vec<u8>) {
+            let tag: u8 = match self {
+                GossipMode::Flood => 0,
+                GossipMode::InvGetData => 1,
+            };
+            tag.encode(out);
+        }
+    }
+
+    impl Decode for GossipMode {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(GossipMode::Flood),
+                1 => Ok(GossipMode::InvGetData),
+                _ => Err(DecodeError::new("unknown gossip mode tag")),
+            }
+        }
+    }
+
+    impl Encode for GossipConfig {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.mode.encode(out);
+            self.transfer.encode(out);
+        }
+    }
+
+    impl Decode for GossipConfig {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(GossipConfig {
+                mode: Decode::decode(r)?,
+                transfer: Decode::decode(r)?,
+            })
+        }
+    }
+}
+
 /// The outcome of gossiping one block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GossipOutcome {

@@ -397,6 +397,54 @@ impl Topology {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::*;
+
+    impl Encode for ConnectionLimits {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.dout.encode(out);
+            self.din_max.encode(out);
+        }
+    }
+
+    impl Decode for ConnectionLimits {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(ConnectionLimits {
+                dout: usize::decode(r)?,
+                din_max: Option::decode(r)?,
+            })
+        }
+    }
+
+    impl Encode for Topology {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.out.encode(out);
+            self.incoming.encode(out);
+            self.pinned.encode(out);
+            self.limits.encode(out);
+        }
+    }
+
+    impl Decode for Topology {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let topo = Topology {
+                out: Vec::decode(r)?,
+                incoming: Vec::decode(r)?,
+                pinned: Vec::decode(r)?,
+                limits: ConnectionLimits::decode(r)?,
+            };
+            if topo.incoming.len() != topo.out.len() || topo.pinned.len() != topo.out.len() {
+                return Err(DecodeError::new("topology adjacency lengths disagree"));
+            }
+            Ok(topo)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

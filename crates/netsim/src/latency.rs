@@ -408,6 +408,60 @@ fn unit_hash(seed: u64, a: u64, b: u64) -> f64 {
     (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`). Only the two
+    //! self-contained models serialize; `OverrideLatencyModel` is a test
+    //! fixture and stays checkpoint-free.
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::*;
+
+    impl Encode for GeoLatencyModel {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.regions.encode(out);
+            self.pos.encode(out);
+            self.access_ms.encode(out);
+            self.jitter_frac.encode(out);
+            self.seed.encode(out);
+        }
+    }
+
+    impl Decode for GeoLatencyModel {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let model = GeoLatencyModel {
+                regions: Vec::decode(r)?,
+                pos: Vec::decode(r)?,
+                access_ms: Vec::decode(r)?,
+                jitter_frac: f64::decode(r)?,
+                seed: u64::decode(r)?,
+            };
+            if model.pos.len() != model.regions.len()
+                || model.access_ms.len() != model.regions.len()
+            {
+                return Err(DecodeError::new("geo model per-node lengths disagree"));
+            }
+            Ok(model)
+        }
+    }
+
+    impl Encode for MetricLatencyModel {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.coords.encode(out);
+            self.scale_ms.encode(out);
+        }
+    }
+
+    impl Decode for MetricLatencyModel {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(MetricLatencyModel {
+                coords: Vec::decode(r)?,
+                scale_ms: f64::decode(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -201,6 +201,96 @@ impl Default for NodeProfile {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`): explicit tag bytes per
+    //! enum variant so the on-disk format is independent of declaration
+    //! order changes that keep the tags stable.
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::*;
+
+    impl Encode for NodeId {
+        #[inline]
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+    }
+
+    impl Decode for NodeId {
+        #[inline]
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(NodeId(u32::decode(r)?))
+        }
+    }
+
+    impl Encode for Region {
+        fn encode(&self, out: &mut Vec<u8>) {
+            (self.index() as u8).encode(out);
+        }
+    }
+
+    impl Decode for Region {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let tag = u8::decode(r)? as usize;
+            Region::ALL
+                .get(tag)
+                .copied()
+                .ok_or(DecodeError::new("invalid region tag"))
+        }
+    }
+
+    impl Encode for Behavior {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                Behavior::Honest => 0u8.encode(out),
+                Behavior::Silent => 1u8.encode(out),
+                Behavior::Delay(extra) => {
+                    2u8.encode(out);
+                    extra.encode(out);
+                }
+            }
+        }
+    }
+
+    impl Decode for Behavior {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(Behavior::Honest),
+                1 => Ok(Behavior::Silent),
+                2 => Ok(Behavior::Delay(SimTime::decode(r)?)),
+                _ => Err(DecodeError::new("invalid behavior tag")),
+            }
+        }
+    }
+
+    impl Encode for NodeProfile {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.region.encode(out);
+            self.hash_power.encode(out);
+            self.validation_delay.encode(out);
+            self.coords.encode(out);
+            self.uplink_mbps.encode(out);
+            self.downlink_mbps.encode(out);
+            self.behavior.encode(out);
+        }
+    }
+
+    impl Decode for NodeProfile {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(NodeProfile {
+                region: Region::decode(r)?,
+                hash_power: f64::decode(r)?,
+                validation_delay: SimTime::decode(r)?,
+                coords: Vec::decode(r)?,
+                uplink_mbps: f64::decode(r)?,
+                downlink_mbps: f64::decode(r)?,
+                behavior: Behavior::decode(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

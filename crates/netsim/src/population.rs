@@ -541,6 +541,133 @@ fn sample_hash_power<R: Rng + ?Sized>(n: usize, dist: &HashPowerDist, rng: &mut 
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::*;
+
+    impl Encode for Population {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.profiles.encode(out);
+            self.alive.encode(out);
+            self.retired.encode(out);
+        }
+    }
+
+    impl Decode for Population {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let pop = Population {
+                profiles: Vec::decode(r)?,
+                alive: Vec::decode(r)?,
+                retired: Vec::decode(r)?,
+            };
+            if pop.alive.len() != pop.profiles.len() {
+                return Err(DecodeError::new(
+                    "population alive/profile lengths disagree",
+                ));
+            }
+            for &id in &pop.retired {
+                match pop.alive.get(id as usize) {
+                    Some(false) => {}
+                    _ => return Err(DecodeError::new("free-list entry is not a dead slot")),
+                }
+            }
+            Ok(pop)
+        }
+    }
+
+    impl Encode for HashPowerDist {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match *self {
+                HashPowerDist::Uniform => 0u8.encode(out),
+                HashPowerDist::Exponential => 1u8.encode(out),
+                HashPowerDist::Pools {
+                    fraction_of_nodes,
+                    fraction_of_power,
+                } => {
+                    2u8.encode(out);
+                    fraction_of_nodes.encode(out);
+                    fraction_of_power.encode(out);
+                }
+            }
+        }
+    }
+
+    impl Decode for HashPowerDist {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(HashPowerDist::Uniform),
+                1 => Ok(HashPowerDist::Exponential),
+                2 => Ok(HashPowerDist::Pools {
+                    fraction_of_nodes: f64::decode(r)?,
+                    fraction_of_power: f64::decode(r)?,
+                }),
+                _ => Err(DecodeError::new("invalid hash-power-dist tag")),
+            }
+        }
+    }
+
+    impl Encode for ValidationDist {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match *self {
+                ValidationDist::Constant(t) => {
+                    0u8.encode(out);
+                    t.encode(out);
+                }
+                ValidationDist::Uniform(lo, hi) => {
+                    1u8.encode(out);
+                    lo.encode(out);
+                    hi.encode(out);
+                }
+                ValidationDist::Exponential(mean) => {
+                    2u8.encode(out);
+                    mean.encode(out);
+                }
+            }
+        }
+    }
+
+    impl Decode for ValidationDist {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(ValidationDist::Constant(SimTime::decode(r)?)),
+                1 => Ok(ValidationDist::Uniform(
+                    SimTime::decode(r)?,
+                    SimTime::decode(r)?,
+                )),
+                2 => Ok(ValidationDist::Exponential(SimTime::decode(r)?)),
+                _ => Err(DecodeError::new("invalid validation-dist tag")),
+            }
+        }
+    }
+
+    impl Encode for PopulationBuilder {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.n.encode(out);
+            self.region_weights.encode(out);
+            self.hash_power.encode(out);
+            self.validation.encode(out);
+            self.metric_dim.encode(out);
+            self.bandwidth_skew.encode(out);
+        }
+    }
+
+    impl Decode for PopulationBuilder {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(PopulationBuilder {
+                n: usize::decode(r)?,
+                region_weights: <[f64; 7]>::decode(r)?,
+                hash_power: HashPowerDist::decode(r)?,
+                validation: ValidationDist::decode(r)?,
+                metric_dim: Option::decode(r)?,
+                bandwidth_skew: bool::decode(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

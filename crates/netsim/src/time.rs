@@ -94,6 +94,29 @@ impl SimTime {
     }
 }
 
+mod codec {
+    //! Checkpoint codec impls (see `serde::bin`): the raw IEEE-754 bit
+    //! pattern, so `∞` and every finite delay round-trip exactly.
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::SimTime;
+
+    impl Encode for SimTime {
+        #[inline]
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+    }
+
+    impl Decode for SimTime {
+        #[inline]
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(SimTime(f64::decode(r)?))
+        }
+    }
+}
+
 impl Eq for SimTime {}
 
 impl PartialOrd for SimTime {

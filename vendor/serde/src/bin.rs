@@ -1,0 +1,429 @@
+//! A minimal, deterministic binary codec.
+//!
+//! The derive half of this vendored stand-in is a no-op (see the crate
+//! docs), but the checkpoint/resume subsystem needs *real* serialization:
+//! bit-exact, versionable, and dependency-free. This module supplies it as
+//! a pair of explicit traits — [`Encode`] writes a value into a byte
+//! buffer, [`Decode`] reads it back — with hand-written impls on the
+//! primitives and std collections the workspace snapshots.
+//!
+//! # Format
+//!
+//! Little-endian, length-prefixed, no padding, no self-description at this
+//! layer (callers version their envelopes):
+//!
+//! - fixed-width integers: little-endian bytes (`usize` travels as `u64`)
+//! - `f32`/`f64`: IEEE-754 bit patterns — `NaN` payloads, signed zeros and
+//!   infinities round-trip exactly, which is what makes resumed runs
+//!   bit-identical
+//! - `bool`: one byte, `0` or `1` (anything else is a decode error)
+//! - `Option<T>`: one tag byte then the payload
+//! - sequences (`Vec`, `BTreeSet`, `String`): `u64` element count then the
+//!   elements in iteration order (sorted for `BTreeSet`, so encoding is
+//!   deterministic)
+//! - tuples and arrays: elements in order, no prefix
+//!
+//! Decoding is infallible-input hostile: every read checks bounds, counts
+//! are validated against the remaining buffer before allocating, and
+//! [`Decode::decode`] never panics on malformed bytes — it returns a
+//! [`DecodeError`] naming what failed.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error produced by [`Decode`] on malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What the decoder was reading when it failed.
+    pub context: &'static str,
+}
+
+impl DecodeError {
+    /// Creates an error tagged with the failing read's context.
+    pub fn new(context: &'static str) -> Self {
+        DecodeError { context }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed snapshot bytes: {}", self.context)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A positioned read cursor over snapshot bytes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes exactly `n` bytes, or fails without advancing.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::new("unexpected end of input"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let bytes = self.take(N)?;
+        Ok(bytes.try_into().expect("take returned N bytes"))
+    }
+
+    /// Reads a `u64` sequence-length prefix, sanity-checking it against the
+    /// remaining input (each element needs at least one byte unless the
+    /// element type is zero-sized — `min_elem_size = 0` skips the check).
+    pub fn read_len(&mut self, min_elem_size: usize) -> Result<usize, DecodeError> {
+        let n = u64::decode(self)? as usize;
+        if min_elem_size > 0 && n.saturating_mul(min_elem_size) > self.remaining() {
+            return Err(DecodeError::new("sequence length exceeds input"));
+        }
+        Ok(n)
+    }
+}
+
+/// Serializes a value into a deterministic byte stream.
+pub trait Encode {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Deserializes a value previously written by [`Encode`].
+pub trait Decode: Sized {
+    /// Reads one value, advancing the reader past it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: decodes a value that must span the whole buffer.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(DecodeError::new("trailing bytes after value"));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            #[inline]
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                Ok(<$t>::from_le_bytes(r.take_array()?))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, i32, i64);
+
+impl Encode for usize {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl Decode for usize {
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| DecodeError::new("usize overflow"))
+    }
+}
+
+impl Encode for f64 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+}
+
+impl Decode for f64 {
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Encode for f32 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+}
+
+impl Decode for f32 {
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(f32::from_bits(u32::decode(r)?))
+    }
+}
+
+impl Encode for bool {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::new("invalid bool byte")),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.read_len(1)?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::new("invalid utf-8 string"))
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(DecodeError::new("invalid option tag")),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.read_len(1)?;
+        let mut out = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode + Ord> Encode for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+
+impl<T: Decode + Ord> Decode for BTreeSet<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.read_len(1)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<T: Encode, const N: usize> Encode for [T; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+
+impl<T: Decode + Copy + Default, const N: usize> Decode for [T; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::decode(r)?;
+        }
+        Ok(out)
+    }
+}
+
+/// FNV-1a 64-bit over a byte stream — the checkpoint content hash.
+///
+/// Not cryptographic; it guards against truncation and bit rot, not
+/// adversaries. Stable across platforms (pure integer arithmetic).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-7i64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(3.5f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(-0.0f64);
+        roundtrip(f32::NEG_INFINITY);
+        roundtrip(String::from("héllo"));
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        let bytes = weird.to_bytes();
+        let back = f64::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(vec![(1u32, 2.5f64), (3, f64::INFINITY)]));
+        roundtrip(Option::<u8>::None);
+        roundtrip([1u64, 2, 3, 4]);
+        roundtrip((1u32, String::from("x"), vec![false, true]));
+        let set: BTreeSet<u32> = [5, 1, 9].into_iter().collect();
+        roundtrip(set);
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let bytes = vec![7u64, 8, 9].to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Vec::<u64>::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocating() {
+        // Claims u64::MAX elements with a 1-byte body.
+        let mut bytes = u64::MAX.to_bytes();
+        bytes.push(0);
+        assert!(Vec::<u64>::from_bytes(&bytes).is_err());
+        assert!(String::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_error() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u8>::from_bytes(&[9, 0]).is_err());
+        assert!(u32::from_bytes(&[1, 2, 3, 4, 5]).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

@@ -1,13 +1,20 @@
 //! Offline stand-in for [`serde`](https://crates.io/crates/serde).
 //!
 //! The workspace derives `Serialize`/`Deserialize` on its config and model
-//! types for downstream consumers, but nothing in-tree actually serializes.
-//! With no crates.io access, this crate supplies the two trait names as
-//! blanket-implemented markers and re-exports no-op derive macros, so the
-//! annotations keep compiling (and keep marking the serializable surface)
-//! until the real dependency can be restored.
+//! types for downstream consumers, but nothing in-tree serializes through
+//! those derives. With no crates.io access, this crate supplies the two
+//! trait names as blanket-implemented markers and re-exports no-op derive
+//! macros, so the annotations keep compiling (and keep marking the
+//! serializable surface) until the real dependency can be restored.
+//!
+//! What *does* serialize is the checkpoint/resume subsystem, which uses the
+//! explicit, hand-implemented binary codec in [`bin`] — deterministic,
+//! bit-exact (floats travel as IEEE-754 bit patterns), and decode-hardened
+//! against truncated or hostile input.
 
 #![forbid(unsafe_code)]
+
+pub mod bin;
 
 pub use serde_derive::{Deserialize, Serialize};
 
