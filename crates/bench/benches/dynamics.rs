@@ -21,7 +21,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use perigee_bench::{bench_json, median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled, MemoryFootprint};
 use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
 use perigee_experiments::{dynamics as dynx, Scenario};
 use perigee_netsim::{
@@ -230,7 +230,16 @@ fn bench_dynamics_report(c: &mut Criterion) {
         growth.run_median_p90_ms,
         growth.lambda_always_finite(),
     );
-    let json = bench_json("dynamics", &format!("blocks={BLOCKS},churn=0.02"), &fields);
+    // Dominant structure: the dense per-round observation store of the
+    // acceptance world (directed edges x blocks x 4-byte sample).
+    let directed = accept.topology().edge_count() * 2;
+    let mem = MemoryFootprint::per_edge(directed * BLOCKS * 4, directed);
+    let json = bench_json(
+        "dynamics",
+        &format!("blocks={BLOCKS},churn=0.02"),
+        mem,
+        &fields,
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not write {path}: {e}");

@@ -23,7 +23,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use perigee_bench::{bench_json, median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled, MemoryFootprint};
 use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
 use perigee_experiments::{faults as faultx, Scenario};
 use perigee_netsim::{
@@ -249,7 +249,11 @@ fn bench_faults_report(c: &mut Criterion) {
         burst.gated.rewires_during_gated_rounds,
         burst.gated.view_rebuilds,
     );
-    let json = bench_json("faults", &format!("blocks={BLOCKS}"), &fields);
+    // Dominant structure: the dense per-round observation store of the
+    // 1k fault world (directed edges x blocks x 4-byte sample).
+    let directed = none_e.0.topology().edge_count() * 2;
+    let mem = MemoryFootprint::per_edge(directed * BLOCKS * 4, directed);
+    let json = bench_json("faults", &format!("blocks={BLOCKS}"), mem, &fields);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not write {path}: {e}");

@@ -21,7 +21,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use perigee_bench::{bench_json, median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled, MemoryFootprint};
 use perigee_netsim::{
     BroadcastScratch, ConnectionLimits, GeoLatencyModel, GossipConfig, GossipScratch, MinerSampler,
     NodeId, Population, PopulationBuilder, QueueKind, Topology, TopologyView,
@@ -180,9 +180,14 @@ fn bench_pq(c: &mut Criterion) {
         BLOCKS as f64 / ginv_cal,
         0.0405 / ginv_cal,
     );
+    // Dominant structure: the event queue's packed 16-byte entries, one
+    // per directed edge at the flood frontier's worst case.
+    let mem =
+        MemoryFootprint::per_edge(view.directed_edge_count() * 16, view.directed_edge_count());
     let json = bench_json(
         "pq",
         &format!("nodes={NODES},blocks={BLOCKS},threads=1"),
+        mem,
         &fields,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pq.json");

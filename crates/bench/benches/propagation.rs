@@ -173,7 +173,7 @@ fn legacy_round(
     sum90
 }
 
-use perigee_bench::{bench_json, median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled, MemoryFootprint};
 
 fn bench_broadcast(c: &mut Criterion) {
     // Each bench fn gates its (1000-node) world construction on its own
@@ -377,9 +377,13 @@ fn bench_gossip(c: &mut Criterion) {
         flood_legacy / flood_scratch,
         inv_legacy / inv_scratch,
     );
+    // Dominant structure: the gossip scratch's per-directed-edge
+    // delivery slots (4-byte f32 arrival each).
+    let mem = MemoryFootprint::per_edge(view.directed_edge_count() * 4, view.directed_edge_count());
     let json = bench_json(
         "gossip-engine",
         &format!("nodes={NODES},blocks={BLOCKS_PER_ROUND},threads=1"),
+        mem,
         &fields,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gossip.json");

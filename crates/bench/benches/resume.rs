@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use perigee_bench::{bench_json, median, section_enabled};
+use perigee_bench::{bench_json, median, section_enabled, MemoryFootprint};
 use perigee_core::{PerigeeEngine, RunSnapshot};
 use perigee_experiments::resume::{chaos_engine, run_kill_resume, AuditOptions};
 use perigee_experiments::Scenario;
@@ -171,9 +171,13 @@ fn bench_audit_report(c: &mut Criterion) {
          \"envelope_bytes\": {} }}\n",
         bytes.len(),
     );
+    // Dominant structure: the serialized checkpoint envelope itself.
+    let directed = engine.topology().edge_count() * 2;
+    let mem = MemoryFootprint::per_edge(bytes.len(), directed);
     let json = bench_json(
         "audit",
         "nodes=1000,blocks=20,churn=0.02,faults=active",
+        mem,
         &fields,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");

@@ -25,11 +25,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use perigee_bench::{bench_json, median, section_enabled};
-use perigee_core::{PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_bench::{bench_json, median, section_enabled, MemoryFootprint};
+use perigee_core::{ObservationBackend, PerigeeConfig, PerigeeEngine, ScoringMethod};
 use perigee_netsim::{
-    BroadcastScratch, ConnectionLimits, GeoLatencyModel, GossipConfig, GossipScratch, MinerSampler,
-    NodeId, Population, PopulationBuilder, Topology, TopologyView,
+    BroadcastScratch, ChurnProcess, ConnectionLimits, GeoLatencyModel, GossipConfig, GossipScratch,
+    MinerSampler, NodeId, Population, PopulationBuilder, Topology, TopologyView,
 };
 use perigee_topology::{RandomBuilder, TopologyBuilder};
 
@@ -37,6 +37,8 @@ const SCALE_NODES: usize = 10_000;
 const SCALE_BLOCKS: usize = 100;
 const SMOKE_NODES: usize = 1_000;
 const SMOKE_BLOCKS: usize = 10;
+const HUGE_NODES: usize = 100_000;
+const HUGE_BLOCKS: usize = 100;
 
 fn world(n: usize, seed: u64) -> (Population, GeoLatencyModel, Topology) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -52,8 +54,19 @@ fn engine_for(
     topo: &Topology,
     blocks: usize,
 ) -> PerigeeEngine<GeoLatencyModel> {
+    engine_with_backend(pop, lat, topo, blocks, ObservationBackend::Dense)
+}
+
+fn engine_with_backend(
+    pop: &Population,
+    lat: &GeoLatencyModel,
+    topo: &Topology,
+    blocks: usize,
+    backend: ObservationBackend,
+) -> PerigeeEngine<GeoLatencyModel> {
     let mut config = PerigeeConfig::paper_default(ScoringMethod::Subset);
     config.blocks_per_round = blocks;
+    config.observation_backend = backend;
     PerigeeEngine::new(
         pop.clone(),
         lat.clone(),
@@ -141,6 +154,70 @@ fn bench_scale(c: &mut Criterion) {
          inv {inv_1k:.4} s (BENCH_gossip.json baseline: 0.0444 / 0.0405)"
     );
 
+    // Sketch backend at the same 10k × 100 shape: constant-space per-edge
+    // P² sketches instead of the raw sample matrix. The store must be
+    // ≥ 4× smaller than dense (the scale acceptance gate), and — the
+    // sublinearity claim — its size must not depend on blocks-per-round.
+    let sketch_engine =
+        engine_with_backend(&pop, &lat, &topo, SCALE_BLOCKS, ObservationBackend::Sketch);
+    let mut sk = [0.0f64; 3];
+    for slot in &mut sk {
+        let start = Instant::now();
+        criterion::black_box(sketch_engine.observe_round_with(&view, &miners));
+        *slot = start.elapsed().as_secs_f64();
+    }
+    let sketch_s = median(&mut sk);
+    let sketch_store = sketch_engine.observe_round_with(&view, &miners);
+    let sketch_bytes = sketch_store.observations().matrix_bytes();
+    let dense_bytes = store.observations().matrix_bytes();
+    assert!(
+        sketch_bytes * 4 <= dense_bytes,
+        "sketch store must be >= 4x smaller than dense at 10k x 100 \
+         (sketch {sketch_bytes} B, dense {dense_bytes} B)"
+    );
+    println!(
+        "scale: sketch round {sketch_s:.3} s, store {:.1} MiB vs dense {matrix_mb:.1} MiB \
+         ({:.1}x smaller, {} B/edge independent of blocks-per-round)",
+        sketch_bytes as f64 / (1024.0 * 1024.0),
+        dense_bytes as f64 / sketch_bytes as f64,
+        sketch_bytes / edges,
+    );
+
+    // The 100k-node round — the scale this PR makes routine: sketch
+    // observations (dense would hold ~640 MiB at 100 blocks) over a
+    // sharded analytic flood. One warm-up-free hand-timed triple.
+    let (pop100k, lat100k, topo100k) = world(HUGE_NODES, 9);
+    let view100k = TopologyView::new(&topo100k, &lat100k, &pop100k);
+    let mut engine100k = engine_with_backend(
+        &pop100k,
+        &lat100k,
+        &topo100k,
+        HUGE_BLOCKS,
+        ObservationBackend::Sketch,
+    );
+    engine100k.set_shards(rayon::current_num_threads());
+    let mut rng = StdRng::seed_from_u64(10);
+    let miners100k = MinerSampler::new(&pop100k).sample_round(HUGE_BLOCKS, &mut rng);
+    let mut huge = [0.0f64; 3];
+    for slot in &mut huge {
+        let start = Instant::now();
+        criterion::black_box(engine100k.observe_round_with(&view100k, &miners100k));
+        *slot = start.elapsed().as_secs_f64();
+    }
+    let huge_s = median(&mut huge);
+    let huge_store = engine100k.observe_round_with(&view100k, &miners100k);
+    let huge_edges = huge_store.observations().directed_edge_count();
+    let huge_bytes = huge_store.observations().matrix_bytes();
+    println!(
+        "scale: 100k-node {HUGE_BLOCKS}-block round {huge_s:.3} s \
+         ({:.1} blocks/s, {} shards), sketch store {:.1} MiB over {huge_edges} edges \
+         (dense would hold {:.1} MiB)",
+        HUGE_BLOCKS as f64 / huge_s,
+        engine100k.shards(),
+        huge_bytes as f64 / (1024.0 * 1024.0),
+        (huge_edges * HUGE_BLOCKS * 4) as f64 / (1024.0 * 1024.0),
+    );
+
     let fields = format!(
         "  \"nodes\": {SCALE_NODES},\n  \
          \"blocks_per_round\": {SCALE_BLOCKS},\n  \
@@ -148,14 +225,24 @@ fn bench_scale(c: &mut Criterion) {
          \"threads\": {} }},\n  \
          \"observation_store\": {{ \"directed_edges\": {edges}, \"matrix_mib_f32\": {matrix_mb:.1}, \
          \"former_f64_mib\": {:.1} }},\n  \
+         \"sketch_backend\": {{ \"seconds\": {sketch_s:.4}, \"store_bytes\": {sketch_bytes}, \
+         \"bytes_per_edge\": {:.1}, \"dense_over_sketch\": {:.1} }},\n  \
+         \"round_100k\": {{ \"nodes\": {HUGE_NODES}, \"blocks\": {HUGE_BLOCKS}, \
+         \"seconds\": {huge_s:.4}, \"blocks_per_s\": {:.1}, \"shards\": {}, \
+         \"sketch_store_bytes\": {huge_bytes}, \"directed_edges\": {huge_edges} }},\n  \
          \"gossip_1k_100blocks_1thread\": {{ \"flood_s\": {flood_1k:.4}, \"inv_s\": {inv_1k:.4} }}\n",
         SCALE_BLOCKS as f64 / round_s,
         rayon::current_num_threads(),
         matrix_mb * 2.0,
+        sketch_bytes as f64 / edges as f64,
+        dense_bytes as f64 / sketch_bytes as f64,
+        HUGE_BLOCKS as f64 / huge_s,
+        engine100k.shards(),
     );
     let json = bench_json(
         "scale",
-        &format!("nodes={SCALE_NODES},blocks={SCALE_BLOCKS}"),
+        &format!("nodes={SCALE_NODES},blocks={SCALE_BLOCKS},huge={HUGE_NODES}x{HUGE_BLOCKS}"),
+        MemoryFootprint::per_edge(sketch_bytes, edges),
         &fields,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
@@ -199,11 +286,94 @@ fn bench_scale_smoke(c: &mut Criterion) {
         legacy.record(&perigee_netsim::broadcast(&topo, &lat, &pop, miner), &lat);
     }
     assert_eq!(
-        round.observations(),
+        round.observations().as_dense().unwrap(),
         &legacy.finish(),
         "flat store diverged from the legacy recording path"
     );
 }
 
-criterion_group!(benches, bench_scale, bench_scale_smoke);
+/// CI's gate on this PR's three load-bearing claims, at 300 nodes:
+/// sharded propagation is bit-identical to unsharded on both backends,
+/// the sketch store is ≥ 4× smaller than dense at 100 blocks with
+/// bit-identical λ-curves, and free-list compaction under churn leaves
+/// the carried view exactly equal to a fresh build.
+fn bench_shard_smoke(c: &mut Criterion) {
+    let _ = c;
+    if !section_enabled("shard_smoke") {
+        return;
+    }
+    const NODES: usize = 300;
+
+    // 1. Shard-count invariance: every shard count must reproduce the
+    //    single-shard round bit for bit, dense and sketch alike.
+    for backend in [ObservationBackend::Dense, ObservationBackend::Sketch] {
+        let (pop, lat, topo) = world(NODES, 11);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut rng = StdRng::seed_from_u64(12);
+        let miners = MinerSampler::new(&pop).sample_round(SMOKE_BLOCKS, &mut rng);
+        let mut reference = engine_with_backend(&pop, &lat, &topo, SMOKE_BLOCKS, backend);
+        reference.set_shards(1);
+        let want = reference.observe_round_with(&view, &miners);
+        for shards in [2, 8] {
+            let mut sharded = engine_with_backend(&pop, &lat, &topo, SMOKE_BLOCKS, backend);
+            sharded.set_shards(shards);
+            let got = sharded.observe_round_with(&view, &miners);
+            assert_eq!(
+                got.observations(),
+                want.observations(),
+                "{backend:?} store diverged at {shards} shards"
+            );
+            assert_eq!(got.lambda90_ms(), want.lambda90_ms());
+            assert_eq!(got.lambda50_ms(), want.lambda50_ms());
+        }
+    }
+
+    // 2. The sketch-vs-dense ablation gate: at 100 blocks the sketch
+    //    store must be ≥ 4× smaller, and the λ-curves — computed from
+    //    the floods, not the store — must not move at all.
+    let (pop, lat, topo) = world(NODES, 13);
+    let view = TopologyView::new(&topo, &lat, &pop);
+    let mut rng = StdRng::seed_from_u64(14);
+    let miners = MinerSampler::new(&pop).sample_round(100, &mut rng);
+    let dense = engine_for(&pop, &lat, &topo, 100).observe_round_with(&view, &miners);
+    let sketch = engine_with_backend(&pop, &lat, &topo, 100, ObservationBackend::Sketch)
+        .observe_round_with(&view, &miners);
+    let dense_bytes = dense.observations().matrix_bytes();
+    let sketch_bytes = sketch.observations().matrix_bytes();
+    assert!(
+        sketch_bytes * 4 <= dense_bytes,
+        "sketch store {sketch_bytes} B must be >= 4x smaller than dense {dense_bytes} B"
+    );
+    assert_eq!(dense.lambda90_ms(), sketch.lambda90_ms());
+    assert_eq!(dense.lambda50_ms(), sketch.lambda50_ms());
+
+    // 3. Compaction under churn: retire slots for a few rounds, compact,
+    //    and the carried view must still equal a fresh build — then keep
+    //    running on the renumbered world.
+    let (pop, lat, topo) = world(NODES, 15);
+    let mut engine =
+        engine_with_backend(&pop, &lat, &topo, SMOKE_BLOCKS, ObservationBackend::Sketch);
+    let mut rng = StdRng::seed_from_u64(16);
+    engine.set_churn(ChurnProcess::steady_state(NODES, 0.05, 17));
+    let mut departed = 0;
+    for _ in 0..6 {
+        departed += engine.run_round(&mut rng).departed;
+    }
+    assert!(departed > 0, "churn must retire slots before the compact");
+    let reclaimed = engine.compact().expect("retired slots to reclaim");
+    assert!(reclaimed > 0);
+    engine.assert_view_consistency();
+    for _ in 0..3 {
+        engine.run_round(&mut rng);
+    }
+    engine.assert_view_consistency();
+
+    println!(
+        "shard_smoke: shard invariance (dense+sketch), sketch {sketch_bytes} B vs dense \
+         {dense_bytes} B ({:.1}x), compaction reclaimed {reclaimed} -> all gates passed",
+        dense_bytes as f64 / sketch_bytes as f64
+    );
+}
+
+criterion_group!(benches, bench_scale, bench_scale_smoke, bench_shard_smoke);
 criterion_main!(benches);

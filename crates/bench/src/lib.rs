@@ -35,7 +35,36 @@ pub fn median(samples: &mut [f64]) -> f64 {
 /// Version of the header every `BENCH_*.json` artifact at the workspace
 /// root carries. Bump when the header fields themselves change shape;
 /// bench-specific fields may evolve freely underneath it.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// History: **1** — `schema_version`/`bench`/`config`/`config_digest`;
+/// **2** — adds the `memory` object (`peak_bytes`, `bytes_per_edge`)
+/// so perf trajectories track space alongside time.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// The memory footprint a `BENCH_*.json` artifact reports next to its
+/// timings: the **dominant data-structure footprint of the benched
+/// workload** (the observation/delivery store for round benches, the
+/// event queue for the pq bench, the serialized envelope for the
+/// checkpoint bench) and that footprint normalized per directed CSR
+/// edge. Per-edge is the scaling lens: a backend whose `bytes_per_edge`
+/// is independent of blocks-per-round is sublinear in round size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryFootprint {
+    /// Peak bytes held by the workload's dominant structure.
+    pub peak_bytes: usize,
+    /// `peak_bytes` divided by the world's directed edge count.
+    pub bytes_per_edge: f64,
+}
+
+impl MemoryFootprint {
+    /// Footprint of `peak_bytes` over a world of `directed_edges` edges.
+    pub fn per_edge(peak_bytes: usize, directed_edges: usize) -> Self {
+        MemoryFootprint {
+            peak_bytes,
+            bytes_per_edge: peak_bytes as f64 / directed_edges.max(1) as f64,
+        }
+    }
+}
 
 /// Digest of a bench's configuration knobs (the `config` string passed
 /// to [`bench_json`]): FNV-1a 64 over the exact string, rendered as
@@ -47,14 +76,17 @@ pub fn config_digest(config: &str) -> String {
 }
 
 /// Renders a complete `BENCH_*.json` artifact: the shared header
-/// (`schema_version`, `bench`, `config`, `config_digest`) followed by
-/// the bench-specific `fields` — pre-formatted JSON lines, two-space
-/// indented, ending in `\n`, without the surrounding braces.
-pub fn bench_json(bench: &str, config: &str, fields: &str) -> String {
+/// (`schema_version`, `bench`, `config`, `config_digest`, `memory`)
+/// followed by the bench-specific `fields` — pre-formatted JSON lines,
+/// two-space indented, ending in `\n`, without the surrounding braces.
+pub fn bench_json(bench: &str, config: &str, mem: MemoryFootprint, fields: &str) -> String {
     format!(
         "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"{bench}\",\n  \
-         \"config\": \"{config}\",\n  \"config_digest\": \"{}\",\n{fields}}}\n",
-        config_digest(config)
+         \"config\": \"{config}\",\n  \"config_digest\": \"{}\",\n  \
+         \"memory\": {{ \"peak_bytes\": {}, \"bytes_per_edge\": {:.2} }},\n{fields}}}\n",
+        config_digest(config),
+        mem.peak_bytes,
+        mem.bytes_per_edge,
     )
 }
 
@@ -72,13 +104,22 @@ mod tests {
 
     #[test]
     fn bench_json_carries_the_shared_header() {
-        let json = bench_json("demo", "nodes=10", "  \"answer\": 42\n");
-        assert!(json.starts_with("{\n  \"schema_version\": 1,\n  \"bench\": \"demo\",\n"));
+        let mem = MemoryFootprint::per_edge(64_000, 16_000);
+        let json = bench_json("demo", "nodes=10", mem, "  \"answer\": 42\n");
+        assert!(json.starts_with("{\n  \"schema_version\": 2,\n  \"bench\": \"demo\",\n"));
         assert!(json.contains("\"config\": \"nodes=10\""));
         assert!(json.contains(&format!(
             "\"config_digest\": \"{}\"",
             config_digest("nodes=10")
         )));
+        assert!(json.contains("\"memory\": { \"peak_bytes\": 64000, \"bytes_per_edge\": 4.00 }"));
         assert!(json.ends_with("  \"answer\": 42\n}\n"));
+    }
+
+    #[test]
+    fn per_edge_footprint_divides_and_survives_zero_edges() {
+        let m = MemoryFootprint::per_edge(48, 0);
+        assert_eq!(m.peak_bytes, 48);
+        assert_eq!(m.bytes_per_edge, 48.0);
     }
 }

@@ -4,6 +4,7 @@ use perigee_netsim::ConnectionLimits;
 use serde::{Deserialize, Serialize};
 
 use crate::liveness::LivenessConfig;
+use crate::observation::ObservationBackend;
 use crate::score::ScoringMethod;
 
 /// Configuration of a [`PerigeeEngine`](crate::PerigeeEngine) run.
@@ -47,6 +48,13 @@ pub struct PerigeeConfig {
     /// suspect→evict state machine with capped exponential reconnect
     /// backoff. Disabled by default ([`LivenessConfig::disabled`]).
     pub liveness: LivenessConfig,
+    /// How a round's observations are stored: the exact dense
+    /// `blocks × edges` matrix (the default, cross-validated reference)
+    /// or one constant-space streaming sketch per directed edge, which
+    /// makes round memory independent of [`PerigeeConfig::blocks_per_round`]
+    /// (see [`crate::observation`] for what each strategy does in sketch
+    /// mode).
+    pub observation_backend: ObservationBackend,
 }
 
 impl PerigeeConfig {
@@ -64,6 +72,7 @@ impl PerigeeConfig {
             score_staleness: 1.0,
             stability_tolerance: 0.175,
             liveness: LivenessConfig::disabled(),
+            observation_backend: ObservationBackend::Dense,
         }
     }
 
@@ -128,6 +137,7 @@ mod codec {
             self.score_staleness.encode(out);
             self.stability_tolerance.encode(out);
             self.liveness.encode(out);
+            self.observation_backend.encode(out);
         }
     }
 
@@ -142,6 +152,7 @@ mod codec {
                 score_staleness: f64::decode(r)?,
                 stability_tolerance: f64::decode(r)?,
                 liveness: Decode::decode(r)?,
+                observation_backend: Decode::decode(r)?,
             };
             config
                 .validate()

@@ -111,6 +111,29 @@ impl AddressBook {
         self.known[v.index()].clear();
     }
 
+    /// Applies a free-list compaction plan: dead nodes' books are dropped
+    /// (they are already empty — [`AddressBook::retire`] cleared them)
+    /// and every surviving book's addresses are renumbered. Stale
+    /// addresses *of* departed nodes — deliberately left in place by
+    /// `retire` for lazy rejection — are unmappable and dropped here:
+    /// after renumbering they would collide with live ids.
+    pub fn compact(&mut self, plan: &perigee_netsim::IdRemap) {
+        assert_eq!(
+            plan.old_len(),
+            self.known.len(),
+            "compaction plan covers a different world size"
+        );
+        let mut i = 0u32;
+        self.known.retain(|_| {
+            let keep = plan.new_id(NodeId::new(i)).is_some();
+            i += 1;
+            keep
+        });
+        for book in &mut self.known {
+            *book = book.iter().filter_map(|&a| plan.new_id(a)).collect();
+        }
+    }
+
     /// Returns `true` when the book covers no nodes.
     pub fn is_empty(&self) -> bool {
         self.known.is_empty()

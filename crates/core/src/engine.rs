@@ -13,17 +13,27 @@ use rayon::prelude::*;
 use perigee_metrics::P2Quantile;
 use perigee_netsim::{
     BroadcastScratch, ChurnProcess, FaultPlan, GossipConfig, GossipScratch, LatencyModel,
-    MinerSampler, NodeId, Population, QueueKind, Region, RoundDelta, RoundFaults, SimTime,
-    Topology, TopologyView, WorldDelta,
+    MinerSampler, NodeId, Population, QueueKind, Region, RoundDelta, RoundFaults, ShardWorkspace,
+    SimTime, Topology, TopologyView, WorldDelta,
 };
 
 use crate::audit::{audit_world, AuditReport};
 use crate::config::PerigeeConfig;
 use crate::discovery::AddressBook;
 use crate::liveness::{LivenessTracker, PeerHealth};
-use crate::observation::{ObservationCollector, ObservationStore};
+use crate::observation::{
+    ObservationBackend, ObservationCollector, RoundStore, SketchObservationStore,
+};
 use crate::score::{ScoringMethod, SelectionStrategy, StatefulSplit};
 use crate::snapshot::{RunSnapshot, SnapshotError};
+
+/// Blocks per dense worker chunk under the sketch observation backend:
+/// recording always fills exact dense chunks, and sketch mode caps them
+/// at this many blocks before folding each into the per-edge sketches —
+/// bounding the round's transient dense memory at
+/// `SKETCH_CHUNK_BLOCKS × edges × 4` bytes per worker regardless of
+/// `blocks_per_round`.
+const SKETCH_CHUNK_BLOCKS: usize = 8;
 
 /// How the engine simulates block propagation inside a round.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -142,6 +152,12 @@ pub struct PerigeeEngine<L> {
     /// Which priority-queue implementation the per-worker scratches run
     /// on (calendar by default; the reference heap for equivalence runs).
     queue: QueueKind,
+    /// How many contiguous node-range shards each analytic flood splits
+    /// into (`1` = the flat single-queue flood). Results are bit-identical
+    /// for every value (see [`ShardWorkspace`]), so this is a pure
+    /// performance knob for huge worlds where blocks-per-round is smaller
+    /// than the core count and per-block parallelism runs dry.
+    shards: usize,
     round: usize,
     /// The CSR snapshot carried across rounds: after each rewiring the
     /// engine patches it in place ([`TopologyView::apply_rewiring`], or
@@ -174,6 +190,11 @@ pub struct PerigeeEngine<L> {
     /// The scoring method the strategy was built from — recorded so a
     /// checkpoint can rebuild the same strategy on resume.
     method: ScoringMethod,
+    /// How many free-list compactions this run has performed (see
+    /// [`PerigeeEngine::compact`]). Carried in checkpoints: a resumed run
+    /// continues the same renumbered id space, so the epoch is part of
+    /// the world's identity, not a statistic.
+    compaction_epoch: u64,
     /// Invariant-auditor cadence: `0` (the default) never audits;
     /// `k > 0` runs [`PerigeeEngine::audit`] after every `k`-th round.
     audit_every: usize,
@@ -192,16 +213,17 @@ pub struct PerigeeEngine<L> {
 /// contents are bit-identical between parallel and sequential runs.
 #[derive(Debug, Clone)]
 pub struct RoundObservations {
-    observations: ObservationStore,
+    observations: RoundStore,
     lambda90_ms: Vec<f64>,
     lambda50_ms: Vec<f64>,
     seen: Vec<u32>,
 }
 
 impl RoundObservations {
-    /// The round's observation store; per-node views via
-    /// [`ObservationStore::node`].
-    pub fn observations(&self) -> &ObservationStore {
+    /// The round's observation store (dense matrix or per-edge sketches,
+    /// per [`PerigeeConfig::observation_backend`](crate::PerigeeConfig));
+    /// per-node views via [`RoundStore::node`].
+    pub fn observations(&self) -> &RoundStore {
         &self.observations
     }
 
@@ -223,7 +245,7 @@ impl RoundObservations {
     }
 
     /// Decomposes into `(observations, lambda90_ms, lambda50_ms, seen)`.
-    pub fn into_parts(self) -> (ObservationStore, Vec<f64>, Vec<f64>, Vec<u32>) {
+    pub fn into_parts(self) -> (RoundStore, Vec<f64>, Vec<f64>, Vec<u32>) {
         (
             self.observations,
             self.lambda90_ms,
@@ -286,6 +308,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             address_book: None,
             parallel: true,
             queue: QueueKind::default(),
+            shards: 1,
             round: 0,
             view: None,
             view_rebuilds: 0,
@@ -295,6 +318,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             blocks_simulated: 0,
             liveness,
             method,
+            compaction_epoch: 0,
             audit_every: 0,
             audits_run: 0,
             audit_failures: Vec::new(),
@@ -400,6 +424,74 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         }
     }
 
+    /// Compacts the population's free-list: every dead slot is reclaimed
+    /// and the survivors are renumbered contiguously (order-preserving,
+    /// so every sorted id structure stays sorted). All world state moves
+    /// together — topology, latency model, address books, liveness
+    /// records, score history, churn schedule and the carried CSR
+    /// snapshot — and the carried snapshot stays field-for-field equal
+    /// to a fresh build (no latency-model calls: delays are copied
+    /// verbatim under the [`LatencyModel::compact`] contract).
+    ///
+    /// Compaction is a **semantic world edit, not a performance knob**:
+    /// renumbering changes how later rounds consume RNG (shuffles and
+    /// range draws are sized by the slot count), so an explicit call is
+    /// required and each call bumps
+    /// [`PerigeeEngine::compaction_epoch`], which checkpoints carry —
+    /// checkpoint → resume → continue reproduces an uninterrupted run
+    /// bit for bit, compactions included. The previous round's
+    /// [`PerigeeEngine::last_world_delta`] is cleared (it names dead
+    /// ids that no longer exist).
+    ///
+    /// Returns the number of reclaimed slots, or `None` (and does
+    /// nothing) when the free-list is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the installed latency model does not support
+    /// compaction (the default [`LatencyModel::compact`]), or if any
+    /// subsystem holds an edge to a dead node — impossible after a
+    /// normal churn round, which tears departed nodes out of every
+    /// structure.
+    pub fn compact(&mut self) -> Option<usize> {
+        let plan = self.population.compaction_plan()?;
+        self.topology.compact(&plan);
+        self.latency.compact(&plan);
+        self.population.compact(&plan);
+        if let Some(view) = &mut self.view {
+            view.compact(&plan, &self.population);
+        }
+        if let Some(book) = &mut self.address_book {
+            book.compact(&plan);
+        }
+        if let Some(tracker) = &mut self.liveness {
+            tracker.compact(&plan);
+        }
+        if let Some(churn) = &mut self.churn {
+            churn.compact(&plan);
+        }
+        self.strategy.compact(&plan);
+        let mut i = 0u32;
+        self.adopters.retain(|_| {
+            let keep = plan.new_id(NodeId::new(i)).is_some();
+            i += 1;
+            keep
+        });
+        self.sampler = MinerSampler::new(&self.population);
+        self.last_delta = WorldDelta::default();
+        self.compaction_epoch += 1;
+        #[cfg(debug_assertions)]
+        self.assert_view_consistency();
+        Some(plan.reclaimed())
+    }
+
+    /// How many free-list compactions this run has performed. Part of
+    /// the world's identity (ids mean different nodes across epochs), so
+    /// checkpoints carry it and resume restores it.
+    pub fn compaction_epoch(&self) -> u64 {
+        self.compaction_epoch
+    }
+
     /// Sets the invariant-auditor cadence: `0` (the default) never
     /// audits; `k > 0` runs the release-mode [`PerigeeEngine::audit`]
     /// pass after every `k`-th completed round, counting passes in
@@ -468,6 +560,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         RunSnapshot {
             round: self.round as u64,
             blocks_simulated: self.blocks_simulated as u64,
+            compaction_epoch: self.compaction_epoch,
             config: self.config,
             method: self.method,
             queue: self.queue,
@@ -505,6 +598,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         let RunSnapshot {
             round,
             blocks_simulated,
+            compaction_epoch,
             config,
             method,
             queue,
@@ -552,6 +646,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 address_book,
                 parallel,
                 queue,
+                shards: 1,
                 round: round as usize,
                 view: None,
                 view_rebuilds: 0,
@@ -561,6 +656,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 blocks_simulated: blocks_simulated as usize,
                 liveness,
                 method,
+                compaction_epoch,
                 audit_every: 0,
                 audits_run: 0,
                 audit_failures: Vec::new(),
@@ -594,6 +690,23 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// The priority-queue implementation rounds simulate on.
     pub fn queue_kind(&self) -> QueueKind {
         self.queue
+    }
+
+    /// Splits every analytic flood into `shards` contiguous node-range
+    /// shards ([`ShardWorkspace`]); `0` and `1` both mean the flat flood.
+    /// Results are bit-identical for every value — sharding changes the
+    /// relaxation schedule, never the arrival fixpoint — so this is a
+    /// pure performance knob (useful when blocks-per-round is smaller
+    /// than the core count, where the per-block fan-out runs dry).
+    /// Ignored under [`PropagationMode::Gossip`], whose event loop is
+    /// inherently cross-node sequential.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// How many shards analytic floods split into (1 = flat flood).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Restricts peer discovery to per-node partial views (§2.1's
@@ -721,7 +834,16 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         } else {
             1
         };
-        let chunk_size = miners.len().max(1).div_ceil(chunk_count);
+        let mut chunk_size = miners.len().max(1).div_ceil(chunk_count);
+        if self.config.observation_backend == ObservationBackend::Sketch {
+            // Sketch mode bounds the *transient* dense memory too: every
+            // worker chunk is capped at a constant number of blocks (even
+            // sequentially), so peak usage is O(edges), independent of
+            // blocks-per-round. Chunk size never affects results — the
+            // dense merge is an ordered append and the sketch fold is
+            // chunking-invariant — so this is purely a memory knob.
+            chunk_size = chunk_size.min(SKETCH_CHUNK_BLOCKS);
+        }
         // Each chunk carries its block offset so per-block fault keys
         // stay global: chunking is a scheduling detail, never a semantic
         // one.
@@ -738,6 +860,10 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 .map(|&(start, chunk)| {
                     let mut scratch =
                         BroadcastScratch::with_capacity_and_queue(view.len(), self.queue);
+                    // Each worker owns a shard workspace (reused across
+                    // its blocks) when flood sharding is on.
+                    let mut shard_ws = (self.shards > 1)
+                        .then(|| ShardWorkspace::with_queue(self.shards, self.queue));
                     let mut collector = ObservationCollector::from_view(view);
                     collector.reserve_blocks(chunk.len());
                     let mut l90 = Vec::with_capacity(chunk.len());
@@ -746,7 +872,15 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                     let mut seen = vec![0u32; view.len()];
                     for (j, &miner) in chunk.iter().enumerate() {
                         let bf = faults.map(|rf| rf.block(start + j));
-                        view.broadcast_into_faulted(miner, &mut scratch, bf.as_ref());
+                        match &mut shard_ws {
+                            Some(ws) => view.broadcast_sharded_into_faulted(
+                                miner,
+                                &mut scratch,
+                                bf.as_ref(),
+                                ws,
+                            ),
+                            None => view.broadcast_into_faulted(miner, &mut scratch, bf.as_ref()),
+                        }
                         scratch.coverage_times_into(view, &[0.9, 0.5], &mut coverage);
                         l90.push(coverage[0].as_ms());
                         l50.push(coverage[1].as_ms());
@@ -796,26 +930,44 @@ impl<L: LatencyModel> PerigeeEngine<L> {
 
         // Merge chunks back in block order; per-node seen counts are
         // integer sums, so elementwise accumulation is order-exact.
-        let mut parts = parts.into_iter();
-        let (mut collector, mut lambda90_ms, mut lambda50_ms, mut seen) =
-            parts.next().unwrap_or_else(|| {
-                (
-                    ObservationCollector::from_view(view),
-                    Vec::new(),
-                    Vec::new(),
-                    vec![0u32; view.len()],
-                )
-            });
+        // Dense mode appends the chunk matrices (one memcpy each); sketch
+        // mode folds each chunk into the per-edge sketches and drops it,
+        // so at most one chunk's matrix is live at a time.
+        let mut lambda90_ms = Vec::with_capacity(miners.len());
+        let mut lambda50_ms = Vec::with_capacity(miners.len());
+        let mut seen = vec![0u32; view.len()];
+        let mut dense: Option<ObservationCollector> = None;
+        let mut sketch = match self.config.observation_backend {
+            ObservationBackend::Dense => None,
+            ObservationBackend::Sketch => Some(SketchObservationStore::from_view(
+                view,
+                self.config.percentile,
+            )),
+        };
         for (c, l90, l50, s) in parts {
-            collector.append(c);
+            match &mut sketch {
+                Some(sk) => sk.ingest(&c.finish()),
+                None => match &mut dense {
+                    Some(acc) => acc.append(c),
+                    None => dense = Some(c),
+                },
+            }
             lambda90_ms.extend(l90);
             lambda50_ms.extend(l50);
             for (acc, x) in seen.iter_mut().zip(s) {
                 *acc += x;
             }
         }
+        let observations = match sketch {
+            Some(sk) => RoundStore::Sketch(sk),
+            None => RoundStore::Dense(
+                dense
+                    .unwrap_or_else(|| ObservationCollector::from_view(view))
+                    .finish(),
+            ),
+        };
         RoundObservations {
-            observations: collector.finish(),
+            observations,
             lambda90_ms,
             lambda50_ms,
             seen,

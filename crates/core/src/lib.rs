@@ -25,6 +25,30 @@
 //!   patched in place with the net rewiring delta instead of rebuilt;
 //! * [`adversary`] — free-rider / eclipse / throttling attacker models.
 //!
+//! ## Memory and scale
+//!
+//! The observation store has two backends behind
+//! [`ObservationBackend`](observation::ObservationBackend). `Dense` is
+//! the flat `f32` matrix above: `directed-edges × blocks × 4` bytes per
+//! round — exact, and the right default at paper scale. `Sketch`
+//! replaces each edge's sample row with one 48-byte streaming P²
+//! [`EdgeSketch`](perigee_metrics::EdgeSketch), making the round's
+//! memory `directed-edges × 48` bytes — *independent of
+//! blocks-per-round*, which is what makes 100k-node, 100-block worlds
+//! routine (~77 MiB where dense would hold ~640 MiB). Sketches are
+//! exact through five finite samples and estimates afterwards; scoring
+//! reads whichever backend the round carried through the same
+//! [`RoundStore`](observation::RoundStore) interface.
+//!
+//! Block fan-out is sharded:
+//! [`PerigeeEngine::set_shards`](engine::PerigeeEngine::set_shards)
+//! splits a round's blocks into per-worker workspaces that are merged
+//! in block order afterwards, so **any shard count produces
+//! bit-identical output** — 1, 2 and 8 shards are interchangeable, and
+//! CI's `shard_smoke` gate holds the engine to it. Determinism comes
+//! from the merge discipline (fixed block order, no cross-shard
+//! accumulation order dependence), not from luck.
+//!
 //! ## Dynamic worlds
 //!
 //! Install a [`ChurnProcess`](perigee_netsim::ChurnProcess) with
@@ -48,6 +72,20 @@
 //! [`PerigeeEngine::churn_reset`](engine::PerigeeEngine::churn_reset) is
 //! now a thin wrapper over a one-node
 //! [`WorldDelta::reset`](perigee_netsim::WorldDelta::reset).
+//!
+//! Long churny runs accumulate dead free-list slots. An explicit
+//! [`PerigeeEngine::compact`](engine::PerigeeEngine::compact) reclaims
+//! them under the id-remap contract of
+//! [`IdRemap`](perigee_netsim::IdRemap): survivors are renumbered
+//! **order-preservingly** (so every sorted structure stays sorted for
+//! free) and every id-bearing subsystem — topology, latency placement
+//! keys, carried view, address books, liveness, UCB history, churn
+//! schedule — is remapped in one step, with surviving pair delays and
+//! view floats preserved bit for bit. Compaction is a *semantic world
+//! edit*, never an implicit optimization: it changes downstream RNG
+//! consumption, so the engine only compacts when asked, and each call
+//! bumps a `compaction_epoch` carried in checkpoints (snapshot format
+//! v2) so resumed runs agree on the world's identity.
 //!
 //! ## Quickstart
 //!
@@ -101,7 +139,10 @@ pub use engine::{
     PropagationMode, RoundObservations, RoundStats,
 };
 pub use liveness::{LivenessConfig, LivenessTracker, PeerHealth};
-pub use observation::{NodeObservations, ObservationCollector, ObservationStore, TimesIter};
+pub use observation::{
+    NodeObservations, ObservationBackend, ObservationCollector, ObservationStore, RoundStore,
+    SketchObservationStore, TimesIter,
+};
 pub use score::{
     NodeHistory, ScoringMethod, SelectionStrategy, StatefulScorer, StatefulSplit, SubsetScoring,
     UcbScoring, VanillaScoring,

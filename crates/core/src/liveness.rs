@@ -168,6 +168,48 @@ impl LivenessTracker {
         }
     }
 
+    /// Applies a free-list compaction plan: dead slots are dropped and
+    /// every surviving record's peer id is renumbered. Silence counters
+    /// never reference dead peers ([`LivenessTracker::retire`] prunes
+    /// them eagerly), but backoff records may — `retire` leaves those to
+    /// expire on their own — so unmappable backoff entries are dropped
+    /// here. The remap is monotone on live ids, so both per-slot lists
+    /// stay sorted by peer without re-sorting.
+    pub fn compact(&mut self, plan: &perigee_netsim::IdRemap) {
+        assert_eq!(
+            plan.old_len(),
+            self.silent.len(),
+            "compaction plan covers a different world size"
+        );
+        let mut i = 0u32;
+        self.silent.retain(|_| {
+            let keep = plan.new_id(NodeId::new(i)).is_some();
+            i += 1;
+            keep
+        });
+        let mut i = 0u32;
+        self.backoff.retain(|_| {
+            let keep = plan.new_id(NodeId::new(i)).is_some();
+            i += 1;
+            keep
+        });
+        for s in &mut self.silent {
+            for (peer, _) in s.iter_mut() {
+                // Live-to-live references only: retire() pruned the rest.
+                *peer = plan.remap(NodeId::new(*peer)).as_u32();
+            }
+        }
+        for b in &mut self.backoff {
+            b.retain_mut(|r| match plan.new_id(NodeId::new(r.peer)) {
+                Some(new) => {
+                    r.peer = new.as_u32();
+                    true
+                }
+                None => false,
+            });
+        }
+    }
+
     /// Feeds one round of observations for node `v`: `outgoing` is its
     /// current outgoing-neighbor list and `delivered(u)` reports whether
     /// peer `u` delivered anything to `v` this round. Counters only

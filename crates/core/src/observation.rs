@@ -22,8 +22,90 @@
 //!
 //! Scoring reads the store through borrowed, allocation-free
 //! [`NodeObservations`] views ([`ObservationStore::node`]).
+//!
+//! # The sketch backend
+//!
+//! The dense matrix is linear in blocks-per-round: 61 MiB at 10k nodes ×
+//! 100 blocks, and 100× that before 1M-block rounds. Scoring, however,
+//! consumes *percentile statistics* of each edge's column, not the raw
+//! samples — so [`ObservationBackend::Sketch`] replaces the matrix with
+//! one 48-byte [`EdgeSketch`](perigee_metrics::EdgeSketch) per directed
+//! edge ([`SketchObservationStore`]): memory is `O(edges)`, independent
+//! of the round's block count.
+//!
+//! Recording is unchanged — every path still fills small *dense* chunks
+//! (the per-worker collectors, capped at a constant number of blocks in
+//! sketch mode) — and the sketch store folds each chunk in at merge time
+//! ([`SketchObservationStore::ingest`]), column by column in block
+//! order. Because chunks carry exact raw samples and are ingested in
+//! block order, the sketch state is a pure function of the sequential
+//! sample stream: **bit-identical across thread counts and chunk
+//! splits**, with no sketch-merge operator needed.
+//!
+//! What scoring sees through [`NodeObservations`]:
+//!
+//! * [`NodeObservations::column_percentile_or_inf`] — the one scoring
+//!   query, exact on the dense backend and the sketch estimate (exact up
+//!   to 5 finite samples) on the sketch backend;
+//! * [`NodeObservations::times_for`] — raw samples on the dense backend;
+//!   on the sketch backend, *representative* samples (the exact seed
+//!   values while ≤ 5 finite samples arrived — which covers UCB's
+//!   1-block rounds — else the five marker heights) plus the recorded
+//!   count of `∞` entries;
+//! * [`NodeObservations::row`] / [`NodeObservations::time_at`] /
+//!   [`NodeObservations::time_of`] — dense-only (they panic on the
+//!   sketch backend): per-block joint statistics are exactly what a
+//!   marginal sketch cannot answer, so Subset scoring degrades to
+//!   marginal ranking in sketch mode (see
+//!   [`SubsetScoring`](crate::score::SubsetScoring)).
 
+use perigee_metrics::{percentile_or_inf_mut, EdgeSketch, SketchParams};
 use perigee_netsim::{BroadcastScratch, LatencyModel, NodeId, Propagation, Topology, TopologyView};
+use serde::{Deserialize, Serialize};
+
+/// Which representation a round's observations are stored in.
+///
+/// `Dense` is the exact reference: the full `blocks × edges` `f32`
+/// matrix. `Sketch` stores one constant-space
+/// [`EdgeSketch`](perigee_metrics::EdgeSketch) per directed edge —
+/// memory independent of blocks-per-round, percentile queries
+/// approximate beyond 5 finite samples per edge (see the module docs
+/// for what each scoring strategy does with that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ObservationBackend {
+    /// The exact `blocks × edges` matrix (the cross-validated reference).
+    #[default]
+    Dense,
+    /// One 48-byte streaming P² sketch per directed edge.
+    Sketch,
+}
+
+mod backend_codec {
+    //! Checkpoint codec impls (see `serde::bin`).
+
+    use serde::bin::{Decode, DecodeError, Encode, Reader};
+
+    use super::ObservationBackend;
+
+    impl Encode for ObservationBackend {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                ObservationBackend::Dense => 0u8.encode(out),
+                ObservationBackend::Sketch => 1u8.encode(out),
+            }
+        }
+    }
+
+    impl Decode for ObservationBackend {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(ObservationBackend::Dense),
+                1 => Ok(ObservationBackend::Sketch),
+                _ => Err(DecodeError::new("invalid observation-backend tag")),
+            }
+        }
+    }
+}
 
 /// One round's normalized observations for the whole network: a single
 /// contiguous `blocks × directed-edges` matrix over the CSR index space
@@ -89,25 +171,245 @@ impl ObservationStore {
         NodeObservations {
             neighbors: &self.edges[start..end],
             start,
-            stride: self.edges.len(),
             blocks: self.blocks,
-            times: &self.times,
+            data: ObsData::Dense {
+                stride: self.edges.len(),
+                times: &self.times,
+            },
         }
     }
 }
 
+/// One round's observations compressed to one
+/// [`EdgeSketch`](perigee_metrics::EdgeSketch) per directed edge over
+/// the same CSR skeleton as the dense [`ObservationStore`] — 48 bytes
+/// per edge regardless of how many blocks the round mined.
+///
+/// Built empty from the round's view and fed whole dense chunks in
+/// block order via [`SketchObservationStore::ingest`]; see the module
+/// docs for why that makes the sketch state chunking-invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchObservationStore {
+    /// CSR row starts (n+1 entries), as in [`ObservationStore`].
+    offsets: Vec<usize>,
+    /// Neighbor id per directed edge, ascending within each row.
+    edges: Vec<u32>,
+    /// Blocks ingested so far.
+    blocks: usize,
+    /// Shared P² parameters (one per store, not per edge).
+    params: SketchParams,
+    /// One sketch per directed edge, indexed like a block row of the
+    /// dense matrix.
+    sketches: Vec<EdgeSketch>,
+}
+
+impl SketchObservationStore {
+    /// An empty store over the CSR skeleton of `view`, tracking
+    /// `percentile` (the scoring percentile of the run's config).
+    pub fn from_view(view: &TopologyView, percentile: f64) -> Self {
+        let edges = view.csr_edges().to_vec();
+        SketchObservationStore {
+            offsets: view.csr_offsets().to_vec(),
+            sketches: vec![EdgeSketch::new(); edges.len()],
+            edges,
+            blocks: 0,
+            params: SketchParams::new(percentile),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` when the store covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks ingested so far.
+    pub fn block_count(&self) -> usize {
+        self.blocks
+    }
+
+    /// Total directed-edge count `m`.
+    pub fn directed_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The percentile every per-edge sketch tracks.
+    pub fn percentile(&self) -> f64 {
+        self.params.percentile()
+    }
+
+    /// Bytes held by the per-edge sketches — the sketch-mode counterpart
+    /// of [`ObservationStore::matrix_bytes`].
+    pub fn sketch_bytes(&self) -> usize {
+        self.sketches.len() * std::mem::size_of::<EdgeSketch>()
+    }
+
+    /// Folds one dense chunk into the sketches, column by column in the
+    /// chunk's block order. Calling this with the consecutive chunks of
+    /// a round (in block order) replays the exact sequential sample
+    /// stream into every edge's sketch, whatever the chunk sizes were.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` was collected over a different CSR skeleton.
+    pub fn ingest(&mut self, chunk: &ObservationStore) {
+        assert_eq!(self.offsets, chunk.offsets, "CSR offset mismatch");
+        assert_eq!(self.edges, chunk.edges, "neighbor snapshot mismatch");
+        let m = self.edges.len();
+        for b in 0..chunk.blocks {
+            let row = &chunk.times[b * m..(b + 1) * m];
+            for (sketch, &t) in self.sketches.iter_mut().zip(row) {
+                sketch.observe(t, &self.params);
+            }
+        }
+        self.blocks += chunk.blocks;
+    }
+
+    /// Borrowed, allocation-free view of node `v`'s observations.
+    pub fn node(&self, v: NodeId) -> NodeObservations<'_> {
+        let start = self.offsets[v.index()];
+        let end = self.offsets[v.index() + 1];
+        NodeObservations {
+            neighbors: &self.edges[start..end],
+            start,
+            blocks: self.blocks,
+            data: ObsData::Sketch {
+                sketches: &self.sketches,
+                params: &self.params,
+            },
+        }
+    }
+}
+
+/// One round's observations in whichever backend the config selected —
+/// what [`RoundObservations`](crate::RoundObservations) actually
+/// carries. Scoring only ever sees [`NodeObservations`] views, so the
+/// strategies are backend-agnostic except where they explicitly branch
+/// (Subset's marginal fallback).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundStore {
+    /// The exact `blocks × edges` matrix.
+    Dense(ObservationStore),
+    /// One streaming sketch per directed edge.
+    Sketch(SketchObservationStore),
+}
+
+impl RoundStore {
+    /// Which backend this round ran under.
+    pub fn backend(&self) -> ObservationBackend {
+        match self {
+            RoundStore::Dense(_) => ObservationBackend::Dense,
+            RoundStore::Sketch(_) => ObservationBackend::Sketch,
+        }
+    }
+
+    /// The dense store, when this round used the dense backend.
+    pub fn as_dense(&self) -> Option<&ObservationStore> {
+        match self {
+            RoundStore::Dense(s) => Some(s),
+            RoundStore::Sketch(_) => None,
+        }
+    }
+
+    /// The sketch store, when this round used the sketch backend.
+    pub fn as_sketch(&self) -> Option<&SketchObservationStore> {
+        match self {
+            RoundStore::Dense(_) => None,
+            RoundStore::Sketch(s) => Some(s),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        match self {
+            RoundStore::Dense(s) => s.len(),
+            RoundStore::Sketch(s) => s.len(),
+        }
+    }
+
+    /// `true` when the store covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of blocks recorded.
+    pub fn block_count(&self) -> usize {
+        match self {
+            RoundStore::Dense(s) => s.block_count(),
+            RoundStore::Sketch(s) => s.block_count(),
+        }
+    }
+
+    /// Total directed-edge count `m`.
+    pub fn directed_edge_count(&self) -> usize {
+        match self {
+            RoundStore::Dense(s) => s.directed_edge_count(),
+            RoundStore::Sketch(s) => s.directed_edge_count(),
+        }
+    }
+
+    /// Bytes held by the round's observation state (the dense matrix or
+    /// the per-edge sketches) — for capacity planning and the scale
+    /// benches.
+    pub fn matrix_bytes(&self) -> usize {
+        match self {
+            RoundStore::Dense(s) => s.matrix_bytes(),
+            RoundStore::Sketch(s) => s.sketch_bytes(),
+        }
+    }
+
+    /// Borrowed, allocation-free view of node `v`'s observations.
+    pub fn node(&self, v: NodeId) -> NodeObservations<'_> {
+        match self {
+            RoundStore::Dense(s) => s.node(v),
+            RoundStore::Sketch(s) => s.node(v),
+        }
+    }
+}
+
+/// The backend-specific payload behind a [`NodeObservations`] view.
+#[derive(Debug, Clone, Copy)]
+enum ObsData<'a> {
+    /// A window into the dense round matrix.
+    Dense { stride: usize, times: &'a [f32] },
+    /// A window into the per-edge sketch array.
+    Sketch {
+        sketches: &'a [EdgeSketch],
+        params: &'a SketchParams,
+    },
+}
+
 /// One node's observations for the round: a borrowed window into the
-/// [`ObservationStore`] — no per-node or per-query allocation.
+/// round's store (dense matrix or sketch array) — no per-node or
+/// per-query allocation.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeObservations<'a> {
     neighbors: &'a [u32],
     start: usize,
-    stride: usize,
     blocks: usize,
-    times: &'a [f32],
+    data: ObsData<'a>,
 }
 
 impl<'a> NodeObservations<'a> {
+    /// Which backend this view reads from.
+    pub fn backend(&self) -> ObservationBackend {
+        match self.data {
+            ObsData::Dense { .. } => ObservationBackend::Dense,
+            ObsData::Sketch { .. } => ObservationBackend::Sketch,
+        }
+    }
+
+    /// `true` when this view reads per-edge sketches rather than the
+    /// exact dense matrix (strategies that need per-block joint
+    /// statistics branch on this).
+    pub fn is_sketch(&self) -> bool {
+        matches!(self.data, ObsData::Sketch { .. })
+    }
+
     /// All neighbors observed this round (outgoing and incoming),
     /// ascending.
     pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + 'a {
@@ -137,20 +439,45 @@ impl<'a> NodeObservations<'a> {
 
     /// Block `b`'s normalized times for this node, aligned with
     /// [`NodeObservations::neighbor_ids`] — a contiguous slice of the
-    /// round matrix.
+    /// round matrix. **Dense-only**: a per-block row is exactly what the
+    /// sketch backend does not keep.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the sketch backend.
     pub fn row(&self, block: usize) -> &'a [f32] {
-        let base = block * self.stride + self.start;
-        &self.times[base..base + self.neighbors.len()]
+        match self.data {
+            ObsData::Dense { stride, times } => {
+                let base = block * stride + self.start;
+                &times[base..base + self.neighbors.len()]
+            }
+            ObsData::Sketch { .. } => {
+                panic!("NodeObservations::row needs the dense backend (sketches keep no per-block rows)")
+            }
+        }
     }
 
     /// The normalized time of block `block` from the neighbor at row
-    /// position `i` (`INFINITY` if it never delivered).
+    /// position `i` (`INFINITY` if it never delivered). **Dense-only**.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the sketch backend.
     pub fn time_at(&self, block: usize, i: usize) -> f64 {
-        self.times[block * self.stride + self.start + i] as f64
+        match self.data {
+            ObsData::Dense { stride, times } => times[block * stride + self.start + i] as f64,
+            ObsData::Sketch { .. } => {
+                panic!("NodeObservations::time_at needs the dense backend (sketches keep no per-block rows)")
+            }
+        }
     }
 
     /// The normalized time of block `block` from neighbor `u`
-    /// (`INFINITY` if unknown or not a neighbor).
+    /// (`INFINITY` if unknown or not a neighbor). **Dense-only**.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the sketch backend.
     pub fn time_of(&self, block: usize, u: NodeId) -> f64 {
         match self.index_of(u) {
             Some(i) if block < self.blocks => self.time_at(block, i),
@@ -161,55 +488,157 @@ impl<'a> NodeObservations<'a> {
     /// The multiset `T̃u,v` of normalized times for neighbor `u`, in
     /// block order; empty if `u` was not a neighbor this round. Borrowed
     /// iteration over the store — no allocation.
+    ///
+    /// On the sketch backend the iterator yields *representative*
+    /// samples instead: the exact seed values while the edge saw ≤ 5
+    /// finite samples (which covers UCB's 1-block rounds), else the five
+    /// marker heights, followed by the recorded number of `∞` entries.
+    /// Block order is not preserved in that regime.
     pub fn times_for(&self, u: NodeId) -> TimesIter<'a> {
         match self.index_of(u) {
             Some(i) => self.column(i),
             None => TimesIter {
-                times: self.times,
-                pos: 0,
-                stride: self.stride,
-                remaining: 0,
+                inner: TimesInner::Dense {
+                    times: &[],
+                    pos: 0,
+                    stride: 0,
+                    remaining: 0,
+                },
             },
         }
     }
 
-    /// The times of the neighbor at row position `i`, in block order.
+    /// The times of the neighbor at row position `i`, in block order
+    /// (representatives on the sketch backend — see
+    /// [`NodeObservations::times_for`]).
     pub fn column(&self, i: usize) -> TimesIter<'a> {
         debug_assert!(i < self.neighbors.len());
-        TimesIter {
-            times: self.times,
-            pos: self.start + i,
-            stride: self.stride,
-            remaining: self.blocks,
+        match self.data {
+            ObsData::Dense { stride, times } => TimesIter {
+                inner: TimesInner::Dense {
+                    times,
+                    pos: self.start + i,
+                    stride,
+                    remaining: self.blocks,
+                },
+            },
+            ObsData::Sketch { sketches, .. } => {
+                let s = &sketches[self.start + i];
+                TimesIter {
+                    inner: TimesInner::Sketch {
+                        finite: s.representatives(),
+                        idx: 0,
+                        infinite: s.infinite(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// The round's scoring statistic for the neighbor at row position
+    /// `i`: the `p`-th percentile of its normalized times, `∞` when the
+    /// `∞` entries dominate the tail — **the one query every scoring
+    /// strategy funnels through**, so dense/sketch dispatch lives here.
+    ///
+    /// On the dense backend this collects the column into `buf` and
+    /// calls [`percentile_or_inf_mut`] — bit-identical to what the
+    /// strategies previously computed inline. On the sketch backend it
+    /// reads the edge's P² estimate (`buf` untouched); the store tracks
+    /// exactly one percentile, so `p` must match it.
+    pub fn column_percentile_or_inf(&self, i: usize, p: f64, buf: &mut Vec<f64>) -> f64 {
+        match self.data {
+            ObsData::Dense { .. } => {
+                buf.clear();
+                buf.extend(self.column(i));
+                percentile_or_inf_mut(buf, p)
+            }
+            ObsData::Sketch { sketches, params } => {
+                debug_assert!(
+                    p == params.percentile(),
+                    "sketch store tracks p{}, scoring asked for p{p}",
+                    params.percentile()
+                );
+                sketches[self.start + i].estimate_or_inf(params)
+            }
         }
     }
 }
 
-/// Iterator over one neighbor's normalized times in block order (a
-/// strided walk down the round matrix), yielding `f64` for score math.
+/// The backend-specific iteration state of a [`TimesIter`].
+#[derive(Debug, Clone)]
+enum TimesInner<'a> {
+    /// A strided walk down the dense round matrix, in block order.
+    Dense {
+        times: &'a [f32],
+        pos: usize,
+        stride: usize,
+        remaining: usize,
+    },
+    /// The sketch's finite representatives, then `infinite` ∞ entries.
+    Sketch {
+        finite: &'a [f32],
+        idx: usize,
+        infinite: usize,
+    },
+}
+
+/// Iterator over one neighbor's normalized times, yielding `f64` for
+/// score math. Dense backend: the exact samples in block order. Sketch
+/// backend: representative samples (see
+/// [`NodeObservations::times_for`]).
 #[derive(Debug, Clone)]
 pub struct TimesIter<'a> {
-    times: &'a [f32],
-    pos: usize,
-    stride: usize,
-    remaining: usize,
+    inner: TimesInner<'a>,
 }
 
 impl Iterator for TimesIter<'_> {
     type Item = f64;
 
     fn next(&mut self) -> Option<f64> {
-        if self.remaining == 0 {
-            return None;
+        match &mut self.inner {
+            TimesInner::Dense {
+                times,
+                pos,
+                stride,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                let t = times[*pos] as f64;
+                *pos += *stride;
+                *remaining -= 1;
+                Some(t)
+            }
+            TimesInner::Sketch {
+                finite,
+                idx,
+                infinite,
+            } => {
+                if *idx < finite.len() {
+                    let t = finite[*idx] as f64;
+                    *idx += 1;
+                    Some(t)
+                } else if *infinite > 0 {
+                    *infinite -= 1;
+                    Some(f64::INFINITY)
+                } else {
+                    None
+                }
+            }
         }
-        let t = self.times[self.pos] as f64;
-        self.pos += self.stride;
-        self.remaining -= 1;
-        Some(t)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining, Some(self.remaining))
+        let n = match &self.inner {
+            TimesInner::Dense { remaining, .. } => *remaining,
+            TimesInner::Sketch {
+                finite,
+                idx,
+                infinite,
+            } => finite.len() - idx + infinite,
+        };
+        (n, Some(n))
     }
 }
 
@@ -662,6 +1091,101 @@ mod tests {
         }
         a.append(b);
         assert_eq!(a.finish(), seq.finish());
+    }
+
+    #[test]
+    fn sketch_ingest_is_chunking_invariant() {
+        let (pop, lat, mut topo) = world(&[0.0, 10.0, 30.0, 55.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        topo.connect(NodeId::new(2), NodeId::new(3)).unwrap();
+        topo.connect(NodeId::new(0), NodeId::new(3)).unwrap();
+        let view = TopologyView::new(&topo, &lat, &pop);
+
+        // Collect 8 blocks three ways: one chunk, 2+6, and 3+3+2.
+        let sources = [0u32, 2, 1, 3, 0, 1, 2, 3];
+        let collect = |range: std::ops::Range<usize>| {
+            let mut c = ObservationCollector::from_view(&view);
+            for &src in &sources[range] {
+                let prop = broadcast(&topo, &lat, &pop, NodeId::new(src));
+                c.record(&prop, &lat);
+            }
+            c.finish()
+        };
+
+        let mut whole = SketchObservationStore::from_view(&view, 90.0);
+        whole.ingest(&collect(0..8));
+
+        let mut split2 = SketchObservationStore::from_view(&view, 90.0);
+        split2.ingest(&collect(0..2));
+        split2.ingest(&collect(2..8));
+
+        let mut split3 = SketchObservationStore::from_view(&view, 90.0);
+        split3.ingest(&collect(0..3));
+        split3.ingest(&collect(3..6));
+        split3.ingest(&collect(6..8));
+
+        assert_eq!(whole, split2, "2-way chunking must not change the sketches");
+        assert_eq!(whole, split3, "3-way chunking must not change the sketches");
+        assert_eq!(whole.block_count(), 8);
+    }
+
+    #[test]
+    fn sketch_node_view_matches_dense_when_exact() {
+        // ≤ 5 finite samples per edge keeps the sketch in its exact seed
+        // regime: percentiles and times_for must agree with dense.
+        let (pop, lat, mut topo) = world(&[0.0, 10.0, 30.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        topo.connect(NodeId::new(1), NodeId::new(2)).unwrap();
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut c = ObservationCollector::from_view(&view);
+        for src in [0u32, 2, 1] {
+            let prop = broadcast(&topo, &lat, &pop, NodeId::new(src));
+            c.record(&prop, &lat);
+        }
+        let dense = c.finish();
+        let mut sketch = SketchObservationStore::from_view(&view, 90.0);
+        sketch.ingest(&dense);
+
+        let mut buf = Vec::new();
+        for v in 0..3u32 {
+            let dv = dense.node(NodeId::new(v));
+            let sv = sketch.node(NodeId::new(v));
+            assert!(!dv.is_sketch());
+            assert!(sv.is_sketch());
+            assert_eq!(sv.neighbor_ids(), dv.neighbor_ids());
+            assert_eq!(sv.block_count(), dv.block_count());
+            for i in 0..dv.degree() {
+                let exact = dv.column_percentile_or_inf(i, 90.0, &mut buf);
+                let est = sv.column_percentile_or_inf(i, 90.0, &mut buf);
+                assert_eq!(est, exact, "node {v} edge {i}");
+                let mut d: Vec<f64> = dv.column(i).collect();
+                let mut s: Vec<f64> = sv.column(i).collect();
+                d.sort_by(f64::total_cmp);
+                s.sort_by(f64::total_cmp);
+                assert_eq!(
+                    s.len(),
+                    sv.column(i).len(),
+                    "ExactSizeIterator must agree with iteration"
+                );
+                assert_eq!(s, d, "representatives are the exact multiset when ≤ 5");
+            }
+        }
+        assert_eq!(sketch.sketch_bytes(), sketch.directed_edge_count() * 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense backend")]
+    fn sketch_row_queries_panic() {
+        let (pop, lat, mut topo) = world(&[0.0, 10.0]);
+        topo.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut c = ObservationCollector::from_view(&view);
+        let prop = broadcast(&topo, &lat, &pop, NodeId::new(0));
+        c.record(&prop, &lat);
+        let mut sketch = SketchObservationStore::from_view(&view, 90.0);
+        sketch.ingest(&c.finish());
+        let _ = sketch.node(NodeId::new(0)).row(0);
     }
 
     #[test]

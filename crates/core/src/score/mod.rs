@@ -102,6 +102,22 @@ impl NodeHistory {
         self.samples.clear();
     }
 
+    /// Renumbers the per-neighbor buffers under a free-list compaction
+    /// plan. Entries for unmappable (dead) neighbors are dropped — the
+    /// engine forgets history on disconnect, so by the time a compaction
+    /// runs none should remain, but a defensive drop keeps the invariant
+    /// "history references live ids" unconditional.
+    pub fn compact(&mut self, plan: &perigee_netsim::IdRemap) {
+        let neighbors = std::mem::take(&mut self.neighbors);
+        let samples = std::mem::take(&mut self.samples);
+        for (u, buf) in neighbors.into_iter().zip(samples) {
+            if let Some(new) = plan.new_id(u) {
+                self.neighbors.push(new);
+                self.samples.push(buf);
+            }
+        }
+    }
+
     /// Total number of stored samples for `u`.
     pub fn sample_count(&self, u: NodeId) -> usize {
         self.samples_for(u).len()
@@ -337,6 +353,13 @@ pub trait SelectionStrategy: Send + Sync {
     /// no cross-round state) keep the default no-op — churn cannot
     /// poison what is re-learned from scratch every round.
     fn on_world_delta(&mut self, _delta: &WorldDelta, _n: usize, _staleness: f64) {}
+
+    /// Applies a free-list compaction plan (see
+    /// [`perigee_netsim::Population::compact`]): per-node state must be
+    /// permuted to the survivors' new ids and any stored neighbor ids
+    /// renumbered. Stateless strategies keep the default no-op — they
+    /// hold nothing keyed by id.
+    fn compact(&mut self, _plan: &perigee_netsim::IdRemap) {}
 
     /// Strategy name for reports.
     fn name(&self) -> &'static str;

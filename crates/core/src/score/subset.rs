@@ -53,6 +53,10 @@ impl SubsetScoring {
     /// The group score of an explicit neighbor set: percentile of the
     /// per-block minimum over the set. Exposed for tests and for the
     /// ablation comparing greedy vs exhaustive selection.
+    ///
+    /// **Dense-only** (panics on the sketch backend): the per-block joint
+    /// minimum is exactly the statistic a marginal per-edge sketch cannot
+    /// reconstruct — see [`SubsetScoring::select`]'s sketch fallback.
     pub fn group_score(&self, observations: &NodeObservations<'_>, group: &[NodeId]) -> f64 {
         if group.is_empty() {
             return f64::INFINITY;
@@ -70,7 +74,33 @@ impl SubsetScoring {
 
     /// The greedy selection itself: pure in its inputs, shared by the
     /// sequential and parallel retain paths.
+    ///
+    /// On the sketch backend the greedy complementary criterion is
+    /// unavailable — it needs the per-block joint minimum across the
+    /// group, and the sketch keeps only marginal per-edge percentile
+    /// state — so selection **degrades to marginal ranking**: keep the
+    /// `retain_count` neighbors with the best individual sketch
+    /// percentiles (Vanilla's ordering, same deterministic id
+    /// tie-break). This is the documented approximation of sketch mode;
+    /// runs that need the joint criterion keep the dense backend.
     fn select(&self, outgoing: &[NodeId], observations: NodeObservations<'_>) -> Vec<NodeId> {
+        if observations.is_sketch() {
+            let mut buf = Vec::new();
+            let mut scored: Vec<(f64, NodeId)> = Vec::with_capacity(outgoing.len());
+            for &u in outgoing {
+                let score = match observations.index_of(u) {
+                    Some(i) => observations.column_percentile_or_inf(i, self.percentile, &mut buf),
+                    None => f64::INFINITY,
+                };
+                scored.push((score, u));
+            }
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            return scored
+                .into_iter()
+                .take(self.retain_count)
+                .map(|(_, u)| u)
+                .collect();
+        }
         let blocks = observations.block_count();
         // One column-major copy of just the outgoing columns (cols[k·B..])
         // — a single allocation feeding sequential reads in the greedy

@@ -250,6 +250,23 @@ impl SelectionStrategy for UcbScoring {
         }
     }
 
+    fn compact(&mut self, plan: &perigee_netsim::IdRemap) {
+        assert_eq!(
+            plan.old_len(),
+            self.history.len(),
+            "compaction plan covers a different world size"
+        );
+        let mut i = 0u32;
+        self.history.retain(|_| {
+            let keep = plan.new_id(NodeId::new(i)).is_some();
+            i += 1;
+            keep
+        });
+        for h in &mut self.history {
+            h.compact(plan);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "perigee-ucb"
     }

@@ -2,7 +2,6 @@
 
 use rand::RngCore;
 
-use perigee_metrics::percentile_or_inf_mut;
 use perigee_netsim::NodeId;
 
 use crate::observation::NodeObservations;
@@ -41,23 +40,33 @@ impl VanillaScoring {
         }
     }
 
-    /// The per-neighbor score: `percentile`-th percentile of `T̃u,v`.
+    /// The per-neighbor score: `percentile`-th percentile of `T̃u,v` —
+    /// exact on the dense backend, the edge sketch's P² estimate on the
+    /// sketch backend.
     pub fn score(&self, observations: &NodeObservations<'_>, u: NodeId) -> f64 {
-        let mut col: Vec<f64> = observations.times_for(u).collect();
-        percentile_or_inf_mut(&mut col, self.percentile)
+        let mut col = Vec::new();
+        match observations.index_of(u) {
+            Some(i) => observations.column_percentile_or_inf(i, self.percentile, &mut col),
+            None => f64::INFINITY,
+        }
     }
 
     /// The selection itself: pure in its inputs, shared by the sequential
-    /// and parallel retain paths. One reusable column buffer serves every
-    /// neighbor — the observation reads themselves are borrowed strided
-    /// walks over the round matrix.
+    /// and parallel retain paths. The per-neighbor statistic comes from
+    /// [`NodeObservations::column_percentile_or_inf`] — on the dense
+    /// backend that is the exact percentile over one reusable column
+    /// buffer (the observation reads are borrowed strided walks over the
+    /// round matrix), on the sketch backend the edge's constant-space P²
+    /// estimate.
     fn select(&self, outgoing: &[NodeId], observations: NodeObservations<'_>) -> Vec<NodeId> {
         let mut col: Vec<f64> = Vec::with_capacity(observations.block_count());
         let mut scored: Vec<(f64, NodeId)> = Vec::with_capacity(outgoing.len());
         for &u in outgoing {
-            col.clear();
-            col.extend(observations.times_for(u));
-            scored.push((percentile_or_inf_mut(&mut col, self.percentile), u));
+            let score = match observations.index_of(u) {
+                Some(i) => observations.column_percentile_or_inf(i, self.percentile, &mut col),
+                None => f64::INFINITY,
+            };
+            scored.push((score, u));
         }
         scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         scored

@@ -56,7 +56,15 @@ const MAGIC: [u8; 4] = *b"PRGS";
 
 /// Format version this build writes and the only one it reads. Bump on
 /// any change to the body layout.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: **1** — the original inventory; **2** — adds the free-list
+/// compaction epoch ([`RunSnapshot::compaction_epoch`]) and the latency
+/// placement keys that make compaction delay-preserving (the
+/// [`GeoLatencyModel`](perigee_netsim::GeoLatencyModel) codec grew two
+/// fields). Version-1 envelopes are rejected with
+/// [`SnapshotError::UnsupportedVersion`] — re-run the capture, don't
+/// guess at a world whose id space may have been renumbered.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be read back.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +115,7 @@ impl From<DecodeError> for SnapshotError {
 pub struct RunSnapshot {
     pub(crate) round: u64,
     pub(crate) blocks_simulated: u64,
+    pub(crate) compaction_epoch: u64,
     pub(crate) config: PerigeeConfig,
     pub(crate) method: ScoringMethod,
     pub(crate) queue: QueueKind,
@@ -136,6 +145,14 @@ impl RunSnapshot {
         self.blocks_simulated
     }
 
+    /// How many free-list compactions the captured run had performed
+    /// (see [`PerigeeEngine::compact`](crate::PerigeeEngine::compact)).
+    /// Ids name different nodes across epochs, so this is part of the
+    /// world's identity.
+    pub fn compaction_epoch(&self) -> u64 {
+        self.compaction_epoch
+    }
+
     /// The captured engine configuration.
     pub fn config(&self) -> &PerigeeConfig {
         &self.config
@@ -154,6 +171,7 @@ impl RunSnapshot {
     fn encode_body(&self, out: &mut Vec<u8>) {
         self.round.encode(out);
         self.blocks_simulated.encode(out);
+        self.compaction_epoch.encode(out);
         self.config.encode(out);
         self.method.encode(out);
         self.queue.encode(out);
@@ -176,6 +194,7 @@ impl RunSnapshot {
         let snapshot = RunSnapshot {
             round: u64::decode(r)?,
             blocks_simulated: u64::decode(r)?,
+            compaction_epoch: u64::decode(r)?,
             config: Decode::decode(r)?,
             method: Decode::decode(r)?,
             queue: Decode::decode(r)?,
@@ -308,6 +327,7 @@ mod tests {
         RunSnapshot {
             round: 17,
             blocks_simulated: 1700,
+            compaction_epoch: 0,
             config: PerigeeConfig::default(),
             method: ScoringMethod::Subset,
             queue: QueueKind::Calendar,

@@ -280,3 +280,81 @@ fn corrupted_snapshots_are_rejected_with_structured_errors() {
         SnapshotError::Inconsistent(_)
     ));
 }
+
+/// A checked-in format-version-1 envelope (written before the snapshot
+/// carried the compaction epoch and the latency placement keys) is
+/// rejected with a *structured* [`SnapshotError::UnsupportedVersion`] —
+/// never a panic, never a misdecoded world. Truncated prefixes of the
+/// old file must not panic either.
+#[test]
+fn version_1_snapshots_are_rejected_with_unsupported_version() {
+    let bytes: &[u8] = include_bytes!("fixtures/snapshot_v1.bin");
+    assert_eq!(&bytes[..4], b"PRGS", "fixture is a perigee envelope");
+    assert_eq!(bytes[4], 1, "fixture was written as format version 1");
+    assert!(matches!(
+        RunSnapshot::from_bytes(bytes),
+        Err(SnapshotError::UnsupportedVersion(1))
+    ));
+    for cut in [0, 3, 4, 7, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            RunSnapshot::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} must fail, not panic"
+        );
+    }
+}
+
+/// Free-list compaction composes with kill-and-resume: an uninterrupted
+/// run that compacts at round `K` is bit-identical to a run that
+/// compacts, checkpoints through the on-disk envelope, resumes and
+/// continues — same per-round statistics, same learned topology, same
+/// renumbered population, same evaluation. The compaction epoch rides
+/// the snapshot, the carried view stays patched-equals-fresh, and the
+/// auditor stays green on both legs.
+#[test]
+fn compaction_is_checkpoint_transparent_and_deterministic() {
+    const SEED: u64 = 4242;
+    const TOTAL: usize = 18;
+    const K: usize = 9;
+
+    for kind in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+        let (mut ref_engine, mut rng) = chaos_engine(SEED, kind);
+        let mut ref_stats: Vec<RoundStats> =
+            (0..K).map(|_| ref_engine.run_round(&mut rng)).collect();
+        let reclaimed = ref_engine.compact();
+        assert!(
+            reclaimed.is_some_and(|r| r > 0),
+            "churn must have retired nodes by round {K} on {kind:?}"
+        );
+        assert_eq!(ref_engine.compaction_epoch(), 1);
+        ref_engine.assert_view_consistency();
+        assert!(
+            ref_engine.compact().is_none(),
+            "back-to-back compaction has nothing to reclaim"
+        );
+        ref_stats.extend((K..TOTAL).map(|_| ref_engine.run_round(&mut rng)));
+        assert!(
+            ref_engine.audit_failures().is_empty(),
+            "compacted run must audit clean on {kind:?}"
+        );
+
+        let (mut engine, mut rng) = chaos_engine(SEED, kind);
+        let mut stats: Vec<RoundStats> = (0..K).map(|_| engine.run_round(&mut rng)).collect();
+        engine.compact();
+        let bytes = engine.checkpoint(&rng).to_bytes();
+        drop(engine);
+        let snapshot = RunSnapshot::from_bytes(&bytes).expect("envelope round-trip");
+        assert_eq!(snapshot.compaction_epoch(), 1, "epoch rides the snapshot");
+        let (mut resumed, mut rng) =
+            PerigeeEngine::<GeoLatencyModel>::resume(snapshot).expect("resume");
+        resumed.set_audit_every(1);
+        assert_eq!(resumed.compaction_epoch(), 1);
+        stats.extend((K..TOTAL).map(|_| resumed.run_round(&mut rng)));
+
+        assert_eq!(stats, ref_stats, "stats diverged across resume on {kind:?}");
+        assert_eq!(resumed.topology(), ref_engine.topology());
+        assert_eq!(resumed.population(), ref_engine.population());
+        assert_eq!(resumed.evaluate(0.9), ref_engine.evaluate(0.9));
+        assert!(resumed.audit_failures().is_empty());
+        resumed.assert_view_consistency();
+    }
+}

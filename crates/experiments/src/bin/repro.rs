@@ -17,6 +17,7 @@
 //!   adversary     free-rider, eclipse and churn robustness
 //!   deployment    incremental-deployment advantage
 //!   resume        checkpoint/kill/resume workflow + invariant auditor
+//!   scale         sketch-backed scale sweep + dense-vs-sketch ablation
 //!   all           everything above
 //! ```
 //!
@@ -31,7 +32,7 @@ use std::time::Instant;
 
 use perigee_experiments::{
     ablation, adversary, bandwidth, convergence, deployment, discovery, dynamics, faults, fig3,
-    fig4, fig5, resume, theory,
+    fig4, fig5, resume, scale, theory,
 };
 use perigee_experiments::{Algorithm, MinerCliqueSpec, RelaySpec, Scenario};
 use perigee_metrics::Table;
@@ -115,7 +116,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|faults|resume|all> \
+    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|faults|resume|scale|all> \
      [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR] \
      [--checkpoint-every K] [--from FILE] [--audit-every K] [--audit-strict]"
         .to_string()
@@ -467,6 +468,39 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                 println!("resumed run is bit-identical to the uninterrupted run; auditor green");
             }
         }
+        "scale" => {
+            // `scale` defaults its artifacts to artifacts/scale/ so the
+            // sweep always leaves a paper trail.
+            let out = out
+                .clone()
+                .or_else(|| Some(PathBuf::from("artifacts/scale")));
+            banner("Scale sweep: sketch-backed rounds, one shard per thread");
+            let sizes: Vec<usize> = [1, 2, 5, 10].iter().map(|&k| scenario.nodes * k).collect();
+            let r = scale::run(scenario, &sizes, 0);
+            emit(&r.table(), &out, "scale.csv");
+            for p in &r.points {
+                println!(
+                    "{} nodes: {:.3} s/round on {} shard(s), sketch store {:.1}x smaller than dense",
+                    p.nodes,
+                    p.seconds_per_round,
+                    p.shards,
+                    p.dense_over_sketch()
+                );
+            }
+            banner("Dense vs sketch ablation (same world, same seed)");
+            let c = scale::run_backend_comparison(scenario, scenario.seeds[0]);
+            emit(&c.table(), &out, "scale_backends.csv");
+            if !c.conclusions_agree() {
+                return Err(format!(
+                    "backend ablation diverged: dense {:+.3} vs sketch {:+.3}",
+                    c.dense.improvement(),
+                    c.sketch.improvement()
+                ));
+            }
+            println!(
+                "both backends improve on the random start; conclusion is backend-independent"
+            );
+        }
         "all" => {
             for c in [
                 "fig1",
@@ -486,6 +520,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                 "dynamics",
                 "faults",
                 "resume",
+                "scale",
             ] {
                 run_command(c, args)?;
             }

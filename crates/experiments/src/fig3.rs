@@ -190,4 +190,33 @@ mod tests {
         let csv = curves_csv(&result);
         assert_eq!(csv.len(), 120);
     }
+
+    /// The paper's fig-3 conclusions survive swapping the dense
+    /// observation matrix for 48-byte per-edge sketches: the ideal
+    /// full mesh still lower-bounds every algorithm, and Perigee-Subset
+    /// still beats the static random topology.
+    #[test]
+    fn fig3_conclusions_hold_with_sketch_observations() {
+        let scenario = Scenario {
+            nodes: 120,
+            rounds: 6,
+            blocks_per_round: 20,
+            seeds: vec![5],
+            ..Scenario::paper()
+        }
+        .with_sketch_observations();
+        let result = run(&scenario);
+        let ideal = result.get(Algorithm::Ideal).mean90.median();
+        for r in &result.results {
+            assert!(
+                r.mean90.median() >= ideal - 1e-9,
+                "{} beat the ideal bound under sketches",
+                r.algorithm
+            );
+        }
+        assert!(
+            result.improvement(Algorithm::PerigeeSubset, Algorithm::Random) > 0.0,
+            "subset must beat random under sketches"
+        );
+    }
 }

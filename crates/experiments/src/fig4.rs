@@ -233,4 +233,20 @@ mod tests {
         assert!(r.perigee.median() <= r.random.median() * 1.05);
         assert_eq!(r.table().len(), 3);
     }
+
+    /// Fig. 4(b)'s conclusion — Perigee closes most of the
+    /// random-to-ideal gap in the fast-clique world — survives the
+    /// sketch observation backend.
+    #[test]
+    fn fig4b_conclusion_holds_with_sketch_observations() {
+        let mut scenario = tiny().with_sketch_observations();
+        scenario.rounds = 10;
+        let r = run_fig4b(&scenario, MinerCliqueSpec::default());
+        assert!(r.ideal.median() <= r.perigee.median() + 1e-9);
+        assert!(
+            r.gap_closed() > 0.2,
+            "sketch-backed perigee should still close the gap, got {:.2}",
+            r.gap_closed()
+        );
+    }
 }

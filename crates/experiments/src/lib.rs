@@ -38,6 +38,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod resume;
 pub mod runner;
+pub mod scale;
 pub mod scenario;
 pub mod theory;
 

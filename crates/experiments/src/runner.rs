@@ -5,7 +5,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
-use perigee_core::{evaluate_topology_multi, PerigeeConfig, PerigeeEngine, ScoringMethod};
+use perigee_core::{
+    evaluate_topology_multi, ObservationBackend, PerigeeConfig, PerigeeEngine, ScoringMethod,
+};
 use perigee_metrics::DelayCurve;
 use perigee_netsim::{
     ConnectionLimits, GeoLatencyModel, OverrideLatencyModel, Population, PopulationBuilder,
@@ -214,6 +216,9 @@ pub fn run_algorithm(algorithm: Algorithm, scenario: &Scenario, seed: u64) -> Ru
                 ScoringMethod::Ucb => 1,
                 _ => scenario.blocks_per_round,
             };
+            if scenario.sketch_observations {
+                config.observation_backend = ObservationBackend::Sketch;
+            }
             let rounds = match method {
                 // UCB sees one block per round: equalize the block budget.
                 ScoringMethod::Ucb => scenario.rounds * scenario.blocks_per_round,

@@ -81,6 +81,12 @@ pub struct Scenario {
     pub relay: Option<RelaySpec>,
     /// Coverage fraction for the headline metric λv (paper: 0.9).
     pub coverage: f64,
+    /// Record observations into 48-byte per-edge P² sketches instead of
+    /// the dense per-round matrix. Scoring decisions then read sketch
+    /// estimates; the paper's conclusions must survive the swap (the
+    /// fig3/fig4 toy-size tests check they do), and memory per round
+    /// becomes independent of blocks-per-round.
+    pub sketch_observations: bool,
 }
 
 impl Scenario {
@@ -97,6 +103,7 @@ impl Scenario {
             miner_clique: None,
             relay: None,
             coverage: 0.9,
+            sketch_observations: false,
         }
     }
 
@@ -127,6 +134,12 @@ impl Scenario {
     /// Switches to homogeneous (constant) per-node validation delays.
     pub fn with_homogeneous_validation(mut self) -> Self {
         self.heterogeneous_validation = false;
+        self
+    }
+
+    /// Switches the observation store to the sketch backend.
+    pub fn with_sketch_observations(mut self) -> Self {
+        self.sketch_observations = true;
         self
     }
 

@@ -3,7 +3,10 @@
 //! Measurement utilities shared by the Perigee reproduction: the single
 //! percentile definition used everywhere ([`percentile()`]), its
 //! constant-space streaming counterpart ([`P2Quantile`], the P² algorithm
-//! used for per-round λ-curve tracking in dynamic-world runs), the paper's
+//! used for per-round λ-curve tracking in dynamic-world runs), the
+//! 48-byte per-edge variant powering sketch-backed observation stores
+//! ([`EdgeSketch`] + [`SketchParams`], with [`MultiQuantile`] bundling
+//! several percentiles for lexicographic score tuples), the paper's
 //! sorted per-node delay curves ([`DelayCurve`], Figs. 3–4), fixed-bin
 //! histograms ([`Histogram`], Fig. 5), summary statistics ([`Summary`]) and
 //! text/CSV tables ([`Table`]) for the harness output.
@@ -16,6 +19,7 @@ pub mod curve;
 pub mod histogram;
 pub mod p2;
 pub mod percentile;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 
@@ -23,5 +27,6 @@ pub use curve::DelayCurve;
 pub use histogram::Histogram;
 pub use p2::P2Quantile;
 pub use percentile::{percentile, percentile_mut, percentile_or_inf, percentile_or_inf_mut};
+pub use sketch::{EdgeSketch, MultiQuantile, SketchParams};
 pub use stats::{mean, median, std_dev, Summary};
 pub use table::Table;

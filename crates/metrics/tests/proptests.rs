@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 
-use perigee_metrics::{mean, percentile, std_dev, DelayCurve, Histogram, Summary};
+use perigee_metrics::{
+    mean, percentile, percentile_or_inf, std_dev, DelayCurve, EdgeSketch, Histogram, MultiQuantile,
+    SketchParams, Summary,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -103,6 +106,158 @@ proptest! {
         let ba = cb.improvement_over(&ca);
         if ab > 1e-9 {
             prop_assert!(ba < 1e-9);
+        }
+    }
+}
+
+/// A tie-prone, adversarial observation value: a small pool of exactly
+/// repeated values (forcing heavy ties), subnormals, zero, negatives and
+/// a continuous range — the streams a per-edge sketch actually sees are
+/// full of repeated latencies, and subnormal deltas appear after the
+/// per-row min subtraction.
+fn adversarial_finite() -> impl Strategy<Value = f32> {
+    (0u8..12, -1.0e3f32..1.0e3f32).prop_map(|(sel, r)| match sel {
+        0..=2 => 1.0,
+        3..=4 => 0.0,
+        5 => -1.0,
+        6 => 1.0e-40,                 // subnormal
+        7 => f32::MIN_POSITIVE / 4.0, // subnormal
+        8 => f32::MAX / 2.0,
+        _ => r,
+    })
+}
+
+/// A stream element: finite four times out of five, `+∞` (the "never
+/// delivered" convention) otherwise.
+fn adversarial_sample() -> impl Strategy<Value = f32> {
+    (0u8..5, adversarial_finite()).prop_map(|(sel, x)| if sel == 0 { f32::INFINITY } else { x })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// While at most five finite samples have arrived the sketch is
+    /// *exact*: its estimate equals the dense percentile of the same
+    /// stream (in the stream's own `f32` representation), infinities
+    /// included, in any arrival order.
+    #[test]
+    fn sketch_is_exact_through_five_finite_samples(
+        finites in proptest::collection::vec(adversarial_finite(), 0..6),
+        infs in 0usize..6,
+        p in 0.0f64..=100.0,
+    ) {
+        // Interleave ∞s among the finite seeds — arrival order must not
+        // matter while the sketch is still in its exact regime.
+        let mut stream = Vec::new();
+        for (i, &x) in finites.iter().enumerate() {
+            stream.push(x);
+            if i < infs {
+                stream.push(f32::INFINITY);
+            }
+        }
+        for _ in finites.len().min(infs)..infs {
+            stream.push(f32::INFINITY);
+        }
+        let params = SketchParams::new(p);
+        let mut s = EdgeSketch::new();
+        for &x in &stream {
+            s.observe(x, &params);
+        }
+        // The exact-regime contract: `+∞` when the requested rank lands
+        // in the infinite tail, the exact percentile of the *finite*
+        // sub-stream otherwise; with no ∞s at all this is the dense
+        // percentile of the whole stream.
+        let finite_f64: Vec<f64> = finites.iter().map(|&x| f64::from(x)).collect();
+        let total = stream.len();
+        let expected = if total == 0 {
+            None
+        } else {
+            let rank = p / 100.0 * (total - 1) as f64;
+            if infs > 0 && rank > finite_f64.len() as f64 - 1.0 {
+                Some(f64::INFINITY)
+            } else {
+                percentile(&finite_f64, p)
+            }
+        };
+        prop_assert_eq!(s.estimate(&params), expected);
+        if infs == 0 {
+            let dense: Vec<f64> = stream.iter().map(|&x| f64::from(x)).collect();
+            prop_assert_eq!(s.estimate(&params), percentile(&dense, p));
+        }
+    }
+
+    /// On arbitrary longer streams the sketch stays inside the finite
+    /// envelope and lands in the infinite tail exactly when the dense
+    /// percentile does — ties, subnormals and ∞ runs included.
+    #[test]
+    fn sketch_bounds_and_infinite_tail_agree_with_dense(
+        stream in proptest::collection::vec(adversarial_sample(), 1..200),
+        p in 0.0f64..=100.0,
+    ) {
+        let params = SketchParams::new(p);
+        let mut s = EdgeSketch::new();
+        for &x in &stream {
+            s.observe(x, &params);
+        }
+        let dense_vals: Vec<f64> = stream.iter().map(|&x| f64::from(x)).collect();
+        let dense = percentile_or_inf(&dense_vals, p);
+        let est = s.estimate_or_inf(&params);
+        prop_assert!(!est.is_nan());
+        prop_assert_eq!(
+            est.is_infinite(), dense.is_infinite(),
+            "sketch {} vs dense {}", est, dense
+        );
+        if est.is_finite() {
+            let lo = stream.iter().copied().filter(|x| x.is_finite())
+                .fold(f32::INFINITY, f32::min) as f64;
+            let hi = stream.iter().copied().filter(|x| x.is_finite())
+                .fold(f32::NEG_INFINITY, f32::max) as f64;
+            prop_assert!(est >= lo && est <= hi, "{est} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Replaying the same stream yields a bit-identical sketch and a
+    /// bit-identical estimate — the determinism the sharded store's
+    /// merge step relies on.
+    #[test]
+    fn sketch_is_deterministic_under_replay(
+        stream in proptest::collection::vec(adversarial_sample(), 0..120),
+        p in 0.0f64..=100.0,
+    ) {
+        let params = SketchParams::new(p);
+        let (mut a, mut b) = (EdgeSketch::new(), EdgeSketch::new());
+        for &x in &stream {
+            a.observe(x, &params);
+        }
+        for &x in &stream {
+            b.observe(x, &params);
+        }
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(
+            a.estimate_or_inf(&params).to_bits(),
+            b.estimate_or_inf(&params).to_bits()
+        );
+    }
+
+    /// Each tracker of a [`MultiQuantile`] tuple lands in the infinite
+    /// tail exactly when the dense percentile at its rank does.
+    #[test]
+    fn multi_quantile_infinite_tails_agree_with_dense(
+        stream in proptest::collection::vec(adversarial_sample(), 1..150),
+    ) {
+        let mut m = MultiQuantile::kaspa_tuple();
+        let dense_vals: Vec<f64> = stream.iter().map(|&x| f64::from(x)).collect();
+        for &v in &dense_vals {
+            m.observe(v);
+        }
+        let estimates = m.estimates_or_inf();
+        for (p, est) in m.percentiles().into_iter().zip(estimates) {
+            let dense = percentile_or_inf(&dense_vals, p);
+            prop_assert!(!est.is_nan());
+            prop_assert_eq!(
+                est.is_infinite(), dense.is_infinite(),
+                "p{}: sketch {} vs dense {}", p, est, dense
+            );
         }
     }
 }

@@ -440,6 +440,67 @@ impl ChurnProcess {
         self.expiries.len()
     }
 
+    /// Applies a free-list compaction plan (see
+    /// [`Population::compaction_plan`](crate::Population::compaction_plan)):
+    /// scheduled session expiries are renumbered to the survivors' new
+    /// ids (an expiry for a dead id — a node torn down by a trace before
+    /// its session ran out — is dropped), and, in replay mode, so are the
+    /// un-consumed trace events. A future `Leave`/`Reset` naming a node
+    /// that is already dead is dropped with its target; consumed events
+    /// are dropped too (they are never read again), with the cursor
+    /// adjusted so the replay continues from the same point.
+    ///
+    /// The RNG position, round counter and arrival stream are untouched —
+    /// compaction renumbers ids, it does not alter the lifetime process.
+    pub fn compact(&mut self, plan: &crate::population::IdRemap) {
+        let expiries = std::mem::take(&mut self.expiries);
+        self.expiries = expiries
+            .into_iter()
+            .filter_map(|Reverse((due, id))| {
+                let new = plan.new_id(NodeId::new(id))?;
+                Some(Reverse((due, new.as_u32())))
+            })
+            .collect();
+        if let Mode::Replay { events, cursor } = &mut self.mode {
+            let mut kept = Vec::with_capacity(events.len());
+            let mut new_cursor = 0usize;
+            for (i, e) in events.iter().enumerate() {
+                let remapped = match e.kind {
+                    LifetimeEventKind::Join => Some(e.kind),
+                    LifetimeEventKind::Leave(v) => {
+                        if i < *cursor {
+                            None // consumed: never read again
+                        } else {
+                            plan.new_id(v).map(LifetimeEventKind::Leave)
+                        }
+                    }
+                    LifetimeEventKind::Reset(v) => {
+                        if i < *cursor {
+                            None
+                        } else {
+                            plan.new_id(v).map(LifetimeEventKind::Reset)
+                        }
+                    }
+                };
+                match remapped {
+                    Some(kind) => {
+                        kept.push(LifetimeEvent {
+                            round: e.round,
+                            kind,
+                        });
+                        if i < *cursor {
+                            new_cursor += 1;
+                        }
+                    }
+                    None if i < *cursor => {} // dropped consumed event
+                    None => {}                // dropped stale future event
+                }
+            }
+            *events = kept;
+            *cursor = new_cursor;
+        }
+    }
+
     /// Schedules `id` to depart `⌈len⌉` (≥ 1) rounds after the next plan;
     /// non-finite lengths never depart.
     fn schedule_expiry(&mut self, id: NodeId, len: f64) {
@@ -831,5 +892,76 @@ mod tests {
         assert!(p.begin_round().is_empty(), "round 2 is quiet");
         assert_eq!(p.begin_round().arrivals, 1);
         assert_eq!(p.rounds_elapsed(), 4);
+    }
+
+    #[test]
+    fn compact_remaps_replay_events_and_expiries() {
+        use crate::population::IdRemap;
+        // A 6-node world where 1 and 4 die before the compaction.
+        let mut pop = crate::population::PopulationBuilder::new(6)
+            .build(&mut StdRng::seed_from_u64(2))
+            .unwrap();
+        pop.retire(NodeId::new(1));
+        pop.retire(NodeId::new(4));
+        let plan: IdRemap = pop.compaction_plan().unwrap();
+
+        let events = vec![
+            // Already consumed by round 0 (below): dropped on compact.
+            LifetimeEvent {
+                round: 0,
+                kind: LifetimeEventKind::Leave(NodeId::new(1)),
+            },
+            // Future events: 5 → 3, the dead-id Reset(4) is dropped.
+            LifetimeEvent {
+                round: 2,
+                kind: LifetimeEventKind::Leave(NodeId::new(5)),
+            },
+            LifetimeEvent {
+                round: 2,
+                kind: LifetimeEventKind::Reset(NodeId::new(4)),
+            },
+            LifetimeEvent {
+                round: 3,
+                kind: LifetimeEventKind::Join,
+            },
+        ];
+        let mut p = ChurnProcess::replay(events, 1);
+        assert_eq!(p.begin_round().departures, vec![NodeId::new(1)]);
+
+        p.compact(&plan);
+        assert!(p.begin_round().is_empty(), "round 1 is quiet");
+        let r2 = p.begin_round();
+        assert_eq!(r2.departures, vec![NodeId::new(3)], "5 renumbered to 3");
+        assert!(r2.resets.is_empty(), "dead-id reset dropped");
+        assert_eq!(p.begin_round().arrivals, 1, "joins always survive");
+    }
+
+    #[test]
+    fn compact_remaps_poisson_session_expiries() {
+        let mut pop = crate::population::PopulationBuilder::new(6)
+            .build(&mut StdRng::seed_from_u64(2))
+            .unwrap();
+        let mut p = ChurnProcess::poisson(0.0, SessionDist::Constant(5.0), 3);
+        p.attach(&pop);
+        assert_eq!(p.pending_departures(), 6);
+        pop.retire(NodeId::new(0));
+        pop.retire(NodeId::new(3));
+        let plan = pop.compaction_plan().unwrap();
+        p.compact(&plan);
+        assert_eq!(p.pending_departures(), 4, "dead expiries dropped");
+        for _ in 0..5 {
+            assert!(p.begin_round().departures.is_empty());
+        }
+        // All four survivors' sessions expire together at round 5, under
+        // their new ids.
+        assert_eq!(
+            p.begin_round().departures,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
+        );
     }
 }

@@ -186,6 +186,44 @@ impl Topology {
         self.pinned.resize_with(n, BTreeSet::new);
     }
 
+    /// Applies a free-list compaction plan (see
+    /// [`Population::compaction_plan`](crate::Population::compaction_plan)):
+    /// dead slots' (empty) rows are deleted and every stored id is
+    /// renumbered through the plan. The remap is monotone on live ids, so
+    /// the `BTreeSet` orderings — and therefore
+    /// [`Topology::neighbors`]' iteration order — are preserved
+    /// survivor-for-survivor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different node count, if a dead slot
+    /// still holds edges (its teardown leaked), or if a surviving row
+    /// references a dead id.
+    pub fn compact(&mut self, plan: &crate::population::IdRemap) {
+        assert_eq!(
+            plan.old_len(),
+            self.len(),
+            "compaction plan covers a different world size"
+        );
+        let remap_rows = |rows: &mut Vec<BTreeSet<NodeId>>, kind: &str| {
+            let mut new_rows = Vec::with_capacity(plan.new_len());
+            for (i, row) in rows.iter().enumerate() {
+                if plan.new_id(NodeId::new(i as u32)).is_none() {
+                    assert!(
+                        row.is_empty(),
+                        "compaction: dead node {i} still holds {kind} edges"
+                    );
+                    continue;
+                }
+                new_rows.push(row.iter().map(|&u| plan.remap(u)).collect());
+            }
+            *rows = new_rows;
+        };
+        remap_rows(&mut self.out, "outgoing");
+        remap_rows(&mut self.incoming, "incoming");
+        remap_rows(&mut self.pinned, "pinned");
+    }
+
     /// Tears down **every** connection of `v` — outgoing, incoming and
     /// pinned — returning its former communication neighbors (ascending,
     /// deduplicated). The *departure* path of the
@@ -625,5 +663,35 @@ mod tests {
     #[test]
     fn empty_topology_is_connected() {
         assert!(Topology::new(0, ConnectionLimits::unlimited()).is_connected());
+    }
+
+    #[test]
+    fn compact_renumbers_edges_and_keeps_pins() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut pop = crate::population::PopulationBuilder::new(6)
+            .build(&mut rng)
+            .unwrap();
+        let mut t = Topology::new(6, ConnectionLimits::unlimited());
+        t.connect(NodeId::new(0), NodeId::new(2)).unwrap();
+        t.connect(NodeId::new(2), NodeId::new(5)).unwrap();
+        t.connect(NodeId::new(3), NodeId::new(5)).unwrap();
+        t.pin(NodeId::new(3), NodeId::new(0)).unwrap();
+        // Tear down 1 and 4 exactly as the engine does before retiring.
+        for dead in [1u32, 4] {
+            t.clear_node(NodeId::new(dead));
+            pop.retire(NodeId::new(dead));
+        }
+        let plan = pop.compaction_plan().unwrap();
+        t.compact(&plan);
+        assert_eq!(t.len(), 4);
+        // Old ids 0,2,3,5 became 0,1,2,3; adjacency follows.
+        assert_eq!(t.neighbors(NodeId::new(0)), ids(&[1, 2]));
+        assert_eq!(t.neighbors(NodeId::new(1)), ids(&[0, 3]));
+        assert_eq!(t.neighbors(NodeId::new(2)), ids(&[0, 3]));
+        // The 3—0 pin became 2—0: it survives a protocol-edge reset.
+        t.clear_connections(NodeId::new(2));
+        assert_eq!(t.neighbors(NodeId::new(2)), ids(&[0]), "pin survives");
+        t.assert_invariants();
     }
 }

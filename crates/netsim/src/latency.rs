@@ -60,6 +60,25 @@ pub trait LatencyModel: Send + Sync {
         let _ = population;
         panic!("this latency model does not support population growth");
     }
+
+    /// Applies a free-list compaction plan (see
+    /// [`Population::compaction_plan`](crate::Population::compaction_plan)):
+    /// dead nodes' attributes are deleted and the survivors shift down to
+    /// their new ids. The contract mirrors [`LatencyModel::extend_for`]'s
+    /// bit-exactness the other way: for every surviving pair,
+    /// `delay(new_u, new_v)` after compaction must equal
+    /// `delay(old_u, old_v)` before it, bit for bit — the carried CSR
+    /// view copies its cached delay floats through compaction and the
+    /// engine asserts the compacted view equals a fresh build.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: models that cannot renumber
+    /// reject compaction loudly rather than silently shifting delays.
+    fn compact(&mut self, plan: &crate::population::IdRemap) {
+        let _ = plan;
+        panic!("this latency model does not support free-list compaction");
+    }
 }
 
 impl<T: LatencyModel + ?Sized> LatencyModel for &T {
@@ -80,6 +99,9 @@ impl<T: LatencyModel + ?Sized> LatencyModel for Box<T> {
     }
     fn extend_for(&mut self, population: &Population) {
         (**self).extend_for(population);
+    }
+    fn compact(&mut self, plan: &crate::population::IdRemap) {
+        (**self).compact(plan);
     }
 }
 
@@ -134,6 +156,18 @@ pub struct GeoLatencyModel {
     regions: Vec<Region>,
     pos: Vec<(f64, f64)>,
     access_ms: Vec<f64>,
+    /// Per-node *placement key*: the hash input positions, access delays
+    /// and per-pair jitter are derived from. Keys are assigned from a
+    /// monotone counter at birth and survive free-list compaction
+    /// unchanged, so every surviving pair's delay is bit-identical across
+    /// a renumbering — current indices address the vectors, keys feed the
+    /// hashes. For a never-compacted model `key[i] == i`, which makes the
+    /// keyed hashes coincide with the historical index-hashed values.
+    key: Vec<u64>,
+    /// The next placement key [`GeoLatencyModel::extend_for`] assigns.
+    /// Strictly greater than every key ever issued — compaction deletes
+    /// key entries but never lowers this, so placements are never reused.
+    next_key: u64,
     jitter_frac: f64,
     seed: u64,
 }
@@ -157,7 +191,7 @@ impl GeoLatencyModel {
         let mut access_ms = Vec::with_capacity(n);
         let regions: Vec<Region> = population.iter().map(|p| p.region).collect();
         for (i, &region) in regions.iter().enumerate() {
-            let (p, a) = place_node(seed, i, region);
+            let (p, a) = place_node(seed, i as u64, region);
             pos.push(p);
             access_ms.push(a);
         }
@@ -165,6 +199,8 @@ impl GeoLatencyModel {
             regions,
             pos,
             access_ms,
+            key: (0..n as u64).collect(),
+            next_key: n as u64,
             jitter_frac,
             seed,
         }
@@ -201,7 +237,10 @@ impl LatencyModel for GeoLatencyModel {
         let (ax, ay) = self.pos[a];
         let (bx, by) = self.pos[b];
         let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
-        let x = unit_hash(self.seed, a as u64, b as u64) * 2.0 - 1.0;
+        // Jitter hashes the placement *keys*, not the current indices, so
+        // a pair's delay survives free-list compaction bit for bit (keys
+        // are monotone in index, so min/max by index is min/max by key).
+        let x = unit_hash(self.seed, self.key[a], self.key[b]) * 2.0 - 1.0;
         let propagation = dist * (1.0 + self.jitter_frac * x);
         SimTime::from_ms(self.access_ms[a] + self.access_ms[b] + propagation)
     }
@@ -211,9 +250,11 @@ impl LatencyModel for GeoLatencyModel {
     }
 
     /// Places the new nodes in latency space. Positions, access delays
-    /// and per-pair jitter are pure functions of `(seed, id)`, so the
-    /// grown model is bit-identical to `GeoLatencyModel::new` over the
-    /// grown population and every pre-existing pair keeps its exact delay.
+    /// and per-pair jitter are pure functions of `(seed, placement key)`
+    /// — and keys are issued from a monotone counter, so the grown model
+    /// is bit-identical to `GeoLatencyModel::new` over the grown
+    /// population (while no compaction has run, keys coincide with ids)
+    /// and every pre-existing pair keeps its exact delay either way.
     fn extend_for(&mut self, population: &Population) {
         assert!(
             population.len() >= self.regions.len(),
@@ -221,26 +262,55 @@ impl LatencyModel for GeoLatencyModel {
         );
         for i in self.regions.len()..population.len() {
             let region = population.profile(NodeId::new(i as u32)).region;
-            let (p, a) = place_node(self.seed, i, region);
+            let k = self.next_key;
+            self.next_key += 1;
+            let (p, a) = place_node(self.seed, k, region);
             self.regions.push(region);
             self.pos.push(p);
             self.access_ms.push(a);
+            self.key.push(k);
         }
+    }
+
+    /// Deletes dead nodes' placements; survivors keep their keys (and
+    /// therefore their positions, access delays and pairwise jitter) under
+    /// their new, shifted-down indices — every surviving pair's delay is
+    /// bit-identical across the renumbering.
+    fn compact(&mut self, plan: &crate::population::IdRemap) {
+        assert_eq!(
+            plan.old_len(),
+            self.regions.len(),
+            "compaction plan covers a different world size"
+        );
+        let live = |i: &mut usize| {
+            let keep = plan.new_id(NodeId::new(*i as u32)).is_some();
+            *i += 1;
+            keep
+        };
+        let mut i = 0;
+        self.regions.retain(|_| live(&mut i));
+        let mut i = 0;
+        self.pos.retain(|_| live(&mut i));
+        let mut i = 0;
+        self.access_ms.retain(|_| live(&mut i));
+        let mut i = 0;
+        self.key.retain(|_| live(&mut i));
     }
 }
 
 /// The per-node placement shared by [`GeoLatencyModel::with_jitter`] and
 /// [`GeoLatencyModel::extend_for`]: a uniform position in the disc around
 /// the region center plus a last-mile access delay, both deterministic
-/// functions of `(seed, id)`.
-fn place_node(seed: u64, i: usize, region: Region) -> ((f64, f64), f64) {
+/// functions of `(seed, placement key)` — the key is the node's id at
+/// birth, stable across free-list compactions.
+fn place_node(seed: u64, key: u64, region: Region) -> ((f64, f64), f64) {
     let (cx, cy) = REGION_CENTERS_MS[region.index()];
     let radius = REGION_RADIUS_MS[region.index()];
-    let h1 = unit_hash(seed, i as u64, 0x5EED_0001);
-    let h2 = unit_hash(seed, i as u64, 0x5EED_0002);
+    let h1 = unit_hash(seed, key, 0x5EED_0001);
+    let h2 = unit_hash(seed, key, 0x5EED_0002);
     let r = radius * h1.sqrt();
     let theta = 2.0 * std::f64::consts::PI * h2;
-    let h3 = unit_hash(seed, i as u64, 0x5EED_0003);
+    let h3 = unit_hash(seed, key, 0x5EED_0003);
     let (lo, hi) = ACCESS_DELAY_RANGE_MS;
     (
         (cx + r * theta.cos(), cy + r * theta.sin()),
@@ -319,6 +389,22 @@ impl LatencyModel for MetricLatencyModel {
             self.coords.push(coords);
         }
     }
+
+    /// Deletes dead nodes' coordinates; delays are a pure function of the
+    /// per-node coordinates, so surviving pairs are bit-identical.
+    fn compact(&mut self, plan: &crate::population::IdRemap) {
+        assert_eq!(
+            plan.old_len(),
+            self.coords.len(),
+            "compaction plan covers a different world size"
+        );
+        let mut i = 0;
+        self.coords.retain(|_| {
+            let keep = plan.new_id(NodeId::new(i as u32)).is_some();
+            i += 1;
+            keep
+        });
+    }
 }
 
 /// Wraps a base model and overrides specific pairs (fast miner–miner links
@@ -385,6 +471,21 @@ impl<M: LatencyModel> LatencyModel for OverrideLatencyModel<M> {
     fn extend_for(&mut self, population: &Population) {
         self.base.extend_for(population);
     }
+
+    /// Compacts the base model and renumbers the override pairs; an
+    /// override with a dead endpoint is dropped (the link is gone with
+    /// the node).
+    fn compact(&mut self, plan: &crate::population::IdRemap) {
+        self.base.compact(plan);
+        self.overrides = std::mem::take(&mut self.overrides)
+            .into_iter()
+            .filter_map(|((u, v), d)| {
+                let u = plan.new_id(u)?;
+                let v = plan.new_id(v)?;
+                Some((ordered(u, v), d))
+            })
+            .collect();
+    }
 }
 
 fn ordered(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
@@ -422,6 +523,8 @@ mod codec {
             self.regions.encode(out);
             self.pos.encode(out);
             self.access_ms.encode(out);
+            self.key.encode(out);
+            self.next_key.encode(out);
             self.jitter_frac.encode(out);
             self.seed.encode(out);
         }
@@ -433,13 +536,22 @@ mod codec {
                 regions: Vec::decode(r)?,
                 pos: Vec::decode(r)?,
                 access_ms: Vec::decode(r)?,
+                key: Vec::decode(r)?,
+                next_key: u64::decode(r)?,
                 jitter_frac: f64::decode(r)?,
                 seed: u64::decode(r)?,
             };
             if model.pos.len() != model.regions.len()
                 || model.access_ms.len() != model.regions.len()
+                || model.key.len() != model.regions.len()
             {
                 return Err(DecodeError::new("geo model per-node lengths disagree"));
+            }
+            if model.key.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(DecodeError::new("geo model keys are not increasing"));
+            }
+            if model.key.last().is_some_and(|&k| k >= model.next_key) {
+                return Err(DecodeError::new("geo model next_key is not fresh"));
             }
             Ok(model)
         }
@@ -465,6 +577,7 @@ mod codec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::NodeProfile;
     use crate::population::PopulationBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -666,6 +779,96 @@ mod tests {
         assert_eq!(
             lat.delay(NodeId::new(4), NodeId::new(17)),
             fresh.delay(NodeId::new(4), NodeId::new(17))
+        );
+    }
+
+    /// Builds the compaction plan for `pop` after retiring `dead`, and
+    /// asserts every surviving pair's delay is bit-identical across it.
+    fn assert_compact_preserves_delays<M: LatencyModel + Clone>(
+        pop: &mut Population,
+        lat: &mut M,
+        dead: &[u32],
+    ) -> crate::population::IdRemap {
+        for &d in dead {
+            assert!(pop.retire(NodeId::new(d)));
+        }
+        let before = lat.clone();
+        let plan = pop.compaction_plan().expect("dead slots to reclaim");
+        lat.compact(&plan);
+        pop.compact(&plan);
+        assert_eq!(lat.len(), pop.len());
+        for (old_u, new_u) in plan.iter_live() {
+            for (old_v, new_v) in plan.iter_live() {
+                if old_u == old_v {
+                    continue;
+                }
+                assert_eq!(
+                    lat.delay(new_u, new_v),
+                    before.delay(old_u, old_v),
+                    "{old_u}->{new_u} vs {old_v}->{new_v}"
+                );
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn geo_compact_preserves_surviving_pair_delays_bit_for_bit() {
+        let mut p = pop(40);
+        let mut lat = GeoLatencyModel::with_jitter(&p, 0.2, 7);
+        assert_compact_preserves_delays(&mut p, &mut lat, &[0, 7, 13, 39]);
+    }
+
+    #[test]
+    fn geo_compact_never_reuses_placement_keys() {
+        // Retire the *last* node, compact, then grow again: the new node
+        // must get a fresh placement, not the retired node's key.
+        let mut p = pop(10);
+        let mut lat = GeoLatencyModel::new(&p, 7);
+        let retired_delay = lat.delay(NodeId::new(0), NodeId::new(9));
+        assert!(p.retire(NodeId::new(9)));
+        let plan = p.compaction_plan().unwrap();
+        lat.compact(&plan);
+        p.compact(&plan);
+        let spawned = p.spawn(NodeProfile {
+            region: Region::Europe,
+            ..NodeProfile::default()
+        });
+        assert_eq!(spawned, NodeId::new(9), "renumbered world reuses index 9");
+        lat.extend_for(&p);
+        assert_ne!(
+            lat.delay(NodeId::new(0), spawned),
+            retired_delay,
+            "index reuse must not mean placement reuse"
+        );
+        // And survivors still match the pre-retirement world exactly.
+        let fresh = GeoLatencyModel::new(&pop(10), 7);
+        for i in 0..9u32 {
+            for j in (i + 1)..9u32 {
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
+                assert_eq!(lat.delay(u, v), fresh.delay(u, v), "{u}-{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn metric_and_override_compact_preserve_delays() {
+        let mut p = PopulationBuilder::new(30)
+            .metric_dim(3)
+            .build(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let mut lat = MetricLatencyModel::new(&p, 50.0);
+        assert_compact_preserves_delays(&mut p, &mut lat, &[2, 29]);
+
+        let mut p = pop(20);
+        let mut lat = OverrideLatencyModel::new(GeoLatencyModel::new(&p, 3));
+        lat.set(NodeId::new(1), NodeId::new(5), SimTime::from_ms(2.0));
+        lat.set(NodeId::new(0), NodeId::new(4), SimTime::from_ms(9.0));
+        let plan = assert_compact_preserves_delays(&mut p, &mut lat, &[0, 10]);
+        // The override naming a dead endpoint is gone; the live one moved.
+        assert_eq!(
+            lat.delay(plan.remap(NodeId::new(1)), plan.remap(NodeId::new(5))),
+            SimTime::from_ms(2.0)
         );
     }
 

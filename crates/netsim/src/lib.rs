@@ -46,8 +46,11 @@
 //!   session lengths, deterministic [`LifetimeEvent`] trace replay — all
 //!   seeded and bit-reproducible) plans each round's [`WorldDelta`];
 //!   [`Population`] grows/shrinks through stable-id `spawn`/`retire` with
-//!   a free-list (ids are never reused within a run, dead slots are
-//!   skipped — see the `population` module docs for the contract), and
+//!   a free-list (ids are never reused *between* compactions, dead slots
+//!   are skipped; an explicit [`IdRemap`]-driven
+//!   [`Population::compact`] renumbers survivors when the free-list
+//!   grows large — see the `population` module docs for the contract),
+//!   and
 //!   [`TopologyView::apply_world_delta`] folds arrivals, departures and
 //!   the round's rewiring into the carried CSR snapshot in one linear
 //!   pass — latency-model calls only for new edges, zero full rebuilds.
@@ -153,7 +156,7 @@ pub use latency::{
 };
 pub use mining::MinerSampler;
 pub use node::{Behavior, NodeId, NodeProfile, Region};
-pub use population::{HashPowerDist, Population, PopulationBuilder, ValidationDist};
+pub use population::{HashPowerDist, IdRemap, Population, PopulationBuilder, ValidationDist};
 pub use pq::{CalendarQueue, PackedQueue, QueueKind, TimeKey};
 pub use time::SimTime;
-pub use view::{BroadcastScratch, RoundDelta, TopologyView};
+pub use view::{BroadcastScratch, RoundDelta, ShardWorkspace, TopologyView};

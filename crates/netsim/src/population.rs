@@ -18,9 +18,24 @@
 //! alias a newcomer. Dead slots are *skipped*, not reclaimed: they hold
 //! zero hash power (so miners, coverage fractions and samplers ignore
 //! them), keep no edges, and [`Population::ids_alive`] /
-//! [`Population::alive_count`] expose the live subset. Compacting the
-//! free-list back into dense storage would be a different trade
-//! (invalidating every learned id) and is deliberately not offered.
+//! [`Population::alive_count`] expose the live subset.
+//!
+//! # Free-list compaction
+//!
+//! Dead slots are cheap but not free: every flat per-node array (CSR
+//! offsets, relay profiles, score histories) keeps paying one entry per
+//! retired id, so a long churny run's arrays grow without bound even at a
+//! steady live count. [`Population::compaction_plan`] and
+//! [`Population::compact`] offer the explicit escape hatch: the plan is an
+//! [`IdRemap`] — the order-preserving renumbering that deletes dead slots
+//! and shifts survivors down — and *every* structure holding node ids must
+//! be remapped through the same plan in the same step (the engine's
+//! `compact()` orchestrates this). Compaction is deliberately **not**
+//! automatic or implicit: it renumbers the id space, which is a semantic
+//! world edit (like churn itself), never a transparent optimization — ids
+//! remain stable *between* compactions, and each compaction bumps an
+//! epoch counter carried in checkpoints so resumed runs agree on the
+//! numbering.
 //!
 //! After a batch of spawns/retires, call
 //! [`Population::renormalize_hash_power`] to restore the "alive hash
@@ -33,6 +48,76 @@ use serde::{Deserialize, Serialize};
 use crate::error::NetsimError;
 use crate::node::{Behavior, NodeId, NodeProfile, Region};
 use crate::time::SimTime;
+
+/// An order-preserving node-id renumbering: the compaction plan produced
+/// by [`Population::compaction_plan`], consumed by every structure that
+/// holds node ids.
+///
+/// `forward[old]` is the surviving node's new id, or a tombstone for dead
+/// slots. Live ids map monotonically (`old_a < old_b` ⇒ `new_a < new_b`),
+/// which is what lets CSR rows, sorted neighbor lists and sorted
+/// per-peer state be remapped in place without re-sorting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdRemap {
+    /// New id per old slot; [`IdRemap::DEAD`] marks deleted slots.
+    forward: Vec<u32>,
+    /// Number of surviving (live) slots.
+    new_len: usize,
+}
+
+impl IdRemap {
+    /// The tombstone marking a deleted (dead) slot.
+    pub const DEAD: u32 = u32::MAX;
+
+    /// Number of slots before compaction.
+    #[inline]
+    pub fn old_len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Number of slots after compaction (the live count).
+    #[inline]
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// How many dead slots the plan reclaims.
+    #[inline]
+    pub fn reclaimed(&self) -> usize {
+        self.forward.len() - self.new_len
+    }
+
+    /// The new id of `old`, or `None` if the slot is dead (or out of
+    /// range — a stale id from before an earlier compaction).
+    #[inline]
+    pub fn new_id(&self, old: NodeId) -> Option<NodeId> {
+        match self.forward.get(old.index()) {
+            Some(&new) if new != Self::DEAD => Some(NodeId::new(new)),
+            _ => None,
+        }
+    }
+
+    /// The new id of a live `old` id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is dead or out of range — remapping a structure
+    /// that still references a dead node means its retire path leaked.
+    #[inline]
+    pub fn remap(&self, old: NodeId) -> NodeId {
+        self.new_id(old)
+            .unwrap_or_else(|| panic!("compaction: {old} is dead or out of range"))
+    }
+
+    /// Iterates `(old, new)` id pairs of surviving nodes, ascending.
+    pub fn iter_live(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.forward
+            .iter()
+            .enumerate()
+            .filter(|(_, &new)| new != Self::DEAD)
+            .map(|(old, &new)| (NodeId::new(old as u32), NodeId::new(new)))
+    }
+}
 
 /// How hash power is distributed across the population (§5.1–§5.4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -197,6 +282,72 @@ impl Population {
         self.profiles[id.index()].hash_power = 0.0;
         self.retired.push(id.as_u32());
         true
+    }
+
+    /// Plans a free-list compaction: the order-preserving renumbering
+    /// that deletes every dead slot and shifts survivors down. Returns
+    /// `None` when the free-list is empty (nothing to reclaim).
+    ///
+    /// The plan is only valid against the exact population state it was
+    /// built from — apply it to *every* id-holding structure (topology,
+    /// latency model, view, score state, address books, liveness, churn)
+    /// in the same step, with [`Population::compact`] itself last or
+    /// first but never mixed with other world edits.
+    pub fn compaction_plan(&self) -> Option<IdRemap> {
+        if self.retired.is_empty() {
+            return None;
+        }
+        let mut forward = Vec::with_capacity(self.alive.len());
+        let mut next = 0u32;
+        for &a in &self.alive {
+            if a {
+                forward.push(next);
+                next += 1;
+            } else {
+                forward.push(IdRemap::DEAD);
+            }
+        }
+        Some(IdRemap {
+            forward,
+            new_len: next as usize,
+        })
+    }
+
+    /// Applies a compaction plan: dead slots are deleted, survivors keep
+    /// their relative order under their new (shifted-down) ids, and the
+    /// free-list empties. Hash powers are untouched — dead slots held
+    /// zero power, so the live distribution is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not match this population (wrong slot
+    /// count or liveness pattern), or if compaction would leave the
+    /// population empty.
+    pub fn compact(&mut self, plan: &IdRemap) {
+        assert_eq!(
+            plan.old_len(),
+            self.profiles.len(),
+            "compaction plan covers a different world size"
+        );
+        assert!(
+            plan.new_len() > 0,
+            "compaction would leave an empty population"
+        );
+        let mut kept = 0usize;
+        for (i, &a) in self.alive.iter().enumerate() {
+            assert_eq!(
+                a,
+                plan.new_id(NodeId::new(i as u32)).is_some(),
+                "compaction plan disagrees with slot {i}'s liveness"
+            );
+            kept += a as usize;
+        }
+        assert_eq!(kept, plan.new_len(), "compaction plan live count is off");
+        let mut alive = std::mem::take(&mut self.alive).into_iter();
+        self.profiles
+            .retain(|_| alive.next().expect("lengths agree"));
+        self.alive = vec![true; self.profiles.len()];
+        self.retired.clear();
     }
 
     /// The mean hash power over live nodes — the natural power to assign
@@ -802,6 +953,60 @@ mod tests {
                 NodeId::new(4)
             ]
         );
+    }
+
+    #[test]
+    fn compaction_plan_renumbers_survivors_in_order() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut pop = PopulationBuilder::new(5).build(&mut rng).unwrap();
+        assert!(pop.compaction_plan().is_none(), "nothing to reclaim");
+        pop.retire(NodeId::new(1));
+        pop.retire(NodeId::new(3));
+        let plan = pop.compaction_plan().expect("two dead slots");
+        assert_eq!(plan.old_len(), 5);
+        assert_eq!(plan.new_len(), 3);
+        assert_eq!(plan.reclaimed(), 2);
+        assert_eq!(plan.new_id(NodeId::new(0)), Some(NodeId::new(0)));
+        assert_eq!(plan.new_id(NodeId::new(1)), None);
+        assert_eq!(plan.new_id(NodeId::new(2)), Some(NodeId::new(1)));
+        assert_eq!(plan.new_id(NodeId::new(3)), None);
+        assert_eq!(plan.new_id(NodeId::new(4)), Some(NodeId::new(2)));
+        assert_eq!(plan.new_id(NodeId::new(9)), None, "out of range is dead");
+        assert_eq!(
+            plan.iter_live().collect::<Vec<_>>(),
+            vec![
+                (NodeId::new(0), NodeId::new(0)),
+                (NodeId::new(2), NodeId::new(1)),
+                (NodeId::new(4), NodeId::new(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn compact_drops_dead_slots_and_preserves_profiles() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut pop = PopulationBuilder::new(6).build(&mut rng).unwrap();
+        pop.retire(NodeId::new(0));
+        pop.retire(NodeId::new(4));
+        let survivors: Vec<NodeProfile> = [1u32, 2, 3, 5]
+            .iter()
+            .map(|&i| pop.profile(NodeId::new(i)).clone())
+            .collect();
+        let plan = pop.compaction_plan().unwrap();
+        pop.compact(&plan);
+        assert_eq!(pop.len(), 4);
+        assert_eq!(pop.alive_count(), 4);
+        assert!(pop.retired().is_empty(), "free-list drained");
+        assert!(pop.compaction_plan().is_none(), "idempotent");
+        for (i, expect) in survivors.iter().enumerate() {
+            let got = pop.profile(NodeId::new(i as u32));
+            assert_eq!(got.hash_power.to_bits(), expect.hash_power.to_bits());
+            assert_eq!(got.region, expect.region);
+            assert_eq!(got.validation_delay, expect.validation_delay);
+        }
+        // Post-compaction spawns continue from the new, shorter id space.
+        let id = pop.spawn(NodeProfile::default());
+        assert_eq!(id, NodeId::new(4));
     }
 
     #[test]
