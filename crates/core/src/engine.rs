@@ -12,9 +12,10 @@ use rayon::prelude::*;
 
 use perigee_metrics::P2Quantile;
 use perigee_netsim::{
-    BroadcastScratch, ChurnProcess, FaultPlan, GossipConfig, GossipScratch, LatencyModel,
-    MinerSampler, NodeId, Population, QueueKind, Region, RoundDelta, RoundFaults, ShardWorkspace,
-    SimTime, Topology, TopologyView, WorldDelta,
+    BatchMessage, BroadcastScratch, ChurnProcess, FaultPlan, GossipConfig, GossipScratch,
+    LatencyModel, MinerSampler, NetsimError, NodeId, Population, QueueKind, Region, RoundDelta,
+    RoundFaults, ShardWorkspace, SimTime, Topology, TopologyView, TrafficConfig, TrafficMessage,
+    WorldDelta,
 };
 
 use crate::audit::{audit_world, AuditReport};
@@ -110,6 +111,33 @@ pub struct RoundStats {
     pub evicted: usize,
 }
 
+/// Per-class summary of one round's traffic phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficClassRoundStats {
+    /// The class's reporting label ([`TrafficClass::name`](perigee_netsim::TrafficClass)).
+    pub name: String,
+    /// Messages this class originated this round.
+    pub messages: usize,
+    /// Mean λ(90%) over the class's messages, in ms (∞ when the class
+    /// originated nothing, or when some message never reached 90%).
+    pub mean_lambda90_ms: f64,
+    /// Mean λ(50%) over the class's messages, in ms.
+    pub mean_lambda50_ms: f64,
+}
+
+/// Summary of one round's traffic phase: the continuous
+/// transaction-stream load that rode the round's snapshot alongside its
+/// blocks. Produced by [`PerigeeEngine::run_round`] when a workload is
+/// installed ([`PerigeeEngine::set_traffic`]); read it back through
+/// [`PerigeeEngine::last_traffic_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficRoundStats {
+    /// Total messages originated this round, over all classes.
+    pub messages: usize,
+    /// Per-class statistics, in [`TrafficConfig::classes`] order.
+    pub per_class: Vec<TrafficClassRoundStats>,
+}
+
 /// Drives Perigee rounds over a simulated network.
 ///
 /// Non-adopting nodes (see [`PerigeeEngine::set_adopters`]) keep their
@@ -185,6 +213,14 @@ pub struct PerigeeEngine<L> {
     /// index fault draws are keyed on, so a block's fault pattern does
     /// not depend on how rounds chunk across threads.
     blocks_simulated: usize,
+    /// The installed continuous-traffic workload, if any. Pure config:
+    /// each round's message list is regenerated from
+    /// `(seed, round, class, node)` hashes, so checkpoints carry the
+    /// config alone and a resumed run replays the identical stream.
+    traffic: Option<TrafficConfig>,
+    /// Per-class statistics of the most recent round's traffic phase
+    /// (`None` until the first round runs with a workload installed).
+    last_traffic: Option<TrafficRoundStats>,
     /// Peer-liveness state; present iff the config enables the layer.
     liveness: Option<LivenessTracker>,
     /// The scoring method the strategy was built from — recorded so a
@@ -316,6 +352,8 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             last_delta: WorldDelta::default(),
             fault_plan: None,
             blocks_simulated: 0,
+            traffic: None,
+            last_traffic: None,
             liveness,
             method,
             compaction_epoch: 0,
@@ -358,6 +396,55 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// from the next round on.
     pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
         self.fault_plan.take()
+    }
+
+    /// Installs a continuous transaction-stream workload: from the next
+    /// round on, [`PerigeeEngine::run_round`] generates the round's
+    /// seeded Poisson message list
+    /// ([`TrafficConfig::messages_for_round`]), pushes it through the
+    /// carried snapshot in batched announcement passes
+    /// ([`TopologyView::gossip_batch_into`]), merges the per-message
+    /// observation rows in behind the round's block rows — so scoring
+    /// and peer liveness read the **combined** block + transaction load
+    /// — and records per-class λ-statistics
+    /// ([`PerigeeEngine::last_traffic_stats`]).
+    ///
+    /// Origination counts are pure hashes of `(seed, round, class,
+    /// node)`: installing traffic consumes **no RNG**, so the block
+    /// path's random stream is untouched and rounds stay bit-identical
+    /// across thread counts and queue kinds. Two deliberate boundaries:
+    /// stability gating keeps comparing blocks-seen against the round's
+    /// *block* count only (transaction weather must not gate scoring),
+    /// and traffic runs fault-free even under an installed
+    /// [`FaultPlan`] (link faults are a block-path concern; the stream
+    /// measures steady-state relay cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns the config's [`TrafficConfig::validate`] error, leaving
+    /// any previously installed workload in place.
+    pub fn set_traffic(&mut self, traffic: TrafficConfig) -> Result<(), NetsimError> {
+        traffic.validate()?;
+        self.traffic = Some(traffic);
+        Ok(())
+    }
+
+    /// The installed traffic workload, if any.
+    pub fn traffic(&self) -> Option<&TrafficConfig> {
+        self.traffic.as_ref()
+    }
+
+    /// Removes and returns the installed traffic workload; rounds go
+    /// back to blocks-only from the next one on. The last traffic
+    /// round's statistics stay readable.
+    pub fn take_traffic(&mut self) -> Option<TrafficConfig> {
+        self.traffic.take()
+    }
+
+    /// Per-class statistics of the most recent round's traffic phase,
+    /// or `None` when no round has run with a workload installed.
+    pub fn last_traffic_stats(&self) -> Option<&TrafficRoundStats> {
+        self.last_traffic.as_ref()
     }
 
     /// The peer-liveness state, if [`LivenessConfig::enabled`]
@@ -574,6 +661,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             liveness: self.liveness.clone(),
             churn: self.churn.clone(),
             fault_plan: self.fault_plan.clone(),
+            traffic: self.traffic.clone(),
             last_delta: self.last_delta.clone(),
             latency_bytes: self.latency.to_bytes(),
             rng_state: rng.state(),
@@ -612,6 +700,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             liveness,
             churn,
             fault_plan,
+            traffic,
             last_delta,
             latency_bytes,
             rng_state,
@@ -654,6 +743,8 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 last_delta,
                 fault_plan,
                 blocks_simulated: blocks_simulated as usize,
+                traffic,
+                last_traffic: None,
                 liveness,
                 method,
                 compaction_epoch,
@@ -974,7 +1065,115 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         }
     }
 
-    /// Runs one full round: mine, observe, score, apply the lifetime
+    /// The traffic phase of a round: pushes `messages` (the round's
+    /// transaction stream, in canonical origination order) through the
+    /// snapshot in batched announcement passes, appends every message's
+    /// observation row behind the rows already in `observations`, and
+    /// returns the per-class λ-statistics.
+    ///
+    /// Messages are mutually independent like blocks, so the batch is
+    /// split into contiguous chunks fanned out over the rayon pool —
+    /// each worker pushes its chunk through one
+    /// [`TopologyView::gossip_batch_into`] call with its own scratch,
+    /// and chunks merge back in message order: bit-identical to one
+    /// sequential [`TopologyView::gossip_into`] call per message (the
+    /// batch engine's contract), whatever the thread count. Under the
+    /// sketch backend, chunks are capped at [`SKETCH_CHUNK_BLOCKS`]
+    /// messages so the transient dense memory stays O(edges) even
+    /// though a traffic round records thousands of rows.
+    fn observe_traffic(
+        &self,
+        view: &TopologyView,
+        config: &TrafficConfig,
+        messages: &[TrafficMessage],
+        observations: &mut RoundStore,
+    ) -> TrafficRoundStats {
+        let mut batch = Vec::new();
+        config.batch_for(messages, &mut batch);
+        let chunk_count = if self.parallel {
+            rayon::current_num_threads().clamp(1, batch.len().max(1))
+        } else {
+            1
+        };
+        let mut chunk_size = batch.len().max(1).div_ceil(chunk_count);
+        if self.config.observation_backend == ObservationBackend::Sketch {
+            chunk_size = chunk_size.min(SKETCH_CHUNK_BLOCKS);
+        }
+        let chunks: Vec<(usize, &[BatchMessage])> = batch
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| (ci * chunk_size, chunk))
+            .collect();
+
+        type Part = (ObservationCollector, Vec<(u32, f64, f64)>);
+        let parts: Vec<Part> = chunks
+            .par_iter()
+            .map(|&(base, chunk)| {
+                let mut scratch = GossipScratch::with_capacity_and_queue(
+                    view.len(),
+                    view.directed_edge_count(),
+                    self.queue,
+                );
+                let mut collector = ObservationCollector::from_view(view);
+                collector.reserve_blocks(chunk.len());
+                let mut per_message = Vec::with_capacity(chunk.len());
+                let mut coverage = [SimTime::ZERO; 2];
+                view.gossip_batch_into(chunk, &mut scratch, |i, s| {
+                    s.batch_coverage_times_into(view, &[0.9, 0.5], &mut coverage);
+                    collector.record_gossip_scratch(view, s);
+                    per_message.push((
+                        messages[base + i].class,
+                        coverage[0].as_ms(),
+                        coverage[1].as_ms(),
+                    ));
+                });
+                (collector, per_message)
+            })
+            .collect();
+
+        // Merge in message order: rows append behind the round's block
+        // rows (dense) or fold into the per-edge sketches (sketch), and
+        // the per-class sums left-fold exactly like a sequential loop.
+        let mut per_class: Vec<TrafficClassRoundStats> = config
+            .classes
+            .iter()
+            .map(|c| TrafficClassRoundStats {
+                name: c.name.clone(),
+                messages: 0,
+                mean_lambda90_ms: 0.0,
+                mean_lambda50_ms: 0.0,
+            })
+            .collect();
+        for (collector, per_message) in parts {
+            let rows = collector.finish();
+            match observations {
+                RoundStore::Dense(acc) => acc.append(rows),
+                RoundStore::Sketch(acc) => acc.ingest(&rows),
+            }
+            for (class, l90, l50) in per_message {
+                let c = &mut per_class[class as usize];
+                c.messages += 1;
+                c.mean_lambda90_ms += l90;
+                c.mean_lambda50_ms += l50;
+            }
+        }
+        for c in &mut per_class {
+            if c.messages > 0 {
+                c.mean_lambda90_ms /= c.messages as f64;
+                c.mean_lambda50_ms /= c.messages as f64;
+            } else {
+                c.mean_lambda90_ms = f64::INFINITY;
+                c.mean_lambda50_ms = f64::INFINITY;
+            }
+        }
+        TrafficRoundStats {
+            messages: messages.len(),
+            per_class,
+        }
+    }
+
+    /// Runs one full round: mine, observe (blocks, then the traffic
+    /// stream when a workload is installed), score, apply the lifetime
     /// process (if one is installed), rewire — then patch the carried CSR
     /// snapshot with the round's node and edge delta instead of
     /// rebuilding it for the next round.
@@ -1002,11 +1201,25 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         let base_block = self.blocks_simulated;
         let round_obs = self.observe_round_faulted(&view, &miners, faults.as_ref(), base_block);
         self.blocks_simulated += miners.len();
-        let (observations, lambda90, lambda50, seen) = round_obs.into_parts();
+        let (mut observations, lambda90, lambda50, seen) = round_obs.into_parts();
         // Left-fold in block order: the exact accumulation order of the
         // legacy sequential loop, so the means are bit-identical.
         let sum90: f64 = lambda90.iter().sum();
         let sum50: f64 = lambda50.iter().sum();
+
+        // The traffic phase: the round's transaction stream rides the
+        // same carried snapshot, keyed on the pre-increment round index
+        // (the exact key a resumed run regenerates). Its observation
+        // rows land behind the block rows, so scoring and liveness below
+        // read the combined load; `seen` and the gating mask stay
+        // blocks-only by design.
+        let traffic_stats = self.traffic.as_ref().map(|traffic| {
+            let messages = traffic.messages_for_round(self.round as u64, &self.population);
+            self.observe_traffic(&view, traffic, &messages, &mut observations)
+        });
+        if traffic_stats.is_some() {
+            self.last_traffic = traffic_stats;
+        }
 
         // Stability gating (rusty-kaspa's `PerigeeManager` behaviour): a
         // node whose view of the round was visibly degraded — its

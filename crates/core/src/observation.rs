@@ -164,6 +164,21 @@ impl ObservationStore {
         self.times.len() * std::mem::size_of::<f32>()
     }
 
+    /// Appends another store's blocks after this one's, in order — the
+    /// store-level twin of [`ObservationCollector::append`], used when
+    /// already-finished chunks (e.g. the traffic layer's per-batch
+    /// collectors) merge into a round store. A single contiguous extend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stores cover different CSR skeletons.
+    pub fn append(&mut self, other: ObservationStore) {
+        assert_eq!(self.offsets, other.offsets, "CSR offset mismatch");
+        assert_eq!(self.edges, other.edges, "neighbor snapshot mismatch");
+        self.times.extend_from_slice(&other.times);
+        self.blocks += other.blocks;
+    }
+
     /// Borrowed, allocation-free view of node `v`'s observations.
     pub fn node(&self, v: NodeId) -> NodeObservations<'_> {
         let start = self.offsets[v.index()];

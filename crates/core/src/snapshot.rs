@@ -43,7 +43,9 @@ use std::fmt;
 
 use serde::bin::{fnv1a64, Decode, DecodeError, Encode, Reader};
 
-use perigee_netsim::{ChurnProcess, FaultPlan, Population, QueueKind, Topology, WorldDelta};
+use perigee_netsim::{
+    ChurnProcess, FaultPlan, Population, QueueKind, Topology, TrafficConfig, WorldDelta,
+};
 
 use crate::config::PerigeeConfig;
 use crate::discovery::AddressBook;
@@ -61,10 +63,14 @@ const MAGIC: [u8; 4] = *b"PRGS";
 /// compaction epoch ([`RunSnapshot::compaction_epoch`]) and the latency
 /// placement keys that make compaction delay-preserving (the
 /// [`GeoLatencyModel`](perigee_netsim::GeoLatencyModel) codec grew two
-/// fields). Version-1 envelopes are rejected with
-/// [`SnapshotError::UnsupportedVersion`] — re-run the capture, don't
-/// guess at a world whose id space may have been renumbered.
-pub const FORMAT_VERSION: u32 = 2;
+/// fields); **3** — adds the continuous-traffic workload (an optional
+/// [`TrafficConfig`] after the fault plan): traffic origination is a
+/// pure hash of `(seed, round, class, node)`, so the config alone lets
+/// a resumed run regenerate the identical message stream. Older
+/// envelopes are rejected with [`SnapshotError::UnsupportedVersion`] —
+/// re-run the capture, don't guess at a world whose id space may have
+/// been renumbered.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be read back.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +135,7 @@ pub struct RunSnapshot {
     pub(crate) liveness: Option<LivenessTracker>,
     pub(crate) churn: Option<ChurnProcess>,
     pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) traffic: Option<TrafficConfig>,
     pub(crate) last_delta: WorldDelta,
     pub(crate) latency_bytes: Vec<u8>,
     pub(crate) rng_state: [u64; 4],
@@ -185,6 +192,7 @@ impl RunSnapshot {
         self.liveness.encode(out);
         self.churn.encode(out);
         self.fault_plan.encode(out);
+        self.traffic.encode(out);
         self.last_delta.encode(out);
         self.latency_bytes.encode(out);
         self.rng_state.encode(out);
@@ -208,6 +216,7 @@ impl RunSnapshot {
             liveness: Option::decode(r)?,
             churn: Option::decode(r)?,
             fault_plan: Option::decode(r)?,
+            traffic: Option::decode(r)?,
             last_delta: Decode::decode(r)?,
             latency_bytes: Vec::decode(r)?,
             rng_state: <[u64; 4]>::decode(r)?,
@@ -250,6 +259,13 @@ impl RunSnapshot {
         }
         if self.rng_state == [0; 4] {
             return Err(SnapshotError::Inconsistent("all-zero run RNG state"));
+        }
+        if let Some(traffic) = &self.traffic {
+            if traffic.validate().is_err() {
+                return Err(SnapshotError::Inconsistent(
+                    "traffic workload fails validation",
+                ));
+            }
         }
         Ok(())
     }
@@ -341,6 +357,7 @@ mod tests {
             liveness: None,
             churn: None,
             fault_plan: None,
+            traffic: None,
             last_delta: WorldDelta::default(),
             latency_bytes: vec![1, 2, 3],
             rng_state: [1, 2, 3, 4],

@@ -16,6 +16,7 @@
 //!   ablation      parameter sweeps (exploration, percentile, |B|, UCB c)
 //!   adversary     free-rider, eclipse and churn robustness
 //!   deployment    incremental-deployment advantage
+//!   traffic       continuous tx-stream load: per-class λ-curves + ablation
 //!   resume        checkpoint/kill/resume workflow + invariant auditor
 //!   scale         sketch-backed scale sweep + dense-vs-sketch ablation
 //!   all           everything above
@@ -32,7 +33,7 @@ use std::time::Instant;
 
 use perigee_experiments::{
     ablation, adversary, bandwidth, convergence, deployment, discovery, dynamics, faults, fig3,
-    fig4, fig5, resume, scale, theory,
+    fig4, fig5, resume, scale, theory, traffic,
 };
 use perigee_experiments::{Algorithm, MinerCliqueSpec, RelaySpec, Scenario};
 use perigee_metrics::Table;
@@ -116,7 +117,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|faults|resume|scale|all> \
+    "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|faults|traffic|resume|scale|all> \
      [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR] \
      [--checkpoint-every K] [--from FILE] [--audit-every K] [--audit-strict]"
         .to_string()
@@ -428,6 +429,36 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                 faults::run_flap_grid(scenario, scenario.seeds[0], &[0.1, 0.3], &[(6, 1), (6, 3)]);
             emit(&r.table(), out, "faults_flaps.csv");
         }
+        "traffic" => {
+            banner("Combined block + transaction-stream rounds (sketch backend)");
+            let r = traffic::run_combined(scenario, scenario.seeds[0]);
+            emit(&r.table(), out, "traffic_curves.csv");
+            println!(
+                "{} messages over {} rounds (peak {} in one round, classes {:?}), \
+                 final median λ90 {:.1} ms, {} view build(s)",
+                r.total_messages,
+                r.per_round.len(),
+                r.peak_round_messages,
+                r.class_names,
+                r.final_median90_ms,
+                r.view_rebuilds
+            );
+
+            banner("Load ablation: blocks-only vs blocks + paper stream");
+            let r = traffic::run_ablation(scenario, scenario.seeds[0]);
+            emit(&r.table(), out, "traffic_ablation.csv");
+            println!(
+                "blocks-only: median λ90 {:.1} -> {:.1} ms ({:+.1}%); combined (+{} msgs): {:.1} -> {:.1} ms ({:+.1}%)",
+                r.blocks_only.start_median90_ms,
+                r.blocks_only.final_median90_ms,
+                r.blocks_only.improvement() * 100.0,
+                r.combined.total_messages,
+                r.combined.start_median90_ms,
+                r.combined.final_median90_ms,
+                r.combined.improvement() * 100.0
+            );
+            println!("expect: λ90 still improves under combined load");
+        }
         "resume" => {
             if let Some(path) = &args.from {
                 banner("Resume from on-disk snapshot");
@@ -519,6 +550,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                 "bandwidth",
                 "dynamics",
                 "faults",
+                "traffic",
                 "resume",
                 "scale",
             ] {

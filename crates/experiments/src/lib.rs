@@ -19,6 +19,7 @@
 //! | [`bandwidth`] | bandwidth-heterogeneous INV/GETDATA regime (§2.1/§3.3) |
 //! | [`dynamics`] | dynamic worlds: steady-state churn, mid-run 1k→10k growth (§6) |
 //! | [`faults`] | link faults: burst loss, partitions, brownouts, flaps + gating ablation (§6) |
+//! | [`traffic`] | continuous transaction-stream load: per-class λ-curves + blocks-only vs combined ablation (§2.1/§6) |
 //! | [`resume`] | checkpoint/resume workflow + strict invariant auditing for long runs |
 
 #![warn(missing_docs)]
@@ -41,6 +42,7 @@ pub mod runner;
 pub mod scale;
 pub mod scenario;
 pub mod theory;
+pub mod traffic;
 
 pub use runner::{build_world, run_algorithm, run_parallel, run_seeds, Algorithm, RunOutput};
 pub use scenario::{MinerCliqueSpec, RelaySpec, Scenario};

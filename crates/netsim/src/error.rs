@@ -17,6 +17,18 @@ pub enum NetsimError {
     UnknownNode(NodeId),
     /// A configuration value was out of its valid range.
     InvalidConfig(&'static str),
+    /// A world was too large for the message-level engine's packed event
+    /// words: node count or directed-edge count at or beyond the 2^30
+    /// payload cap ([`PACKED_PAYLOAD_CAP`](crate::gossip::PACKED_PAYLOAD_CAP)).
+    /// Reported at snapshot/scratch construction time so oversized worlds
+    /// fail loudly instead of silently corrupting packed `u128` events in
+    /// release builds.
+    WorldTooLarge {
+        /// Node count of the rejected world.
+        nodes: usize,
+        /// Directed CSR edge count of the rejected world.
+        directed_edges: usize,
+    },
 }
 
 impl fmt::Display for NetsimError {
@@ -28,6 +40,14 @@ impl fmt::Display for NetsimError {
             }
             NetsimError::UnknownNode(id) => write!(f, "node {id} is not part of the population"),
             NetsimError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            NetsimError::WorldTooLarge {
+                nodes,
+                directed_edges,
+            } => write!(
+                f,
+                "world of {nodes} nodes / {directed_edges} directed edges exceeds \
+                 the 2^30 packed-event payload cap"
+            ),
         }
     }
 }

@@ -47,9 +47,10 @@ use crate::time::SimTime;
 use crate::view::TopologyView;
 
 /// SplitMix64 finalizer: the stateless mixing function behind every fault
-/// decision.
+/// decision (and the traffic layer's hash-based Poisson draws — see
+/// [`traffic`](crate::traffic)).
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -58,7 +59,7 @@ fn mix(mut z: u64) -> u64 {
 
 /// Maps a hash to a uniform draw in `[0, 1)` using the top 53 bits.
 #[inline]
-fn u01(h: u64) -> f64 {
+pub(crate) fn u01(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

@@ -48,6 +48,7 @@
 use std::collections::BTreeMap;
 
 use crate::bandwidth::TransferModel;
+use crate::error::NetsimError;
 use crate::faults::BlockFaults;
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
@@ -56,6 +57,18 @@ use crate::population::Population;
 use crate::pq::{PackedQueue, QueueKind};
 use crate::time::SimTime;
 use crate::view::{coverage_scan, coverage_times_from_arrivals, TopologyView};
+
+/// Packed events carry a 30-bit payload (a directed CSR edge index or a
+/// node id), so the message-level engine supports worlds with fewer than
+/// `2^30` nodes *and* fewer than `2^30` directed edges. The cap is
+/// enforced with checked errors at construction time —
+/// [`TopologyView::try_new`](crate::TopologyView::try_new) and
+/// [`GossipScratch::try_with_capacity`] return
+/// [`NetsimError::WorldTooLarge`](crate::NetsimError) — and re-asserted
+/// (release builds included) at the top of every simulation entry point,
+/// so an oversized world can never silently corrupt packed `u128` event
+/// words.
+pub const PACKED_PAYLOAD_CAP: usize = 1 << 30;
 
 /// How blocks move between peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,6 +82,18 @@ pub enum GossipMode {
     /// transfer time; a node requests the block from the first announcer
     /// only.
     InvGetData,
+    /// Push/pull hybrid (Ethereum's `sqrt(peers)` transaction relay, see
+    /// the Ethna measurement study): each announcer pushes the full
+    /// message to its first `push_degree` neighbors in CSR row order
+    /// (one leg plus transfer, like [`GossipMode::Flood`]) and sends a
+    /// plain INV to the rest, who pull via GETDATA exactly as in
+    /// [`GossipMode::InvGetData`]. `push_degree = 0` degenerates to pure
+    /// INV; `push_degree ≥ max degree` degenerates to flooding (with the
+    /// INV bookkeeping retained for already-pushed nodes).
+    PushPull {
+        /// Number of leading CSR-row neighbors that receive full pushes.
+        push_degree: u32,
+    },
 }
 
 /// Configuration of the message-level engine.
@@ -96,6 +121,16 @@ impl GossipConfig {
             transfer: TransferModel::new(block_size_mb),
         }
     }
+
+    /// Push/pull hybrid: full pushes to the first `push_degree` CSR-row
+    /// neighbors, INV/GETDATA to the rest, with the given message size in
+    /// MB.
+    pub fn push_pull(message_size_mb: f64, push_degree: u32) -> Self {
+        GossipConfig {
+            mode: GossipMode::PushPull { push_degree },
+            transfer: TransferModel::new(message_size_mb),
+        }
+    }
 }
 
 mod config_codec {
@@ -107,11 +142,14 @@ mod config_codec {
 
     impl Encode for GossipMode {
         fn encode(&self, out: &mut Vec<u8>) {
-            let tag: u8 = match self {
-                GossipMode::Flood => 0,
-                GossipMode::InvGetData => 1,
-            };
-            tag.encode(out);
+            match self {
+                GossipMode::Flood => 0u8.encode(out),
+                GossipMode::InvGetData => 1u8.encode(out),
+                GossipMode::PushPull { push_degree } => {
+                    2u8.encode(out);
+                    push_degree.encode(out);
+                }
+            }
         }
     }
 
@@ -120,6 +158,9 @@ mod config_codec {
             match u8::decode(r)? {
                 0 => Ok(GossipMode::Flood),
                 1 => Ok(GossipMode::InvGetData),
+                2 => Ok(GossipMode::PushPull {
+                    push_degree: Decode::decode(r)?,
+                }),
                 _ => Err(DecodeError::new("unknown gossip mode tag")),
             }
         }
@@ -235,12 +276,19 @@ enum EventKind {
 /// Integer order on the whole word is therefore exactly "by time, ties by
 /// insertion sequence" (the sequence is unique, so the low bits never
 /// decide), which is the legacy [`EventQueue`](crate::EventQueue) pop
-/// order. The 30-bit payload caps supported snapshots at 2^30 directed
-/// edges — an 8 GB+ view, far beyond simulation scale (debug-asserted in
-/// [`TopologyView::gossip_into`]).
+/// order. The 30-bit payload caps supported snapshots at
+/// [`PACKED_PAYLOAD_CAP`] nodes/directed edges — an 8 GB+ view, far
+/// beyond simulation scale. The cap is *guaranteed* before any event is
+/// packed: view and scratch construction return
+/// [`NetsimError::WorldTooLarge`](crate::NetsimError) for oversized
+/// worlds and every simulation entry point re-asserts it in release
+/// builds, so the per-event check here stays a debug assertion.
 #[inline]
 fn pack_event(time: SimTime, seq: u32, kind: EventKind, payload: u32) -> u128 {
-    debug_assert!(payload < (1 << 30), "payload exceeds 30 bits");
+    debug_assert!(
+        (payload as usize) < PACKED_PAYLOAD_CAP,
+        "payload exceeds 30 bits"
+    );
     ((time.as_ms().to_bits() as u128) << 64)
         | ((seq as u128) << 32)
         | ((kind as u128) << 30)
@@ -288,10 +336,20 @@ pub struct GossipScratch {
     /// Next insertion sequence (reset per block). Counts every event the
     /// legacy engine would have scheduled, pushed or not.
     seq: u32,
-    /// Bit-packed "node holds the block" flags.
+    /// Bit-packed "node holds the block" flags (single-message passes;
+    /// batch passes use [`GossipScratch::seen_stamp`] instead so the
+    /// per-message reset is one epoch bump, not an O(n/64) word clear).
     has_block: Vec<u64>,
-    /// Bit-packed "node already sent a GETDATA" flags (INV mode).
+    /// Bit-packed "node already sent a GETDATA" flags (INV mode,
+    /// single-message passes).
     requested: Vec<u64>,
+    /// Per-node "holds the message" epoch stamps for batch passes: node
+    /// `v` holds the current message iff `seen_stamp[v] == epoch`. Also
+    /// gates `first_arrival` validity during a batch, replacing the
+    /// per-message O(n) `INFINITY` refill.
+    seen_stamp: Vec<u32>,
+    /// Per-node "already sent a GETDATA" epoch stamps for batch passes.
+    req_stamp: Vec<u32>,
     first_arrival: Vec<SimTime>,
     /// Per-edge first announcement/delivery times; valid only where
     /// `delivery_stamp` carries the current `epoch`.
@@ -337,8 +395,42 @@ impl GossipScratch {
     }
 
     /// Like [`GossipScratch::with_capacity`], on the given queue kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `directed_edges` reaches
+    /// [`PACKED_PAYLOAD_CAP`]; use
+    /// [`GossipScratch::try_with_capacity_and_queue`] for a checked
+    /// error.
     pub fn with_capacity_and_queue(nodes: usize, directed_edges: usize, kind: QueueKind) -> Self {
-        GossipScratch {
+        match Self::try_with_capacity_and_queue(nodes, directed_edges, kind) {
+            Ok(scratch) => scratch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked [`GossipScratch::with_capacity`]: returns
+    /// [`NetsimError::WorldTooLarge`] instead of panicking when the
+    /// requested world reaches the [`PACKED_PAYLOAD_CAP`] packed-event
+    /// payload cap.
+    pub fn try_with_capacity(nodes: usize, directed_edges: usize) -> Result<Self, NetsimError> {
+        Self::try_with_capacity_and_queue(nodes, directed_edges, QueueKind::default())
+    }
+
+    /// Like [`GossipScratch::try_with_capacity`], on the given queue
+    /// kind.
+    pub fn try_with_capacity_and_queue(
+        nodes: usize,
+        directed_edges: usize,
+        kind: QueueKind,
+    ) -> Result<Self, NetsimError> {
+        if nodes >= PACKED_PAYLOAD_CAP || directed_edges >= PACKED_PAYLOAD_CAP {
+            return Err(NetsimError::WorldTooLarge {
+                nodes,
+                directed_edges,
+            });
+        }
+        Ok(GossipScratch {
             source: NodeId::new(0),
             // INV mode fires ~1 event per directed edge plus ~3 per node,
             // but inert events never reach the queue and only a fraction
@@ -347,13 +439,15 @@ impl GossipScratch {
             seq: 0,
             has_block: Vec::with_capacity(nodes.div_ceil(64)),
             requested: Vec::with_capacity(nodes.div_ceil(64)),
+            seen_stamp: Vec::new(),
+            req_stamp: Vec::new(),
             first_arrival: Vec::with_capacity(nodes),
             delivery: Vec::with_capacity(directed_edges),
             delivery_stamp: Vec::with_capacity(directed_edges),
             epoch: 0,
             coverage: Vec::with_capacity(nodes),
             select: Vec::with_capacity(nodes),
-        }
+        })
     }
 
     /// Which priority-queue implementation this scratch simulates on.
@@ -440,6 +534,57 @@ impl GossipScratch {
         );
     }
 
+    /// First arrival time of the *current batch message* at `v` — the
+    /// batch-pass equivalent of [`GossipScratch::arrival`]. During a
+    /// [`TopologyView::gossip_batch_into`] visit the raw `first_arrival`
+    /// vector still holds stale times from earlier messages in the batch
+    /// for nodes the current message has not reached, so validity is
+    /// gated by the per-node epoch stamp.
+    #[inline]
+    pub fn batch_arrival(&self, v: NodeId) -> SimTime {
+        if self.seen(v.index()) {
+            self.first_arrival[v.index()]
+        } else {
+            SimTime::INFINITY
+        }
+    }
+
+    /// Number of nodes the current batch message reached.
+    pub fn batch_reached(&self) -> usize {
+        (0..self.seen_stamp.len()).filter(|&v| self.seen(v)).count()
+    }
+
+    /// Batch-pass equivalent of [`GossipScratch::coverage_times_into`]:
+    /// λ(fraction) of the *current batch message* for every entry of
+    /// `fractions`. Entries of the arrival vector left stale by earlier
+    /// messages in the batch are canonicalized to `INFINITY` in place
+    /// first (harmless — their validity stamp already marked them dead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` and `fractions` have different lengths, or if any
+    /// fraction is NaN (out-of-range fractions clamp to `[0, 1]`).
+    pub fn batch_coverage_times_into(
+        &mut self,
+        view: &TopologyView,
+        fractions: &[f64],
+        out: &mut [SimTime],
+    ) {
+        for v in 0..self.first_arrival.len() {
+            if self.seen_stamp[v] != self.epoch {
+                self.first_arrival[v] = SimTime::INFINITY;
+            }
+        }
+        coverage_times_from_arrivals(
+            view,
+            &self.first_arrival,
+            fractions,
+            out,
+            &mut self.coverage,
+            &mut self.select,
+        );
+    }
+
     /// Converts the last block's flat state into an owned
     /// [`GossipOutcome`] (allocates; hot paths should read the scratch
     /// directly).
@@ -480,14 +625,64 @@ impl GossipScratch {
         self.first_arrival.clear();
         self.first_arrival.resize(nodes, SimTime::INFINITY);
         if self.delivery.len() != directed_edges || self.epoch == u32::MAX {
-            self.delivery.clear();
-            self.delivery.resize(directed_edges, SimTime::INFINITY);
-            self.delivery_stamp.clear();
-            self.delivery_stamp.resize(directed_edges, 0);
+            self.refill(nodes, directed_edges);
             self.epoch = 1;
         } else {
             self.epoch += 1;
         }
+    }
+
+    /// Full O(n + m) refill of every epoch-stamped buffer, resetting all
+    /// stamps to 0 (older than any live epoch). Shared by the rare
+    /// size-change / epoch-wrap branches of [`GossipScratch::reset`] and
+    /// [`GossipScratch::reset_batch`]; both must clear the *batch* stamp
+    /// vectors too, because rolling the epoch counter back would
+    /// otherwise let stamps written under a previous counter alias a
+    /// fresh epoch.
+    fn refill(&mut self, nodes: usize, directed_edges: usize) {
+        self.delivery.clear();
+        self.delivery.resize(directed_edges, SimTime::INFINITY);
+        self.delivery_stamp.clear();
+        self.delivery_stamp.resize(directed_edges, 0);
+        self.seen_stamp.clear();
+        self.seen_stamp.resize(nodes, 0);
+        self.req_stamp.clear();
+        self.req_stamp.resize(nodes, 0);
+    }
+
+    /// Prepares the scratch for a batch of `batch_len` messages on a
+    /// network of `nodes` nodes and `directed_edges` CSR entries: the
+    /// full O(n + m) refill runs at most once per batch (only on size
+    /// change or when `batch_len` epoch bumps would wrap the counter),
+    /// and each message inside the batch then costs one epoch bump —
+    /// this is the batching amortization of the per-message bit-flag and
+    /// arrival-vector resets.
+    ///
+    /// Sets `epoch` to the stamp *preceding* the batch's first message;
+    /// the per-message loop bumps it before simulating each message.
+    fn reset_batch(&mut self, nodes: usize, directed_edges: usize, batch_len: usize) {
+        if self.delivery.len() != directed_edges
+            || self.seen_stamp.len() != nodes
+            || (self.epoch as u64) + (batch_len as u64) > u32::MAX as u64
+        {
+            self.refill(nodes, directed_edges);
+            self.epoch = 0;
+        }
+        self.first_arrival.clear();
+        self.first_arrival.resize(nodes, SimTime::INFINITY);
+    }
+
+    /// Batch-pass equivalent of the `has_block` bit flag: whether `v`
+    /// holds the current message.
+    #[inline]
+    fn seen(&self, v: usize) -> bool {
+        self.seen_stamp[v] == self.epoch
+    }
+
+    /// Batch-pass equivalent of the `requested` bit flag.
+    #[inline]
+    fn pulled(&self, v: usize) -> bool {
+        self.req_stamp[v] == self.epoch
     }
 
     /// Records the (final at schedule time) delivery across directed edge
@@ -517,6 +712,18 @@ impl GossipScratch {
     }
 }
 
+/// One message of a [`TopologyView::gossip_batch_into`] batch: who mines
+/// or originates it, and how it propagates. Different messages of one
+/// batch may use different fan-out policies and sizes (the traffic layer
+/// mixes INV transactions with push/pull relays in a single pass).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMessage {
+    /// Originating node; the message leaves it at time zero.
+    pub source: NodeId,
+    /// Fan-out policy and transfer model for this message.
+    pub config: GossipConfig,
+}
+
 impl TopologyView {
     /// Simulates one block mined by `source` at time zero at the message
     /// level, writing arrivals and the per-edge delivery matrix into
@@ -533,7 +740,14 @@ impl TopologyView {
     pub fn gossip_into(&self, source: NodeId, config: &GossipConfig, scratch: &mut GossipScratch) {
         let n = self.len();
         let m = self.edges.len();
-        debug_assert!(m < (1 << 30), "snapshot exceeds the 2^30-edge cap");
+        assert!(
+            n < PACKED_PAYLOAD_CAP && m < PACKED_PAYLOAD_CAP,
+            "{}",
+            NetsimError::WorldTooLarge {
+                nodes: n,
+                directed_edges: m,
+            },
+        );
         scratch.source = source;
         scratch.reset(n, m);
         // Adding a zero transfer is a bitwise no-op on non-negative times,
@@ -595,6 +809,36 @@ impl TopologyView {
                                     scratch.skip_inert();
                                 } else {
                                     scratch.schedule(tv, EventKind::Inv, rev);
+                                }
+                            }
+                        }
+                        GossipMode::PushPull { push_degree } => {
+                            for (k, ((&v, &leg), &rev)) in
+                                edges.iter().zip(delays).zip(revs).enumerate()
+                            {
+                                let vi = v as usize;
+                                if (k as u32) < push_degree {
+                                    let tv = if no_transfer {
+                                        t + leg
+                                    } else {
+                                        t + leg + self.edge_transfer(config, u, vi)
+                                    };
+                                    scratch.record_delivery(rev as usize, tv);
+                                    if bit_get(&scratch.has_block, vi) {
+                                        scratch.skip_inert();
+                                    } else {
+                                        scratch.schedule(tv, EventKind::Block, v);
+                                    }
+                                } else {
+                                    let tv = t + leg;
+                                    scratch.record_delivery(rev as usize, tv);
+                                    if bit_get(&scratch.has_block, vi)
+                                        || bit_get(&scratch.requested, vi)
+                                    {
+                                        scratch.skip_inert();
+                                    } else {
+                                        scratch.schedule(tv, EventKind::Inv, rev);
+                                    }
                                 }
                             }
                         }
@@ -673,7 +917,14 @@ impl TopologyView {
         };
         let n = self.len();
         let m = self.edges.len();
-        debug_assert!(m < (1 << 30), "snapshot exceeds the 2^30-edge cap");
+        assert!(
+            n < PACKED_PAYLOAD_CAP && m < PACKED_PAYLOAD_CAP,
+            "{}",
+            NetsimError::WorldTooLarge {
+                nodes: n,
+                directed_edges: m,
+            },
+        );
         scratch.source = source;
         scratch.reset(n, m);
         let no_transfer = config.transfer.block_size_mb() == 0.0;
@@ -732,6 +983,40 @@ impl TopologyView {
                                 }
                             }
                         }
+                        GossipMode::PushPull { push_degree } => {
+                            for (k, e) in (start..end).enumerate() {
+                                let Some(leg) = faults.announce_leg(e, self.delay[e]) else {
+                                    scratch.skip_inert();
+                                    continue;
+                                };
+                                let v = self.edges[e];
+                                let vi = v as usize;
+                                let rev = self.reverse[e];
+                                if (k as u32) < push_degree {
+                                    let tv = if no_transfer {
+                                        t + leg
+                                    } else {
+                                        t + leg + self.edge_transfer(config, u, vi)
+                                    };
+                                    scratch.record_delivery(rev as usize, tv);
+                                    if bit_get(&scratch.has_block, vi) {
+                                        scratch.skip_inert();
+                                    } else {
+                                        scratch.schedule(tv, EventKind::Block, v);
+                                    }
+                                } else {
+                                    let tv = t + leg;
+                                    scratch.record_delivery(rev as usize, tv);
+                                    if bit_get(&scratch.has_block, vi)
+                                        || bit_get(&scratch.requested, vi)
+                                    {
+                                        scratch.skip_inert();
+                                    } else {
+                                        scratch.schedule(tv, EventKind::Inv, rev);
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
                 k if k == EventKind::Inv as u32 => {
@@ -773,6 +1058,174 @@ impl TopologyView {
                     }
                 }
             }
+        }
+    }
+
+    /// Simulates a batch of messages through **one shared announcement
+    /// pass** over the scratch: the O(n + m) buffer refills that
+    /// [`TopologyView::gossip_into`] pays per message (bit-flag words,
+    /// arrival vector) are replaced by per-node epoch stamps, so each
+    /// message inside the batch costs a single epoch bump plus its own
+    /// event traffic. With tens of thousands of small messages per round
+    /// this amortization is the difference between the reset dominating
+    /// and the event loop dominating.
+    ///
+    /// Messages are simulated strictly in batch order, each from time
+    /// zero. After each message's queue drains, `visit(i, scratch)` runs
+    /// with the scratch exposing *that message's* results:
+    /// [`GossipScratch::batch_arrival`], [`GossipScratch::batch_reached`],
+    /// [`GossipScratch::batch_coverage_times_into`],
+    /// [`GossipScratch::delivery`] and
+    /// [`GossipScratch::neighbor_deliveries`] (the delivery matrix is
+    /// epoch-stamped per message, so the latter two need no batch-specific
+    /// variant). Results are **bit-identical** to running
+    /// [`TopologyView::gossip_into`] once per message on a fresh scratch,
+    /// on either queue kind — exercised by `tests/gossip_batch.rs`.
+    ///
+    /// Faults are a block-path concern and are not applied here; the
+    /// traffic layer documents message streams as fault-free.
+    pub fn gossip_batch_into<F>(
+        &self,
+        batch: &[BatchMessage],
+        scratch: &mut GossipScratch,
+        visit: F,
+    ) where
+        F: FnMut(usize, &mut GossipScratch),
+    {
+        let mut visit = visit;
+        let n = self.len();
+        let m = self.edges.len();
+        assert!(
+            n < PACKED_PAYLOAD_CAP && m < PACKED_PAYLOAD_CAP,
+            "{}",
+            NetsimError::WorldTooLarge {
+                nodes: n,
+                directed_edges: m,
+            },
+        );
+        scratch.reset_batch(n, m, batch.len());
+        for (i, msg) in batch.iter().enumerate() {
+            scratch.epoch += 1;
+            scratch.queue.clear();
+            scratch.seq = 0;
+            scratch.source = msg.source;
+            let config = &msg.config;
+            let no_transfer = config.transfer.block_size_mb() == 0.0;
+            let src = msg.source.index();
+            scratch.seen_stamp[src] = scratch.epoch;
+            scratch.first_arrival[src] = SimTime::ZERO;
+            let relay0 = self.relay[src].relay_time(SimTime::ZERO, true);
+            if relay0.is_finite() {
+                scratch.schedule(relay0, EventKind::Announce, msg.source.as_u32());
+            }
+
+            while let Some(word) = scratch.queue.pop() {
+                let t = event_time(word);
+                match event_kind(word) {
+                    k if k == EventKind::Announce as u32 => {
+                        let u = event_payload(word);
+                        let (start, end) = (self.offsets[u], self.offsets[u + 1]);
+                        let edges = &self.edges[start..end];
+                        let delays = &self.delay[start..end];
+                        let revs = &self.reverse[start..end];
+                        match config.mode {
+                            GossipMode::Flood => {
+                                for ((&v, &leg), &rev) in edges.iter().zip(delays).zip(revs) {
+                                    let vi = v as usize;
+                                    let tv = if no_transfer {
+                                        t + leg
+                                    } else {
+                                        t + leg + self.edge_transfer(config, u, vi)
+                                    };
+                                    scratch.record_delivery(rev as usize, tv);
+                                    if scratch.seen(vi) {
+                                        scratch.skip_inert();
+                                    } else {
+                                        scratch.schedule(tv, EventKind::Block, v);
+                                    }
+                                }
+                            }
+                            GossipMode::InvGetData => {
+                                for ((&v, &leg), &rev) in edges.iter().zip(delays).zip(revs) {
+                                    let vi = v as usize;
+                                    let tv = t + leg;
+                                    scratch.record_delivery(rev as usize, tv);
+                                    if scratch.seen(vi) || scratch.pulled(vi) {
+                                        scratch.skip_inert();
+                                    } else {
+                                        scratch.schedule(tv, EventKind::Inv, rev);
+                                    }
+                                }
+                            }
+                            GossipMode::PushPull { push_degree } => {
+                                for (k, ((&v, &leg), &rev)) in
+                                    edges.iter().zip(delays).zip(revs).enumerate()
+                                {
+                                    let vi = v as usize;
+                                    if (k as u32) < push_degree {
+                                        let tv = if no_transfer {
+                                            t + leg
+                                        } else {
+                                            t + leg + self.edge_transfer(config, u, vi)
+                                        };
+                                        scratch.record_delivery(rev as usize, tv);
+                                        if scratch.seen(vi) {
+                                            scratch.skip_inert();
+                                        } else {
+                                            scratch.schedule(tv, EventKind::Block, v);
+                                        }
+                                    } else {
+                                        let tv = t + leg;
+                                        scratch.record_delivery(rev as usize, tv);
+                                        if scratch.seen(vi) || scratch.pulled(vi) {
+                                            scratch.skip_inert();
+                                        } else {
+                                            scratch.schedule(tv, EventKind::Inv, rev);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    k if k == EventKind::Inv as u32 => {
+                        let rev = event_payload(word);
+                        let fwd = self.reverse[rev] as usize;
+                        let v = self.edges[fwd] as usize;
+                        if !scratch.seen(v) && !scratch.pulled(v) {
+                            scratch.req_stamp[v] = scratch.epoch;
+                            let leg = self.delay[rev];
+                            scratch.schedule(t + leg, EventKind::GetData, fwd as u32);
+                        }
+                    }
+                    k if k == EventKind::GetData as u32 => {
+                        let e = event_payload(word);
+                        debug_assert!(scratch.seen(self.edges[self.reverse[e] as usize] as usize));
+                        let v = self.edges[e];
+                        let leg = self.delay[e];
+                        let transfer = if no_transfer {
+                            SimTime::ZERO
+                        } else {
+                            let u = self.edges[self.reverse[e] as usize] as usize;
+                            self.edge_transfer(config, u, v as usize)
+                        };
+                        scratch.schedule(t + leg + transfer, EventKind::Block, v);
+                    }
+                    _ => {
+                        let v = event_payload(word);
+                        if scratch.seen(v) {
+                            continue;
+                        }
+                        scratch.seen_stamp[v] = scratch.epoch;
+                        scratch.first_arrival[v] = t;
+                        let relay = self.relay[v].relay_time(t, false);
+                        if relay.is_finite() {
+                            scratch.schedule(relay, EventKind::Announce, v as u32);
+                        }
+                    }
+                }
+            }
+
+            visit(i, scratch);
         }
     }
 
@@ -987,6 +1440,208 @@ mod tests {
             }
         }
         assert_eq!(total, view.directed_edge_count());
+    }
+
+    #[test]
+    fn epoch_wrap_fully_clears_delivery_matrix() {
+        let (pop, lat, topo) = random_world(40, 77);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let cfg = GossipConfig::inv_getdata(0.0);
+        let mut scratch = GossipScratch::new();
+        // Populate stamps at a low epoch, then force the counter to the
+        // wrap point: without the full refill, entries stamped `1` by
+        // the pre-wrap block would alias the post-wrap epoch 1.
+        view.gossip_into(NodeId::new(1), &cfg, &mut scratch);
+        assert_eq!(scratch.epoch, 1);
+        scratch.epoch = u32::MAX;
+        view.gossip_into(NodeId::new(2), &cfg, &mut scratch);
+        assert_eq!(scratch.epoch, 1, "wrap restarts the epoch counter");
+        let mut fresh = GossipScratch::new();
+        view.gossip_into(NodeId::new(2), &cfg, &mut fresh);
+        assert_eq!(scratch.first_arrival, fresh.first_arrival);
+        assert_eq!(scratch.delivery, fresh.delivery, "matrix fully cleared");
+        assert_eq!(scratch.delivery_stamp, fresh.delivery_stamp);
+        assert_eq!(scratch.to_outcome(&view), fresh.to_outcome(&view));
+    }
+
+    #[test]
+    fn batch_near_epoch_wrap_refills_stamps() {
+        let (pop, lat, topo) = random_world(30, 78);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let batch: Vec<BatchMessage> = [3u32, 9, 21]
+            .into_iter()
+            .map(|s| BatchMessage {
+                source: NodeId::new(s),
+                config: GossipConfig::inv_getdata(0.0),
+            })
+            .collect();
+        let mut scratch = GossipScratch::new();
+        let mut arrivals = Vec::new();
+        view.gossip_batch_into(&batch, &mut scratch, |_, s| {
+            arrivals.push(
+                (0..30)
+                    .map(|v| s.batch_arrival(NodeId::new(v)))
+                    .collect::<Vec<_>>(),
+            );
+        });
+        // Park the counter where the next 3-message batch cannot fit
+        // without wrapping; reset_batch must refill instead.
+        scratch.epoch = u32::MAX - 2;
+        let mut wrapped = Vec::new();
+        view.gossip_batch_into(&batch, &mut scratch, |_, s| {
+            wrapped.push(
+                (0..30)
+                    .map(|v| s.batch_arrival(NodeId::new(v)))
+                    .collect::<Vec<_>>(),
+            );
+        });
+        assert!(scratch.epoch <= 3, "refill restarted the counter");
+        assert_eq!(arrivals, wrapped);
+    }
+
+    #[test]
+    fn push_pull_degenerates_to_inv_and_flood() {
+        let (pop, lat, topo) = random_world(50, 91);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let src = NodeId::new(4);
+        let mut a = GossipScratch::new();
+        let mut b = GossipScratch::new();
+        // push_degree = 0 is pure INV/GETDATA, event for event.
+        view.gossip_into(src, &GossipConfig::push_pull(0.1, 0), &mut a);
+        view.gossip_into(src, &GossipConfig::inv_getdata(0.1), &mut b);
+        assert_eq!(a.arrivals(), b.arrivals());
+        assert_eq!(a.to_outcome(&view), b.to_outcome(&view));
+        // push_degree ≥ max degree pushes every leg, i.e. floods.
+        view.gossip_into(src, &GossipConfig::push_pull(0.1, u32::MAX), &mut a);
+        let flood = GossipConfig {
+            mode: GossipMode::Flood,
+            transfer: TransferModel::new(0.1),
+        };
+        view.gossip_into(src, &flood, &mut b);
+        assert_eq!(a.arrivals(), b.arrivals());
+        assert_eq!(a.to_outcome(&view), b.to_outcome(&view));
+    }
+
+    #[test]
+    fn push_pull_sits_between_flood_and_inv() {
+        let (pop, lat, topo) = random_world(60, 92);
+        let src = NodeId::new(0);
+        let flood = gossip_block(&topo, &lat, &pop, src, &GossipConfig::flood());
+        let hybrid = gossip_block(&topo, &lat, &pop, src, &GossipConfig::push_pull(0.0, 3));
+        let inv = gossip_block(&topo, &lat, &pop, src, &GossipConfig::inv_getdata(0.0));
+        for i in 1..pop.len() as u32 {
+            let v = NodeId::new(i);
+            assert!(hybrid.arrival(v).is_finite(), "hybrid reaches {v}");
+            // Every hybrid delivery costs at least one latency leg per
+            // hop, so flooding is a pointwise lower bound. (No pointwise
+            // bound against pure INV exists: a push reshuffles who
+            // announces first, which can delay individual nodes.)
+            assert!(
+                hybrid.arrival(v) >= flood.arrival(v),
+                "pushes can't beat pure flood at {v}"
+            );
+        }
+        // Network-wide, pushing the first three legs skips enough
+        // INV→GETDATA round trips to land between the two pure modes
+        // (deterministic for this seeded world).
+        let f90 = flood.coverage_time(&pop, 0.9);
+        let h90 = hybrid.coverage_time(&pop, 0.9);
+        let i90 = inv.coverage_time(&pop, 0.9);
+        assert!(
+            f90 <= h90 && h90 <= i90,
+            "flood {f90} ≤ hybrid {h90} ≤ inv {i90}"
+        );
+    }
+
+    #[test]
+    fn oversized_scratch_is_a_checked_error() {
+        let err = GossipScratch::try_with_capacity(1 << 30, 8).unwrap_err();
+        assert!(matches!(
+            err,
+            NetsimError::WorldTooLarge {
+                nodes,
+                directed_edges: 8,
+            } if nodes == 1 << 30
+        ));
+        assert!(err.to_string().contains("2^30"));
+        assert!(GossipScratch::try_with_capacity(8, 1 << 30).is_err());
+        assert!(GossipScratch::try_with_capacity((1 << 30) - 1, (1 << 30) - 1).is_ok());
+    }
+
+    #[test]
+    fn coverage_fractions_clamp_but_reject_nan() {
+        let (pop, lat, topo) = random_world(30, 93);
+        let src = NodeId::new(0);
+        let out = gossip_block(&topo, &lat, &pop, src, &GossipConfig::flood());
+        assert_eq!(
+            out.coverage_time(&pop, 1.7),
+            out.coverage_time(&pop, 1.0),
+            "over-unity fractions clamp to full coverage"
+        );
+        assert_eq!(
+            out.coverage_time(&pop, -0.3),
+            out.coverage_time(&pop, 0.0),
+            "negative fractions clamp to the first arrival"
+        );
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let mut scratch = GossipScratch::new();
+        view.gossip_into(src, &GossipConfig::flood(), &mut scratch);
+        let mut clamped = [SimTime::ZERO; 2];
+        scratch.coverage_times_into(&view, &[-1.0, 2.0], &mut clamped);
+        let mut exact = [SimTime::ZERO; 2];
+        scratch.coverage_times_into(&view, &[0.0, 1.0], &mut exact);
+        assert_eq!(clamped, exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage fraction must not be NaN")]
+    fn nan_coverage_fraction_panics() {
+        let (pop, lat, topo) = random_world(20, 94);
+        let out = gossip_block(&topo, &lat, &pop, NodeId::new(0), &GossipConfig::flood());
+        out.coverage_time(&pop, f64::NAN);
+    }
+
+    #[test]
+    fn batch_pass_matches_sequential_single_passes() {
+        let (pop, lat, topo) = random_world(50, 95);
+        let view = TopologyView::new(&topo, &lat, &pop);
+        let configs = [
+            GossipConfig::inv_getdata(0.001),
+            GossipConfig::flood(),
+            GossipConfig::push_pull(0.002, 3),
+        ];
+        let batch: Vec<BatchMessage> = (0..12u32)
+            .map(|i| BatchMessage {
+                source: NodeId::new((i * 7) % 50),
+                config: configs[i as usize % configs.len()],
+            })
+            .collect();
+        let mut batch_scratch = GossipScratch::new();
+        let mut single = GossipScratch::new();
+        let mut visited = 0;
+        view.gossip_batch_into(&batch, &mut batch_scratch, |i, s| {
+            visited += 1;
+            let msg = &batch[i];
+            view.gossip_into(msg.source, &msg.config, &mut single);
+            for v in 0..view.len() as u32 {
+                let v = NodeId::new(v);
+                assert_eq!(
+                    s.batch_arrival(v),
+                    single.arrival(v),
+                    "message {i} node {v}"
+                );
+            }
+            for e in 0..view.directed_edge_count() {
+                assert_eq!(s.delivery(e), single.delivery(e), "message {i} edge {e}");
+            }
+            assert_eq!(s.batch_reached(), single.reached());
+            let mut via_batch = [SimTime::ZERO; 2];
+            s.batch_coverage_times_into(&view, &[0.9, 0.5], &mut via_batch);
+            let mut via_single = [SimTime::ZERO; 2];
+            single.coverage_times_into(&view, &[0.9, 0.5], &mut via_single);
+            assert_eq!(via_batch, via_single, "message {i} coverage");
+        });
+        assert_eq!(visited, batch.len());
     }
 
     #[test]

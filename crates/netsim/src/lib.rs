@@ -54,6 +54,15 @@
 //!   [`TopologyView::apply_world_delta`] folds arrivals, departures and
 //!   the round's rewiring into the carried CSR snapshot in one linear
 //!   pass — latency-model calls only for new edges, zero full rebuilds.
+//! * [`traffic`] — continuous transaction-stream workloads: a seeded
+//!   [`TrafficConfig`] of Poisson-originating message classes (per-class
+//!   size and fan-out policy — flood, `INV`/`GETDATA`, or the push/pull
+//!   hybrid [`GossipMode::PushPull`](gossip::GossipMode)), generated as
+//!   pure hashes and simulated in bulk through
+//!   [`TopologyView::gossip_batch_into`]: tens of thousands of messages
+//!   share one announcement pass over a [`GossipScratch`], per-batch
+//!   epoch stamps replacing the per-message O(n + m) buffer resets —
+//!   bit-identical to one [`TopologyView::gossip_into`] call per message.
 //! * [`faults`] — link-level fault injection: a seeded [`FaultPlan`]
 //!   (drop/jitter/duplication rates, timed windows, link flaps,
 //!   partitions with heal, regional brownouts) compiled per round into a
@@ -135,6 +144,7 @@ pub mod population;
 pub mod pq;
 pub mod reference;
 pub mod time;
+pub mod traffic;
 pub mod view;
 
 pub use bandwidth::TransferModel;
@@ -148,7 +158,10 @@ pub use faults::{
     BlockFaults, FaultPlan, FaultWindow, LinkFaultRates, LinkFlaps, PartitionWindow,
     RegionalWindow, RoundFaults,
 };
-pub use gossip::{gossip_block, GossipConfig, GossipMode, GossipOutcome, GossipScratch};
+pub use gossip::{
+    gossip_block, BatchMessage, GossipConfig, GossipMode, GossipOutcome, GossipScratch,
+    PACKED_PAYLOAD_CAP,
+};
 pub use graph::{ConnectionLimits, Topology};
 pub use latency::{
     GeoLatencyModel, LatencyModel, MetricLatencyModel, OverrideLatencyModel, ACCESS_DELAY_RANGE_MS,
@@ -159,4 +172,5 @@ pub use node::{Behavior, NodeId, NodeProfile, Region};
 pub use population::{HashPowerDist, IdRemap, Population, PopulationBuilder, ValidationDist};
 pub use pq::{CalendarQueue, PackedQueue, QueueKind, TimeKey};
 pub use time::SimTime;
+pub use traffic::{FanoutPolicy, TrafficClass, TrafficConfig, TrafficMessage};
 pub use view::{BroadcastScratch, RoundDelta, ShardWorkspace, TopologyView};

@@ -25,10 +25,26 @@ use crate::time::SimTime;
 
 #[derive(Debug)]
 enum Event {
-    Inv { at: NodeId, from: NodeId },
-    GetData { at: NodeId, from: NodeId },
-    Block { at: NodeId, from: NodeId },
-    Announce { at: NodeId },
+    Inv {
+        at: NodeId,
+        from: NodeId,
+    },
+    GetData {
+        at: NodeId,
+        from: NodeId,
+    },
+    /// `push` marks an unsolicited full-message push (a flood or
+    /// push/pull push leg): it doubles as the sender's announcement, so
+    /// its pop records the per-neighbor delivery. A pulled block
+    /// (`push: false`) was already announced by its INV.
+    Block {
+        at: NodeId,
+        from: NodeId,
+        push: bool,
+    },
+    Announce {
+        at: NodeId,
+    },
 }
 
 /// Simulates one block mined by `source` at time zero with the reference
@@ -61,16 +77,25 @@ pub fn gossip_block<L: LatencyModel + ?Sized>(
     while let Some((t, event)) = queue.pop() {
         match event {
             Event::Announce { at } => {
-                for v in topology.neighbors(at) {
+                for (k, v) in topology.neighbors(at).into_iter().enumerate() {
                     let leg = latency.delay(at, v);
-                    match config.mode {
-                        GossipMode::Flood => {
-                            let transfer = config.transfer.transfer_time(population, at, v);
-                            queue.schedule(t + leg + transfer, Event::Block { at: v, from: at });
-                        }
-                        GossipMode::InvGetData => {
-                            queue.schedule(t + leg, Event::Inv { at: v, from: at });
-                        }
+                    let push = match config.mode {
+                        GossipMode::Flood => true,
+                        GossipMode::InvGetData => false,
+                        GossipMode::PushPull { push_degree } => (k as u32) < push_degree,
+                    };
+                    if push {
+                        let transfer = config.transfer.transfer_time(population, at, v);
+                        queue.schedule(
+                            t + leg + transfer,
+                            Event::Block {
+                                at: v,
+                                from: at,
+                                push: true,
+                            },
+                        );
+                    } else {
+                        queue.schedule(t + leg, Event::Inv { at: v, from: at });
                     }
                 }
             }
@@ -88,10 +113,17 @@ pub fn gossip_block<L: LatencyModel + ?Sized>(
                 debug_assert!(has_block[at.index()]);
                 let leg = latency.delay(at, from);
                 let transfer = config.transfer.transfer_time(population, at, from);
-                queue.schedule(t + leg + transfer, Event::Block { at: from, from: at });
+                queue.schedule(
+                    t + leg + transfer,
+                    Event::Block {
+                        at: from,
+                        from: at,
+                        push: false,
+                    },
+                );
             }
-            Event::Block { at, from } => {
-                if config.mode == GossipMode::Flood {
+            Event::Block { at, from, push } => {
+                if push {
                     per_neighbor[at.index()].entry(from).or_insert(t);
                 }
                 if has_block[at.index()] {

@@ -44,6 +44,7 @@
 
 use crate::broadcast::Propagation;
 use crate::dynamics::WorldDelta;
+use crate::error::NetsimError;
 use crate::faults::BlockFaults;
 use crate::graph::Topology;
 use crate::latency::LatencyModel;
@@ -149,12 +150,44 @@ impl TopologyView {
     /// # Panics
     ///
     /// Panics if the topology, latency model and population disagree on
-    /// the node count.
+    /// the node count, or if the world exceeds the message-level engine's
+    /// 2^30 packed-payload cap ([`TopologyView::try_new`] returns the
+    /// structured error instead).
     pub fn new<L: LatencyModel + ?Sized>(
         topology: &Topology,
         latency: &L,
         population: &Population,
     ) -> Self {
+        match Self::try_new(topology, latency, population) {
+            Ok(view) => view,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`TopologyView::new`]: snapshots the world, rejecting one
+    /// whose node count or directed-edge count is at or beyond the 2^30
+    /// packed-event payload cap
+    /// ([`PACKED_PAYLOAD_CAP`](crate::gossip::PACKED_PAYLOAD_CAP)) with
+    /// [`NetsimError::WorldTooLarge`] instead of letting the gossip
+    /// engine's packed `u128` event words silently corrupt in release
+    /// builds. Incremental growth is guarded too:
+    /// [`TopologyView::apply_rewiring`] and
+    /// [`TopologyView::apply_world_delta`] panic rather than grow a
+    /// snapshot past the cap.
+    ///
+    /// # Errors
+    ///
+    /// [`NetsimError::WorldTooLarge`] when the cap is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology, latency model and population disagree on
+    /// the node count.
+    pub fn try_new<L: LatencyModel + ?Sized>(
+        topology: &Topology,
+        latency: &L,
+        population: &Population,
+    ) -> Result<Self, NetsimError> {
         let n = topology.len();
         assert_eq!(n, population.len(), "topology and population must agree");
         assert_eq!(n, latency.len(), "topology and latency model must agree");
@@ -181,9 +214,17 @@ impl TopologyView {
                 reverse[e] = (offsets[v] + k) as u32;
             }
         }
+        if n >= crate::gossip::PACKED_PAYLOAD_CAP
+            || edges.len() >= crate::gossip::PACKED_PAYLOAD_CAP
+        {
+            return Err(NetsimError::WorldTooLarge {
+                nodes: n,
+                directed_edges: edges.len(),
+            });
+        }
         let (relay, hash_power, uplink_mbps, downlink_mbps, uniform_weight) =
             node_attributes(population);
-        TopologyView {
+        Ok(TopologyView {
             offsets,
             edges,
             delay,
@@ -193,7 +234,7 @@ impl TopologyView {
             uplink_mbps,
             downlink_mbps,
             uniform_weight,
-        }
+        })
     }
 
     /// Number of nodes in the snapshot.
@@ -754,6 +795,17 @@ impl TopologyView {
         }
 
         let m_new = self.edges.len() + added.len() - removed.len();
+        // Incremental growth obeys the same packed-payload cap that
+        // `try_new` enforces at construction: refuse to grow a snapshot
+        // the gossip engine could no longer address.
+        assert!(
+            n_new < crate::gossip::PACKED_PAYLOAD_CAP && m_new < crate::gossip::PACKED_PAYLOAD_CAP,
+            "{}",
+            NetsimError::WorldTooLarge {
+                nodes: n_new,
+                directed_edges: m_new,
+            }
+        );
         let mut edges = Vec::with_capacity(m_new);
         let mut delay = Vec::with_capacity(m_new);
         let mut offsets = Vec::with_capacity(n_new + 1);
@@ -1201,10 +1253,24 @@ impl ShardWorkspace {
     }
 }
 
+/// Validates a coverage fraction under the shared contract of every
+/// `coverage_time`/`coverage_times`/`coverage_times_into` entry point:
+/// `NaN` is a programming error and panics; any other out-of-range value
+/// clamps into `[0, 1]` (so `-0.3` asks for the first arrival and `1.7`
+/// for full coverage) instead of silently scanning past the cumulative
+/// weight and returning garbage.
+#[inline]
+pub(crate) fn clamp_fraction(fraction: f64) -> f64 {
+    assert!(!fraction.is_nan(), "coverage fraction must not be NaN");
+    fraction.clamp(0.0, 1.0)
+}
+
 /// Computes λ(fraction) for every entry of `fractions` from one arrival
 /// vector, reusing the caller's sort/selection buffers — the shared
 /// implementation behind [`BroadcastScratch::coverage_times_into`] and
 /// [`GossipScratch::coverage_times_into`](crate::GossipScratch::coverage_times_into).
+/// Fractions go through [`clamp_fraction`] (NaN panics, out-of-range
+/// clamps).
 pub(crate) fn coverage_times_from_arrivals(
     view: &TopologyView,
     arrival: &[SimTime],
@@ -1224,6 +1290,7 @@ pub(crate) fn coverage_times_from_arrivals(
         select.clear();
         select.extend_from_slice(arrival);
         for (slot, &fraction) in out.iter_mut().zip(fractions) {
+            let fraction = clamp_fraction(fraction);
             let mut acc = 0.0;
             let mut k = 0usize;
             for _ in 0..select.len() {
@@ -1250,8 +1317,10 @@ pub(crate) fn coverage_times_from_arrivals(
 }
 
 /// Scans weighted arrivals (sorted ascending by time) for the first time
-/// at which the cumulative weight reaches `fraction`.
+/// at which the cumulative weight reaches `fraction`. The fraction goes
+/// through [`clamp_fraction`] (NaN panics, out-of-range clamps).
 pub(crate) fn coverage_scan(sorted: &[(SimTime, f64)], fraction: f64) -> SimTime {
+    let fraction = clamp_fraction(fraction);
     let mut acc = 0.0;
     for &(t, w) in sorted {
         acc += w;

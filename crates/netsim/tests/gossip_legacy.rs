@@ -88,6 +88,23 @@ fn inv_getdata_mode_is_bit_identical_to_legacy_engine() {
 }
 
 #[test]
+fn push_pull_mode_is_bit_identical_to_legacy_engine() {
+    for seed in 0..6 {
+        let (pop, lat, topo, mut rng) = random_world(70, seed + 200);
+        for push_degree in [1, 3, 8] {
+            let src = NodeId::new(rng.gen_range(0..70));
+            assert_engines_agree(
+                &pop,
+                &lat,
+                &topo,
+                src,
+                &GossipConfig::push_pull(0.001, push_degree),
+            );
+        }
+    }
+}
+
+#[test]
 fn bandwidth_limited_transfers_are_bit_identical_to_legacy_engine() {
     for seed in 0..4 {
         let mut rng = StdRng::seed_from_u64(seed + 500);
@@ -111,6 +128,7 @@ fn bandwidth_limited_transfers_are_bit_identical_to_legacy_engine() {
                 transfer: TransferModel::new(1.0),
             },
             GossipConfig::inv_getdata(1.0),
+            GossipConfig::push_pull(1.0, 2),
         ] {
             let src = NodeId::new(rng.gen_range(0..60));
             assert_engines_agree(&pop, &lat, &topo, src, &cfg);
@@ -123,7 +141,11 @@ fn adversarial_behaviors_are_bit_identical_to_legacy_engine() {
     let (mut pop, lat, topo, _) = random_world(50, 77);
     pop.profile_mut(NodeId::new(4)).behavior = Behavior::Silent;
     pop.profile_mut(NodeId::new(9)).behavior = Behavior::Delay(SimTime::from_ms(300.0));
-    for cfg in [GossipConfig::flood(), GossipConfig::inv_getdata(0.0)] {
+    for cfg in [
+        GossipConfig::flood(),
+        GossipConfig::inv_getdata(0.0),
+        GossipConfig::push_pull(0.0, 2),
+    ] {
         // An honest source, the delaying node, and a silent (withholding)
         // source that never announces at all.
         for src in [0u32, 9, 4] {
