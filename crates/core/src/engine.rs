@@ -14,9 +14,10 @@ use perigee_metrics::P2Quantile;
 use perigee_netsim::{
     BatchMessage, BroadcastScratch, ChurnProcess, FaultPlan, GossipConfig, GossipScratch,
     LatencyModel, MinerSampler, NetsimError, NodeId, Population, QueueKind, Region, RoundDelta,
-    RoundFaults, ShardWorkspace, SimTime, Topology, TopologyView, TrafficConfig, TrafficMessage,
-    WorldDelta,
+    RoundFaults, ShardWorkspace, SimCounters, SimTime, Topology, TopologyView, TrafficConfig,
+    TrafficMessage, WorldDelta,
 };
+use perigee_telemetry::{PhaseTimer, RunTelemetry};
 
 use crate::audit::{audit_world, AuditReport};
 use crate::config::PerigeeConfig;
@@ -82,6 +83,15 @@ mod codec {
 
 /// Per-round summary statistics (used for convergence plots and the
 /// dynamic-world λ-curve tracking).
+///
+/// Deliberately `Copy` with a fixed field set: this is the stable,
+/// allocation-free per-round API that harnesses collect by value in
+/// tight loops. Open-ended per-round detail (traffic mix, hot-path
+/// counters, phase timings, view-rebuild and compaction progress) grows
+/// on the telemetry side instead — each round's
+/// [`TraceRecord`](perigee_telemetry::TraceRecord) is the extensible
+/// self-describing surface, emitted when a [`RunTelemetry`] handle is
+/// installed ([`PerigeeEngine::set_telemetry`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundStats {
     /// Round index (0-based).
@@ -239,6 +249,12 @@ pub struct PerigeeEngine<L> {
     /// Every non-clean report the per-round auditor produced, in round
     /// order (clean passes are counted, not stored).
     audit_failures: Vec<AuditReport>,
+    /// The run-telemetry handle, if observation is enabled
+    /// ([`PerigeeEngine::set_telemetry`]). `None` — the default — is the
+    /// zero-cost path: no phase timer reads the clock and no trace
+    /// records are built. Strictly observational either way; never
+    /// captured in checkpoints.
+    telemetry: Option<RunTelemetry>,
 }
 
 /// The propagation phase of one round: the flat network-wide observation
@@ -253,6 +269,7 @@ pub struct RoundObservations {
     lambda90_ms: Vec<f64>,
     lambda50_ms: Vec<f64>,
     seen: Vec<u32>,
+    counters: SimCounters,
 }
 
 impl RoundObservations {
@@ -280,7 +297,17 @@ impl RoundObservations {
         &self.seen
     }
 
+    /// The round's hot-path event tallies, merged over every worker
+    /// scratch in block order (merge is order-independent, so the totals
+    /// are identical across thread counts). Tallying is unconditional
+    /// and write-only — reading or ignoring these never changes results.
+    pub fn counters(&self) -> SimCounters {
+        self.counters
+    }
+
     /// Decomposes into `(observations, lambda90_ms, lambda50_ms, seen)`.
+    /// Read [`RoundObservations::counters`] first if you need the
+    /// hot-path tallies.
     pub fn into_parts(self) -> (RoundStore, Vec<f64>, Vec<f64>, Vec<u32>) {
         (
             self.observations,
@@ -360,7 +387,42 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             audit_every: 0,
             audits_run: 0,
             audit_failures: Vec::new(),
+            telemetry: None,
         })
+    }
+
+    /// Installs a [`RunTelemetry`] handle: from the next round on,
+    /// [`PerigeeEngine::run_round`] times its phases, harvests the
+    /// hot-path [`SimCounters`] from every propagation scratch, and
+    /// emits one self-describing
+    /// [`TraceRecord`](perigee_telemetry::TraceRecord) per round into
+    /// the handle (and its sink, if one is attached).
+    ///
+    /// Telemetry is **strictly observational**: it consumes no RNG,
+    /// never feeds back into any simulation decision, and the counters
+    /// it harvests are tallied unconditionally either way — so an
+    /// instrumented run is bit-identical to an uninstrumented one,
+    /// across thread counts and queue kinds (the `telemetry`
+    /// integration suite enforces this). Without a handle the engine
+    /// takes the zero-cost path: no clock reads, no record building.
+    ///
+    /// The handle is *not* captured by [`PerigeeEngine::checkpoint`]
+    /// (sinks hold live I/O); reinstall one after
+    /// [`PerigeeEngine::resume`] to keep tracing.
+    pub fn set_telemetry(&mut self, telemetry: RunTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The installed telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&RunTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Removes and returns the installed telemetry handle (flush its
+    /// sink via [`RunTelemetry::flush`] when the run is done); later
+    /// rounds take the zero-cost disabled path again.
+    pub fn take_telemetry(&mut self) -> Option<RunTelemetry> {
+        self.telemetry.take()
     }
 
     /// Installs a link-fault schedule: from the next round on, every
@@ -751,6 +813,11 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 audit_every: 0,
                 audits_run: 0,
                 audit_failures: Vec::new(),
+                // Telemetry handles hold live sinks (files, shared
+                // buffers) and are observational state, not run state:
+                // a resumed run is bit-identical with or without one.
+                // Callers reinstall via `set_telemetry` to keep tracing.
+                telemetry: None,
             },
             rng,
         ))
@@ -944,7 +1011,13 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             .map(|(ci, chunk)| (base_block + ci * chunk_size, chunk))
             .collect();
 
-        type Part = (ObservationCollector, Vec<f64>, Vec<f64>, Vec<u32>);
+        type Part = (
+            ObservationCollector,
+            Vec<f64>,
+            Vec<f64>,
+            Vec<u32>,
+            SimCounters,
+        );
         let parts: Vec<Part> = match self.mode {
             PropagationMode::Analytic => chunks
                 .par_iter()
@@ -983,7 +1056,8 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                             None => collector.record_scratch(view, &scratch),
                         }
                     }
-                    (collector, l90, l50, seen)
+                    let counters = scratch.take_counters();
+                    (collector, l90, l50, seen, counters)
                 })
                 .collect(),
             PropagationMode::Gossip(cfg) => chunks
@@ -1014,7 +1088,8 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                         // fault-free collector reads it unchanged.
                         collector.record_gossip_scratch(view, &scratch);
                     }
-                    (collector, l90, l50, seen)
+                    let counters = scratch.take_counters();
+                    (collector, l90, l50, seen, counters)
                 })
                 .collect(),
         };
@@ -1035,7 +1110,8 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 self.config.percentile,
             )),
         };
-        for (c, l90, l50, s) in parts {
+        let mut counters = SimCounters::ZERO;
+        for (c, l90, l50, s, ctr) in parts {
             match &mut sketch {
                 Some(sk) => sk.ingest(&c.finish()),
                 None => match &mut dense {
@@ -1048,6 +1124,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             for (acc, x) in seen.iter_mut().zip(s) {
                 *acc += x;
             }
+            counters.merge(&ctr);
         }
         let observations = match sketch {
             Some(sk) => RoundStore::Sketch(sk),
@@ -1062,6 +1139,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             lambda90_ms,
             lambda50_ms,
             seen,
+            counters,
         }
     }
 
@@ -1087,7 +1165,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         config: &TrafficConfig,
         messages: &[TrafficMessage],
         observations: &mut RoundStore,
-    ) -> TrafficRoundStats {
+    ) -> (TrafficRoundStats, SimCounters) {
         let mut batch = Vec::new();
         config.batch_for(messages, &mut batch);
         let chunk_count = if self.parallel {
@@ -1105,7 +1183,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             .map(|(ci, chunk)| (ci * chunk_size, chunk))
             .collect();
 
-        type Part = (ObservationCollector, Vec<(u32, f64, f64)>);
+        type Part = (ObservationCollector, Vec<(u32, f64, f64)>, SimCounters);
         let parts: Vec<Part> = chunks
             .par_iter()
             .map(|&(base, chunk)| {
@@ -1127,7 +1205,8 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                         coverage[1].as_ms(),
                     ));
                 });
-                (collector, per_message)
+                let counters = scratch.take_counters();
+                (collector, per_message, counters)
             })
             .collect();
 
@@ -1144,7 +1223,9 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 mean_lambda50_ms: 0.0,
             })
             .collect();
-        for (collector, per_message) in parts {
+        let mut counters = SimCounters::ZERO;
+        for (collector, per_message, ctr) in parts {
+            counters.merge(&ctr);
             let rows = collector.finish();
             match observations {
                 RoundStore::Dense(acc) => acc.append(rows),
@@ -1166,10 +1247,13 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 c.mean_lambda50_ms = f64::INFINITY;
             }
         }
-        TrafficRoundStats {
-            messages: messages.len(),
-            per_class,
-        }
+        (
+            TrafficRoundStats {
+                messages: messages.len(),
+                per_class,
+            },
+            counters,
+        )
     }
 
     /// Runs one full round: mine, observe (blocks, then the traffic
@@ -1178,8 +1262,14 @@ impl<L: LatencyModel> PerigeeEngine<L> {
     /// snapshot with the round's node and edge delta instead of
     /// rebuilding it for the next round.
     pub fn run_round<R: Rng>(&mut self, rng: &mut R) -> RoundStats {
+        // Phase tracing: disabled (no clock reads at all) unless a
+        // telemetry handle is installed. Laps only bracket phases — they
+        // never branch the simulation — so traced rounds stay
+        // bit-identical to untraced ones.
+        let mut timer = PhaseTimer::new(self.telemetry.is_some());
         let k = self.config.blocks_per_round;
         let miners = self.sampler.sample_round(k, rng);
+        timer.lap("mine");
         let mut view = match self.view.take() {
             Some(view) => view,
             None => {
@@ -1187,6 +1277,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 TopologyView::new(&self.topology, &self.latency, &self.population)
             }
         };
+        timer.lap("view");
         // Compile this round's link faults against the carried snapshot
         // (`None` — the common case — costs nothing); key every block on
         // its run-global index so fault patterns are chunking-invariant.
@@ -1198,9 +1289,12 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             // zero-fault hot path.
             (!compiled.is_inert()).then_some(compiled)
         });
+        timer.lap("fault_compile");
         let base_block = self.blocks_simulated;
         let round_obs = self.observe_round_faulted(&view, &miners, faults.as_ref(), base_block);
+        timer.lap("propagation");
         self.blocks_simulated += miners.len();
+        let mut round_counters = round_obs.counters();
         let (mut observations, lambda90, lambda50, seen) = round_obs.into_parts();
         // Left-fold in block order: the exact accumulation order of the
         // legacy sequential loop, so the means are bit-identical.
@@ -1215,8 +1309,12 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         // blocks-only by design.
         let traffic_stats = self.traffic.as_ref().map(|traffic| {
             let messages = traffic.messages_for_round(self.round as u64, &self.population);
-            self.observe_traffic(&view, traffic, &messages, &mut observations)
+            let (stats, tc) = self.observe_traffic(&view, traffic, &messages, &mut observations);
+            round_counters.merge(&tc);
+            stats
         });
+        timer.lap("traffic");
+        let traffic_messages = traffic_stats.as_ref().map_or(0, |t| t.messages);
         if traffic_stats.is_some() {
             self.last_traffic = traffic_stats;
         }
@@ -1358,6 +1456,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 drops.push((v, outgoing));
             }
         }
+        timer.lap("scoring");
 
         // Peer liveness: feed the round's deliveries to the tracker and
         // force-drop connections whose far side has been silent past the
@@ -1402,6 +1501,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 }
             }
         }
+        timer.lap("liveness");
 
         // Phase 2: apply all disconnections first (freeing incoming slots
         // network-wide), then let the world itself move, then refill in
@@ -1427,6 +1527,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
                 dropped_total += 1;
             }
         }
+        timer.lap("rewiring");
 
         // Phase 2.5: the lifetime process — departures tear down (their
         // freed incoming slots are refilled by survivors in the loop
@@ -1434,6 +1535,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         // drops), arrivals spawn into fresh stable ids and bootstrap in
         // that same loop.
         let delta = self.run_churn_phase(&mut removed, rng);
+        timer.lap("churn");
 
         let mut order: Vec<u32> = (0..self.population.len() as u32).collect();
         order.shuffle(rng);
@@ -1449,6 +1551,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
         if let Some(book) = &mut self.address_book {
             book.exchange(&self.topology, 2, rng);
         }
+        timer.lap("rewiring");
 
         // Carry the snapshot into the next round: patch the rewired edges
         // (and, under churn, the moved node set) in place — latency calls
@@ -1466,6 +1569,7 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             "incrementally patched view diverged from a fresh build"
         );
         self.view = Some(view);
+        timer.lap("view_patch");
 
         // Track the round's λ90 distribution (not just its mean) with the
         // constant-space streaming estimator — the per-round λ-curve the
@@ -1489,9 +1593,10 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             if !report.is_clean() {
                 self.audit_failures.push(report);
             }
+            timer.lap("audit");
         }
 
-        RoundStats {
+        let stats = RoundStats {
             round: self.round - 1,
             mean_lambda90_ms: sum90 / k as f64,
             mean_lambda50_ms: sum50 / k as f64,
@@ -1502,7 +1607,34 @@ impl<L: LatencyModel> PerigeeEngine<L> {
             departed,
             gated: gated_count,
             evicted: evicted_count,
+        };
+
+        // One self-describing trace record per round. The take/put-back
+        // avoids borrowing `self` twice; everything below is pure
+        // observation of already-computed state.
+        if let Some(mut tel) = self.telemetry.take() {
+            let mut rec = tel.round_record(stats.round as u64);
+            rec.set_phases(timer.profile());
+            for (name, v) in round_counters.entries() {
+                rec.counter(name, v);
+            }
+            rec.counter("blocks", stats.blocks as u64);
+            rec.counter("dropped", stats.dropped as u64);
+            rec.counter("joined", stats.joined as u64);
+            rec.counter("departed", stats.departed as u64);
+            rec.counter("gated", stats.gated as u64);
+            rec.counter("evicted", stats.evicted as u64);
+            rec.counter("traffic_messages", traffic_messages as u64);
+            rec.counter("view_rebuilds", self.view_rebuilds as u64);
+            rec.counter("compaction_epoch", self.compaction_epoch);
+            rec.value("mean_lambda90_ms", stats.mean_lambda90_ms);
+            rec.value("mean_lambda50_ms", stats.mean_lambda50_ms);
+            rec.value("p90_lambda90_ms", stats.p90_lambda90_ms);
+            tel.emit(&rec);
+            self.telemetry = Some(tel);
         }
+
+        stats
     }
 
     /// The dynamic-world half of a round: consumes the installed

@@ -19,8 +19,15 @@
 //!   traffic       continuous tx-stream load: per-class λ-curves + ablation
 //!   resume        checkpoint/kill/resume workflow + invariant auditor
 //!   scale         sketch-backed scale sweep + dense-vs-sketch ablation
+//!   trace FILE    phase-breakdown table from a JSONL run trace
 //!   all           everything above
 //! ```
+//!
+//! Every command accepts `--trace FILE`: each engine round (and each
+//! finished subcommand) appends one self-describing JSON line to FILE —
+//! phase timings, hot-path counters, λ-statistics. Read it back with
+//! `repro trace FILE`. Tracing never changes results: traced runs are
+//! bit-identical to untraced ones.
 //!
 //! `resume` also accepts `--checkpoint-every K`, `--from FILE` (continue
 //! a run from an on-disk snapshot), `--audit-every K` and
@@ -29,14 +36,14 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
 use perigee_experiments::{
     ablation, adversary, bandwidth, convergence, deployment, discovery, dynamics, faults, fig3,
-    fig4, fig5, resume, scale, theory, traffic,
+    fig4, fig5, resume, scale, theory, trace, traffic,
 };
 use perigee_experiments::{Algorithm, MinerCliqueSpec, RelaySpec, Scenario};
 use perigee_metrics::Table;
+use perigee_telemetry::{JsonValue, PhaseProfile, PhaseTimer, TraceRecord};
 
 struct Args {
     command: String,
@@ -48,6 +55,10 @@ struct Args {
     from: Option<PathBuf>,
     /// Invariant auditor cadence (0 = off) and strictness.
     audit: resume::AuditOptions,
+    /// `--trace FILE`: append one JSONL trace record per engine round.
+    trace_out: Option<PathBuf>,
+    /// `trace FILE`: the trace to summarize.
+    trace_input: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +69,14 @@ fn parse_args() -> Result<Args, String> {
     let mut checkpoint_every = 5;
     let mut from = None;
     let mut audit = resume::AuditOptions::default();
+    let mut trace_out = None;
+    let mut trace_input = None;
+    if command == "trace" {
+        trace_input = argv.next().map(PathBuf::from);
+        if trace_input.is_none() {
+            return Err(format!("trace needs a file\n{}", usage()));
+        }
+    }
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
             argv.next().ok_or(format!("{name} needs a value"))
@@ -94,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--from" => from = Some(PathBuf::from(value("--from")?)),
+            "--trace" => trace_out = Some(PathBuf::from(value("--trace")?)),
             "--audit-every" => {
                 audit.every = value("--audit-every")?
                     .parse()
@@ -113,13 +133,16 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every,
         from,
         audit,
+        trace_out,
+        trace_input,
     })
 }
 
 fn usage() -> String {
     "usage: repro <fig1|theorems|fig3a|fig3b|fig4a|fig4b|fig4c|fig5|convergence|ablation|adversary|deployment|discovery|bandwidth|dynamics|faults|traffic|resume|scale|all> \
      [--nodes N] [--rounds R] [--blocks K] [--seeds a,b,c] [--quick] [--out DIR] \
-     [--checkpoint-every K] [--from FILE] [--audit-every K] [--audit-strict]"
+     [--checkpoint-every K] [--from FILE] [--audit-every K] [--audit-strict] [--trace FILE]\n\
+     or:    repro trace FILE.jsonl  (phase-breakdown table from a run trace)"
         .to_string()
 }
 
@@ -127,22 +150,72 @@ fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
 
-fn emit(table: &Table, out: &Option<PathBuf>, file: &str) {
+/// Renders `table` and, with `--out`, writes it as CSV. A failed CSV
+/// write is a failed command (nonzero exit) — artifacts silently missing
+/// from a paper run are worse than a loud abort.
+fn emit(table: &Table, out: &Option<PathBuf>, file: &str) -> Result<(), String> {
     print!("{}", table.render());
     if let Some(dir) = out {
         let path = dir.join(file);
-        match table.write_csv(&path) {
-            Ok(()) => println!("[wrote {}]", path.display()),
-            Err(e) => eprintln!("[csv write failed: {e}]"),
+        table
+            .write_csv(&path)
+            .map_err(|e| format!("csv write {}: {e}", path.display()))?;
+        println!("[wrote {}]", path.display());
+    }
+    Ok(())
+}
+
+/// `repro trace FILE`: parse every JSONL record and print the aggregate
+/// phase breakdown (plus record counts per run label).
+fn summarize_trace(path: &PathBuf, out: &Option<PathBuf>) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut profile = PhaseProfile::new();
+    let mut rounds = 0u64;
+    let mut commands = 0u64;
+    let mut runs: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            JsonValue::parse(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        let rec = TraceRecord::from_json(&value)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        match rec.kind.as_str() {
+            "round" => rounds += 1,
+            _ => commands += 1,
+        }
+        *runs.entry(rec.run.clone()).or_insert(0) += 1;
+        for (name, secs) in &rec.phases_s {
+            profile.add(name, *secs);
         }
     }
+    banner(&format!("Trace summary: {}", path.display()));
+    println!(
+        "{} record(s): {} round(s), {} command profile(s)",
+        rounds + commands,
+        rounds,
+        commands
+    );
+    for (run, n) in &runs {
+        println!("  {run}: {n} record(s)");
+    }
+    emit(&profile.table(), out, "trace_phases.csv")
 }
 
 fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
     let scenario = &args.scenario;
     let out = &args.out;
-    let started = Instant::now();
+    // The shared phase timer replaces ad-hoc Instant bookkeeping: the
+    // subcommand is one lap, and the finished profile goes to the trace
+    // (when `--trace` is active) in the same shape as engine phases.
+    let mut timer = PhaseTimer::enabled();
     match cmd {
+        "trace" => {
+            let path = args.trace_input.as_ref().expect("parse_args requires it");
+            summarize_trace(path, out)?;
+        }
         "fig1" => {
             banner("Figure 1: paths in the unit square");
             let f = theory::run_fig1(scenario.nodes, scenario.seeds[0]);
@@ -162,13 +235,13 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                 format!("{:.3}", f.geometric_path),
                 format!("{:.2}", f.geometric_stretch()),
             ]);
-            emit(&t, out, "fig1.csv");
+            emit(&t, out, "fig1.csv")?;
         }
         "theorems" => {
             banner("Theorems 1 & 2: stretch vs network size");
             let sizes = [250, 500, 1000, 2000];
             let r = theory::run_theorems(&sizes, 2, scenario.seeds[0]);
-            emit(&r.table(), out, "theorems.csv");
+            emit(&r.table(), out, "theorems.csv")?;
             println!(
                 "expect: random stretch grows with n (Thm 1), geometric stays ~constant (Thm 2)"
             );
@@ -186,10 +259,12 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                 scenario.clone()
             };
             let r = fig3::run(&s);
-            emit(&r.table(), out, &format!("{cmd}_summary.csv"));
+            emit(&r.table(), out, &format!("{cmd}_summary.csv"))?;
             if let Some(dir) = out {
                 let path = dir.join(format!("{cmd}_curves.csv"));
-                let _ = fig3::curves_csv(&r).write_csv(&path);
+                fig3::curves_csv(&r)
+                    .write_csv(&path)
+                    .map_err(|e| format!("csv write {}: {e}", path.display()))?;
                 println!("[wrote {}]", path.display());
             }
             let subset = r.improvement(Algorithm::PerigeeSubset, Algorithm::Random) * 100.0;
@@ -200,13 +275,13 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
         "fig4a" => {
             banner("Figure 4(a): validation-delay sweep");
             let r = fig4::run_fig4a(scenario, &fig4::FIG4A_FACTORS);
-            emit(&r.table(), out, "fig4a.csv");
+            emit(&r.table(), out, "fig4a.csv")?;
             println!("expect: improvement shrinks as validation delay grows");
         }
         "fig4b" => {
             banner("Figure 4(b): 10% of nodes hold 90% of hash power");
             let r = fig4::run_fig4b(scenario, MinerCliqueSpec::default());
-            emit(&r.table(), out, "fig4b.csv");
+            emit(&r.table(), out, "fig4b.csv")?;
             println!(
                 "perigee closes {:.0}% of the random→ideal gap",
                 r.gap_closed() * 100.0
@@ -215,7 +290,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
         "fig4c" => {
             banner("Figure 4(c): fast relay network present");
             let r = fig4::run_fig4c(scenario, RelaySpec::default());
-            emit(&r.table(), out, "fig4c.csv");
+            emit(&r.table(), out, "fig4c.csv")?;
             println!(
                 "perigee closes {:.0}% of the random→ideal gap",
                 r.gap_closed() * 100.0
@@ -224,7 +299,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
         "fig5" => {
             banner("Figure 5: edge-latency histograms");
             let r = fig5::run(scenario);
-            emit(&r.table(), out, "fig5.csv");
+            emit(&r.table(), out, "fig5.csv")?;
             for h in &r.histograms {
                 println!("\n{}:", h.algorithm);
                 print!("{}", h.histogram.render(40));
@@ -233,7 +308,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
         "convergence" => {
             banner("Convergence of Perigee-Subset (§5.2)");
             let r = convergence::run(Algorithm::PerigeeSubset, scenario, scenario.seeds[0]);
-            emit(&r.table(), out, "convergence.csv");
+            emit(&r.table(), out, "convergence.csv")?;
             println!(
                 "total median-λ90 improvement: {:+.1}%",
                 r.total_improvement() * 100.0
@@ -246,40 +321,40 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                 &ablation::sweep_exploration(scenario, s, &[0, 1, 2, 4]).table(),
                 out,
                 "ablation_explore.csv",
-            );
+            )?;
             banner("Ablation: scoring percentile");
             emit(
                 &ablation::sweep_percentile(scenario, s, &[50.0, 75.0, 90.0, 99.0]).table(),
                 out,
                 "ablation_percentile.csv",
-            );
+            )?;
             banner("Ablation: blocks per round (fixed block budget)");
             emit(
                 &ablation::sweep_round_length(scenario, s, &[20, 50, 100, 200]).table(),
                 out,
                 "ablation_blocks.csv",
-            );
+            )?;
             banner("Ablation: UCB confidence constant");
             emit(
                 &ablation::sweep_ucb_c(scenario, s, &[1.0, 10.0, 50.0, 200.0]).table(),
                 out,
                 "ablation_ucb_c.csv",
-            );
+            )?;
         }
         "adversary" => {
             banner("Geo-spoofing (degrades geographic, not Perigee)");
             let r = adversary::run_spoofing(scenario, scenario.seeds[0], scenario.nodes / 20);
-            emit(&r.table(), out, "adversary_spoofing.csv");
+            emit(&r.table(), out, "adversary_spoofing.csv")?;
             println!(
                 "spoofers degrade geographic by {:+.1}%; perigee ignores claimed locations",
                 r.geographic_degradation() * 100.0
             );
             banner("Free-rider starvation");
             let r = adversary::run_free_rider(scenario, scenario.seeds[0]);
-            emit(&r.table(), out, "adversary_freerider.csv");
+            emit(&r.table(), out, "adversary_freerider.csv")?;
             banner("Eclipse attack & recovery");
             let r = adversary::run_eclipse(scenario, scenario.seeds[0]);
-            emit(&r.table(), out, "adversary_eclipse.csv");
+            emit(&r.table(), out, "adversary_eclipse.csv")?;
             banner("Churn");
             let r = adversary::run_churn(scenario, scenario.seeds[0], 0.02);
             let mut t = Table::new(vec!["setting".into(), "median λ90 (ms)".into()]);
@@ -296,7 +371,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                 ),
                 format!("{:.1}", r.churn_median90_ms),
             ]);
-            emit(&t, out, "adversary_churn.csv");
+            emit(&t, out, "adversary_churn.csv")?;
         }
         "deployment" => {
             banner("Incremental deployment");
@@ -315,13 +390,13 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                     format!("{:+.1}%", r.adopter_advantage() * 100.0),
                 ]);
             }
-            emit(&t, out, "deployment.csv");
+            emit(&t, out, "deployment.csv")?;
         }
         "discovery" => {
             banner("Partial peer knowledge (gossiped address books)");
             let caps = [scenario.nodes / 10, scenario.nodes / 4, scenario.nodes / 2];
             let r = discovery::run(scenario, scenario.seeds[0], &caps);
-            emit(&r.table(), out, "discovery.csv");
+            emit(&r.table(), out, "discovery.csv")?;
             println!(
                 "worst partial-view penalty: {:+.1}%",
                 r.worst_penalty() * 100.0
@@ -330,13 +405,13 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
         "bandwidth" => {
             banner("Bandwidth heterogeneity (INV/GETDATA, 3-186 Mbit/s)");
             let r = bandwidth::run(scenario, scenario.seeds[0], &[0.0, 0.5, 1.0]);
-            emit(&r.table(), out, "bandwidth.csv");
+            emit(&r.table(), out, "bandwidth.csv")?;
             println!("expect: perigee improves in every block-size regime");
         }
         "dynamics" => {
             banner("Steady-state churn (2%/round)");
             let r = dynamics::run_steady_churn(scenario, scenario.seeds[0], 0.02);
-            emit(&r.table(), out, "dynamics_churn.csv");
+            emit(&r.table(), out, "dynamics_churn.csv")?;
             println!(
                 "alive {} of {} slots, {} joined / {} departed, {} view build(s), final median λ90 {:.1} ms",
                 r.final_alive,
@@ -348,7 +423,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
             );
             banner("Mid-run growth (×10)");
             let r = dynamics::run_growth(scenario, scenario.seeds[0], scenario.nodes * 10);
-            emit(&r.table(), out, "dynamics_growth.csv");
+            emit(&r.table(), out, "dynamics_growth.csv")?;
             println!(
                 "{} -> {} nodes ({} joined), λ90 finite throughout: {}, {} view build(s), run-median p90 λ90 {:.1} ms",
                 r.start_nodes,
@@ -384,7 +459,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
             for (i, &seed) in burst_scenario.seeds.iter().enumerate() {
                 let r = faults::run_burst_loss(&burst_scenario, seed);
                 if i == 0 {
-                    emit(&r.table(), out, "faults_burst_curves.csv");
+                    emit(&r.table(), out, "faults_burst_curves.csv")?;
                 }
                 summary.row(vec![
                     seed.to_string(),
@@ -397,7 +472,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                     r.gated.rewires_during_gated_rounds.to_string(),
                 ]);
             }
-            emit(&summary, out, "faults_burst_summary.csv");
+            emit(&summary, out, "faults_burst_summary.csv")?;
             println!(
                 "expect: gated comes out of the burst better (UCB history stays clean) and \
                  ends no worse; rewires-while-gated > 0 (exploration continues)"
@@ -405,7 +480,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
 
             banner("Partition + heal (30% minority)");
             let r = faults::run_partition_heal(scenario, scenario.seeds[0], 0.3);
-            emit(&r.table(), out, "faults_partition.csv");
+            emit(&r.table(), out, "faults_partition.csv")?;
             println!(
                 "pre-partition median λ90 {:.1} ms -> recovered {:.1} ms ({:+.1}%), {} gated, {} evicted, {} view build(s)",
                 r.pre_partition_median90_ms,
@@ -418,7 +493,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
 
             banner("Regional brownout (Europe x4 for the middle third)");
             let r = faults::run_regional_brownout(scenario, scenario.seeds[0], 4.0);
-            emit(&r.table(), out, "faults_brownout.csv");
+            emit(&r.table(), out, "faults_brownout.csv")?;
             println!(
                 "mean p90 λ90 inside window {:.1} ms vs outside {:.1} ms; final median {:.1} ms",
                 r.mean_inside_ms, r.mean_outside_ms, r.final_median90_ms
@@ -427,12 +502,12 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
             banner("Flapping links grid");
             let r =
                 faults::run_flap_grid(scenario, scenario.seeds[0], &[0.1, 0.3], &[(6, 1), (6, 3)]);
-            emit(&r.table(), out, "faults_flaps.csv");
+            emit(&r.table(), out, "faults_flaps.csv")?;
         }
         "traffic" => {
             banner("Combined block + transaction-stream rounds (sketch backend)");
             let r = traffic::run_combined(scenario, scenario.seeds[0]);
-            emit(&r.table(), out, "traffic_curves.csv");
+            emit(&r.table(), out, "traffic_curves.csv")?;
             println!(
                 "{} messages over {} rounds (peak {} in one round, classes {:?}), \
                  final median λ90 {:.1} ms, {} view build(s)",
@@ -446,7 +521,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
 
             banner("Load ablation: blocks-only vs blocks + paper stream");
             let r = traffic::run_ablation(scenario, scenario.seeds[0]);
-            emit(&r.table(), out, "traffic_ablation.csv");
+            emit(&r.table(), out, "traffic_ablation.csv")?;
             println!(
                 "blocks-only: median λ90 {:.1} -> {:.1} ms ({:+.1}%); combined (+{} msgs): {:.1} -> {:.1} ms ({:+.1}%)",
                 r.blocks_only.start_median90_ms,
@@ -481,7 +556,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
                     args.audit,
                     out.as_deref(),
                 )?;
-                emit(&r.table(), out, "resume.csv");
+                emit(&r.table(), out, "resume.csv")?;
                 for path in &r.checkpoints {
                     println!("[wrote {}]", path.display());
                 }
@@ -508,7 +583,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
             banner("Scale sweep: sketch-backed rounds, one shard per thread");
             let sizes: Vec<usize> = [1, 2, 5, 10].iter().map(|&k| scenario.nodes * k).collect();
             let r = scale::run(scenario, &sizes, 0);
-            emit(&r.table(), &out, "scale.csv");
+            emit(&r.table(), &out, "scale.csv")?;
             for p in &r.points {
                 println!(
                     "{} nodes: {:.3} s/round on {} shard(s), sketch store {:.1}x smaller than dense",
@@ -520,7 +595,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
             }
             banner("Dense vs sketch ablation (same world, same seed)");
             let c = scale::run_backend_comparison(scenario, scenario.seeds[0]);
-            emit(&c.table(), &out, "scale_backends.csv");
+            emit(&c.table(), &out, "scale_backends.csv")?;
             if !c.conclusions_agree() {
                 return Err(format!(
                     "backend ablation diverged: dense {:+.3} vs sketch {:+.3}",
@@ -559,7 +634,9 @@ fn run_command(cmd: &str, args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }
-    println!("[{cmd} done in {:.1}s]", started.elapsed().as_secs_f64());
+    timer.lap(cmd);
+    trace::record_profile(cmd, scenario.seeds[0], timer.profile());
+    println!("[{cmd} done in {:.1}s]", timer.profile().total_seconds());
     Ok(())
 }
 
@@ -571,6 +648,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = trace::install_jsonl(path) {
+            eprintln!("cannot open trace output {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     println!(
         "scenario: {} nodes, {} rounds x {} blocks, seeds {:?}",
         args.scenario.nodes,
@@ -578,10 +661,18 @@ fn main() -> ExitCode {
         args.scenario.blocks_per_round,
         args.scenario.seeds
     );
-    match run_command(&args.command, &args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    let run = run_command(&args.command, &args);
+    // Flush after the command so deferred trace-write errors fail the
+    // run loudly, exactly like CSV artifacts.
+    let flushed = trace::flush();
+    match (run, flushed) {
+        (Ok(()), Ok(())) => ExitCode::SUCCESS,
+        (Err(e), _) => {
             eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+        (Ok(()), Err(e)) => {
+            eprintln!("trace write failed: {e}");
             ExitCode::FAILURE
         }
     }

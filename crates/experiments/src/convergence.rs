@@ -78,6 +78,7 @@ pub fn run(algorithm: Algorithm, scenario: &Scenario, seed: u64) -> ConvergenceR
     config.blocks_per_round = scenario.blocks_per_round;
     let mut engine = PerigeeEngine::new(world.population, world.latency, topology, method, config)
         .expect("valid scenario");
+    crate::trace::attach(&mut engine, "convergence", seed);
 
     let mut median90 = Vec::with_capacity(scenario.rounds + 1);
     let mut median50 = Vec::with_capacity(scenario.rounds + 1);

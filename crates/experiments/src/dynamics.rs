@@ -64,8 +64,9 @@ fn dynamic_engine(
     );
     let mut config = PerigeeConfig::paper_default(method);
     config.blocks_per_round = scenario.blocks_per_round;
-    let engine = PerigeeEngine::new(world.population, world.latency, topo, method, config)
+    let mut engine = PerigeeEngine::new(world.population, world.latency, topo, method, config)
         .expect("valid scenario");
+    crate::trace::attach(&mut engine, "dynamics", seed);
     (engine, rng)
 }
 

@@ -77,6 +77,7 @@ fn faulted_engine(
     let mut engine = PerigeeEngine::new(world.population, world.latency, topo, method, config)
         .expect("valid scenario");
     engine.set_fault_plan(plan).expect("valid fault plan");
+    crate::trace::attach(&mut engine, "faults", seed);
     (engine, rng)
 }
 

@@ -42,6 +42,7 @@ pub mod runner;
 pub mod scale;
 pub mod scenario;
 pub mod theory;
+pub mod trace;
 pub mod traffic;
 
 pub use runner::{build_world, run_algorithm, run_parallel, run_seeds, Algorithm, RunOutput};

@@ -30,6 +30,7 @@ use perigee_netsim::{
     ChurnProcess, ConnectionLimits, FaultPlan, FaultWindow, GeoLatencyModel, LinkFaultRates,
     LinkFlaps, PopulationBuilder, SimTime,
 };
+use perigee_telemetry::PhaseTimer;
 use perigee_topology::{RandomBuilder, TopologyBuilder};
 
 use crate::scenario::Scenario;
@@ -103,6 +104,7 @@ pub fn chaos_engine(scenario: &Scenario, seed: u64) -> (PerigeeEngine<GeoLatency
         regional: Vec::new(),
     };
     engine.set_fault_plan(plan).expect("windows are ordered");
+    crate::trace::attach(&mut engine, "resume", seed);
     (engine, rng)
 }
 
@@ -229,10 +231,15 @@ pub fn run_kill_resume(
     let mut stats: Vec<RoundStats> = Vec::with_capacity(total);
     let mut checkpoints = Vec::new();
     let mut newest: Option<Vec<u8>> = None;
+    // Checkpoint encode/decode costs go to the trace as a command-level
+    // phase profile (disabled — zero clock reads — when tracing is off).
+    let mut ckpt_timer = PhaseTimer::new(crate::trace::installed().is_some());
     for r in 1..=kill_at {
         stats.extend(drive_audited(&mut engine, &mut rng, 1, audit, out)?);
         if r % every == 0 || r == kill_at {
+            ckpt_timer.restart();
             let bytes = engine.checkpoint(&rng).to_bytes();
+            ckpt_timer.lap("checkpoint_encode");
             if let Some(dir) = out {
                 let path = dir.join(format!("checkpoint-r{r:05}.prgs"));
                 std::fs::write(&path, &bytes).map_err(|e| format!("checkpoint write: {e}"))?;
@@ -256,10 +263,16 @@ pub fn run_kill_resume(
         None => newest.expect("kill_at >= 1 guarantees a checkpoint"),
     };
     let snapshot_bytes = bytes.len();
+    ckpt_timer.restart();
     let snapshot = RunSnapshot::from_bytes(&bytes).map_err(|e| format!("snapshot: {e}"))?;
     let resumed_from = snapshot.round();
     let (mut engine, mut rng) =
         PerigeeEngine::<GeoLatencyModel>::resume(snapshot).map_err(|e| format!("resume: {e}"))?;
+    ckpt_timer.lap("checkpoint_decode");
+    crate::trace::record_profile("resume", seed, ckpt_timer.profile());
+    // Telemetry is observational state, so `resume` starts without it;
+    // reattach to keep tracing the continued run.
+    crate::trace::attach(&mut engine, "resume", seed);
     stats.extend(drive_audited(
         &mut engine,
         &mut rng,
@@ -321,11 +334,15 @@ pub fn resume_from_file(
     out: Option<&Path>,
 ) -> Result<ResumeRunResult, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut ckpt_timer = PhaseTimer::new(crate::trace::installed().is_some());
     let snapshot =
         RunSnapshot::from_bytes(&bytes).map_err(|e: SnapshotError| format!("snapshot: {e}"))?;
     let resumed_from = snapshot.round();
     let (mut engine, mut rng) =
         PerigeeEngine::<GeoLatencyModel>::resume(snapshot).map_err(|e| format!("resume: {e}"))?;
+    ckpt_timer.lap("checkpoint_decode");
+    crate::trace::record_profile("resume-from-file", resumed_from, ckpt_timer.profile());
+    crate::trace::attach(&mut engine, "resume-from-file", resumed_from);
     let stats = drive_audited(&mut engine, &mut rng, rounds, audit, out)?;
     Ok(ResumeRunResult {
         resumed_from,

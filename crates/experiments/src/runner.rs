@@ -226,6 +226,7 @@ pub fn run_algorithm(algorithm: Algorithm, scenario: &Scenario, seed: u64) -> Ru
             };
             let mut engine = PerigeeEngine::new(population, latency, topology, method, config)
                 .expect("scenario configuration is valid");
+            crate::trace::attach(&mut engine, algorithm.name(), seed);
             for _ in 0..rounds {
                 let stats = engine.run_round(&mut rng);
                 per_round.push(stats.mean_lambda90_ms);

@@ -18,14 +18,13 @@
 //! backend swap. The `repro scale` subcommand writes both tables under
 //! `artifacts/scale/`.
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use perigee_core::{ObservationBackend, PerigeeConfig, PerigeeEngine, RoundStore, ScoringMethod};
 use perigee_metrics::Table;
 use perigee_netsim::{ConnectionLimits, MinerSampler};
+use perigee_telemetry::PhaseTimer;
 use perigee_topology::{RandomBuilder, TopologyBuilder};
 
 use crate::runner::{build_world, WorldLatency};
@@ -128,6 +127,7 @@ fn scale_engine(
     )
     .expect("valid scale scenario");
     engine.set_shards(shards);
+    crate::trace::attach(&mut engine, "scale", seed);
     (engine, rng)
 }
 
@@ -162,20 +162,26 @@ pub fn run(scenario: &Scenario, sizes: &[usize], shards: usize) -> ScaleResult {
                 shards,
             );
             let mut last = 0.0;
-            let mut seconds = Vec::with_capacity(scenario.rounds.max(1));
+            // The shared phase timer replaces ad-hoc Instant bookkeeping:
+            // each lap is one round, and the entry's exact median is the
+            // point statistic.
+            let mut timer = PhaseTimer::enabled();
             for _ in 0..scenario.rounds.max(1) {
-                let start = Instant::now();
                 let stats = engine.run_round(&mut rng);
-                seconds.push(start.elapsed().as_secs_f64());
+                timer.lap("round");
                 last = stats.mean_lambda90_ms;
             }
-            seconds.sort_unstable_by(f64::total_cmp);
+            let seconds_per_round = timer
+                .profile()
+                .entry("round")
+                .map(|e| e.median())
+                .unwrap_or(0.0);
             let store = observe_store(&engine, scenario.blocks_per_round, &mut rng);
             let directed_edges = store.directed_edge_count();
             ScalePoint {
                 nodes,
                 directed_edges,
-                seconds_per_round: seconds[seconds.len() / 2],
+                seconds_per_round,
                 sketch_store_bytes: store.matrix_bytes(),
                 dense_store_bytes: directed_edges * scenario.blocks_per_round * 4,
                 shards: engine.shards(),

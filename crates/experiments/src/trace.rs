@@ -1,0 +1,118 @@
+//! Run-trace wiring for the experiment harness.
+//!
+//! The `repro` binary owns at most one trace output per process
+//! (`--trace FILE`): this module holds that sink as a process-global
+//! [`SharedSink`] so every engine the harness builds — across commands,
+//! seeds and rayon workers — appends to the same JSONL stream. Each
+//! record is self-describing (`run`, `seed`, `round` fields), so
+//! interleaving between concurrently-running seeds is harmless; within
+//! one run the rounds stay in order because each engine emits
+//! sequentially.
+//!
+//! Installing a sink changes *what is recorded*, never *what is
+//! simulated*: engines run bit-identically with or without telemetry
+//! (the engine contract; see `PerigeeEngine::set_telemetry`).
+
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use perigee_core::PerigeeEngine;
+use perigee_netsim::LatencyModel;
+use perigee_telemetry::{
+    JsonlSink, PhaseProfile, RunTelemetry, SharedSink, TraceRecord, TraceSink,
+};
+
+static SINK: Mutex<Option<SharedSink>> = Mutex::new(None);
+
+/// Opens `path` for line-buffered JSONL trace output and installs it as
+/// the process-global sink. Later [`attach`]/[`record_profile`] calls
+/// feed it; call [`flush`] before exit to surface deferred write errors.
+///
+/// # Errors
+///
+/// The underlying file-creation error.
+pub fn install_jsonl(path: &Path) -> io::Result<()> {
+    let sink = JsonlSink::create(path)?;
+    *SINK.lock().expect("trace sink poisoned") = Some(SharedSink::new(Box::new(sink)));
+    Ok(())
+}
+
+/// The installed shared sink, if any (a cheap clone of the handle).
+pub fn installed() -> Option<SharedSink> {
+    SINK.lock().expect("trace sink poisoned").clone()
+}
+
+/// A telemetry handle labelled (`run`, `seed`) wired to the installed
+/// sink — `None` when no `--trace` output is active, so callers can
+/// skip engine instrumentation entirely (the zero-cost path).
+pub fn engine_telemetry(run: &str, seed: u64) -> Option<RunTelemetry> {
+    installed().map(|sink| RunTelemetry::new(run, seed).with_sink(Box::new(sink)))
+}
+
+/// Instruments `engine` when a trace output is installed; a no-op
+/// otherwise. Call right after constructing an engine the harness runs
+/// rounds on.
+pub fn attach<L: LatencyModel>(engine: &mut PerigeeEngine<L>, run: &str, seed: u64) {
+    if let Some(tel) = engine_telemetry(run, seed) {
+        engine.set_telemetry(tel);
+    }
+}
+
+/// Emits one `command`-kind record carrying a harness-level phase
+/// profile (e.g. a `repro` subcommand's wall-clock breakdown, or the
+/// checkpoint encode/decode timings of the resume workflow). A no-op
+/// when no sink is installed.
+pub fn record_profile(run: &str, seed: u64, profile: &PhaseProfile) {
+    if let Some(mut sink) = installed() {
+        let mut rec = TraceRecord::new("command", run, seed, 0);
+        rec.set_phases(profile);
+        sink.record(&rec);
+    }
+}
+
+/// Flushes the installed sink, surfacing any deferred write error.
+/// A no-op (Ok) when tracing is off.
+///
+/// # Errors
+///
+/// The first write error the sink deferred, or the flush error itself.
+pub fn flush() -> io::Result<()> {
+    match installed() {
+        Some(mut sink) => sink.flush(),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: these run in one process; the global sink is shared, so the
+    // test installs into a tempdir and only asserts on its own labels.
+    #[test]
+    fn install_attach_and_flush_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("perigee-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        install_jsonl(&path).unwrap();
+        assert!(installed().is_some());
+
+        let mut profile = PhaseProfile::new();
+        profile.add("encode", 0.125);
+        record_profile("unit-test", 9, &profile);
+        flush().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("unit-test"))
+            .expect("command record written");
+        let parsed = perigee_telemetry::JsonValue::parse(line).unwrap();
+        let rec = TraceRecord::from_json(&parsed).unwrap();
+        assert_eq!(rec.kind, "command");
+        assert_eq!(rec.seed, 9);
+        assert_eq!(rec.phase_profile().seconds("encode"), Some(0.125));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -64,6 +64,7 @@ fn traffic_engine(
     if let Some(traffic) = traffic {
         engine.set_traffic(traffic).expect("valid workload");
     }
+    crate::trace::attach(&mut engine, "traffic", seed);
     (engine, rng)
 }
 

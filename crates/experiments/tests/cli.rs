@@ -108,3 +108,100 @@ fn quick_resume_roundtrip_exits_zero() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("bit-identical"), "got: {stdout}");
 }
+
+#[test]
+fn failed_csv_write_exits_nonzero() {
+    // Point --out at a regular file: every CSV write inside must fail,
+    // and a failed artifact write is a failed command (satellite of the
+    // observability PR: no more swallowed `[csv write failed]`).
+    let dir = std::env::temp_dir().join("repro-cli-csvfail");
+    std::fs::create_dir_all(&dir).unwrap();
+    let not_a_dir = dir.join("file-not-dir");
+    std::fs::write(&not_a_dir, b"occupied").unwrap();
+    let out = repro(&[
+        "fig1",
+        "--quick",
+        "--nodes",
+        "40",
+        "--out",
+        not_a_dir.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "failed csv write must exit nonzero");
+    assert!(
+        stderr(&out).contains("csv write"),
+        "stderr must name the failed write, got: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn trace_flag_writes_parseable_jsonl_and_trace_summarizes_it() {
+    let dir = std::env::temp_dir().join("repro-cli-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("run.jsonl");
+    let out = repro(&[
+        "convergence",
+        "--quick",
+        "--nodes",
+        "60",
+        "--rounds",
+        "3",
+        "--blocks",
+        "5",
+        "--seeds",
+        "7",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "traced convergence must succeed, stderr: {}",
+        stderr(&out)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let mut rounds = 0;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let value = perigee_telemetry::JsonValue::parse(line).expect("every line parses");
+        let rec = perigee_telemetry::TraceRecord::from_json(&value).expect("record shape");
+        if rec.kind == "round" {
+            rounds += 1;
+            assert!(!rec.phases_s.is_empty(), "round records carry phases");
+            assert!(
+                rec.get_counter("blocks").is_some(),
+                "round records carry the block count"
+            );
+        }
+    }
+    assert_eq!(rounds, 3, "one record per engine round");
+
+    let out = repro(&["trace", trace.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "trace summary must succeed, stderr: {}",
+        stderr(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Trace summary"), "got: {stdout}");
+    assert!(stdout.contains("propagation"), "got: {stdout}");
+}
+
+#[test]
+fn trace_without_a_file_fails() {
+    let out = repro(&["trace"]);
+    assert!(!out.status.success(), "bare trace must fail");
+    assert!(stderr(&out).contains("trace needs a file"));
+}
+
+#[test]
+fn unopenable_trace_output_fails_fast() {
+    let out = repro(&[
+        "fig1",
+        "--quick",
+        "--nodes",
+        "40",
+        "--trace",
+        "/definitely/not/a/dir/run.jsonl",
+    ]);
+    assert!(!out.status.success(), "unopenable --trace must fail");
+    assert!(stderr(&out).contains("cannot open trace output"));
+}

@@ -394,6 +394,21 @@ impl RoundFaults {
     }
 }
 
+/// What the fault lens did to one announcement leg (see
+/// [`BlockFaults::announce_leg_classified`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegOutcome {
+    /// Effective arrival latency; `None` if the announcement never
+    /// arrives (link down or every copy dropped).
+    pub time: Option<SimTime>,
+    /// The surviving copy paid a regional slow factor, extra delay or
+    /// jitter.
+    pub delayed: bool,
+    /// The duplication roll fired (a second copy was created, whether or
+    /// not it survived).
+    pub duplicated: bool,
+}
+
 /// The fault decisions for one block: a pure lens over [`RoundFaults`].
 #[derive(Debug, Clone, Copy)]
 pub struct BlockFaults<'a> {
@@ -419,18 +434,35 @@ impl BlockFaults<'_> {
     /// bit-identical to no plan.
     #[inline]
     pub fn announce_leg(&self, e: usize, base: SimTime) -> Option<SimTime> {
+        self.announce_leg_classified(e, base).time
+    }
+
+    /// [`Self::announce_leg`] plus a classification of what the lens did
+    /// (delay applied? duplicate rolled?), computed from the same draws,
+    /// so telemetry call sites can count fault events without a second
+    /// pass over the hash stream.
+    #[inline]
+    pub fn announce_leg_classified(&self, e: usize, base: SimTime) -> LegOutcome {
         let rf = self.rf;
         if rf.edge_down(e) {
-            return None;
+            return LegOutcome {
+                time: None,
+                delayed: false,
+                duplicated: false,
+            };
         }
-        let scaled = if rf.slow.is_empty() {
-            base
+        let (scaled, slowed) = if rf.slow.is_empty() {
+            (base, false)
         } else {
-            base * rf.slow[e]
+            (base * rf.slow[e], rf.slow[e] != 1.0)
         };
         let r = &rf.rates;
         if r.is_inert() {
-            return Some(scaled);
+            return LegOutcome {
+                time: Some(scaled),
+                delayed: slowed,
+                duplicated: false,
+            };
         }
         let mut best: Option<SimTime> = None;
         if self.draw(e, 1) >= r.drop_prob {
@@ -441,28 +473,36 @@ impl BlockFaults<'_> {
             };
             best = Some(r.extra_delay + jitter);
         }
-        if r.duplicate_prob > 0.0
-            && self.draw(e, 3) < r.duplicate_prob
-            && self.draw(e, 4) >= r.drop_prob
-        {
-            let jitter = if r.jitter.as_ms() > 0.0 {
-                r.jitter * self.draw(e, 5)
-            } else {
-                SimTime::ZERO
-            };
-            let extra = r.extra_delay + jitter;
-            best = Some(match best {
-                Some(b) => b.min(extra),
-                None => extra,
-            });
+        let mut duplicated = false;
+        if r.duplicate_prob > 0.0 && self.draw(e, 3) < r.duplicate_prob {
+            duplicated = true;
+            if self.draw(e, 4) >= r.drop_prob {
+                let jitter = if r.jitter.as_ms() > 0.0 {
+                    r.jitter * self.draw(e, 5)
+                } else {
+                    SimTime::ZERO
+                };
+                let extra = r.extra_delay + jitter;
+                best = Some(match best {
+                    Some(b) => b.min(extra),
+                    None => extra,
+                });
+            }
         }
-        best.map(|extra| {
+        let mut delayed = false;
+        let time = best.map(|extra| {
+            delayed = slowed || extra.as_ms() > 0.0;
             if extra.as_ms() == 0.0 {
                 scaled
             } else {
                 scaled + extra
             }
-        })
+        });
+        LegOutcome {
+            time,
+            delayed,
+            duplicated,
+        }
     }
 
     /// The effective latency of a reliable request/response leg (GETDATA,

@@ -48,6 +48,7 @@
 use std::collections::BTreeMap;
 
 use crate::bandwidth::TransferModel;
+use crate::counters::SimCounters;
 use crate::error::NetsimError;
 use crate::faults::BlockFaults;
 use crate::graph::Topology;
@@ -360,6 +361,10 @@ pub struct GossipScratch {
     epoch: u32,
     coverage: Vec<(SimTime, f64)>,
     select: Vec<SimTime>,
+    /// Hot-path event tallies, accumulated across blocks until harvested
+    /// with [`GossipScratch::take_counters`]. Write-only from the
+    /// simulation's point of view (see [`crate::counters`]).
+    counters: SimCounters,
 }
 
 #[inline]
@@ -447,7 +452,20 @@ impl GossipScratch {
             epoch: 0,
             coverage: Vec::with_capacity(nodes),
             select: Vec::with_capacity(nodes),
+            counters: SimCounters::ZERO,
         })
+    }
+
+    /// The hot-path tallies accumulated since the last
+    /// [`GossipScratch::take_counters`].
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// Harvests and zeroes the accumulated tallies (telemetry merge
+    /// point).
+    pub fn take_counters(&mut self) -> SimCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Which priority-queue implementation this scratch simulates on.
@@ -625,9 +643,11 @@ impl GossipScratch {
         self.first_arrival.clear();
         self.first_arrival.resize(nodes, SimTime::INFINITY);
         if self.delivery.len() != directed_edges || self.epoch == u32::MAX {
+            self.counters.epoch_refills += 1;
             self.refill(nodes, directed_edges);
             self.epoch = 1;
         } else {
+            self.counters.epoch_bumps += 1;
             self.epoch += 1;
         }
     }
@@ -665,6 +685,7 @@ impl GossipScratch {
             || self.seen_stamp.len() != nodes
             || (self.epoch as u64) + (batch_len as u64) > u32::MAX as u64
         {
+            self.counters.epoch_refills += 1;
             self.refill(nodes, directed_edges);
             self.epoch = 0;
         }
@@ -692,6 +713,7 @@ impl GossipScratch {
         debug_assert!(self.delivery_stamp[e] != self.epoch, "edge delivered twice");
         self.delivery[e] = t;
         self.delivery_stamp[e] = self.epoch;
+        self.counters.gossip_deliveries += 1;
     }
 
     /// Schedules an event at `time`, stamping the next insertion sequence
@@ -701,6 +723,7 @@ impl GossipScratch {
         let word = pack_event(time, self.seq, kind, payload);
         self.seq += 1;
         self.queue.push(word);
+        self.counters.queue_peak = self.counters.queue_peak.max(self.queue.len() as u64);
     }
 
     /// Consumes a sequence number for an event the legacy engine would
@@ -709,6 +732,7 @@ impl GossipScratch {
     #[inline]
     fn skip_inert(&mut self) {
         self.seq += 1;
+        self.counters.gossip_elided += 1;
     }
 }
 
@@ -764,6 +788,7 @@ impl TopologyView {
         }
 
         while let Some(word) = scratch.queue.pop() {
+            scratch.counters.gossip_pops += 1;
             let t = event_time(word);
             match event_kind(word) {
                 k if k == EventKind::Announce as u32 => {
@@ -776,6 +801,7 @@ impl TopologyView {
                     // holds the block (flood) — are provably no-ops at pop
                     // and skip the heap, consuming only their sequence
                     // number.
+                    scratch.counters.gossip_relays += 1;
                     let u = event_payload(word);
                     let (start, end) = (self.offsets[u], self.offsets[u + 1]);
                     let edges = &self.edges[start..end];
@@ -937,15 +963,21 @@ impl TopologyView {
         }
 
         while let Some(word) = scratch.queue.pop() {
+            scratch.counters.gossip_pops += 1;
             let t = event_time(word);
             match event_kind(word) {
                 k if k == EventKind::Announce as u32 => {
+                    scratch.counters.gossip_relays += 1;
                     let u = event_payload(word);
                     let (start, end) = (self.offsets[u], self.offsets[u + 1]);
                     match config.mode {
                         GossipMode::Flood => {
                             for e in start..end {
-                                let Some(leg) = faults.announce_leg(e, self.delay[e]) else {
+                                let fate = faults.announce_leg_classified(e, self.delay[e]);
+                                scratch.counters.fault_delays += fate.delayed as u64;
+                                scratch.counters.fault_dupes += fate.duplicated as u64;
+                                let Some(leg) = fate.time else {
+                                    scratch.counters.fault_drops += 1;
                                     scratch.skip_inert();
                                     continue;
                                 };
@@ -966,7 +998,11 @@ impl TopologyView {
                         }
                         GossipMode::InvGetData => {
                             for e in start..end {
-                                let Some(leg) = faults.announce_leg(e, self.delay[e]) else {
+                                let fate = faults.announce_leg_classified(e, self.delay[e]);
+                                scratch.counters.fault_delays += fate.delayed as u64;
+                                scratch.counters.fault_dupes += fate.duplicated as u64;
+                                let Some(leg) = fate.time else {
+                                    scratch.counters.fault_drops += 1;
                                     scratch.skip_inert();
                                     continue;
                                 };
@@ -985,7 +1021,11 @@ impl TopologyView {
                         }
                         GossipMode::PushPull { push_degree } => {
                             for (k, e) in (start..end).enumerate() {
-                                let Some(leg) = faults.announce_leg(e, self.delay[e]) else {
+                                let fate = faults.announce_leg_classified(e, self.delay[e]);
+                                scratch.counters.fault_delays += fate.delayed as u64;
+                                scratch.counters.fault_dupes += fate.duplicated as u64;
+                                let Some(leg) = fate.time else {
+                                    scratch.counters.fault_drops += 1;
                                     scratch.skip_inert();
                                     continue;
                                 };
@@ -1104,8 +1144,11 @@ impl TopologyView {
             },
         );
         scratch.reset_batch(n, m, batch.len());
+        scratch.counters.batch_messages += batch.len() as u64;
+        scratch.counters.batch_peak = scratch.counters.batch_peak.max(batch.len() as u64);
         for (i, msg) in batch.iter().enumerate() {
             scratch.epoch += 1;
+            scratch.counters.epoch_bumps += 1;
             scratch.queue.clear();
             scratch.seq = 0;
             scratch.source = msg.source;
@@ -1120,9 +1163,11 @@ impl TopologyView {
             }
 
             while let Some(word) = scratch.queue.pop() {
+                scratch.counters.gossip_pops += 1;
                 let t = event_time(word);
                 match event_kind(word) {
                     k if k == EventKind::Announce as u32 => {
+                        scratch.counters.gossip_relays += 1;
                         let u = event_payload(word);
                         let (start, end) = (self.offsets[u], self.offsets[u + 1]);
                         let edges = &self.edges[start..end];

@@ -130,6 +130,7 @@
 
 pub mod bandwidth;
 pub mod broadcast;
+pub mod counters;
 pub mod dataset;
 pub mod dynamics;
 pub mod error;
@@ -149,13 +150,14 @@ pub mod view;
 
 pub use bandwidth::TransferModel;
 pub use broadcast::{broadcast, Propagation};
+pub use counters::SimCounters;
 pub use dynamics::{
     ChurnPlan, ChurnProcess, LifetimeEvent, LifetimeEventKind, SessionDist, WorldDelta,
 };
 pub use error::{ConnectError, NetsimError};
 pub use event::EventQueue;
 pub use faults::{
-    BlockFaults, FaultPlan, FaultWindow, LinkFaultRates, LinkFlaps, PartitionWindow,
+    BlockFaults, FaultPlan, FaultWindow, LegOutcome, LinkFaultRates, LinkFlaps, PartitionWindow,
     RegionalWindow, RoundFaults,
 };
 pub use gossip::{

@@ -43,6 +43,7 @@
 //! `tests/pq_equivalence.rs` and the pq proptests).
 
 use crate::broadcast::Propagation;
+use crate::counters::SimCounters;
 use crate::dynamics::WorldDelta;
 use crate::error::NetsimError;
 use crate::faults::BlockFaults;
@@ -344,6 +345,7 @@ impl TopologyView {
             .push((SimTime::ZERO.as_ms().to_bits(), source.as_u32()));
 
         while let Some((t_bits, u)) = scratch.queue.pop() {
+            scratch.counters.flood_pops += 1;
             let ui = u as usize;
             let t = SimTime::from_ms(f64::from_bits(t_bits));
             // Raw f64 compare: times are never NaN and never -0.0, so
@@ -357,14 +359,18 @@ impl TopologyView {
                 continue; // silent node: absorbs the block
             }
             let (start, end) = (self.offsets[ui], self.offsets[ui + 1]);
+            scratch.counters.flood_relaxations += (end - start) as u64;
             for (&v, &delay) in self.edges[start..end].iter().zip(&self.delay[start..end]) {
                 let vi = v as usize;
                 let tv = relay + delay;
                 if tv.as_ms() < scratch.arrival[vi].as_ms() {
                     scratch.arrival[vi] = tv;
+                    scratch.counters.flood_improvements += 1;
                     scratch.queue.push((tv.as_ms().to_bits(), v));
                 }
             }
+            scratch.counters.queue_peak =
+                scratch.counters.queue_peak.max(scratch.queue.len() as u64);
         }
     }
 
@@ -400,6 +406,7 @@ impl TopologyView {
             .push((SimTime::ZERO.as_ms().to_bits(), source.as_u32()));
 
         while let Some((t_bits, u)) = scratch.queue.pop() {
+            scratch.counters.flood_pops += 1;
             let ui = u as usize;
             let t = SimTime::from_ms(f64::from_bits(t_bits));
             if t.as_ms() > scratch.arrival[ui].as_ms() {
@@ -411,8 +418,13 @@ impl TopologyView {
                 continue; // silent node: absorbs the block
             }
             let (start, end) = (self.offsets[ui], self.offsets[ui + 1]);
+            scratch.counters.flood_relaxations += (end - start) as u64;
             for e in start..end {
-                let Some(leg) = faults.announce_leg(e, self.delay[e]) else {
+                let fate = faults.announce_leg_classified(e, self.delay[e]);
+                scratch.counters.fault_delays += fate.delayed as u64;
+                scratch.counters.fault_dupes += fate.duplicated as u64;
+                let Some(leg) = fate.time else {
+                    scratch.counters.fault_drops += 1;
                     continue; // dropped or the link is down
                 };
                 let v = self.edges[e];
@@ -420,9 +432,12 @@ impl TopologyView {
                 let tv = relay + leg;
                 if tv.as_ms() < scratch.arrival[vi].as_ms() {
                     scratch.arrival[vi] = tv;
+                    scratch.counters.flood_improvements += 1;
                     scratch.queue.push((tv.as_ms().to_bits(), v));
                 }
             }
+            scratch.counters.queue_peak =
+                scratch.counters.queue_peak.max(scratch.queue.len() as u64);
         }
     }
 
@@ -493,6 +508,7 @@ impl TopologyView {
                     let end = base + state.arrival.len();
                     let mut outbox = std::mem::take(&mut state.outbox);
                     while let Some((t_bits, u)) = state.queue.pop() {
+                        state.counters.flood_pops += 1;
                         let ui = u as usize;
                         let t = SimTime::from_ms(f64::from_bits(t_bits));
                         if t.as_ms() > state.arrival[ui - base].as_ms() {
@@ -503,12 +519,21 @@ impl TopologyView {
                             continue; // silent node: absorbs the block
                         }
                         let (row_start, row_end) = (self.offsets[ui], self.offsets[ui + 1]);
+                        state.counters.flood_relaxations += (row_end - row_start) as u64;
                         for e in row_start..row_end {
                             let leg = match faults {
-                                Some(f) => match f.announce_leg(e, self.delay[e]) {
-                                    Some(l) => l,
-                                    None => continue, // dropped or the link is down
-                                },
+                                Some(f) => {
+                                    let fate = f.announce_leg_classified(e, self.delay[e]);
+                                    state.counters.fault_delays += fate.delayed as u64;
+                                    state.counters.fault_dupes += fate.duplicated as u64;
+                                    match fate.time {
+                                        Some(l) => l,
+                                        None => {
+                                            state.counters.fault_drops += 1;
+                                            continue; // dropped or the link is down
+                                        }
+                                    }
+                                }
                                 None => self.delay[e],
                             };
                             let v = self.edges[e];
@@ -517,6 +542,7 @@ impl TopologyView {
                             if vi >= base && vi < end {
                                 if tv.as_ms() < state.arrival[vi - base].as_ms() {
                                     state.arrival[vi - base] = tv;
+                                    state.counters.flood_improvements += 1;
                                     state.queue.push((tv.as_ms().to_bits(), v));
                                 }
                             } else {
@@ -557,6 +583,7 @@ impl TopologyView {
                 let state = &mut states[vi / shard_size];
                 if tv.as_ms() < state.arrival[vi - state.base].as_ms() {
                     state.arrival[vi - state.base] = tv;
+                    state.counters.flood_improvements += 1;
                     state.queue.push((t_bits, v));
                     progressed = true;
                 }
@@ -573,6 +600,9 @@ impl TopologyView {
         scratch.arrival.clear();
         for state in states.iter() {
             scratch.arrival.extend_from_slice(&state.arrival);
+            // Shard tallies sum in shard order; the totals are the same
+            // for any order (counts add, peaks max).
+            scratch.counters.merge(&state.counters);
         }
         scratch.relay_at.clear();
         scratch
@@ -1023,6 +1053,10 @@ pub struct BroadcastScratch {
     queue: PackedQueue<(u64, u32)>,
     coverage: Vec<(SimTime, f64)>,
     select: Vec<SimTime>,
+    /// Hot-path event tallies, accumulated across floods until harvested
+    /// with [`BroadcastScratch::take_counters`]. Write-only from the
+    /// simulation's point of view (see [`crate::counters`]).
+    counters: SimCounters,
 }
 
 impl BroadcastScratch {
@@ -1055,7 +1089,20 @@ impl BroadcastScratch {
             queue: PackedQueue::with_kind_and_capacity(kind, n),
             coverage: Vec::with_capacity(n),
             select: Vec::with_capacity(n),
+            counters: SimCounters::ZERO,
         }
+    }
+
+    /// The hot-path tallies accumulated since the last
+    /// [`BroadcastScratch::take_counters`].
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// Harvests and zeroes the accumulated tallies (telemetry merge
+    /// point).
+    pub fn take_counters(&mut self) -> SimCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Which priority-queue implementation this scratch floods on.
@@ -1147,6 +1194,9 @@ struct ShardState {
     /// Cross-shard candidates `(target node, time bits)` emitted this
     /// wave; drained into the merge, allocation reused across waves.
     outbox: Vec<(u32, u64)>,
+    /// Hot-path tallies for this shard's waves; summed into the flat
+    /// scratch at write-back (order-independent, see [`crate::counters`]).
+    counters: SimCounters,
 }
 
 /// Reusable state for [`TopologyView::broadcast_sharded_into`]: per-shard
@@ -1239,6 +1289,7 @@ impl ShardWorkspace {
                         arrival: vec![SimTime::INFINITY; len],
                         queue: PackedQueue::with_kind(kind),
                         outbox: Vec::new(),
+                        counters: SimCounters::ZERO,
                     }
                 })
                 .collect();
@@ -1247,6 +1298,7 @@ impl ShardWorkspace {
                 state.arrival.fill(SimTime::INFINITY);
                 state.queue.clear();
                 state.outbox.clear();
+                state.counters = SimCounters::ZERO;
             }
         }
         self.inbox.clear();

@@ -1,0 +1,302 @@
+//! Phase timing: [`PhaseTimer`] spans and the [`PhaseProfile`] they
+//! accumulate into.
+//!
+//! A [`PhaseTimer`] is a lap timer: construct it at the top of a unit of
+//! work and call [`PhaseTimer::lap`] at each phase boundary; the elapsed
+//! time since the previous boundary is attributed to the named phase.
+//! Repeated laps with the same name accumulate, so one timer can span a
+//! whole multi-round run and still produce per-phase totals, counts and
+//! medians.
+//!
+//! When constructed disabled, every method is a no-op and **no
+//! `Instant::now()` calls are made at all** — this is the zero-cost
+//! switch the engine's `set_telemetry` handle rides on. Timing can never
+//! influence simulation results either way (nothing reads the clock back
+//! into the simulation), so enabled/disabled runs are bit-identical by
+//! construction; the test suite still verifies this end to end.
+
+use std::time::Instant;
+
+use perigee_metrics::Table;
+
+/// One named phase's accumulated timing.
+#[derive(Debug, Clone)]
+pub struct PhaseEntry {
+    /// Phase name (stable across rounds; used as the JSON key).
+    pub name: String,
+    /// Total seconds attributed to this phase.
+    pub seconds: f64,
+    /// Number of laps that contributed to `seconds`.
+    pub count: u64,
+    samples: Vec<f64>,
+}
+
+impl PhaseEntry {
+    /// Mean seconds per lap.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.seconds / self.count as f64
+        }
+    }
+
+    /// Exact median seconds per lap (phases see at most one lap per
+    /// round, so the sample buffer stays proportional to round count).
+    pub fn median(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("lap times are finite"));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        }
+    }
+
+    /// The raw per-lap samples, in arrival order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Accumulated per-phase timing, in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfile {
+    entries: Vec<PhaseEntry>,
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attributes `seconds` to `name` (find-or-append; order of first
+    /// appearance is preserved, which keeps reports in execution order).
+    pub fn add(&mut self, name: &str, seconds: f64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == name) {
+            e.seconds += seconds;
+            e.count += 1;
+            e.samples.push(seconds);
+        } else {
+            self.entries.push(PhaseEntry {
+                name: name.to_string(),
+                seconds,
+                count: 1,
+                samples: vec![seconds],
+            });
+        }
+    }
+
+    /// Merges another profile into this one (phase-wise accumulation).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for e in &other.entries {
+            for &s in &e.samples {
+                self.add(&e.name, s);
+            }
+        }
+    }
+
+    /// Iterates entries in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = &PhaseEntry> {
+        self.entries.iter()
+    }
+
+    /// True when no laps have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total seconds across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Total seconds for one phase, if it was recorded.
+    pub fn seconds(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.seconds)
+    }
+
+    /// The entry for one phase, if it was recorded.
+    pub fn entry(&self, name: &str) -> Option<&PhaseEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Renders the standard phase-breakdown table every subcommand
+    /// prints: phase, total seconds, share of the profile, lap count and
+    /// median lap time.
+    pub fn table(&self) -> Table {
+        let total = self.total_seconds();
+        let mut table = Table::new(vec![
+            "phase".into(),
+            "total_s".into(),
+            "share_%".into(),
+            "laps".into(),
+            "median_ms".into(),
+        ]);
+        for e in &self.entries {
+            let share = if total > 0.0 {
+                100.0 * e.seconds / total
+            } else {
+                0.0
+            };
+            table.row(vec![
+                e.name.clone(),
+                format!("{:.3}", e.seconds),
+                format!("{share:.1}"),
+                e.count.to_string(),
+                format!("{:.3}", e.median() * 1e3),
+            ]);
+        }
+        table.row(vec![
+            "total".into(),
+            format!("{total:.3}"),
+            "100.0".into(),
+            String::new(),
+            String::new(),
+        ]);
+        table
+    }
+}
+
+/// A lap timer that attributes wall-clock time to named phases.
+///
+/// Disabled timers never touch the clock; see the module docs.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    last: Option<Instant>,
+    profile: PhaseProfile,
+}
+
+impl PhaseTimer {
+    /// A running timer; the first `lap` measures from now.
+    pub fn enabled() -> Self {
+        PhaseTimer {
+            last: Some(Instant::now()),
+            profile: PhaseProfile::new(),
+        }
+    }
+
+    /// An inert timer: `lap` and `restart` are no-ops and the profile
+    /// stays empty.
+    pub fn disabled() -> Self {
+        PhaseTimer {
+            last: None,
+            profile: PhaseProfile::new(),
+        }
+    }
+
+    /// Enabled or disabled depending on `on` (mirrors the engine's
+    /// `telemetry.is_some()` gate).
+    pub fn new(on: bool) -> Self {
+        if on {
+            Self::enabled()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// True when the timer is measuring.
+    pub fn is_enabled(&self) -> bool {
+        self.last.is_some()
+    }
+
+    /// Ends the current span, attributing it to `name`, and starts the
+    /// next one.
+    pub fn lap(&mut self, name: &str) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            self.profile
+                .add(name, now.duration_since(last).as_secs_f64());
+            self.last = Some(now);
+        }
+    }
+
+    /// Restarts the span without attributing the elapsed time anywhere
+    /// (used to exclude work that is not part of the profiled unit).
+    pub fn restart(&mut self) {
+        if self.last.is_some() {
+            self.last = Some(Instant::now());
+        }
+    }
+
+    /// The accumulated profile.
+    pub fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Consumes the timer, returning the accumulated profile.
+    pub fn into_profile(self) -> PhaseProfile {
+        self.profile
+    }
+
+    /// Drains the accumulated profile, leaving the timer running.
+    pub fn take_profile(&mut self) -> PhaseProfile {
+        std::mem::take(&mut self.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timer_records_nothing() {
+        let mut t = PhaseTimer::disabled();
+        t.lap("a");
+        t.lap("b");
+        assert!(t.profile().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn laps_accumulate_by_name() {
+        let mut p = PhaseProfile::new();
+        p.add("score", 1.0);
+        p.add("churn", 0.5);
+        p.add("score", 3.0);
+        assert_eq!(p.seconds("score"), Some(4.0));
+        assert_eq!(p.entry("score").unwrap().count, 2);
+        assert_eq!(p.entry("score").unwrap().median(), 2.0);
+        assert_eq!(p.total_seconds(), 4.5);
+        // First-seen order is preserved.
+        let names: Vec<_> = p.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["score", "churn"]);
+    }
+
+    #[test]
+    fn merge_accumulates_samples() {
+        let mut a = PhaseProfile::new();
+        a.add("x", 1.0);
+        let mut b = PhaseProfile::new();
+        b.add("x", 3.0);
+        b.add("y", 2.0);
+        a.merge(&b);
+        assert_eq!(a.entry("x").unwrap().count, 2);
+        assert_eq!(a.seconds("x"), Some(4.0));
+        assert_eq!(a.seconds("y"), Some(2.0));
+    }
+
+    #[test]
+    fn enabled_timer_measures_nonnegative_time() {
+        let mut t = PhaseTimer::enabled();
+        t.lap("a");
+        let p = t.into_profile();
+        assert!(p.seconds("a").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn table_has_one_row_per_phase_plus_total() {
+        let mut p = PhaseProfile::new();
+        p.add("a", 1.0);
+        p.add("b", 1.0);
+        assert_eq!(p.table().len(), 3);
+    }
+}

@@ -1,0 +1,219 @@
+//! The [`Registry`]: a run-scoped store of counters, gauges and
+//! constant-space streaming histograms.
+//!
+//! Counters are monotone `u64` sums (hot-path event tallies merged in
+//! from the simulator), gauges are last/max-style `f64` facts, and
+//! histograms stream observations through
+//! [`perigee_metrics::MultiQuantile`] (a bank of P² estimators), so a
+//! million-round run costs the same memory as a ten-round one. All three
+//! stores iterate in lexicographic name order, which keeps every export
+//! (JSON lines, tables, test snapshots) deterministic.
+
+use std::collections::BTreeMap;
+
+use perigee_metrics::MultiQuantile;
+
+/// Percentiles every registry histogram tracks (0–100 scale, as used
+/// throughout `perigee-metrics`).
+const HISTOGRAM_PERCENTILES: [f64; 3] = [50.0, 90.0, 99.0];
+
+/// A constant-space streaming histogram: min/max/sum exactly, interior
+/// shape via P² quantile estimators (p50/p90/p99).
+#[derive(Debug, Clone)]
+pub struct StreamingHistogram {
+    quants: MultiQuantile,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram {
+            quants: MultiQuantile::new(&HISTOGRAM_PERCENTILES),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Streams one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.quants.observe(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.quants.count()
+    }
+
+    /// Exact mean of all observations.
+    pub fn mean(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.sum / self.count() as f64
+        }
+    }
+
+    /// Exact minimum (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact maximum (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// `(percentile, estimate)` pairs for p50/p90/p99.
+    pub fn percentiles(&self) -> Vec<(f64, f64)> {
+        self.quants
+            .percentiles()
+            .into_iter()
+            .zip(self.quants.estimates_or_inf())
+            .collect()
+    }
+}
+
+/// A run-scoped registry of counters, gauges and streaming histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, StreamingHistogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero).
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        if delta > 0 {
+            *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Reads a counter (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raises a gauge to `value` if larger (high-water tracking).
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        let g = self
+            .gauges
+            .entry(name.to_string())
+            .or_insert(f64::NEG_INFINITY);
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Reads a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Streams one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, x: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(x);
+    }
+
+    /// Reads a histogram, if any observation was streamed.
+    pub fn histogram(&self, name: &str) -> Option<&StreamingHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &StreamingHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::new();
+        r.incr("a", 2);
+        r.incr("a", 3);
+        r.incr("zero", 0);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        // Zero increments do not materialize a counter.
+        assert_eq!(r.counters().count(), 1);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut r = Registry::new();
+        r.incr("zebra", 1);
+        r.incr("alpha", 1);
+        r.incr("mid", 1);
+        let names: Vec<_> = r.counters().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, ["alpha", "mid", "zebra"]);
+    }
+
+    #[test]
+    fn gauge_max_tracks_high_water() {
+        let mut r = Registry::new();
+        r.gauge_max("q", 3.0);
+        r.gauge_max("q", 1.0);
+        r.gauge_max("q", 7.0);
+        assert_eq!(r.gauge("q"), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_streams_constant_space() {
+        let mut h = StreamingHistogram::new();
+        for i in 0..10_000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 9999.0);
+        let p = h.percentiles();
+        assert_eq!(p.len(), 3);
+        // P² estimate of the median of 0..10000 lands near 5000.
+        assert!((p[0].1 - 5000.0).abs() < 500.0, "p50 ~ {}", p[0].1);
+    }
+}

@@ -1,0 +1,461 @@
+//! Trace records, sinks, and the [`RunTelemetry`] handle the engine
+//! carries.
+//!
+//! Each simulated round (or each CLI command) becomes one
+//! [`TraceRecord`]: a self-describing bundle of phase timings, hot-path
+//! counters and scalar facts. Records flow into a [`TraceSink`] — the
+//! in-memory sink for tests and the JSONL emitter for `repro --trace` —
+//! and one record serializes to exactly one JSON line with a fixed field
+//! order, so traces diff cleanly and stream through line-oriented tools.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::json::{escape, fmt_f64, JsonValue};
+use crate::phase::PhaseProfile;
+use crate::registry::Registry;
+
+/// Version stamp written into every trace line as `"schema"`.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// One self-describing trace record (a round or a command).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceRecord {
+    /// Record kind: `"round"` for engine rounds, `"command"` for CLI
+    /// subcommand summaries.
+    pub kind: String,
+    /// Run label (algorithm or subcommand name).
+    pub run: String,
+    /// World seed the run used.
+    pub seed: u64,
+    /// Round index (0 for command records).
+    pub round: u64,
+    /// `(phase, seconds)` in execution order.
+    pub phases_s: Vec<(String, f64)>,
+    /// `(name, value)` hot-path counters in name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` scalar facts (λ stats, messages, …) in insertion
+    /// order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl TraceRecord {
+    /// A new record of the given kind and run label.
+    pub fn new(kind: &str, run: &str, seed: u64, round: u64) -> Self {
+        TraceRecord {
+            kind: kind.to_string(),
+            run: run.to_string(),
+            seed,
+            round,
+            ..TraceRecord::default()
+        }
+    }
+
+    /// Copies a phase profile's totals into the record.
+    pub fn set_phases(&mut self, profile: &PhaseProfile) {
+        self.phases_s = profile
+            .iter()
+            .map(|e| (e.name.clone(), e.seconds))
+            .collect();
+    }
+
+    /// Appends a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counters.push((name.to_string(), value));
+    }
+
+    /// Appends a scalar fact.
+    pub fn value(&mut self, name: &str, value: f64) {
+        self.values.push((name.to_string(), value));
+    }
+
+    /// Looks up a scalar fact.
+    pub fn get_value(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a counter.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The record's phase timings as a profile (counts are 1 per phase).
+    pub fn phase_profile(&self) -> PhaseProfile {
+        let mut p = PhaseProfile::new();
+        for (name, secs) in &self.phases_s {
+            p.add(name, *secs);
+        }
+        p
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline),
+    /// with a fixed field order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"schema\":{},\"kind\":\"{}\",\"run\":\"{}\",\"seed\":{},\"round\":{}",
+            TRACE_SCHEMA_VERSION,
+            escape(&self.kind),
+            escape(&self.run),
+            self.seed,
+            self.round,
+        ));
+        out.push_str(",\"phases_s\":{");
+        for (i, (name, secs)) in self.phases_s.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), fmt_f64(*secs)));
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), v));
+        }
+        out.push_str("},\"values\":{");
+        for (i, (name, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), fmt_f64(*v)));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Reconstructs a record from one parsed JSON trace line.
+    pub fn from_json(v: &JsonValue) -> Result<TraceRecord, String> {
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing schema field")?;
+        if schema != TRACE_SCHEMA_VERSION as u64 {
+            return Err(format!("unsupported trace schema {schema}"));
+        }
+        let field_str = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing {key} field"))
+        };
+        let mut rec = TraceRecord::new(
+            &field_str("kind")?,
+            &field_str("run")?,
+            v.get("seed")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing seed field")?,
+            v.get("round")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing round field")?,
+        );
+        let pairs = |key: &str| -> Result<&[(String, JsonValue)], String> {
+            v.get(key)
+                .and_then(JsonValue::as_object)
+                .ok_or(format!("missing {key} object"))
+        };
+        for (name, val) in pairs("phases_s")? {
+            let secs = val.as_f64().ok_or(format!("phase {name} not a number"))?;
+            rec.phases_s.push((name.clone(), secs));
+        }
+        for (name, val) in pairs("counters")? {
+            let c = val.as_u64().ok_or(format!("counter {name} not a u64"))?;
+            rec.counters.push((name.clone(), c));
+        }
+        for (name, val) in pairs("values")? {
+            // Values may be null (non-finite on the way out).
+            let f = val.as_f64().unwrap_or(f64::NAN);
+            rec.values.push((name.clone(), f));
+        }
+        Ok(rec)
+    }
+}
+
+/// Receives trace records as they are produced.
+pub trait TraceSink: fmt::Debug + Send + Sync {
+    /// Accepts one record.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Flushes any buffered output.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Buffers records in memory (tests, `repro trace` aggregation).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<TraceRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records received so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Drains the received records.
+    pub fn take(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.records.push(rec.clone());
+    }
+}
+
+/// Writes each record as one JSON line.
+pub struct JsonlSink<W: Write + Send + Sync> {
+    out: W,
+    /// First write error, if any (surfaced on `flush`).
+    error: Option<io::Error>,
+}
+
+impl<W: Write + Send + Sync> fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncates) `path` and writes JSON lines to it.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send + Sync> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, error: None }
+    }
+
+    /// Consumes the sink, returning the writer (after a final flush).
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write + Send + Sync> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = rec.to_json();
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+/// A cloneable sink handle: multiple producers (engines, the CLI) can
+/// append to one underlying sink through a mutex.
+#[derive(Debug, Clone)]
+pub struct SharedSink {
+    inner: Arc<Mutex<Box<dyn TraceSink>>>,
+}
+
+impl SharedSink {
+    /// Wraps `sink` for shared use.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        SharedSink {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Runs `f` against the underlying sink.
+    pub fn with<R>(&self, f: impl FnOnce(&mut dyn TraceSink) -> R) -> R {
+        let mut guard = self.inner.lock().expect("trace sink poisoned");
+        f(guard.as_mut())
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.with(|s| s.record(rec));
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.with(|s| s.flush())
+    }
+}
+
+/// The run-scoped telemetry handle an engine carries.
+///
+/// Holds the run label/seed (stamped onto every record), a [`Registry`]
+/// that accumulates whole-run aggregates, and an optional sink that
+/// receives each per-round record. The engine treats `Option<RunTelemetry>`
+/// as its on/off switch: `None` means no clock reads, no record
+/// construction, no registry updates.
+#[derive(Debug)]
+pub struct RunTelemetry {
+    run: String,
+    seed: u64,
+    registry: Registry,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl RunTelemetry {
+    /// A handle with no sink: records still update the registry, then
+    /// are dropped.
+    pub fn new(run: &str, seed: u64) -> Self {
+        RunTelemetry {
+            run: run.to_string(),
+            seed,
+            registry: Registry::new(),
+            sink: None,
+        }
+    }
+
+    /// Attaches a sink receiving every record.
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The run label stamped onto records.
+    pub fn run(&self) -> &str {
+        &self.run
+    }
+
+    /// The seed stamped onto records.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A fresh record pre-stamped with this run's label and seed.
+    pub fn round_record(&self, round: u64) -> TraceRecord {
+        TraceRecord::new("round", &self.run, self.seed, round)
+    }
+
+    /// The whole-run aggregate registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the aggregate registry.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Folds a record into the registry (counters accumulate, phase
+    /// seconds stream into per-phase histograms) and forwards it to the
+    /// sink.
+    pub fn emit(&mut self, rec: &TraceRecord) {
+        for (name, v) in &rec.counters {
+            self.registry.incr(name, *v);
+        }
+        for (name, secs) in &rec.phases_s {
+            self.registry.observe(&format!("phase_s/{name}"), *secs);
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.record(rec);
+        }
+    }
+
+    /// Flushes the sink, surfacing deferred write errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        match &mut self.sink {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> TraceRecord {
+        let mut rec = TraceRecord::new("round", "perigee-subset", 7, 42);
+        rec.phases_s.push(("propagation".into(), 0.25));
+        rec.phases_s.push(("scoring".into(), 0.5));
+        rec.counter("gossip_pops", 1234);
+        rec.value("mean_lambda90_ms", 812.5);
+        rec.value("nan_guard", f64::NAN);
+        rec
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_fields() {
+        let rec = sample_record();
+        let line = rec.to_json();
+        assert!(!line.contains('\n'));
+        let parsed = JsonValue::parse(&line).expect("trace line parses");
+        let back = TraceRecord::from_json(&parsed).expect("record reconstructs");
+        assert_eq!(back.kind, "round");
+        assert_eq!(back.run, "perigee-subset");
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.round, 42);
+        assert_eq!(back.get_counter("gossip_pops"), Some(1234));
+        assert_eq!(back.get_value("mean_lambda90_ms"), Some(812.5));
+        // NaN became null on the way out, NaN again on the way in.
+        assert!(back.get_value("nan_guard").unwrap().is_nan());
+        assert_eq!(back.phases_s, rec.phases_s);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&sample_record());
+        sink.record(&sample_record());
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            JsonValue::parse(line).expect("every line parses");
+        }
+    }
+
+    #[test]
+    fn run_telemetry_accumulates_registry() {
+        let mut tel = RunTelemetry::new("test", 1).with_sink(Box::new(MemorySink::new()));
+        let mut rec = tel.round_record(0);
+        rec.counter("gossip_pops", 10);
+        tel.emit(&rec);
+        let mut rec = tel.round_record(1);
+        rec.counter("gossip_pops", 5);
+        tel.emit(&rec);
+        assert_eq!(tel.registry().counter("gossip_pops"), 15);
+    }
+
+    #[test]
+    fn shared_sink_fans_in() {
+        let shared = SharedSink::new(Box::new(MemorySink::new()));
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        a.record(&sample_record());
+        b.record(&sample_record());
+        let n = shared.with(|s| {
+            // Downcast-free check: flush works and both records landed.
+            s.flush().unwrap();
+            2
+        });
+        assert_eq!(n, 2);
+    }
+}
